@@ -1,0 +1,96 @@
+// Ablation: the shuffling-layer design of Section 5.6. Compares, per
+// workload size: (a) the paper's policy (trailing-20-minute max of resident
+// intermediate state, 16 GB floor), (b) pure cloud-storage shuffling
+// (Starling/Lambada: every request billed), and (c) a heavily
+// over-provisioned shuffle fleet. The paper's claim: per-request pricing is
+// so expensive that over-provisioning nodes is almost always cheaper, which
+// is why the shuffle layer does not use the cost-based dynamic strategy.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace cackle;
+using namespace cackle::bench;
+
+struct ShuffleCosts {
+  double node_cost = 0;
+  double store_cost = 0;
+  double total() const { return node_cost + store_cost; }
+};
+
+ShuffleCosts PureS3(const std::vector<QueryArrival>& arrivals) {
+  CostModel cost;
+  ShuffleCosts out;
+  for (const QueryArrival& qa : arrivals) {
+    const QueryProfile& p = Library().at(qa.profile_index);
+    out.store_cost += static_cast<double>(p.TotalObjectStorePuts()) *
+                          cost.object_store_put_cost +
+                      static_cast<double>(p.TotalObjectStoreGets()) *
+                          cost.object_store_get_cost;
+  }
+  return out;
+}
+
+ShuffleCosts WithPolicy(const DemandCurve& demand, int64_t floor_bytes) {
+  CostModel cost;
+  AnalyticalModel model(&cost);
+  // Temporarily emulate different floors by scaling: the analytical model's
+  // shuffle policy uses the CostModel + ShuffleProvisioner defaults, so for
+  // the over-provisioned variant we inflate the resident series instead.
+  FixedStrategy fixed0(0);
+  ModelOptions opts;
+  opts.include_shuffle = true;
+  if (floor_bytes <= 0) {
+    const ModelResult r = model.Run(&fixed0, demand, opts);
+    return {r.shuffle_node_cost, r.object_store_cost};
+  }
+  // Over-provisioned: pad the resident bytes so the provisioner holds
+  // `floor_bytes` extra at all times.
+  DemandCurve padded = demand;
+  const ModelResult r = model.Run(&fixed0, padded, opts);
+  const double extra_nodes = static_cast<double>(floor_bytes) /
+                             static_cast<double>(cost.shuffle_node_memory_bytes);
+  const double hours =
+      static_cast<double>(demand.duration_seconds()) / 3600.0;
+  return {r.shuffle_node_cost +
+              extra_nodes * cost.shuffle_node_cost_per_hour * hours,
+          0.0};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: shuffle layer provisioning",
+              "paper policy vs pure cloud-storage shuffle vs "
+              "over-provisioned fleet (shuffle costs only).");
+
+  std::vector<int64_t> sweep = {512, 2048, 8192, 16384};
+  if (FastMode()) sweep = {512, 4096};
+
+  TablePrinter table({"queries", "policy_nodes", "policy_store",
+                      "policy_total", "pure_s3_total",
+                      "overprovisioned_total"});
+  for (int64_t n : sweep) {
+    WorkloadOptions opts = DefaultWorkload();
+    opts.num_queries = FastMode() ? n / 4 : n;
+    WorkloadGenerator gen(&Library());
+    const auto arrivals = gen.Generate(opts);
+    const DemandCurve demand = DemandCurve::FromWorkload(arrivals, Library());
+
+    const ShuffleCosts policy = WithPolicy(demand, 0);
+    const ShuffleCosts s3 = PureS3(arrivals);
+    // Over-provision: an extra 512 GB of shuffle memory all the time.
+    const ShuffleCosts over = WithPolicy(demand, 512LL << 30);
+
+    table.BeginRow();
+    table.AddCell(n);
+    table.AddCell(policy.node_cost, 2);
+    table.AddCell(policy.store_cost, 2);
+    table.AddCell(policy.total(), 2);
+    table.AddCell(s3.total(), 2);
+    table.AddCell(over.total(), 2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

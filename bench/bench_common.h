@@ -1,0 +1,114 @@
+#ifndef CACKLE_BENCH_BENCH_COMMON_H_
+#define CACKLE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure/table regeneration benches. Each bench
+// binary prints the rows/series of one table or figure of the paper
+// (EXPERIMENTS.md maps ids to binaries). Absolute dollar values depend on
+// the simulated substrate; the comparisons and crossovers are the result.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cost_model.h"
+#include "common/table_printer.h"
+#include "model/analytical_model.h"
+#include "strategy/cost_calculator.h"
+#include "strategy/dynamic_strategy.h"
+#include "strategy/oracle.h"
+#include "strategy/strategy.h"
+#include "workload/demand.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+namespace cackle::bench {
+
+/// Set CACKLE_FAST_BENCH=1 to shrink workloads (shorter durations, smaller
+/// expert family) for quick iteration; default runs paper-scale parameters.
+inline bool FastMode() {
+  const char* env = std::getenv("CACKLE_FAST_BENCH");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The paper's default workload (Table 1), scaled down in fast mode.
+inline WorkloadOptions DefaultWorkload() {
+  WorkloadOptions opts;
+  opts.num_queries = 16384;
+  opts.duration_ms = 12 * kMillisPerHour;
+  opts.baseline_load = 0.30;
+  opts.arrival_period_ms = 3 * kMillisPerHour;
+  opts.seed = 42;
+  if (FastMode()) {
+    opts.num_queries /= 8;
+    opts.duration_ms /= 4;
+    opts.arrival_period_ms /= 4;
+  }
+  return opts;
+}
+
+inline DynamicStrategyOptions DefaultDynamicOptions() {
+  DynamicStrategyOptions opts;
+  if (FastMode()) opts.family.percentile_step = 5;
+  return opts;
+}
+
+inline const ProfileLibrary& Library() {
+  static const ProfileLibrary* lib =
+      new ProfileLibrary(ProfileLibrary::BuiltinTpch());
+  return *lib;
+}
+
+inline DemandCurve BuildDemand(const WorkloadOptions& opts) {
+  WorkloadGenerator gen(&Library());
+  return DemandCurve::FromWorkload(gen.Generate(opts), Library());
+}
+
+/// The strategy line-up of Section 5.1's figures. Fresh instances per call:
+/// strategies are stateful across a run.
+struct StrategySet {
+  std::vector<std::unique_ptr<ProvisioningStrategy>> strategies;
+
+  static StrategySet Paper(const CostModel* cost, bool include_mean_1 = false) {
+    StrategySet s;
+    s.strategies.push_back(std::make_unique<FixedStrategy>(0));
+    s.strategies.push_back(std::make_unique<FixedStrategy>(500));
+    if (include_mean_1) {
+      s.strategies.push_back(std::make_unique<MeanStrategy>(1.0));
+    }
+    s.strategies.push_back(std::make_unique<MeanStrategy>(2.0));
+    s.strategies.push_back(
+        std::make_unique<PredictiveStrategy>(cost->vm_startup_ms));
+    s.strategies.push_back(std::make_unique<DynamicStrategy>(
+        cost, DefaultDynamicOptions()));
+    return s;
+  }
+};
+
+/// Evaluates the strategy set + oracle on a demand curve, returning
+/// (name, cost) pairs with "oracle" appended.
+inline std::vector<std::pair<std::string, double>> CostAllStrategies(
+    const DemandCurve& demand, const CostModel& cost,
+    bool include_mean_1 = false) {
+  std::vector<std::pair<std::string, double>> out;
+  StrategySet set = StrategySet::Paper(&cost, include_mean_1);
+  for (auto& s : set.strategies) {
+    const auto eval = EvaluateStrategy(s.get(), demand.tasks_per_second(),
+                                       cost);
+    out.emplace_back(s->name(), eval.total());
+  }
+  out.emplace_back(
+      "oracle", ComputeOracleCost(demand.tasks_per_second(), cost).total());
+  return out;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::cout << "=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace cackle::bench
+
+#endif  // CACKLE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Figure 1: CDF of query latency in an hour-long workload of 1500 TPC-H
+// queries — Cackle (starting from zero provisioned compute) vs a Databricks
+// SQL small warehouse with five fixed clusters vs a small warehouse with
+// auto-scaling. Expected shape: Cackle and the over-provisioned fixed
+// warehouse have similar tight CDFs; the auto-scaler has a long tail (its
+// 80th percentile is an order of magnitude slower) because queries queue
+// while new clusters provision.
+
+#include "bench/bench_common.h"
+#include "engine/engine.h"
+#include "model/warehouse_simulator.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 1: latency CDF, 1500 queries in one hour",
+              "Cackle autoscaling vs Databricks-small-5-clusters vs "
+              "Databricks-small-autoscaling.");
+
+  WorkloadOptions opts = DefaultWorkload();
+  opts.num_queries = FastMode() ? 400 : 1500;
+  opts.duration_ms = kMillisPerHour;
+  opts.arrival_period_ms = 20 * kMillisPerMinute;
+  WorkloadGenerator gen(&Library());
+  const auto arrivals = gen.Generate(opts);
+  CostModel cost;
+
+  EngineOptions engine_opts;
+  engine_opts.dynamic = DefaultDynamicOptions();
+  CackleEngine engine(&cost, engine_opts);
+  const EngineResult cackle = engine.Run(arrivals, Library());
+  const auto fixed5 =
+      RunWarehouseSimulation(arrivals, Library(), DatabricksSmallFixed(5));
+  const auto autosc =
+      RunWarehouseSimulation(arrivals, Library(), DatabricksSmallAuto());
+
+  TablePrinter table({"fraction", "cackle_latency_s", "dbx_small_5_s",
+                      "dbx_small_auto_s"});
+  const auto cackle_cdf = cackle.latencies_s.Cdf(20);
+  const auto fixed_cdf = fixed5.latencies_s.Cdf(20);
+  const auto auto_cdf = autosc.latencies_s.Cdf(20);
+  for (size_t i = 0; i < cackle_cdf.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(cackle_cdf[i].second, 2);
+    table.AddCell(cackle_cdf[i].first, 2);
+    table.AddCell(fixed_cdf[i].first, 2);
+    table.AddCell(auto_cdf[i].first, 2);
+  }
+  table.PrintText(std::cout);
+  std::cout << "\np80 latency -- cackle: "
+            << FormatDouble(cackle.latencies_s.Percentile(80), 1)
+            << "s, fixed5: " << FormatDouble(fixed5.latencies_s.Percentile(80), 1)
+            << "s, autoscaling: "
+            << FormatDouble(autosc.latencies_s.Percentile(80), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figures 2-4: the real-world workload traces of Section 2 (synthetic
+// equivalents — see DESIGN.md). For each trace, prints an hourly summary
+// of the full window plus a minute-granularity zoom of a two-hour window,
+// mirroring the paper's full-trace + zoom presentation.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "workload/trace_generator.h"
+
+namespace {
+
+using cackle::TablePrinter;
+
+void Summarize(const std::string& title, const std::string& unit,
+               const std::vector<int64_t>& series, int zoom_start_hour) {
+  std::cout << "--- " << title << " ---\n";
+  const int64_t hours = static_cast<int64_t>(series.size()) / 3600;
+  TablePrinter full({"hour", unit + "_mean", unit + "_max"});
+  for (int64_t h = 0; h < hours; h += 4) {
+    int64_t max = 0;
+    double sum = 0;
+    for (int64_t s = h * 3600; s < (h + 4) * 3600; ++s) {
+      max = std::max(max, series[static_cast<size_t>(s)]);
+      sum += static_cast<double>(series[static_cast<size_t>(s)]);
+    }
+    full.BeginRow();
+    full.AddCell(h);
+    full.AddCell(sum / (4 * 3600.0), 1);
+    full.AddCell(max);
+  }
+  full.PrintText(std::cout);
+  std::cout << "\nzoom: hours " << zoom_start_hour << ".."
+            << zoom_start_hour + 2 << " (5-minute buckets)\n";
+  TablePrinter zoom({"minute", unit});
+  for (int64_t m = 0; m < 120; m += 5) {
+    const int64_t s = (zoom_start_hour * 60 + m) * 60;
+    zoom.BeginRow();
+    zoom.AddCell(zoom_start_hour * 60 + m);
+    zoom.AddCell(series[static_cast<size_t>(s)]);
+  }
+  zoom.PrintText(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figures 2-4: workload traces",
+              "Synthetic equivalents of the startup / Alibaba 2018 / Azure "
+              "Synapse traces (periodicity + irregular spikes).");
+
+  const int hours_startup = FastMode() ? 48 : 168;
+  const int hours_alibaba = FastMode() ? 48 : 192;
+  const int hours_azure = FastMode() ? 48 : 336;
+
+  Summarize("Figure 2: startup workload (concurrent queries)", "queries",
+            TraceGenerator::StartupConcurrency(1, hours_startup),
+            /*zoom_start_hour=*/33);
+  Summarize("Figure 3: Alibaba 2018 (concurrent CPUs, scaled 1:1000)",
+            "cpus", TraceGenerator::AlibabaCpus(2, hours_alibaba),
+            /*zoom_start_hour=*/20);
+  Summarize("Figure 4: Azure Synapse 2023 (nodes requested)", "nodes",
+            TraceGenerator::AzureNodes(3, hours_azure),
+            /*zoom_start_hour=*/38);
+  return 0;
+}

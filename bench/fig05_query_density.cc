@@ -1,0 +1,34 @@
+// Figure 5: cost of the query workload as the number of queries varies.
+// Expected shape (paper): fixed_0 (pure elastic) is cheap for tiny
+// workloads but an order of magnitude more expensive when queries arrive
+// frequently; fixed_500 is flat and wasteful until demand exceeds its
+// capacity; dynamic stays lowest-cost across the whole range, converging
+// with mean as the workload becomes regular; oracle lower-bounds everyone.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 5: Cost vs number of queries",
+              "Workload: 12h window, 30% baseline load, 3h arrival period.");
+
+  std::vector<int64_t> sweep = {512,   1024,  2048,  4096,   8192,
+                                16384, 32768, 65536, 131072};
+  if (FastMode()) sweep = {512, 2048, 8192, 16384};
+
+  CostModel cost;
+  TablePrinter table({"num_queries", "fixed_0", "fixed_500", "mean_2",
+                      "predictive", "dynamic", "oracle"});
+  for (int64_t n : sweep) {
+    WorkloadOptions opts = DefaultWorkload();
+    opts.num_queries = FastMode() ? n / 8 : n;
+    const DemandCurve demand = BuildDemand(opts);
+    const auto costs = CostAllStrategies(demand, cost);
+    table.BeginRow();
+    table.AddCell(n);
+    for (const auto& [name, dollars] : costs) table.AddCell(dollars, 2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 6: cost of the query workload as the period of query arrivals
+// varies. Expected shape: fixed strategies barely move; dynamic stays the
+// cheapest non-oracle strategy across periods because the expert family
+// contains a suitable lookback for every periodicity.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 6: Cost vs period of query arrivals",
+              "Workload: 16384 queries over 12h, 30% baseline load.");
+
+  std::vector<int64_t> periods_s = {100,  300,   900,   3600,
+                                    7200, 10800, 14400};
+  if (FastMode()) periods_s = {300, 3600, 10800};
+
+  CostModel cost;
+  TablePrinter table({"period_s", "fixed_0", "fixed_500", "mean_2",
+                      "predictive", "dynamic", "oracle"});
+  for (int64_t p : periods_s) {
+    WorkloadOptions opts = DefaultWorkload();
+    opts.arrival_period_ms = p * 1000;
+    const DemandCurve demand = BuildDemand(opts);
+    const auto costs = CostAllStrategies(demand, cost);
+    table.BeginRow();
+    table.AddCell(p);
+    for (const auto& [name, dollars] : costs) table.AddCell(dollars, 2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

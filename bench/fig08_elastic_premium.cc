@@ -1,0 +1,34 @@
+// Figure 8: cost of the query workload as the elastic pool's cost premium
+// relative to VMs varies from 1x to 100x. Expected shape: at 1x, fixed_0
+// (pure elastic) ties for cheapest and VM-heavy strategies overpay; as the
+// premium grows, provisioning VMs wins and fixed_0 explodes. dynamic tracks
+// the oracle until very large premiums, where any elastic use hurts; the
+// (cost-insensitive) predictive strategy falls behind when the premium
+// rises.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 8: Cost vs elastic pool premium",
+              "Default workload; elastic $/s swept as a multiple of VM $/s.");
+
+  std::vector<double> premiums = {1, 2, 4, 6, 10, 20, 50, 100};
+  if (FastMode()) premiums = {1, 6, 20};
+
+  const WorkloadOptions opts = DefaultWorkload();
+  const DemandCurve demand = BuildDemand(opts);
+  TablePrinter table({"premium_x", "fixed_0", "fixed_500", "mean_2",
+                      "predictive", "dynamic", "oracle"});
+  for (double premium : premiums) {
+    CostModel cost;
+    cost.elastic_cost_per_hour = cost.vm_cost_per_hour * premium;
+    const auto costs = CostAllStrategies(demand, cost);
+    table.BeginRow();
+    table.AddCell(premium, 0);
+    for (const auto& [name, dollars] : costs) table.AddCell(dollars, 2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 9: cost of the query workload as the VM startup time varies from
+// 0 to 800 seconds. Expected shape: fixed strategies and the oracle are
+// unaffected (the oracle starts VMs early enough); mean_2 beats mean_1 when
+// VMs are slow to start (headroom covers the provisioning lag) but overpays
+// when they start fast; dynamic stays near-optimal across the range by
+// re-weighting its expert family.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 9: Cost vs VM startup time",
+              "Default workload; startup latency swept.");
+
+  std::vector<int64_t> startups_s = {0, 60, 180, 300, 450, 600, 800};
+  if (FastMode()) startups_s = {0, 180, 600};
+
+  const WorkloadOptions opts = DefaultWorkload();
+  const DemandCurve demand = BuildDemand(opts);
+  TablePrinter table({"startup_s", "fixed_0", "fixed_500", "mean_1", "mean_2",
+                      "predictive", "dynamic", "oracle"});
+  for (int64_t startup : startups_s) {
+    CostModel cost;
+    cost.vm_startup_ms = startup * 1000;
+    const auto costs =
+        CostAllStrategies(demand, cost, /*include_mean_1=*/true);
+    table.BeginRow();
+    table.AddCell(startup);
+    for (const auto& [name, dollars] : costs) table.AddCell(dollars, 2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

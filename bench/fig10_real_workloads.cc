@@ -1,0 +1,81 @@
+// Figure 10: cost of strategies on the three real-world workloads of
+// Section 2 (synthetic equivalents), normalized to fixed_0. The startup
+// trace is replayed as query arrivals each running a random TPC-H profile
+// (the paper's assumption); the Alibaba trace maps 1 CPU = 1 task; the
+// Azure trace maps 1 node = 20 tasks. Expected shape: dynamic is the best
+// or within ~1% of the best non-oracle strategy on every trace.
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "workload/trace_generator.h"
+
+namespace {
+
+using namespace cackle;
+using namespace cackle::bench;
+
+DemandCurve StartupDemand(int hours) {
+  const std::vector<SimTimeMs> times = TraceGenerator::StartupArrivals(
+      /*seed=*/1, hours);
+  Rng rng(17);
+  std::vector<QueryArrival> arrivals;
+  arrivals.reserve(times.size());
+  for (SimTimeMs t : times) {
+    arrivals.push_back(QueryArrival{
+        t, static_cast<size_t>(rng.NextBounded(Library().size()))});
+  }
+  return DemandCurve::FromWorkload(arrivals, Library());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: real-world workloads, cost normalized to fixed_0",
+              "Strategies: fixed_0 / mean_1 / predictive / dynamic / oracle.");
+
+  const int hours_startup = FastMode() ? 48 : 168;
+  const int hours_alibaba = FastMode() ? 48 : 192;
+  const int hours_azure = FastMode() ? 48 : 336;
+
+  struct TraceCase {
+    std::string name;
+    DemandCurve demand;
+  };
+  std::vector<TraceCase> cases;
+  cases.push_back({"startup", StartupDemand(hours_startup)});
+  cases.push_back({"alibaba_2018",
+                   DemandCurve::FromSeries(
+                       TraceGenerator::AlibabaCpus(2, hours_alibaba))});
+  {
+    std::vector<int64_t> nodes = TraceGenerator::AzureNodes(3, hours_azure);
+    for (int64_t& n : nodes) n *= TraceGenerator::kTasksPerAzureNode;
+    cases.push_back({"azure_synapse", DemandCurve::FromSeries(std::move(nodes))});
+  }
+
+  CostModel cost;
+  TablePrinter table({"workload", "fixed_0", "mean_1", "predictive",
+                      "dynamic", "oracle"});
+  for (const TraceCase& c : cases) {
+    FixedStrategy fixed0(0);
+    MeanStrategy mean1(1.0);
+    PredictiveStrategy predictive(cost.vm_startup_ms);
+    DynamicStrategy dynamic(&cost, DefaultDynamicOptions());
+    const double base =
+        EvaluateStrategy(&fixed0, c.demand.tasks_per_second(), cost).total();
+    table.BeginRow();
+    table.AddCell(c.name);
+    table.AddCell(1.0, 3);
+    for (ProvisioningStrategy* s :
+         std::initializer_list<ProvisioningStrategy*>{&mean1, &predictive,
+                                                      &dynamic}) {
+      const double dollars =
+          EvaluateStrategy(s, c.demand.tasks_per_second(), cost).total();
+      table.AddCell(dollars / base, 3);
+    }
+    table.AddCell(
+        ComputeOracleCost(c.demand.tasks_per_second(), cost).total() / base,
+        3);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 13: cost per query — analytical model vs real (engine) execution
+// vs the oracle — split into VM and elastic-pool components, across
+// hour-long workloads of varying size. Expected shape: the model tracks the
+// engine-measured cost closely (including the VM/elastic split), and small
+// workloads are dominated by elastic-pool cost even under the oracle, with
+// the elastic share shrinking as workloads get busier.
+
+#include "bench/bench_common.h"
+#include "engine/engine.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 13: cost per query, model vs engine vs oracle",
+              "Hour-long workloads; costs split into VM / elastic-pool.");
+
+  std::vector<int64_t> sweep = {60, 250, 500, 750, 1000, 1500, 2000};
+  if (FastMode()) sweep = {60, 500, 1500};
+
+  CostModel cost;
+  TablePrinter table({"queries", "model_vm", "model_elastic", "real_vm",
+                      "real_elastic", "oracle_vm", "oracle_elastic",
+                      "model_total_per_q", "real_total_per_q"});
+  for (int64_t n : sweep) {
+    WorkloadOptions opts = DefaultWorkload();
+    opts.num_queries = n;
+    opts.duration_ms = kMillisPerHour;
+    opts.arrival_period_ms = 20 * kMillisPerMinute;
+    WorkloadGenerator gen(&Library());
+    const auto arrivals = gen.Generate(opts);
+    const DemandCurve demand = DemandCurve::FromWorkload(arrivals, Library());
+
+    DynamicStrategy model_strategy(&cost, DefaultDynamicOptions());
+    const auto model_eval = EvaluateStrategy(
+        &model_strategy, demand.tasks_per_second(), cost);
+
+    EngineOptions engine_opts;
+    engine_opts.enable_shuffle = false;
+    engine_opts.dynamic = DefaultDynamicOptions();
+    CackleEngine engine(&cost, engine_opts);
+    const EngineResult real = engine.Run(arrivals, Library());
+
+    const OracleResult oracle =
+        ComputeOracleCost(demand.tasks_per_second(), cost);
+
+    const double q = static_cast<double>(n);
+    table.BeginRow();
+    table.AddCell(n);
+    table.AddCell(model_eval.vm_cost, 2);
+    table.AddCell(model_eval.elastic_cost, 2);
+    table.AddCell(real.billing.CategoryDollars(CostCategory::kVm), 2);
+    table.AddCell(real.billing.CategoryDollars(CostCategory::kElasticPool),
+                  2);
+    table.AddCell(oracle.vm_cost, 2);
+    table.AddCell(oracle.elastic_cost, 2);
+    table.AddCell(model_eval.total() / q, 4);
+    table.AddCell(real.compute_cost() / q, 4);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

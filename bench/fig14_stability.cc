@@ -1,0 +1,63 @@
+// Figure 14: p90 query latency (left) and cost per query (right) across
+// hour-long workloads of 60..2000 queries — Cackle vs Databricks-like fixed
+// and auto-scaling warehouses (small & medium) and a Redshift-Serverless-
+// like baseline. Expected shape: Cackle's p90 latency is flat across the
+// sweep while autoscalers degrade multi-x as load grows; Cackle's cost per
+// query is stable while fixed warehouses are very expensive per query at
+// low volume.
+
+#include "bench/bench_common.h"
+#include "engine/engine.h"
+#include "model/warehouse_simulator.h"
+
+int main() {
+  using namespace cackle;
+  using namespace cackle::bench;
+  PrintHeader("Figure 14: latency and cost-per-query stability",
+              "Hour-long workloads; Cackle (engine, incl. shuffle) vs "
+              "warehouse baselines.");
+
+  std::vector<int64_t> sweep = {60, 250, 500, 750, 1000, 1500, 2000};
+  if (FastMode()) sweep = {60, 500, 2000};
+
+  const std::vector<WarehouseOptions> baselines = {
+      RedshiftServerless8Rpu(), DatabricksSmallAuto(),
+      DatabricksSmallFixed(5), DatabricksMediumAuto(),
+      DatabricksMediumFixed(3)};
+
+  CostModel cost;
+  std::vector<std::string> headers = {"queries", "cackle_p90_s",
+                                      "cackle_cost_per_q"};
+  for (const auto& b : baselines) {
+    headers.push_back(b.name + "_p90_s");
+    headers.push_back(b.name + "_cost_per_q");
+  }
+  TablePrinter table(headers);
+
+  for (int64_t n : sweep) {
+    WorkloadOptions opts = DefaultWorkload();
+    opts.num_queries = n;
+    opts.duration_ms = kMillisPerHour;
+    opts.arrival_period_ms = 20 * kMillisPerMinute;
+    WorkloadGenerator gen(&Library());
+    const auto arrivals = gen.Generate(opts);
+    const double q = static_cast<double>(n);
+
+    EngineOptions engine_opts;
+    engine_opts.dynamic = DefaultDynamicOptions();
+    CackleEngine engine(&cost, engine_opts);
+    const EngineResult cackle = engine.Run(arrivals, Library());
+
+    table.BeginRow();
+    table.AddCell(n);
+    table.AddCell(cackle.latencies_s.Percentile(90), 2);
+    table.AddCell(cackle.total_cost() / q, 4);
+    for (const auto& b : baselines) {
+      const auto r = RunWarehouseSimulation(arrivals, Library(), b);
+      table.AddCell(r.latencies_s.Percentile(90), 2);
+      table.AddCell(r.cost / q, 4);
+    }
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

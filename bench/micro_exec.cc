@@ -1,0 +1,154 @@
+// Microbenchmarks of the executor's operators (google-benchmark): scans
+// with predicates, hash joins, aggregations, partitioning, and a full
+// TPC-H query.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/datagen.h"
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "exec/logical.h"
+#include "exec/lowering.h"
+#include "exec/optimizer.h"
+#include "exec/storage.h"
+#include "exec/tpch_queries.h"
+
+namespace cackle::exec {
+namespace {
+
+const Catalog& BenchCatalog() {
+  static const Catalog* cat = new Catalog(GenerateTpch(0.01));
+  return *cat;
+}
+
+void BM_FilterLineitem(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const ExprPtr pred = And(Ge(Col("l_discount"), Lit(0.05)),
+                           Le(Col("l_discount"), Lit(0.07)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Filter(cat.lineitem, pred));
+  }
+  state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
+}
+BENCHMARK(BM_FilterLineitem);
+
+void BM_HashJoinOrdersLineitem(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const Table orders = SelectColumns(cat.orders, {"o_orderkey", "o_custkey"});
+  const Table line = SelectColumns(cat.lineitem, {"l_orderkey", "l_quantity"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HashJoin(line, {"l_orderkey"}, orders, {"o_orderkey"}));
+  }
+  state.SetItemsProcessed(state.iterations() * line.num_rows());
+}
+BENCHMARK(BM_HashJoinOrdersLineitem);
+
+void BM_HashAggregateLineitem(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashAggregate(
+        cat.lineitem, {"l_returnflag", "l_linestatus"},
+        {{AggOp::kSum, Col("l_quantity"), "sum_qty"},
+         {AggOp::kCount, nullptr, "cnt"}}));
+  }
+  state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
+}
+BENCHMARK(BM_HashAggregateLineitem);
+
+void BM_PartitionByHash(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const Table line = SelectColumns(cat.lineitem, {"l_orderkey", "l_quantity"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionByHash(line, {"l_orderkey"}, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * line.num_rows());
+}
+BENCHMARK(BM_PartitionByHash);
+
+void BM_TpchQuery(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const int query = static_cast<int>(state.range(0));
+  PlanExecutor executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        executor.Execute(BuildTpchPlan(query, cat, PlanConfig{4})));
+  }
+}
+BENCHMARK(BM_TpchQuery)->Arg(1)->Arg(3)->Arg(6)->Arg(9)->Arg(18)->Arg(21);
+
+void BM_StorageEncodeLineitem(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteTableFile(cat.lineitem));
+  }
+  state.SetBytesProcessed(state.iterations() * cat.lineitem.EstimateBytes());
+}
+BENCHMARK(BM_StorageEncodeLineitem);
+
+void BM_StorageScanWithPushdown(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const std::string bytes = WriteTableFile(cat.lineitem);
+  ColumnRange range;
+  range.column = "l_shipdate";
+  range.lo = static_cast<double>(DateFromCivil(1994, 1, 1));
+  range.hi = static_cast<double>(DateFromCivil(1994, 2, 1));
+  for (auto _ : state) {
+    auto r = ScanTableFile(bytes, {"l_extendedprice", "l_discount"}, {range});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_StorageScanWithPushdown);
+
+LogicalNodePtr AdHocQuery() {
+  return LSort(
+      LAggregate(
+          LFilter(LJoin(LJoin(LScan("orders"), LScan("customer"),
+                              {"o_custkey"}, {"c_custkey"}),
+                        LScan("nation"), {"c_nationkey"}, {"n_nationkey"}),
+                  Eq(Col("c_mktsegment"), Lit("BUILDING"))),
+          {"n_name"}, {{AggOp::kSum, Col("o_totalprice"), "revenue"}}),
+      {{"revenue", false}}, 10);
+}
+
+void BM_OptimizeAndLower(benchmark::State& state) {
+  const Catalog& cat = BenchCatalog();
+  const TableResolver resolver = TableResolver::ForCatalog(cat);
+  for (auto _ : state) {
+    auto optimized = Optimize(AdHocQuery(), resolver);
+    auto lowered = LowerToStagePlan(*optimized, resolver, PlanConfig{4});
+    benchmark::DoNotOptimize(lowered);
+  }
+}
+BENCHMARK(BM_OptimizeAndLower);
+
+void BM_LogicalQueryExecution(benchmark::State& state) {
+  // arg 0: optimized or not — quantifies what pushdown+pruning+broadcast buy.
+  const Catalog& cat = BenchCatalog();
+  const TableResolver resolver = TableResolver::ForCatalog(cat);
+  LogicalNodePtr plan = AdHocQuery();
+  if (state.range(0) == 1) {
+    plan = *Optimize(plan, resolver);
+  }
+  const StagePlan lowered = *LowerToStagePlan(plan, resolver, PlanConfig{4});
+  PlanExecutor executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(lowered));
+  }
+}
+BENCHMARK(BM_LogicalQueryExecution)->Arg(0)->Arg(1);
+
+void BM_GenerateTpch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateTpch(0.002));
+  }
+}
+BENCHMARK(BM_GenerateTpch);
+
+}  // namespace
+}  // namespace cackle::exec
+
+BENCHMARK_MAIN();

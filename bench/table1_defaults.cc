@@ -1,0 +1,52 @@
+// Table 1: default workload and environment parameters of the analytical
+// model. Prints the configured defaults so they can be checked against the
+// paper's table.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace cackle;
+  bench::PrintHeader(
+      "Table 1: Default Workload and Environment Parameters",
+      "Source: WorkloadOptions and CostModel defaults.");
+
+  WorkloadOptions w;
+  TablePrinter workload({"workload parameter", "value"});
+  workload.BeginRow();
+  workload.AddCell("Workload Duration");
+  workload.AddCell(std::to_string(w.duration_ms / kMillisPerHour) + " hours");
+  workload.BeginRow();
+  workload.AddCell("# Queries");
+  workload.AddCell(w.num_queries);
+  workload.BeginRow();
+  workload.AddCell("Baseline Load");
+  workload.AddCell(FormatDouble(w.baseline_load * 100, 0) + "%");
+  workload.BeginRow();
+  workload.AddCell("Period Of Query Arrivals");
+  workload.AddCell(std::to_string(w.arrival_period_ms / kMillisPerHour) +
+                   " hours");
+  workload.PrintText(std::cout);
+  std::cout << "\n";
+
+  CostModel c;
+  TablePrinter env({"environment parameter", "value"});
+  env.BeginRow();
+  env.AddCell("VM Startup Latency");
+  env.AddCell(std::to_string(c.vm_startup_ms / kMillisPerMinute) +
+              " minutes");
+  env.BeginRow();
+  env.AddCell("Minimum VM Billing Time");
+  env.AddCell(std::to_string(c.vm_min_billing_ms / kMillisPerMinute) +
+              " minute");
+  env.BeginRow();
+  env.AddCell("Cost of VM (2vCPUs)");
+  env.AddCell("$" + FormatDouble(c.vm_cost_per_hour, 2) + "/hour");
+  env.BeginRow();
+  env.AddCell("Cost of Elastic Pool (2vCPUs)");
+  env.AddCell("$" + FormatDouble(c.elastic_cost_per_hour, 2) + "/hour");
+  env.BeginRow();
+  env.AddCell("Elastic Pool Cost Premium");
+  env.AddCell(FormatDouble(c.ElasticPremium(), 1) + "x");
+  env.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,231 @@
+// cackle_sim: the one-stop experiment driver. Configure the workload, the
+// environment, and the strategy line-up from flags; run the analytical
+// model (and optionally the full engine simulation) and print a result
+// table or CSV.
+//
+//   $ ./build/examples/cackle_sim --queries=4096 --hours=4 --premium=6
+//   $ ./build/examples/cackle_sim --trace=azure --strategies=dynamic,mean_2
+//   $ ./build/examples/cackle_sim --queries=800 --hours=1 --engine --csv
+//
+// Flags (all optional):
+//   --queries=N        generated workload size          (default 4096)
+//   --hours=H          workload duration                (default 4)
+//   --period_min=P     sinusoid period in minutes       (default 60)
+//   --baseline=F       uniform-arrival fraction         (default 0.3)
+//   --batch=F          delay-tolerant batch fraction    (default 0)
+//   --trace=NAME       replay a trace instead: azure | alibaba | startup |
+//                      a CSV path ("second,demand" rows)
+//   --premium=X        elastic $/s as a multiple of VM  (default 6)
+//   --startup_s=S      VM startup latency               (default 180)
+//   --strategies=LIST  comma list: dynamic, predictive, fixed_N, mean_X
+//                      (default "fixed_0,mean_2,predictive,dynamic")
+//   --engine           also run the full engine simulation per strategy
+//   --seed=N           workload seed                    (default 42)
+//   --csv              CSV output instead of aligned text
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "model/analytical_model.h"
+#include "strategy/oracle.h"
+#include "workload/trace_generator.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+using namespace cackle;
+
+struct Flags {
+  int64_t queries = 4096;
+  double hours = 4;
+  int64_t period_min = 60;
+  double baseline = 0.3;
+  double batch = 0.0;
+  std::string trace;
+  double premium = 6.0;
+  int64_t startup_s = 180;
+  std::string strategies = "fixed_0,mean_2,predictive,dynamic";
+  bool engine = false;
+  bool csv = false;
+  uint64_t seed = 42;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    *value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "queries", &value)) {
+      flags.queries = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "hours", &value)) {
+      flags.hours = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "period_min", &value)) {
+      flags.period_min = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "baseline", &value)) {
+      flags.baseline = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "batch", &value)) {
+      flags.batch = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "trace", &value)) {
+      flags.trace = value;
+    } else if (ParseFlag(arg, "premium", &value)) {
+      flags.premium = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "startup_s", &value)) {
+      flags.startup_s = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "strategies", &value)) {
+      flags.strategies = value;
+    } else if (ParseFlag(arg, "seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--engine") {
+      flags.engine = true;
+    } else if (arg == "--csv") {
+      flags.csv = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << " (see header comment)\n";
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+std::unique_ptr<ProvisioningStrategy> MakeStrategy(const std::string& name,
+                                                   const CostModel* cost) {
+  if (name == "dynamic") return std::make_unique<DynamicStrategy>(cost);
+  if (name == "predictive") {
+    return std::make_unique<PredictiveStrategy>(cost->vm_startup_ms);
+  }
+  if (name.rfind("fixed_", 0) == 0) {
+    return std::make_unique<FixedStrategy>(std::atoll(name.c_str() + 6));
+  }
+  if (name.rfind("mean_", 0) == 0) {
+    return std::make_unique<MeanStrategy>(std::atof(name.c_str() + 5));
+  }
+  std::cerr << "unknown strategy: " << name
+            << " (use dynamic | predictive | fixed_N | mean_X)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  CostModel cost;
+  cost.elastic_cost_per_hour = cost.vm_cost_per_hour * flags.premium;
+  cost.vm_startup_ms = flags.startup_s * 1000;
+
+  const ProfileLibrary library = ProfileLibrary::BuiltinTpch();
+  std::vector<QueryArrival> arrivals;
+  DemandCurve demand(0);
+  bool have_arrivals = false;
+  if (flags.trace.empty()) {
+    WorkloadGenerator gen(&library);
+    WorkloadOptions opts;
+    opts.num_queries = flags.queries;
+    opts.duration_ms = static_cast<SimTimeMs>(flags.hours * kMillisPerHour);
+    opts.arrival_period_ms = flags.period_min * kMillisPerMinute;
+    opts.baseline_load = flags.baseline;
+    opts.batch_fraction = flags.batch;
+    opts.seed = flags.seed;
+    arrivals = gen.Generate(opts);
+    demand = DemandCurve::FromWorkload(arrivals, library);
+    have_arrivals = true;
+  } else {
+    std::vector<int64_t> series;
+    if (flags.trace == "azure") {
+      series = TraceGenerator::AzureNodes(3, 72);
+      for (int64_t& d : series) d *= TraceGenerator::kTasksPerAzureNode;
+    } else if (flags.trace == "alibaba") {
+      series = TraceGenerator::AlibabaCpus(2, 72);
+    } else if (flags.trace == "startup") {
+      series = TraceGenerator::StartupConcurrency(1, 72);
+    } else {
+      auto loaded = LoadDemandCsv(flags.trace);
+      if (!loaded.ok()) {
+        std::cerr << "failed to load trace: " << loaded.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      series = std::move(loaded).value();
+    }
+    demand = DemandCurve::FromSeries(std::move(series));
+  }
+  if (flags.engine && !have_arrivals) {
+    std::cerr << "--engine requires a generated workload (no --trace)\n";
+    return 2;
+  }
+
+  std::vector<std::string> headers = {"strategy", "model_vm_$",
+                                      "model_elastic_$", "model_total_$"};
+  if (flags.engine) {
+    headers.insert(headers.end(),
+                   {"engine_total_$", "engine_p90_s", "engine_vm_share_%"});
+  }
+  TablePrinter table(headers);
+
+  std::stringstream names(flags.strategies);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    auto strategy = MakeStrategy(name, &cost);
+    const auto eval =
+        EvaluateStrategy(strategy.get(), demand.tasks_per_second(), cost);
+    table.BeginRow();
+    table.AddCell(strategy->name());
+    table.AddCell(eval.vm_cost, 2);
+    table.AddCell(eval.elastic_cost, 2);
+    table.AddCell(eval.total(), 2);
+    if (flags.engine) {
+      EngineOptions engine_opts;
+      engine_opts.enable_shuffle = false;
+      engine_opts.seed = flags.seed;
+      if (name == "dynamic") {
+        engine_opts.use_dynamic = true;
+      } else {
+        engine_opts.use_dynamic = false;
+        engine_opts.fixed_target =
+            name.rfind("fixed_", 0) == 0 ? std::atoll(name.c_str() + 6) : 0;
+      }
+      CackleEngine engine(&cost, engine_opts);
+      const EngineResult r = engine.Run(arrivals, library);
+      const double share =
+          100.0 * static_cast<double>(r.tasks_on_vms) /
+          static_cast<double>(r.tasks_on_vms + r.tasks_on_elastic);
+      table.AddCell(r.compute_cost(), 2);
+      table.AddCell(r.latencies_s.Percentile(90), 2);
+      table.AddCell(share, 1);
+    }
+  }
+  table.BeginRow();
+  const OracleResult oracle =
+      ComputeOracleCost(demand.tasks_per_second(), cost);
+  table.AddCell("oracle");
+  table.AddCell(oracle.vm_cost, 2);
+  table.AddCell(oracle.elastic_cost, 2);
+  table.AddCell(oracle.total(), 2);
+  if (flags.engine) {
+    table.AddCell("-");
+    table.AddCell("-");
+    table.AddCell("-");
+  }
+
+  if (flags.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.PrintText(std::cout);
+  }
+  return 0;
+}

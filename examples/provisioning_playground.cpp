@@ -1,0 +1,79 @@
+// Provisioning playground: sweep environment knobs from the command line
+// and watch how each provisioning strategy's cost responds.
+//
+//   $ ./build/examples/provisioning_playground [queries=4096] [hours=4]
+//         [premium=6] [startup_s=180]
+//
+// Useful for reproducing the paper's Section 5.3 observations
+// interactively: raise the elastic premium and watch fixed_0 blow up;
+// stretch VM startup and watch mean_1 lose to mean_2; the dynamic strategy
+// stays near the oracle without being told what changed.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "strategy/cost_calculator.h"
+#include "strategy/dynamic_strategy.h"
+#include "strategy/oracle.h"
+#include "workload/demand.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace cackle;
+
+  const int64_t queries = argc > 1 ? std::atoll(argv[1]) : 4096;
+  const int64_t hours = argc > 2 ? std::atoll(argv[2]) : 4;
+  const double premium = argc > 3 ? std::atof(argv[3]) : 6.0;
+  const int64_t startup_s = argc > 4 ? std::atoll(argv[4]) : 180;
+
+  const ProfileLibrary library = ProfileLibrary::BuiltinTpch();
+  WorkloadGenerator generator(&library);
+  WorkloadOptions workload;
+  workload.num_queries = queries;
+  workload.duration_ms = hours * kMillisPerHour;
+  workload.arrival_period_ms = workload.duration_ms / 4;
+  const DemandCurve demand =
+      DemandCurve::FromWorkload(generator.Generate(workload), library);
+
+  CostModel cost;
+  cost.elastic_cost_per_hour = cost.vm_cost_per_hour * premium;
+  cost.vm_startup_ms = startup_s * 1000;
+
+  std::cout << "environment: elastic premium " << premium << "x, VM startup "
+            << startup_s << "s\nworkload: " << queries << " queries over "
+            << hours << "h, peak demand " << demand.MaxTasks()
+            << " tasks\n\n";
+
+  FixedStrategy fixed0(0);
+  FixedStrategy fixed200(200);
+  MeanStrategy mean1(1.0);
+  MeanStrategy mean2(2.0);
+  PredictiveStrategy predictive(cost.vm_startup_ms);
+  DynamicStrategy dynamic(&cost);
+
+  TablePrinter table({"strategy", "vm_$", "elastic_$", "total_$",
+                      "vs_oracle"});
+  const double oracle = ComputeOracleCost(demand.tasks_per_second(), cost)
+                            .total();
+  for (ProvisioningStrategy* s :
+       std::initializer_list<ProvisioningStrategy*>{
+           &fixed0, &fixed200, &mean1, &mean2, &predictive, &dynamic}) {
+    const auto eval = EvaluateStrategy(s, demand.tasks_per_second(), cost);
+    table.BeginRow();
+    table.AddCell(s->name());
+    table.AddCell(eval.vm_cost, 2);
+    table.AddCell(eval.elastic_cost, 2);
+    table.AddCell(eval.total(), 2);
+    table.AddCell(FormatDouble(eval.total() / oracle, 2) + "x");
+  }
+  table.BeginRow();
+  table.AddCell("oracle");
+  table.AddCell("-");
+  table.AddCell("-");
+  table.AddCell(oracle, 2);
+  table.AddCell("1.00x");
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: generate an analytical workload, let Cackle's dynamic
+// cost-based strategy provision for it, and compare the resulting cost
+// against naive strategies and the offline oracle.
+//
+//   $ ./build/examples/quickstart
+//
+// This exercises the core public API: ProfileLibrary / WorkloadGenerator /
+// DemandCurve (workload), CostModel (environment), DynamicStrategy +
+// EvaluateStrategy (the paper's contribution), and ComputeOracleCost.
+
+#include <iostream>
+
+#include "cloud/cost_model.h"
+#include "common/table_printer.h"
+#include "strategy/cost_calculator.h"
+#include "strategy/dynamic_strategy.h"
+#include "strategy/oracle.h"
+#include "workload/demand.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+int main() {
+  using namespace cackle;
+
+  // 1. A workload: 2000 TPC-H(-profile) queries over two hours, 30% arriving
+  //    uniformly and the rest in 30-minute sinusoidal waves.
+  const ProfileLibrary library = ProfileLibrary::BuiltinTpch();
+  WorkloadGenerator generator(&library);
+  WorkloadOptions workload;
+  workload.num_queries = 2000;
+  workload.duration_ms = 2 * kMillisPerHour;
+  workload.arrival_period_ms = 30 * kMillisPerMinute;
+  workload.baseline_load = 0.3;
+  const std::vector<QueryArrival> arrivals = generator.Generate(workload);
+
+  // 2. Its second-by-second resource demand (tasks never queue in Cackle,
+  //    so demand is the unconstrained schedule).
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, library);
+  std::cout << "workload: " << arrivals.size() << " queries, peak demand "
+            << demand.MaxTasks() << " concurrent tasks, "
+            << demand.TotalTaskSeconds() << " task-seconds total\n\n";
+
+  // 3. The environment: AWS-like prices (Table 1 of the paper).
+  CostModel cost;
+
+  // 4. Provisioning strategies.
+  FixedStrategy pure_elastic(0);       // Starling: everything on Lambda
+  FixedStrategy overprovisioned(800);  // a big fixed fleet
+  MeanStrategy mean2(2.0);             // workload-adaptive, cost-blind
+  DynamicStrategy dynamic(&cost);      // Cackle's meta-strategy
+
+  TablePrinter table({"strategy", "vm_$", "elastic_$", "total_$"});
+  for (ProvisioningStrategy* s :
+       std::initializer_list<ProvisioningStrategy*>{
+           &pure_elastic, &overprovisioned, &mean2, &dynamic}) {
+    const StrategyEvaluation eval =
+        EvaluateStrategy(s, demand.tasks_per_second(), cost);
+    table.BeginRow();
+    table.AddCell(s->name());
+    table.AddCell(eval.vm_cost, 2);
+    table.AddCell(eval.elastic_cost, 2);
+    table.AddCell(eval.total(), 2);
+  }
+  const OracleResult oracle =
+      ComputeOracleCost(demand.tasks_per_second(), cost);
+  table.BeginRow();
+  table.AddCell("oracle (full knowledge)");
+  table.AddCell(oracle.vm_cost, 2);
+  table.AddCell(oracle.elastic_cost, 2);
+  table.AddCell(oracle.total(), 2);
+  table.PrintText(std::cout);
+
+  std::cout << "\nthe dynamic strategy chose expert \""
+            << dynamic.chosen_expert_name() << "\" after "
+            << dynamic.weights().rounds() << " multiplicative-weights "
+            << "rounds (" << dynamic.expert_switches() << " switches)\n";
+  return 0;
+}

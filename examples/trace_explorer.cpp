@@ -1,0 +1,95 @@
+// Trace explorer: replay a demand trace — your own CSV export or one of
+// the built-in synthetic real-world traces — through every provisioning
+// strategy and the oracle, under configurable prices.
+//
+//   $ ./build/examples/trace_explorer azure            # builtin trace
+//   $ ./build/examples/trace_explorer my_trace.csv 8   # CSV + 8x premium
+//
+// CSV format: "second,demand" rows (header optional; gaps carry the
+// previous value forward). This is how to answer "what would Cackle have
+// cost on *my* cluster's last month?" — export the concurrency series and
+// point this tool at it.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "strategy/cost_calculator.h"
+#include "strategy/dynamic_strategy.h"
+#include "strategy/oracle.h"
+#include "workload/trace_generator.h"
+#include "workload/trace_io.h"
+
+int main(int argc, char** argv) {
+  using namespace cackle;
+
+  const std::string source = argc > 1 ? argv[1] : "azure";
+  const double premium = argc > 2 ? std::atof(argv[2]) : 6.0;
+
+  std::vector<int64_t> demand;
+  if (source == "azure") {
+    demand = TraceGenerator::AzureNodes(3, 72);
+    for (int64_t& d : demand) d *= TraceGenerator::kTasksPerAzureNode;
+  } else if (source == "alibaba") {
+    demand = TraceGenerator::AlibabaCpus(2, 72);
+  } else if (source == "startup") {
+    demand = TraceGenerator::StartupConcurrency(1, 72);
+    for (int64_t& d : demand) d *= 20;  // queries -> tasks, roughly
+  } else {
+    auto loaded = LoadDemandCsv(source);
+    if (!loaded.ok()) {
+      std::cerr << "failed to load " << source << ": "
+                << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    demand = std::move(loaded).value();
+  }
+
+  CostModel cost;
+  cost.elastic_cost_per_hour = cost.vm_cost_per_hour * premium;
+
+  int64_t peak = 0;
+  int64_t total = 0;
+  for (int64_t d : demand) {
+    peak = std::max(peak, d);
+    total += d;
+  }
+  std::cout << "trace: " << demand.size() / 3600 << "h, peak " << peak
+            << " tasks, mean " << total / static_cast<int64_t>(demand.size())
+            << " tasks; elastic premium " << premium << "x\n\n";
+
+  FixedStrategy fixed0(0);
+  FixedStrategy fixed_peak(peak);
+  MeanStrategy mean1(1.0);
+  MeanStrategy mean2(2.0);
+  PredictiveStrategy predictive(cost.vm_startup_ms);
+  DynamicStrategy dynamic(&cost);
+
+  TablePrinter table({"strategy", "vm_$", "elastic_$", "total_$",
+                      "normalized_to_fixed_0"});
+  const double base =
+      EvaluateStrategy(&fixed0, demand, cost).total();
+  FixedStrategy fixed0_again(0);
+  for (ProvisioningStrategy* s :
+       std::initializer_list<ProvisioningStrategy*>{
+           &fixed0_again, &fixed_peak, &mean1, &mean2, &predictive,
+           &dynamic}) {
+    const auto eval = EvaluateStrategy(s, demand, cost);
+    table.BeginRow();
+    table.AddCell(s->name());
+    table.AddCell(eval.vm_cost, 2);
+    table.AddCell(eval.elastic_cost, 2);
+    table.AddCell(eval.total(), 2);
+    table.AddCell(eval.total() / base, 3);
+  }
+  const OracleResult oracle = ComputeOracleCost(demand, cost);
+  table.BeginRow();
+  table.AddCell("oracle");
+  table.AddCell(oracle.vm_cost, 2);
+  table.AddCell(oracle.elastic_cost, 2);
+  table.AddCell(oracle.total(), 2);
+  table.AddCell(oracle.total() / base, 3);
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "cloud/billing.h"
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace cackle {
+
+std::string_view CostCategoryName(CostCategory category) {
+  switch (category) {
+    case CostCategory::kVm:
+      return "vm";
+    case CostCategory::kElasticPool:
+      return "elastic_pool";
+    case CostCategory::kShuffleNode:
+      return "shuffle_node";
+    case CostCategory::kObjectStorePut:
+      return "object_store_put";
+    case CostCategory::kObjectStoreGet:
+      return "object_store_get";
+    case CostCategory::kCoordinator:
+      return "coordinator";
+    case CostCategory::kNumCategories:
+      break;
+  }
+  return "unknown";
+}
+
+std::string BillingMeter::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < kN; ++i) {
+    const auto cat = static_cast<CostCategory>(i);
+    os << CostCategoryName(cat) << ": $" << FormatDouble(dollars_[i], 6)
+       << " (" << events_[i] << " events)\n";
+  }
+  os << "total: $" << FormatDouble(TotalDollars(), 6) << "\n";
+  return os.str();
+}
+
+}  // namespace cackle

@@ -1,0 +1,79 @@
+#ifndef CACKLE_CLOUD_BILLING_H_
+#define CACKLE_CLOUD_BILLING_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cackle {
+
+/// \brief Cost categories tracked by the billing ledger.
+enum class CostCategory : int {
+  kVm = 0,
+  kElasticPool = 1,
+  kShuffleNode = 2,
+  kObjectStorePut = 3,
+  kObjectStoreGet = 4,
+  kCoordinator = 5,
+  kNumCategories = 6,
+};
+
+std::string_view CostCategoryName(CostCategory category);
+
+/// \brief Per-category dollar ledger plus usage counters.
+///
+/// Each simulated cloud component charges its usage here; experiments read
+/// totals and splits (e.g. Figure 13's VM-vs-elastic-pool cost split).
+class BillingMeter {
+ public:
+  void Charge(CostCategory category, double dollars) {
+    dollars_[static_cast<size_t>(category)] += dollars;
+    ++events_[static_cast<size_t>(category)];
+  }
+
+  double CategoryDollars(CostCategory category) const {
+    return dollars_[static_cast<size_t>(category)];
+  }
+  int64_t CategoryEvents(CostCategory category) const {
+    return events_[static_cast<size_t>(category)];
+  }
+
+  /// Sum over all categories.
+  double TotalDollars() const {
+    double total = 0.0;
+    for (double d : dollars_) total += d;
+    return total;
+  }
+
+  /// Execution-layer compute only (VM + elastic pool).
+  double ComputeDollars() const {
+    return CategoryDollars(CostCategory::kVm) +
+           CategoryDollars(CostCategory::kElasticPool);
+  }
+
+  /// Shuffle layer (shuffle nodes + object store requests).
+  double ShuffleDollars() const {
+    return CategoryDollars(CostCategory::kShuffleNode) +
+           CategoryDollars(CostCategory::kObjectStorePut) +
+           CategoryDollars(CostCategory::kObjectStoreGet);
+  }
+
+  void Reset() {
+    dollars_.fill(0.0);
+    events_.fill(0);
+  }
+
+  /// Multi-line human-readable breakdown.
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kN =
+      static_cast<size_t>(CostCategory::kNumCategories);
+  std::array<double, kN> dollars_{};
+  std::array<int64_t, kN> events_{};
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_CLOUD_BILLING_H_

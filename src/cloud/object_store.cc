@@ -1,0 +1,38 @@
+#include "cloud/object_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+void ObjectStore::Put(const std::string& key, int64_t bytes) {
+  CACKLE_CHECK_GE(bytes, 0);
+  ++num_puts_;
+  meter_->Charge(CostCategory::kObjectStorePut, cost_->object_store_put_cost);
+  auto [it, inserted] = objects_.try_emplace(key, bytes);
+  if (!inserted) {
+    bytes_stored_ -= it->second;
+    it->second = bytes;
+  }
+  bytes_stored_ += bytes;
+  peak_bytes_stored_ = std::max(peak_bytes_stored_, bytes_stored_);
+}
+
+std::optional<int64_t> ObjectStore::Get(const std::string& key) {
+  ++num_gets_;
+  meter_->Charge(CostCategory::kObjectStoreGet, cost_->object_store_get_cost);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ObjectStore::Delete(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  bytes_stored_ -= it->second;
+  objects_.erase(it);
+  return true;
+}
+
+}  // namespace cackle

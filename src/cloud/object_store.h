@@ -1,0 +1,58 @@
+#ifndef CACKLE_CLOUD_OBJECT_STORE_H_
+#define CACKLE_CLOUD_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/billing.h"
+#include "cloud/cost_model.h"
+
+namespace cackle {
+
+/// \brief An S3-like cloud object store billed per request.
+///
+/// Serves as the elastic pool of the shuffle layer (Section 3 / 7.1.3 of the
+/// paper): unbounded capacity, every PUT and GET charged individually. The
+/// simulation only needs object sizes, not payloads, so values are byte
+/// counts. Deletes are free (matching S3) and are issued when intermediate
+/// shuffle state is garbage-collected after a query finishes.
+class ObjectStore {
+ public:
+  ObjectStore(const CostModel* cost, BillingMeter* meter)
+      : cost_(cost), meter_(meter) {}
+
+  /// Stores (or overwrites) an object of `bytes` bytes. Bills one PUT.
+  void Put(const std::string& key, int64_t bytes);
+
+  /// Returns the object's size, billing one GET; nullopt (still billed, as
+  /// S3 charges for 404s) when absent.
+  std::optional<int64_t> Get(const std::string& key);
+
+  /// Removes an object; free of charge. Returns whether it existed.
+  bool Delete(const std::string& key);
+
+  bool Contains(const std::string& key) const {
+    return objects_.count(key) > 0;
+  }
+
+  int64_t num_puts() const { return num_puts_; }
+  int64_t num_gets() const { return num_gets_; }
+  int64_t num_objects() const { return static_cast<int64_t>(objects_.size()); }
+  int64_t bytes_stored() const { return bytes_stored_; }
+  int64_t peak_bytes_stored() const { return peak_bytes_stored_; }
+
+ private:
+  const CostModel* cost_;
+  BillingMeter* meter_;
+  std::unordered_map<std::string, int64_t> objects_;
+  int64_t num_puts_ = 0;
+  int64_t num_gets_ = 0;
+  int64_t bytes_stored_ = 0;
+  int64_t peak_bytes_stored_ = 0;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_CLOUD_OBJECT_STORE_H_

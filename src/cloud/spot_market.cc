@@ -1,0 +1,70 @@
+#include "cloud/spot_market.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+SpotMarket::SpotMarket(double price_per_hour) {
+  CACKLE_CHECK_GT(price_per_hour, 0.0);
+  breakpoints_.emplace_back(0, price_per_hour);
+}
+
+SpotMarket::SpotMarket(std::vector<std::pair<SimTimeMs, double>> breakpoints)
+    : breakpoints_(std::move(breakpoints)) {
+  CACKLE_CHECK(!breakpoints_.empty());
+  CACKLE_CHECK_EQ(breakpoints_.front().first, 0);
+  for (size_t i = 1; i < breakpoints_.size(); ++i) {
+    CACKLE_CHECK_GT(breakpoints_[i].first, breakpoints_[i - 1].first);
+    CACKLE_CHECK_GT(breakpoints_[i].second, 0.0);
+  }
+}
+
+SpotMarket SpotMarket::RandomWalk(double start, double floor, double cap,
+                                  double volatility, SimTimeMs step,
+                                  SimTimeMs horizon, Rng* rng) {
+  CACKLE_CHECK_GT(step, 0);
+  CACKLE_CHECK_LE(floor, cap);
+  std::vector<std::pair<SimTimeMs, double>> points;
+  double price = std::clamp(start, floor, cap);
+  for (SimTimeMs t = 0; t <= horizon; t += step) {
+    points.emplace_back(t, price);
+    const double factor = rng->NextDouble(1.0 - volatility, 1.0 + volatility);
+    price = std::clamp(price * factor, floor, cap);
+  }
+  return SpotMarket(std::move(points));
+}
+
+double SpotMarket::PriceAt(SimTimeMs t) const {
+  // Last breakpoint with time <= t.
+  auto it = std::upper_bound(
+      breakpoints_.begin(), breakpoints_.end(), t,
+      [](SimTimeMs value, const auto& bp) { return value < bp.first; });
+  CACKLE_CHECK(it != breakpoints_.begin());
+  return std::prev(it)->second;
+}
+
+double SpotMarket::PriceIntegral(SimTimeMs t0, SimTimeMs t1) const {
+  if (t1 <= t0) return 0.0;
+  double total = 0.0;
+  // Find first segment overlapping [t0, t1).
+  auto it = std::upper_bound(
+      breakpoints_.begin(), breakpoints_.end(), t0,
+      [](SimTimeMs value, const auto& bp) { return value < bp.first; });
+  CACKLE_CHECK(it != breakpoints_.begin());
+  --it;
+  SimTimeMs cursor = t0;
+  while (cursor < t1) {
+    const double price = it->second;
+    const SimTimeMs seg_end =
+        (std::next(it) == breakpoints_.end()) ? t1
+                                              : std::min(t1, std::next(it)->first);
+    total += price * static_cast<double>(seg_end - cursor);
+    cursor = seg_end;
+    if (std::next(it) != breakpoints_.end()) ++it;
+  }
+  return total;
+}
+
+}  // namespace cackle

@@ -1,0 +1,56 @@
+#ifndef CACKLE_CLOUD_SPOT_MARKET_H_
+#define CACKLE_CLOUD_SPOT_MARKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace cackle {
+
+/// \brief Piecewise-constant spot price timeline in dollars per hour.
+///
+/// Section 5.3 of the paper observes the spot price of a c5a.large nearly
+/// doubling within a quarter while the Lambda price stayed fixed; this class
+/// lets experiments replay such fluctuations. The default timeline is a
+/// single constant price.
+class SpotMarket {
+ public:
+  /// Constant price forever.
+  explicit SpotMarket(double price_per_hour);
+
+  /// Explicit breakpoints: (time, price) pairs; times must be ascending and
+  /// start at 0. The last price extends to infinity.
+  SpotMarket(std::vector<std::pair<SimTimeMs, double>> breakpoints);
+
+  /// Generates a bounded random-walk price timeline: starts at `start`,
+  /// multiplies by a factor in [1-volatility, 1+volatility] every `step`,
+  /// clamped to [floor, cap].
+  static SpotMarket RandomWalk(double start, double floor, double cap,
+                               double volatility, SimTimeMs step,
+                               SimTimeMs horizon, Rng* rng);
+
+  /// Price in effect at time `t`.
+  double PriceAt(SimTimeMs t) const;
+
+  /// Integral of price over [t0, t1) in dollar·ms/hour units; divide by
+  /// kMillisPerHour for dollars of one instance over that window.
+  double PriceIntegral(SimTimeMs t0, SimTimeMs t1) const;
+
+  /// Dollars for one instance running over [t0, t1).
+  double DollarsOver(SimTimeMs t0, SimTimeMs t1) const {
+    return PriceIntegral(t0, t1) / static_cast<double>(kMillisPerHour);
+  }
+
+  const std::vector<std::pair<SimTimeMs, double>>& breakpoints() const {
+    return breakpoints_;
+  }
+
+ private:
+  std::vector<std::pair<SimTimeMs, double>> breakpoints_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_CLOUD_SPOT_MARKET_H_

@@ -1,0 +1,210 @@
+#include "cloud/vm_fleet.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+VmFleet::VmFleet(Simulation* sim, const CostModel* cost, BillingMeter* meter,
+                 const SpotMarket* market, CostCategory category)
+    : sim_(sim), cost_(cost), meter_(meter), market_(market),
+      category_(category) {}
+
+SimTimeMs VmFleet::startup_ms() const {
+  return category_ == CostCategory::kShuffleNode ? cost_->shuffle_node_startup_ms
+                                                 : cost_->vm_startup_ms;
+}
+
+SimTimeMs VmFleet::min_billing_ms() const {
+  return category_ == CostCategory::kShuffleNode
+             ? cost_->shuffle_node_min_billing_ms
+             : cost_->vm_min_billing_ms;
+}
+
+void VmFleet::SetTarget(int64_t target) {
+  CACKLE_CHECK_GE(target, 0);
+  target_ = target;
+  while (num_allocated() < target_) {
+    const VmId id = static_cast<VmId>(vms_.size());
+    vms_.push_back(Vm{});
+    Vm& vm = vms_.back();
+    vm.state = VmState::kPending;
+    vm.pending_event =
+        sim_->ScheduleAfter(startup_ms(), [this, id] { OnVmStarted(id); });
+    pending_.push_back(id);
+  }
+  ReconcileDown();
+}
+
+void VmFleet::OnVmStarted(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  CACKLE_CHECK(vm.state == VmState::kPending);
+  // Remove from the pending queue (it is usually at the front because
+  // startup delays are uniform, but cancellation may have reordered).
+  auto it = std::find(pending_.begin(), pending_.end(), id);
+  CACKLE_CHECK(it != pending_.end());
+  pending_.erase(it);
+  vm.state = VmState::kIdle;
+  vm.ready_time = sim_->NowMs();
+  idle_.push_back(id);
+  ++num_idle_;
+  ++total_started_;
+  if (mean_lifetime_hours_ > 0.0) {
+    const double lifetime_hours =
+        interruption_rng_.NextExponential(1.0 / mean_lifetime_hours_);
+    const SimTimeMs lifetime = std::max<SimTimeMs>(
+        kMillisPerSecond,
+        static_cast<SimTimeMs>(lifetime_hours *
+                               static_cast<double>(kMillisPerHour)));
+    sim_->ScheduleAfter(lifetime, [this, id] { Interrupt(id); });
+  }
+  if (on_vm_ready_) on_vm_ready_(id);
+  // The target may have dropped while this VM was starting.
+  ReconcileDown();
+}
+
+std::optional<VmId> VmFleet::TryAcquire() {
+  while (!idle_.empty()) {
+    const VmId id = idle_.front();
+    idle_.pop_front();
+    Vm& vm = vms_[static_cast<size_t>(id)];
+    if (vm.state != VmState::kIdle) continue;  // stale entry
+    vm.state = VmState::kBusy;
+    --num_idle_;
+    ++num_busy_;
+    return id;
+  }
+  return std::nullopt;
+}
+
+void VmFleet::Release(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  CACKLE_CHECK(vm.state == VmState::kBusy);
+  vm.state = VmState::kIdle;
+  --num_busy_;
+  ++num_idle_;
+  idle_.push_back(id);
+  ReconcileDown();
+}
+
+void VmFleet::BillAndRetire(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  CACKLE_CHECK(vm.state != VmState::kTerminated);
+  CACKLE_CHECK(vm.state != VmState::kPending);
+  vm.state = VmState::kTerminated;
+  ++total_terminated_;
+  const SimTimeMs runtime = sim_->NowMs() - vm.ready_time;
+  total_runtime_ms_ += runtime;
+  double dollars = 0.0;
+  const SimTimeMs billed = std::max(runtime, min_billing_ms());
+  if (market_ != nullptr) {
+    dollars = market_->DollarsOver(vm.ready_time, vm.ready_time + billed);
+  } else if (category_ == CostCategory::kShuffleNode) {
+    dollars = cost_->ShuffleNodeCost(runtime);
+  } else {
+    dollars = cost_->VmCost(runtime);
+  }
+  meter_->Charge(category_, dollars);
+}
+
+void VmFleet::Terminate(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  CACKLE_CHECK(vm.state == VmState::kIdle);
+  --num_idle_;
+  BillAndRetire(id);
+}
+
+void VmFleet::EnableInterruptions(uint64_t seed, double mean_lifetime_hours) {
+  CACKLE_CHECK_GT(mean_lifetime_hours, 0.0);
+  mean_lifetime_hours_ = mean_lifetime_hours;
+  interruption_rng_ = Rng(seed);
+}
+
+void VmFleet::Interrupt(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  if (vm.state == VmState::kTerminated || vm.state == VmState::kPending) {
+    return;
+  }
+  ++total_interrupted_;
+  if (vm.state == VmState::kBusy) {
+    // Let the scheduler rescue the task before the VM disappears.
+    if (on_vm_interrupted_) on_vm_interrupted_(id);
+    --num_busy_;
+    BillAndRetire(id);
+  } else {
+    auto it = std::find(idle_.begin(), idle_.end(), id);
+    if (it != idle_.end()) idle_.erase(it);
+    --num_idle_;
+    BillAndRetire(id);
+  }
+  // A maintained spot request replaces reclaimed capacity.
+  if (num_allocated() < target_) {
+    const int64_t t = target_;
+    SetTarget(t);
+  }
+}
+
+void VmFleet::ReconcileDown() {
+  // 1. Withdraw pending requests (newest first) at no cost — a spot
+  //    request modification. Strategies hold their target between meta
+  //    updates, so this does not starve the fleet on per-second noise.
+  while (num_allocated() > target_ && !pending_.empty()) {
+    const VmId id = pending_.back();
+    pending_.pop_back();
+    Vm& vm = vms_[static_cast<size_t>(id)];
+    CACKLE_CHECK(vm.state == VmState::kPending);
+    vm.state = VmState::kTerminated;
+    sim_->Cancel(vm.pending_event);
+  }
+  // 2. Terminate idle VMs past their minimum billing window; defer others.
+  //    Busy VMs are handled when they are released.
+  if (num_allocated() <= target_) return;
+  std::deque<VmId> still_idle;
+  while (num_allocated() > target_ && !idle_.empty()) {
+    const VmId id = idle_.front();
+    idle_.pop_front();
+    Vm& vm = vms_[static_cast<size_t>(id)];
+    if (vm.state != VmState::kIdle) continue;
+    if (sim_->NowMs() - vm.ready_time >= min_billing_ms()) {
+      Terminate(id);
+    } else {
+      // Not worth terminating yet: re-check when the minimum billing time
+      // has elapsed. Keep the VM acquirable in the meantime.
+      still_idle.push_back(id);
+      const SimTimeMs when = vm.ready_time + min_billing_ms();
+      sim_->ScheduleAt(when, [this, id] { DeferredTerminationCheck(id); });
+    }
+  }
+  for (VmId id : still_idle) idle_.push_back(id);
+}
+
+void VmFleet::DeferredTerminationCheck(VmId id) {
+  Vm& vm = vms_[static_cast<size_t>(id)];
+  if (vm.state != VmState::kIdle) return;        // got busy or terminated
+  if (num_allocated() <= target_) return;        // target recovered
+  auto it = std::find(idle_.begin(), idle_.end(), id);
+  if (it != idle_.end()) idle_.erase(it);
+  Terminate(id);
+}
+
+void VmFleet::TerminateAll() {
+  target_ = 0;
+  while (!pending_.empty()) {
+    const VmId id = pending_.back();
+    pending_.pop_back();
+    Vm& vm = vms_[static_cast<size_t>(id)];
+    vm.state = VmState::kTerminated;
+    sim_->Cancel(vm.pending_event);
+  }
+  CACKLE_CHECK_EQ(num_busy_, 0) << "TerminateAll with busy VMs";
+  while (!idle_.empty()) {
+    const VmId id = idle_.front();
+    idle_.pop_front();
+    Vm& vm = vms_[static_cast<size_t>(id)];
+    if (vm.state == VmState::kIdle) Terminate(id);
+  }
+  CACKLE_CHECK_EQ(num_idle_, 0);
+}
+
+}  // namespace cackle

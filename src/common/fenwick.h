@@ -1,0 +1,106 @@
+#ifndef CACKLE_COMMON_FENWICK_H_
+#define CACKLE_COMMON_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+/// \brief Fenwick (binary indexed) tree over counts of integer values in
+/// [0, domain). Supports O(log domain) insert/erase of a value and
+/// O(log domain) rank ("smallest value v such that at least k items are
+/// <= v") queries.
+///
+/// The dynamic provisioning strategy evaluates hundreds of percentile
+/// strategies over sliding windows of the demand history every few simulated
+/// seconds; this structure makes each percentile query logarithmic in the
+/// demand domain instead of linear in the window length.
+class FenwickCounter {
+ public:
+  /// `domain` is one past the largest representable value.
+  explicit FenwickCounter(int64_t domain)
+      : domain_(domain), tree_(static_cast<size_t>(domain) + 1, 0), size_(0) {
+    CACKLE_CHECK_GT(domain, 0);
+  }
+
+  int64_t domain() const { return domain_; }
+  int64_t size() const { return size_; }
+
+  /// Inserts one occurrence of `value` (0 <= value < domain).
+  void Insert(int64_t value) { Update(value, +1); }
+
+  /// Removes one occurrence of `value`; the value must be present.
+  void Erase(int64_t value) { Update(value, -1); }
+
+  /// Number of stored items with value <= `value`.
+  int64_t CountLessEqual(int64_t value) const {
+    if (value < 0) return 0;
+    if (value >= domain_) return size_;
+    int64_t idx = value + 1;  // 1-based
+    int64_t total = 0;
+    while (idx > 0) {
+      total += tree_[static_cast<size_t>(idx)];
+      idx -= idx & (-idx);
+    }
+    return total;
+  }
+
+  /// Returns the k-th smallest stored value (k is 1-based, 1 <= k <= size).
+  int64_t KthSmallest(int64_t k) const {
+    CACKLE_CHECK_GE(k, 1);
+    CACKLE_CHECK_LE(k, size_);
+    int64_t idx = 0;
+    int64_t bit = 1;
+    while ((bit << 1) <= domain_) bit <<= 1;
+    int64_t remaining = k;
+    for (; bit > 0; bit >>= 1) {
+      const int64_t next = idx + bit;
+      if (next <= domain_ &&
+          tree_[static_cast<size_t>(next)] < remaining) {
+        idx = next;
+        remaining -= tree_[static_cast<size_t>(next)];
+      }
+    }
+    return idx;  // 0-based value (idx is the count of the 1-based prefix)
+  }
+
+  /// Returns the p-th percentile (p in (0, 100]) of the stored values using
+  /// the nearest-rank definition: the smallest value v such that at least
+  /// ceil(p/100 * size) values are <= v. Returns 0 for an empty container.
+  int64_t Percentile(double p) const {
+    if (size_ == 0) return 0;
+    CACKLE_CHECK_GT(p, 0.0);
+    CACKLE_CHECK_LE(p, 100.0);
+    int64_t k = static_cast<int64_t>(
+        (p / 100.0) * static_cast<double>(size_) + 0.9999999);
+    if (k < 1) k = 1;
+    if (k > size_) k = size_;
+    return KthSmallest(k);
+  }
+
+  /// Largest stored value; container must be non-empty.
+  int64_t Max() const { return KthSmallest(size_); }
+
+ private:
+  void Update(int64_t value, int64_t delta) {
+    CACKLE_CHECK_GE(value, 0);
+    CACKLE_CHECK_LT(value, domain_);
+    size_ += delta;
+    CACKLE_CHECK_GE(size_, 0);
+    int64_t idx = value + 1;
+    while (idx <= domain_) {
+      tree_[static_cast<size_t>(idx)] += delta;
+      idx += idx & (-idx);
+    }
+  }
+
+  int64_t domain_;
+  std::vector<int64_t> tree_;
+  int64_t size_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_FENWICK_H_

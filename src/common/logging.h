@@ -1,0 +1,76 @@
+#ifndef CACKLE_COMMON_LOGGING_H_
+#define CACKLE_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace cackle {
+
+/// \brief Severity levels for the logging macros below.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+/// Minimum level actually emitted; default kInfo. Not thread-safe to change
+/// while logging concurrently (set it once at startup).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log sink. Writes the accumulated message to stderr on
+/// destruction; if `fatal`, aborts the process afterwards.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+};
+
+}  // namespace internal
+}  // namespace cackle
+
+/// Stream-style logging: CACKLE_LOG(INFO) << "message " << value;
+#define CACKLE_LOG(severity)                                          \
+  ::cackle::internal::LogMessage(::cackle::LogLevel::k##severity,     \
+                                 __FILE__, __LINE__)
+
+/// \brief Invariant check: aborts with a message when `condition` is false.
+///
+/// Used for programming errors (broken invariants), not for recoverable
+/// conditions — those return Status.
+#define CACKLE_CHECK(condition)                                             \
+  if (!(condition))                                                         \
+  ::cackle::internal::LogMessage(::cackle::LogLevel::kError, __FILE__,      \
+                                 __LINE__, /*fatal=*/true)                  \
+      << "Check failed: " #condition " "
+
+#define CACKLE_CHECK_OK(expr)                                               \
+  do {                                                                      \
+    const ::cackle::Status _cackle_check_status = (expr);                   \
+    CACKLE_CHECK(_cackle_check_status.ok()) << _cackle_check_status.ToString(); \
+  } while (false)
+
+#define CACKLE_CHECK_EQ(a, b) CACKLE_CHECK((a) == (b))
+#define CACKLE_CHECK_NE(a, b) CACKLE_CHECK((a) != (b))
+#define CACKLE_CHECK_LT(a, b) CACKLE_CHECK((a) < (b))
+#define CACKLE_CHECK_LE(a, b) CACKLE_CHECK((a) <= (b))
+#define CACKLE_CHECK_GT(a, b) CACKLE_CHECK((a) > (b))
+#define CACKLE_CHECK_GE(a, b) CACKLE_CHECK((a) >= (b))
+
+#endif  // CACKLE_COMMON_LOGGING_H_

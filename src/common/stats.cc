@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  CACKLE_CHECK_GE(p, 0.0);
+  CACKLE_CHECK_LE(p, 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  EnsureSorted();
+  return PercentileSorted(samples_, p);
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(int points) const {
+  EnsureSorted();
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points <= 0) return out;
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / points;
+    const double value = PercentileSorted(samples_, frac * 100.0);
+    out.emplace_back(value, frac);
+  }
+  return out;
+}
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  CACKLE_CHECK_EQ(xs.size(), ys.size());
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n == 0) return fit;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - mean_x) * (ys[i] - mean_y);
+    var_x += (xs[i] - mean_x) * (xs[i] - mean_x);
+  }
+  if (var_x <= 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = mean_y;
+  } else {
+    fit.slope = cov / var_x;
+    fit.intercept = mean_y - fit.slope * mean_x;
+  }
+  return fit;
+}
+
+}  // namespace cackle

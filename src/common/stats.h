@@ -1,0 +1,91 @@
+#ifndef CACKLE_COMMON_STATS_H_
+#define CACKLE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cackle {
+
+/// \brief Streaming summary statistics (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// \brief Returns the p-th percentile (p in [0, 100]) of `values` using
+/// linear interpolation between closest ranks. `values` need not be sorted;
+/// a sorted copy is made. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// \brief Percentile for data that is already sorted ascending (no copy).
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+/// \brief Collects samples and extracts percentiles / CDF points.
+///
+/// Used for query latency distributions (Figure 1's CDF, Figure 14's p90).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in [0, 100].
+  double Percentile(double p) const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Returns `points` (value, cumulative_fraction) pairs evenly spaced in
+  /// rank, suitable for plotting a CDF.
+  std::vector<std::pair<double, double>> Cdf(int points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  // Sorting is a cache refresh, not an observable mutation.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// \brief Simple ordinary least squares fit y = slope * x + intercept.
+///
+/// Used by the predictive provisioning strategy (Section 5.1 of the paper):
+/// a linear regression over the recent demand history extrapolated to the
+/// VM startup horizon. Returns {slope, intercept}; a single point or
+/// degenerate x yields slope 0.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+
+  double At(double x) const { return slope * x + intercept; }
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_STATS_H_

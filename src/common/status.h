@@ -1,0 +1,165 @@
+#ifndef CACKLE_COMMON_STATUS_H_
+#define CACKLE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cackle {
+
+/// \brief Error codes used across the library.
+///
+/// Cackle follows the RocksDB / Arrow idiom: fallible operations return a
+/// Status (or StatusOr<T>) instead of throwing. Exceptions are not used on
+/// library paths.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kIoError = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A lightweight success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. Status is cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Early-return helper: propagates a non-OK Status to the caller.
+#define CACKLE_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::cackle::Status _cackle_status = (expr);       \
+    if (!_cackle_status.ok()) return _cackle_status; \
+  } while (false)
+
+/// \brief A value or an error Status.
+///
+/// Accessing the value of an errored StatusOr aborts the process (programming
+/// error); check ok() or status() first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  /// Constructs from a value; status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void AbortWithStatus(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal::AbortWithStatus(status_);
+}
+
+/// \brief Early-return helper for StatusOr: assigns the value or propagates
+/// the error. The temporary's name embeds the line number so multiple uses
+/// can share a scope.
+#define CACKLE_STATUS_CONCAT_INNER_(a, b) a##b
+#define CACKLE_STATUS_CONCAT_(a, b) CACKLE_STATUS_CONCAT_INNER_(a, b)
+#define CACKLE_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+#define CACKLE_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  CACKLE_ASSIGN_OR_RETURN_IMPL_(                                            \
+      CACKLE_STATUS_CONCAT_(_cackle_statusor_, __LINE__), lhs, expr)
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_STATUS_H_

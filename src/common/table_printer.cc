@@ -1,0 +1,90 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::BeginRow() { rows_.emplace_back(); }
+
+void TablePrinter::AddCell(std::string value) {
+  CACKLE_CHECK(!rows_.empty()) << "BeginRow() before AddCell()";
+  CACKLE_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(std::move(value));
+}
+
+void TablePrinter::AddCell(const char* value) { AddCell(std::string(value)); }
+void TablePrinter::AddCell(int64_t value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(uint64_t value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(int value) { AddCell(std::to_string(value)); }
+void TablePrinter::AddCell(double value, int decimals) {
+  AddCell(FormatDouble(value, decimals));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CACKLE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << cell;
+      if (c + 1 < headers_.size()) {
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << escape(cells[c]);
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cackle

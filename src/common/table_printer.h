@@ -1,0 +1,50 @@
+#ifndef CACKLE_COMMON_TABLE_PRINTER_H_
+#define CACKLE_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cackle {
+
+/// \brief Accumulates rows of a result table and renders it either as
+/// aligned human-readable text or as CSV.
+///
+/// Every bench binary regenerating one of the paper's tables/figures prints
+/// its series through this class, so output is uniform and machine-parsable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Add* calls fill its cells left to right.
+  void BeginRow();
+  void AddCell(std::string value);
+  void AddCell(const char* value);
+  void AddCell(int64_t value);
+  void AddCell(uint64_t value);
+  void AddCell(int value);
+  /// `decimals` controls fixed-point formatting.
+  void AddCell(double value, int decimals = 4);
+
+  /// Convenience: adds an entire row at once.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders aligned text with a header rule.
+  void PrintText(std::ostream& os) const;
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats `value` with fixed `decimals` digits.
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_TABLE_PRINTER_H_

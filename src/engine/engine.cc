@@ -1,0 +1,301 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+struct CackleEngine::QueryState {
+  const QueryProfile* profile = nullptr;
+  SimTimeMs arrival_ms = 0;
+  bool batch = false;
+  std::vector<int> deps_remaining;
+  std::vector<int> tasks_remaining;
+  int stages_remaining = 0;
+  bool done = false;
+};
+
+CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
+    : cost_(cost), options_(std::move(options)) {
+  fleet_ = std::make_unique<VmFleet>(&sim_, cost_, &meter_);
+  pool_ = std::make_unique<ElasticPool>(&sim_, cost_, &meter_,
+                                        Rng(options_.seed));
+  object_store_ = std::make_unique<ObjectStore>(cost_, &meter_);
+  shuffle_ = std::make_unique<ShuffleLayer>(&sim_, cost_, &meter_,
+                                            object_store_.get());
+  if (options_.use_dynamic) {
+    DynamicStrategyOptions dyn = options_.dynamic;
+    dyn.seed = options_.seed ^ 0x5eed;
+    strategy_ = std::make_unique<DynamicStrategy>(cost_, dyn);
+  } else {
+    strategy_ = std::make_unique<FixedStrategy>(options_.fixed_target);
+  }
+  if (options_.spot_mean_lifetime_hours > 0.0) {
+    fleet_->EnableInterruptions(options_.seed ^ 0xdead,
+                                options_.spot_mean_lifetime_hours);
+    fleet_->SetOnVmInterrupted([this](VmId vm) { OnVmInterrupted(vm); });
+  }
+}
+
+CackleEngine::~CackleEngine() = default;
+
+void CackleEngine::CoordinatorTick() {
+  // Record this second's peak concurrent task demand.
+  const int64_t demand = std::max(second_max_tasks_, running_tasks_);
+  second_max_tasks_ = running_tasks_;
+  history_.Append(demand);
+  result_.peak_concurrent_tasks =
+      std::max(result_.peak_concurrent_tasks, demand);
+
+  // A tick scheduled before the workload drained may still fire once after
+  // completion; it must not re-raise the target or (with spot
+  // interruptions) the reclaim-replenish loop would run forever.
+  const int64_t target = workload_done_ ? 0 : strategy_->Target(history_);
+  fleet_->SetTarget(target);
+  if (options_.enable_shuffle) shuffle_->Tick();
+  DrainBatchQueue();
+
+  if (options_.record_series) {
+    result_.demand_series.push_back(demand);
+    result_.target_series.push_back(target);
+    result_.active_vm_series.push_back(fleet_->num_ready());
+  }
+
+  if (!workload_done_) {
+    sim_.ScheduleAfter(kMillisPerSecond, [this] { CoordinatorTick(); });
+  }
+}
+
+void CackleEngine::OnQueryArrival(int64_t query_id) {
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  for (size_t s = 0; s < state.profile->stages.size(); ++s) {
+    if (state.deps_remaining[s] == 0) {
+      ScheduleStage(query_id, static_cast<int>(s));
+    }
+  }
+}
+
+void CackleEngine::ScheduleStage(int64_t query_id, int stage_id) {
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  const StageProfile& stage =
+      state.profile->stages[static_cast<size_t>(stage_id)];
+  // Consumer side of the shuffle: read upstream stage outputs.
+  if (options_.enable_shuffle) {
+    for (int dep : stage.dependencies) {
+      const StageProfile& upstream =
+          state.profile->stages[static_cast<size_t>(dep)];
+      shuffle_->Read(query_id, dep, upstream.object_store_gets);
+    }
+  }
+  for (int t = 0; t < stage.num_tasks; ++t) {
+    RunTask(query_id, stage_id, stage.TaskDuration(t));
+  }
+}
+
+void CackleEngine::RunTask(int64_t query_id, int stage_id,
+                           SimTimeMs duration_ms) {
+  const QueryState& state = queries_[static_cast<size_t>(query_id)];
+  if (state.batch) {
+    // Batch work (Section 2.1) tolerates delay: run on an idle VM if one
+    // exists, otherwise wait for spare provisioned capacity instead of
+    // paying the elastic premium.
+    if (TryPlaceOnVm(query_id, stage_id, duration_ms)) {
+      ++running_tasks_;
+      second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+    } else {
+      ++result_.batch_tasks_delayed;
+      batch_queue_.push_back(
+          BatchTask{query_id, stage_id, duration_ms, sim_.NowMs()});
+    }
+    return;
+  }
+  ++running_tasks_;
+  second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+  PlaceTask(query_id, stage_id, duration_ms);
+}
+
+bool CackleEngine::TryPlaceOnVm(int64_t query_id, int stage_id,
+                                SimTimeMs duration_ms) {
+  const auto vm = fleet_->TryAcquire();
+  if (!vm.has_value()) return false;
+  ++result_.tasks_on_vms;
+  const SimTimeMs dur = std::max<SimTimeMs>(
+      1, static_cast<SimTimeMs>(static_cast<double>(duration_ms) /
+                                options_.vm_speedup));
+  const uint64_t event =
+      sim_.ScheduleAfter(dur, [this, query_id, stage_id, vm_id = *vm] {
+        vm_tasks_.erase(vm_id);
+        fleet_->Release(vm_id);
+        OnTaskDone(query_id, stage_id);
+      });
+  vm_tasks_[*vm] = VmTask{query_id, stage_id, duration_ms, event};
+  return true;
+}
+
+void CackleEngine::PlaceTask(int64_t query_id, int stage_id,
+                             SimTimeMs duration_ms) {
+  if (TryPlaceOnVm(query_id, stage_id, duration_ms)) return;
+  ++result_.tasks_on_elastic;
+  pool_->Acquire([this, query_id, stage_id,
+                  duration_ms](ElasticSlotId slot) {
+    sim_.ScheduleAfter(duration_ms, [this, query_id, stage_id, slot] {
+      pool_->Release(slot);
+      OnTaskDone(query_id, stage_id);
+    });
+  });
+}
+
+void CackleEngine::DrainBatchQueue() {
+  while (!batch_queue_.empty()) {
+    const BatchTask task = batch_queue_.front();
+    if (TryPlaceOnVm(task.query_id, task.stage_id, task.duration_ms)) {
+      batch_queue_.pop_front();
+    } else if (sim_.NowMs() - task.enqueued_ms >=
+               options_.max_batch_delay_ms) {
+      // SLA escalation: overdue batch work runs on the elastic pool.
+      batch_queue_.pop_front();
+      ++result_.batch_tasks_escalated;
+      PlaceTask(task.query_id, task.stage_id, task.duration_ms);
+    } else {
+      break;
+    }
+    ++running_tasks_;
+    second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+  }
+}
+
+void CackleEngine::OnVmInterrupted(VmId vm) {
+  auto it = vm_tasks_.find(vm);
+  CACKLE_CHECK(it != vm_tasks_.end()) << "interrupted busy VM without task";
+  const VmTask task = it->second;
+  vm_tasks_.erase(it);
+  sim_.Cancel(task.completion_event);
+  ++result_.tasks_retried;
+  if (queries_[static_cast<size_t>(task.query_id)].batch) {
+    // Batch work goes back to waiting for spare capacity.
+    --running_tasks_;
+    batch_queue_.push_front(BatchTask{task.query_id, task.stage_id,
+                                      task.duration_ms, sim_.NowMs()});
+    return;
+  }
+  // Retry from scratch; the fleet has already retired the VM, so this
+  // lands on another idle VM or (typically) the elastic pool.
+  PlaceTask(task.query_id, task.stage_id, task.duration_ms);
+}
+
+void CackleEngine::OnTaskDone(int64_t query_id, int stage_id) {
+  --running_tasks_;
+  // A slot just freed up; queued batch work can use it.
+  if (!batch_queue_.empty()) DrainBatchQueue();
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  if (--state.tasks_remaining[static_cast<size_t>(stage_id)] == 0) {
+    OnStageDone(query_id, stage_id);
+  }
+}
+
+void CackleEngine::OnStageDone(int64_t query_id, int stage_id) {
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  const StageProfile& stage =
+      state.profile->stages[static_cast<size_t>(stage_id)];
+  if (options_.enable_shuffle && stage.shuffle_bytes_out > 0) {
+    // Producer side: write this stage's output through the shuffle layer.
+    int64_t consumer_tasks = 0;
+    for (const StageProfile& s : state.profile->stages) {
+      for (int dep : s.dependencies) {
+        if (dep == stage_id) consumer_tasks += s.num_tasks;
+      }
+    }
+    shuffle_->Write(query_id, stage_id, stage.shuffle_bytes_out,
+                    std::max<int64_t>(1, consumer_tasks),
+                    stage.object_store_puts);
+  }
+  if (--state.stages_remaining == 0) {
+    OnQueryDone(query_id);
+    return;
+  }
+  for (size_t s = 0; s < state.profile->stages.size(); ++s) {
+    for (int dep : state.profile->stages[s].dependencies) {
+      if (dep == stage_id && --state.deps_remaining[s] == 0) {
+        ScheduleStage(query_id, static_cast<int>(s));
+      }
+    }
+  }
+}
+
+void CackleEngine::OnQueryDone(int64_t query_id) {
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  CACKLE_CHECK(!state.done);
+  state.done = true;
+  if (state.batch) {
+    result_.batch_latencies_s.Add(
+        MsToSeconds(sim_.NowMs() - state.arrival_ms));
+  } else {
+    result_.latencies_s.Add(MsToSeconds(sim_.NowMs() - state.arrival_ms));
+  }
+  result_.makespan_ms = std::max(result_.makespan_ms, sim_.NowMs());
+  ++result_.queries_completed;
+  if (options_.enable_shuffle) shuffle_->ReleaseQuery(query_id);
+  if (--queries_remaining_ == 0) {
+    workload_done_ = true;
+    // Stop maintaining capacity so the fleet (and any spot-interruption
+    // replacement loop) drains.
+    fleet_->SetTarget(0);
+  }
+}
+
+EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
+                               const ProfileLibrary& library) {
+  queries_.resize(arrivals.size());
+  queries_remaining_ = static_cast<int64_t>(arrivals.size());
+  for (size_t q = 0; q < arrivals.size(); ++q) {
+    QueryState& state = queries_[q];
+    state.profile = &library.at(arrivals[q].profile_index);
+    state.arrival_ms = arrivals[q].arrival_ms;
+    state.batch = arrivals[q].batch;
+    state.stages_remaining = static_cast<int>(state.profile->stages.size());
+    state.deps_remaining.resize(state.profile->stages.size());
+    state.tasks_remaining.resize(state.profile->stages.size());
+    for (size_t s = 0; s < state.profile->stages.size(); ++s) {
+      state.deps_remaining[s] =
+          static_cast<int>(state.profile->stages[s].dependencies.size());
+      state.tasks_remaining[s] = state.profile->stages[s].num_tasks;
+    }
+    sim_.ScheduleAt(state.arrival_ms, [this, q] {
+      OnQueryArrival(static_cast<int64_t>(q));
+    });
+  }
+  if (arrivals.empty()) workload_done_ = true;
+
+  // Cold-start priming: replay the expected demand through the history and
+  // the strategy so expert weights are differentiated before t=0. The
+  // replay is bookkeeping only — no resources are provisioned for it.
+  for (int64_t expected : options_.primed_history) {
+    history_.Append(std::max<int64_t>(0, expected));
+    strategy_->Target(history_);
+  }
+
+  // The coordinator ticks from t=0 until the workload drains.
+  sim_.ScheduleAt(0, [this] { CoordinatorTick(); });
+  sim_.RunToCompletion();
+  CACKLE_CHECK_EQ(result_.queries_completed,
+                  static_cast<int64_t>(arrivals.size()));
+  CACKLE_CHECK_EQ(running_tasks_, 0);
+  CACKLE_CHECK(batch_queue_.empty());
+
+  // Drain fleets and flush billing.
+  fleet_->SetTarget(0);
+  fleet_->TerminateAll();
+  if (options_.enable_shuffle) shuffle_->Shutdown();
+  // Coordinator rental for the workload duration.
+  meter_.Charge(CostCategory::kCoordinator,
+                cost_->coordinator_cost_per_hour *
+                    MsToSeconds(result_.makespan_ms) / 3600.0);
+  result_.shuffle_fallback_bytes = shuffle_->total_fallback_bytes();
+  result_.shuffle_written_bytes = shuffle_->total_written_bytes();
+  result_.vms_interrupted = fleet_->total_vms_interrupted();
+  result_.billing = meter_;
+  return result_;
+}
+
+}  // namespace cackle

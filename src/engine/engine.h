@@ -1,0 +1,169 @@
+#ifndef CACKLE_ENGINE_ENGINE_H_
+#define CACKLE_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <deque>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"
+#include "cloud/cost_model.h"
+#include "cloud/elastic_pool.h"
+#include "cloud/object_store.h"
+#include "cloud/vm_fleet.h"
+#include "common/stats.h"
+#include "engine/shuffle_layer.h"
+#include "sim/simulation.h"
+#include "strategy/dynamic_strategy.h"
+#include "strategy/workload_history.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+namespace cackle {
+
+/// \brief Configuration of an engine run.
+struct EngineOptions {
+  /// Provisioning policy for the compute fleet. When `use_dynamic` is false,
+  /// a fixed target of `fixed_target` VMs is used instead (fixed_0 = pure
+  /// elastic execution, i.e. Starling).
+  bool use_dynamic = true;
+  int64_t fixed_target = 0;
+  DynamicStrategyOptions dynamic;
+
+  /// Model the shuffling layer (shuffle nodes + object-store fallback).
+  bool enable_shuffle = true;
+
+  /// Relative task speed on provisioned VMs. The paper's algorithm assumes
+  /// parity (1.0) but measures VMs ~25% faster in practice (Section 7.1.2);
+  /// set 1.25 to reproduce that divergence.
+  double vm_speedup = 1.0;
+
+  /// Record per-second series (demand, target, active VMs) for Figure 12.
+  bool record_series = false;
+
+  /// Upper bound on how long a batch task waits for an idle VM before it
+  /// escalates to the elastic pool anyway (batch work tolerates delay but
+  /// still has an SLA).
+  SimTimeMs max_batch_delay_ms = 30 * kMillisPerMinute;
+
+  /// Spot interruptions: mean VM lifetime in hours before the provider
+  /// reclaims it (exponentially distributed); 0 disables. Tasks running on
+  /// a reclaimed VM are retried immediately (usually on the elastic pool).
+  double spot_mean_lifetime_hours = 0.0;
+
+  /// Cold-start priming (Section 4.4.6): an expected demand curve appended
+  /// to the workload history before execution begins, so the meta-strategy
+  /// starts with differentiated expert weights instead of fluctuating
+  /// through the first minutes. Empty = cold start.
+  std::vector<int64_t> primed_history;
+
+  uint64_t seed = 1234;
+};
+
+/// \brief Result of an engine run.
+struct EngineResult {
+  /// Interactive query latencies; batch queries are tracked separately.
+  SampleSet latencies_s;
+  SampleSet batch_latencies_s;
+  BillingMeter billing;
+  SimTimeMs makespan_ms = 0;
+  int64_t tasks_on_vms = 0;
+  int64_t tasks_on_elastic = 0;
+  int64_t queries_completed = 0;
+  int64_t peak_concurrent_tasks = 0;
+  /// Tasks restarted because their VM was reclaimed mid-run.
+  int64_t tasks_retried = 0;
+  int64_t vms_interrupted = 0;
+  /// Batch tasks that waited in the batch queue for an idle VM.
+  int64_t batch_tasks_delayed = 0;
+  /// Batch tasks that hit max_batch_delay and ran on the elastic pool.
+  int64_t batch_tasks_escalated = 0;
+  int64_t shuffle_fallback_bytes = 0;
+  int64_t shuffle_written_bytes = 0;
+  /// Per-second series (when requested).
+  std::vector<int64_t> demand_series;
+  std::vector<int64_t> target_series;
+  std::vector<int64_t> active_vm_series;
+
+  double compute_cost() const { return billing.ComputeDollars(); }
+  double total_cost() const { return billing.TotalDollars(); }
+};
+
+/// \brief The Cackle engine running against the simulated cloud substrate.
+///
+/// This is the "real execution" track that validates the analytical model
+/// (Figures 12/13): a coordinator receives query DAGs, schedules every task
+/// the moment its stage is ready — on an idle provisioned VM if one exists,
+/// otherwise on the elastic pool — keeps the second-granularity workload
+/// history, and re-runs the provisioning strategy every second (the dynamic
+/// meta-strategy re-selects its expert every five). The shuffling layer
+/// stores stage outputs on shuffle nodes with object-store fallback.
+class CackleEngine {
+ public:
+  CackleEngine(const CostModel* cost, EngineOptions options);
+  ~CackleEngine();
+
+  /// Runs the workload to completion and returns measurements.
+  EngineResult Run(const std::vector<QueryArrival>& arrivals,
+                   const ProfileLibrary& library);
+
+ private:
+  struct QueryState;
+
+  void CoordinatorTick();
+  void OnQueryArrival(int64_t query_id);
+  void ScheduleStage(int64_t query_id, int stage_id);
+  void RunTask(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  /// Places a (possibly retried) task on a VM or the elastic pool without
+  /// touching the running-task accounting.
+  void PlaceTask(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  /// VM-only placement; returns false when no idle VM exists.
+  bool TryPlaceOnVm(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  /// Starts queued batch tasks on idle VMs (escalating overdue ones).
+  void DrainBatchQueue();
+  void OnVmInterrupted(VmId vm);
+  void OnTaskDone(int64_t query_id, int stage_id);
+  void OnStageDone(int64_t query_id, int stage_id);
+  void OnQueryDone(int64_t query_id);
+
+  const CostModel* cost_;
+  EngineOptions options_;
+
+  Simulation sim_;
+  BillingMeter meter_;
+  std::unique_ptr<VmFleet> fleet_;
+  std::unique_ptr<ElasticPool> pool_;
+  std::unique_ptr<ObjectStore> object_store_;
+  std::unique_ptr<ShuffleLayer> shuffle_;
+  std::unique_ptr<ProvisioningStrategy> strategy_;
+  WorkloadHistory history_;
+
+  struct VmTask {
+    int64_t query_id;
+    int stage_id;
+    SimTimeMs duration_ms;
+    uint64_t completion_event;
+  };
+
+  struct BatchTask {
+    int64_t query_id;
+    int stage_id;
+    SimTimeMs duration_ms;
+    SimTimeMs enqueued_ms;
+  };
+
+  std::vector<QueryState> queries_;
+  std::deque<BatchTask> batch_queue_;
+  std::unordered_map<VmId, VmTask> vm_tasks_;
+  EngineResult result_;
+  int64_t running_tasks_ = 0;
+  int64_t second_max_tasks_ = 0;
+  int64_t queries_remaining_ = 0;
+  bool workload_done_ = false;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_ENGINE_ENGINE_H_

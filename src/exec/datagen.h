@@ -1,0 +1,60 @@
+#ifndef CACKLE_EXEC_DATAGEN_H_
+#define CACKLE_EXEC_DATAGEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "exec/table.h"
+
+namespace cackle::exec {
+
+/// \brief The eight TPC-H base tables.
+struct Catalog {
+  Table region;
+  Table nation;
+  Table supplier;
+  Table part;
+  Table partsupp;
+  Table customer;
+  Table orders;
+  Table lineitem;
+
+  int64_t TotalRows() const {
+    return region.num_rows() + nation.num_rows() + supplier.num_rows() +
+           part.num_rows() + partsupp.num_rows() + customer.num_rows() +
+           orders.num_rows() + lineitem.num_rows();
+  }
+  int64_t TotalBytes() const {
+    return region.EstimateBytes() + nation.EstimateBytes() +
+           supplier.EstimateBytes() + part.EstimateBytes() +
+           partsupp.EstimateBytes() + customer.EstimateBytes() +
+           orders.EstimateBytes() + lineitem.EstimateBytes();
+  }
+};
+
+/// \brief Deterministic TPC-H data generator (dbgen equivalent at laptop
+/// scale).
+///
+/// Follows the specification's schema, key relationships and value
+/// distributions: sparse order keys, the ps_suppkey formula, customers
+/// without orders, date ranges 1992-01-01..1998-08-02, Brand#MN / container
+/// / segment / priority vocabularies, l_extendedprice derived from
+/// quantity x part retail price, and so on. Comment/name text is synthetic
+/// filler with embedded spec keywords (e.g. "special requests", colors in
+/// p_name) so the LIKE-predicate queries remain selective as specified.
+///
+/// `scale_factor` 1.0 corresponds to the full 8.66M-row dataset; tests use
+/// 0.01 (~87k rows) and examples 0.05-0.1.
+Catalog GenerateTpch(double scale_factor, uint64_t seed = 20260707);
+
+/// Row counts at a given scale factor (lineitem is approximate: the per-
+/// order line count is random in 1..7).
+int64_t TpchRows(const char* table, double scale_factor);
+
+/// Dates used across queries.
+inline constexpr int64_t kTpchStartDate = DateFromCivil(1992, 1, 1);
+inline constexpr int64_t kTpchEndDate = DateFromCivil(1998, 8, 2);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_DATAGEN_H_

@@ -1,0 +1,558 @@
+#include "exec/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cackle::exec {
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+/// Reads a numeric column value as double.
+double NumAt(const Column& c, int64_t row) {
+  if (c.type() == DataType::kInt64) {
+    return static_cast<double>(c.ints()[static_cast<size_t>(row)]);
+  }
+  return c.doubles()[static_cast<size_t>(row)];
+}
+
+class ColRef final : public Expr {
+ public:
+  explicit ColRef(std::string name) : name_(std::move(name)) {}
+  DataType OutputType(const Table& input) const override {
+    return input.column_def(input.ColumnIndex(name_)).type;
+  }
+  Column Eval(const Table& input) const override {
+    return input.column(name_);  // copy; fine at this scale
+  }
+  void CollectColumns(std::set<std::string>* out) const override {
+    out->insert(name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+class IntLit final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>*) const override {}
+  explicit IntLit(int64_t v) : v_(v) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    Column c(DataType::kInt64);
+    c.ints().assign(static_cast<size_t>(input.num_rows()), v_);
+    return c;
+  }
+
+ private:
+  int64_t v_;
+};
+
+class DoubleLit final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>*) const override {}
+  explicit DoubleLit(double v) : v_(v) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kFloat64;
+  }
+  Column Eval(const Table& input) const override {
+    Column c(DataType::kFloat64);
+    c.doubles().assign(static_cast<size_t>(input.num_rows()), v_);
+    return c;
+  }
+
+ private:
+  double v_;
+};
+
+class StringLit final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>*) const override {}
+  explicit StringLit(std::string v) : v_(std::move(v)) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kString;
+  }
+  Column Eval(const Table& input) const override {
+    Column c(DataType::kString);
+    c.strings().assign(static_cast<size_t>(input.num_rows()), v_);
+    return c;
+  }
+
+ private:
+  std::string v_;
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+class Arith final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    a_->CollectColumns(out);
+    b_->CollectColumns(out);
+  }
+  Arith(ArithOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  DataType OutputType(const Table& input) const override {
+    const DataType ta = a_->OutputType(input);
+    const DataType tb = b_->OutputType(input);
+    CACKLE_CHECK(IsNumeric(ta) && IsNumeric(tb));
+    if (op_ == ArithOp::kDiv) return DataType::kFloat64;
+    return (ta == DataType::kInt64 && tb == DataType::kInt64)
+               ? DataType::kInt64
+               : DataType::kFloat64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column ca = a_->Eval(input);
+    const Column cb = b_->Eval(input);
+    const int64_t n = input.num_rows();
+    if (OutputType(input) == DataType::kInt64) {
+      Column out(DataType::kInt64);
+      out.ints().resize(static_cast<size_t>(n));
+      for (int64_t r = 0; r < n; ++r) {
+        const int64_t x = ca.ints()[static_cast<size_t>(r)];
+        const int64_t y = cb.ints()[static_cast<size_t>(r)];
+        int64_t v = 0;
+        switch (op_) {
+          case ArithOp::kAdd: v = x + y; break;
+          case ArithOp::kSub: v = x - y; break;
+          case ArithOp::kMul: v = x * y; break;
+          case ArithOp::kDiv: v = 0; break;  // unreachable (kDiv -> double)
+        }
+        out.ints()[static_cast<size_t>(r)] = v;
+      }
+      return out;
+    }
+    Column out(DataType::kFloat64);
+    out.doubles().resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      const double x = NumAt(ca, r);
+      const double y = NumAt(cb, r);
+      double v = 0;
+      switch (op_) {
+        case ArithOp::kAdd: v = x + y; break;
+        case ArithOp::kSub: v = x - y; break;
+        case ArithOp::kMul: v = x * y; break;
+        case ArithOp::kDiv: v = y == 0.0 ? 0.0 : x / y; break;
+      }
+      out.doubles()[static_cast<size_t>(r)] = v;
+    }
+    return out;
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class Compare final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    a_->CollectColumns(out);
+    b_->CollectColumns(out);
+  }
+  Compare(CmpOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column ca = a_->Eval(input);
+    const Column cb = b_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    if (ca.type() == DataType::kString) {
+      CACKLE_CHECK(cb.type() == DataType::kString);
+      for (int64_t r = 0; r < n; ++r) {
+        const int cmp = ca.strings()[static_cast<size_t>(r)].compare(
+            cb.strings()[static_cast<size_t>(r)]);
+        out.ints()[static_cast<size_t>(r)] = Apply(cmp);
+      }
+    } else {
+      for (int64_t r = 0; r < n; ++r) {
+        const double x = NumAt(ca, r);
+        const double y = NumAt(cb, r);
+        const int cmp = x < y ? -1 : (x > y ? 1 : 0);
+        out.ints()[static_cast<size_t>(r)] = Apply(cmp);
+      }
+    }
+    return out;
+  }
+
+ private:
+  int64_t Apply(int cmp) const {
+    switch (op_) {
+      case CmpOp::kEq: return cmp == 0;
+      case CmpOp::kNe: return cmp != 0;
+      case CmpOp::kLt: return cmp < 0;
+      case CmpOp::kLe: return cmp <= 0;
+      case CmpOp::kGt: return cmp > 0;
+      case CmpOp::kGe: return cmp >= 0;
+    }
+    return 0;
+  }
+
+  CmpOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+enum class BoolOp { kAnd, kOr, kNot };
+
+class Logical final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    a_->CollectColumns(out);
+    if (b_ != nullptr) b_->CollectColumns(out);
+  }
+  Logical(BoolOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column ca = a_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    if (op_ == BoolOp::kNot) {
+      for (int64_t r = 0; r < n; ++r) {
+        out.ints()[static_cast<size_t>(r)] =
+            ca.ints()[static_cast<size_t>(r)] == 0;
+      }
+      return out;
+    }
+    const Column cb = b_->Eval(input);
+    for (int64_t r = 0; r < n; ++r) {
+      const bool x = ca.ints()[static_cast<size_t>(r)] != 0;
+      const bool y = cb.ints()[static_cast<size_t>(r)] != 0;
+      out.ints()[static_cast<size_t>(r)] =
+          (op_ == BoolOp::kAnd) ? (x && y) : (x || y);
+    }
+    return out;
+  }
+
+ private:
+  BoolOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class InIntExpr final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    x_->CollectColumns(out);
+  }
+  InIntExpr(ExprPtr x, std::vector<int64_t> values)
+      : x_(std::move(x)), values_(values.begin(), values.end()) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cx = x_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      out.ints()[static_cast<size_t>(r)] =
+          values_.count(cx.ints()[static_cast<size_t>(r)]) > 0;
+    }
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  std::unordered_set<int64_t> values_;
+};
+
+class InStringExpr final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    x_->CollectColumns(out);
+  }
+  InStringExpr(ExprPtr x, std::vector<std::string> values)
+      : x_(std::move(x)), values_(values.begin(), values.end()) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cx = x_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      out.ints()[static_cast<size_t>(r)] =
+          values_.count(cx.strings()[static_cast<size_t>(r)]) > 0;
+    }
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  std::unordered_set<std::string> values_;
+};
+
+enum class StrMatch { kContains, kPrefix, kSuffix, kContainsSeq };
+
+class StringMatch final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    x_->CollectColumns(out);
+  }
+  StringMatch(StrMatch kind, ExprPtr x, std::string a, std::string b = "")
+      : kind_(kind), x_(std::move(x)), a_(std::move(a)), b_(std::move(b)) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cx = x_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      const std::string& s = cx.strings()[static_cast<size_t>(r)];
+      bool match = false;
+      switch (kind_) {
+        case StrMatch::kContains:
+          match = s.find(a_) != std::string::npos;
+          break;
+        case StrMatch::kPrefix:
+          match = s.rfind(a_, 0) == 0;
+          break;
+        case StrMatch::kSuffix:
+          match = s.size() >= a_.size() &&
+                  s.compare(s.size() - a_.size(), a_.size(), a_) == 0;
+          break;
+        case StrMatch::kContainsSeq: {
+          const size_t p = s.find(a_);
+          match = p != std::string::npos &&
+                  s.find(b_, p + a_.size()) != std::string::npos;
+          break;
+        }
+      }
+      out.ints()[static_cast<size_t>(r)] = match;
+    }
+    return out;
+  }
+
+ private:
+  StrMatch kind_;
+  ExprPtr x_;
+  std::string a_;
+  std::string b_;
+};
+
+class IfExpr final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    cond_->CollectColumns(out);
+    a_->CollectColumns(out);
+    b_->CollectColumns(out);
+  }
+  IfExpr(ExprPtr cond, ExprPtr a, ExprPtr b)
+      : cond_(std::move(cond)), a_(std::move(a)), b_(std::move(b)) {}
+  DataType OutputType(const Table& input) const override {
+    const DataType ta = a_->OutputType(input);
+    const DataType tb = b_->OutputType(input);
+    if (ta == DataType::kString || tb == DataType::kString) {
+      CACKLE_CHECK(ta == tb);
+      return DataType::kString;
+    }
+    return (ta == DataType::kInt64 && tb == DataType::kInt64)
+               ? DataType::kInt64
+               : DataType::kFloat64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cc = cond_->Eval(input);
+    const Column ca = a_->Eval(input);
+    const Column cb = b_->Eval(input);
+    const int64_t n = input.num_rows();
+    const DataType out_type = OutputType(input);
+    Column out(out_type);
+    for (int64_t r = 0; r < n; ++r) {
+      const bool take_a = cc.ints()[static_cast<size_t>(r)] != 0;
+      const Column& src = take_a ? ca : cb;
+      switch (out_type) {
+        case DataType::kInt64:
+          out.ints().push_back(src.ints()[static_cast<size_t>(r)]);
+          break;
+        case DataType::kFloat64:
+          out.doubles().push_back(NumAt(src, r));
+          break;
+        case DataType::kString:
+          out.strings().push_back(src.strings()[static_cast<size_t>(r)]);
+          break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class YearExpr final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    date_->CollectColumns(out);
+  }
+  explicit YearExpr(ExprPtr date) : date_(std::move(date)) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kInt64;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cd = date_->Eval(input);
+    const int64_t n = input.num_rows();
+    Column out(DataType::kInt64);
+    out.ints().resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) {
+      out.ints()[static_cast<size_t>(r)] =
+          CivilFromDate(cd.ints()[static_cast<size_t>(r)]).year;
+    }
+    return out;
+  }
+
+ private:
+  ExprPtr date_;
+};
+
+class SubstrExpr final : public Expr {
+ public:
+  void CollectColumns(std::set<std::string>* out) const override {
+    x_->CollectColumns(out);
+  }
+  SubstrExpr(ExprPtr x, int n) : x_(std::move(x)), n_(n) {}
+  DataType OutputType(const Table&) const override {
+    return DataType::kString;
+  }
+  Column Eval(const Table& input) const override {
+    const Column cx = x_->Eval(input);
+    Column out(DataType::kString);
+    out.strings().reserve(static_cast<size_t>(input.num_rows()));
+    for (const std::string& s : cx.strings()) {
+      out.strings().push_back(s.substr(0, static_cast<size_t>(n_)));
+    }
+    return out;
+  }
+
+ private:
+  ExprPtr x_;
+  int n_;
+};
+
+}  // namespace
+
+ExprPtr Col(std::string name) { return std::make_shared<ColRef>(std::move(name)); }
+ExprPtr Lit(int64_t v) { return std::make_shared<IntLit>(v); }
+ExprPtr Lit(double v) { return std::make_shared<DoubleLit>(v); }
+ExprPtr Lit(std::string v) { return std::make_shared<StringLit>(std::move(v)); }
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Arith>(ArithOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Arith>(ArithOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Arith>(ArithOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Arith>(ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Compare>(CmpOp::kGe, std::move(a), std::move(b));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Logical>(BoolOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<Logical>(BoolOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) {
+  return std::make_shared<Logical>(BoolOp::kNot, std::move(a), nullptr);
+}
+
+ExprPtr AllOf(std::vector<ExprPtr> exprs) {
+  CACKLE_CHECK(!exprs.empty());
+  ExprPtr out = exprs[0];
+  for (size_t i = 1; i < exprs.size(); ++i) out = And(out, exprs[i]);
+  return out;
+}
+
+ExprPtr Between(ExprPtr x, ExprPtr lo, ExprPtr hi) {
+  ExprPtr lower = Ge(x, std::move(lo));
+  ExprPtr upper = Le(std::move(x), std::move(hi));
+  return And(std::move(lower), std::move(upper));
+}
+
+ExprPtr InInt(ExprPtr x, std::vector<int64_t> values) {
+  return std::make_shared<InIntExpr>(std::move(x), std::move(values));
+}
+ExprPtr InString(ExprPtr x, std::vector<std::string> values) {
+  return std::make_shared<InStringExpr>(std::move(x), std::move(values));
+}
+
+ExprPtr StrContains(ExprPtr x, std::string needle) {
+  return std::make_shared<StringMatch>(StrMatch::kContains, std::move(x),
+                                       std::move(needle));
+}
+ExprPtr StrPrefix(ExprPtr x, std::string prefix) {
+  return std::make_shared<StringMatch>(StrMatch::kPrefix, std::move(x),
+                                       std::move(prefix));
+}
+ExprPtr StrSuffix(ExprPtr x, std::string suffix) {
+  return std::make_shared<StringMatch>(StrMatch::kSuffix, std::move(x),
+                                       std::move(suffix));
+}
+ExprPtr StrContainsSeq(ExprPtr x, std::string first, std::string second) {
+  return std::make_shared<StringMatch>(StrMatch::kContainsSeq, std::move(x),
+                                       std::move(first), std::move(second));
+}
+
+ExprPtr If(ExprPtr cond, ExprPtr a, ExprPtr b) {
+  return std::make_shared<IfExpr>(std::move(cond), std::move(a), std::move(b));
+}
+
+ExprPtr Year(ExprPtr date) { return std::make_shared<YearExpr>(std::move(date)); }
+
+ExprPtr Substr(ExprPtr x, int n) {
+  return std::make_shared<SubstrExpr>(std::move(x), n);
+}
+
+std::set<std::string> ReferencedColumns(const ExprPtr& expr) {
+  std::set<std::string> out;
+  if (expr != nullptr) expr->CollectColumns(&out);
+  return out;
+}
+
+}  // namespace cackle::exec

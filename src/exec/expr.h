@@ -1,0 +1,89 @@
+#ifndef CACKLE_EXEC_EXPR_H_
+#define CACKLE_EXEC_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+
+namespace cackle::exec {
+
+/// \brief A vectorized scalar expression evaluated over a Table.
+///
+/// Expressions are immutable trees built with the factory functions below
+/// (Col, Lit, Add, Lt, And, ...). Boolean results are kInt64 columns of
+/// 0/1. Arithmetic on mixed int/double promotes to double.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Result type given the input schema.
+  virtual DataType OutputType(const Table& input) const = 0;
+  /// Evaluates over all rows of `input`.
+  virtual Column Eval(const Table& input) const = 0;
+  /// Adds the names of all referenced columns to `out` (used by the
+  /// logical optimizer for predicate pushdown and column pruning).
+  virtual void CollectColumns(std::set<std::string>* out) const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Convenience: referenced columns of a (possibly null) expression.
+std::set<std::string> ReferencedColumns(const ExprPtr& expr);
+
+/// Column reference by name (resolved against the input schema per batch).
+ExprPtr Col(std::string name);
+/// Literals.
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(std::string v);
+
+/// Arithmetic (numeric inputs).
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+
+/// Comparisons (numeric or string; both sides must match kind).
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+/// Boolean connectives over 0/1 int columns.
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+/// Convenience n-ary and.
+ExprPtr AllOf(std::vector<ExprPtr> exprs);
+
+/// a <= x && x <= b.
+ExprPtr Between(ExprPtr x, ExprPtr lo, ExprPtr hi);
+
+/// Set membership.
+ExprPtr InInt(ExprPtr x, std::vector<int64_t> values);
+ExprPtr InString(ExprPtr x, std::vector<std::string> values);
+
+/// String predicates (the executor's LIKE subset: '%kw%', 'kw%', '%kw').
+ExprPtr StrContains(ExprPtr x, std::string needle);
+ExprPtr StrPrefix(ExprPtr x, std::string prefix);
+ExprPtr StrSuffix(ExprPtr x, std::string suffix);
+/// '%kw1%kw2%' (two keywords in order, used by Q13's NOT LIKE).
+ExprPtr StrContainsSeq(ExprPtr x, std::string first, std::string second);
+
+/// if (cond) a else b; a and b must share a type kind.
+ExprPtr If(ExprPtr cond, ExprPtr a, ExprPtr b);
+
+/// Extracts the year of a date column (int64 days) as int64.
+ExprPtr Year(ExprPtr date);
+
+/// First `n` characters of a string column.
+ExprPtr Substr(ExprPtr x, int n);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_EXPR_H_

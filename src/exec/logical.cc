@@ -1,0 +1,297 @@
+#include "exec/logical.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "exec/datagen.h"
+
+namespace cackle::exec {
+
+LogicalNodePtr LScan(std::string table_name) {
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kScan;
+  node->table_name = std::move(table_name);
+  return node;
+}
+
+LogicalNodePtr LFilter(LogicalNodePtr input, ExprPtr predicate) {
+  CACKLE_CHECK(predicate != nullptr);
+  // Collapse adjacent filters into one conjunct list so the pushdown rule
+  // can move the pieces independently.
+  if (input->type == LogicalOpType::kFilter) {
+    input->conjuncts.push_back(std::move(predicate));
+    return input;
+  }
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kFilter;
+  node->children = {std::move(input)};
+  node->conjuncts.push_back(std::move(predicate));
+  return node;
+}
+
+LogicalNodePtr LProject(LogicalNodePtr input, std::vector<NamedExpr> items) {
+  CACKLE_CHECK(!items.empty());
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kProject;
+  node->children = {std::move(input)};
+  node->projections = std::move(items);
+  return node;
+}
+
+LogicalNodePtr LJoin(LogicalNodePtr left, LogicalNodePtr right,
+                     std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys, JoinType type) {
+  CACKLE_CHECK_EQ(left_keys.size(), right_keys.size());
+  CACKLE_CHECK(!left_keys.empty());
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kJoin;
+  node->children = {std::move(left), std::move(right)};
+  node->left_keys = std::move(left_keys);
+  node->right_keys = std::move(right_keys);
+  node->join_type = type;
+  return node;
+}
+
+LogicalNodePtr LAggregate(LogicalNodePtr input,
+                          std::vector<std::string> group_by,
+                          std::vector<AggSpec> aggregates) {
+  CACKLE_CHECK(!aggregates.empty());
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kAggregate;
+  node->children = {std::move(input)};
+  node->group_by = std::move(group_by);
+  node->aggregates = std::move(aggregates);
+  return node;
+}
+
+LogicalNodePtr LSort(LogicalNodePtr input, std::vector<SortKey> keys,
+                     int64_t limit) {
+  auto node = std::make_shared<LogicalNode>();
+  node->type = LogicalOpType::kSort;
+  node->children = {std::move(input)};
+  node->sort_keys = std::move(keys);
+  node->limit = limit;
+  return node;
+}
+
+void TableResolver::Register(std::string name, const Table* table) {
+  CACKLE_CHECK(table != nullptr);
+  tables_.emplace_back(std::move(name), table);
+}
+
+TableResolver TableResolver::ForCatalog(const Catalog& catalog) {
+  TableResolver resolver;
+  resolver.Register("region", &catalog.region);
+  resolver.Register("nation", &catalog.nation);
+  resolver.Register("supplier", &catalog.supplier);
+  resolver.Register("part", &catalog.part);
+  resolver.Register("partsupp", &catalog.partsupp);
+  resolver.Register("customer", &catalog.customer);
+  resolver.Register("orders", &catalog.orders);
+  resolver.Register("lineitem", &catalog.lineitem);
+  return resolver;
+}
+
+const Table* TableResolver::Find(const std::string& name) const {
+  for (const auto& [n, t] : tables_) {
+    if (n == name) return t;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Builds a zero-row table with the given schema, so expression output
+/// types can be inferred without data.
+Table EmptyOf(const std::vector<ColumnDef>& schema) { return Table(schema); }
+
+int FindDef(const std::vector<ColumnDef>& schema, const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ColumnDef>> OutputSchema(const LogicalNodePtr& node,
+                                              const TableResolver& resolver) {
+  CACKLE_CHECK(node != nullptr);
+  switch (node->type) {
+    case LogicalOpType::kScan: {
+      const Table* table = resolver.Find(node->table_name);
+      if (table == nullptr) {
+        return Status::NotFound("unknown table " + node->table_name);
+      }
+      if (node->scan_columns.empty()) return table->schema();
+      std::vector<ColumnDef> out;
+      for (const std::string& name : node->scan_columns) {
+        const int i = FindDef(table->schema(), name);
+        if (i < 0) {
+          return Status::NotFound("table " + node->table_name +
+                                  " has no column " + name);
+        }
+        out.push_back(table->schema()[static_cast<size_t>(i)]);
+      }
+      return out;
+    }
+    case LogicalOpType::kFilter: {
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> child,
+                              OutputSchema(node->children[0], resolver));
+      for (const ExprPtr& conjunct : node->conjuncts) {
+        for (const std::string& ref : ReferencedColumns(conjunct)) {
+          if (FindDef(child, ref) < 0) {
+            return Status::NotFound("filter references missing column " +
+                                    ref);
+          }
+        }
+      }
+      return child;
+    }
+    case LogicalOpType::kProject: {
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> child,
+                              OutputSchema(node->children[0], resolver));
+      const Table empty = EmptyOf(child);
+      std::vector<ColumnDef> out;
+      for (const NamedExpr& item : node->projections) {
+        // Verify references resolve before asking for the type.
+        for (const std::string& ref : ReferencedColumns(item.expr)) {
+          if (FindDef(child, ref) < 0) {
+            return Status::NotFound("projection references missing column " +
+                                    ref);
+          }
+        }
+        out.push_back(ColumnDef{item.name, item.expr->OutputType(empty)});
+      }
+      return out;
+    }
+    case LogicalOpType::kJoin: {
+      CACKLE_ASSIGN_OR_RETURN(std::vector<ColumnDef> left,
+                              OutputSchema(node->children[0], resolver));
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> right,
+                              OutputSchema(node->children[1], resolver));
+      for (const std::string& key : node->left_keys) {
+        if (FindDef(left, key) < 0) {
+          return Status::NotFound("join: left side has no column " + key);
+        }
+      }
+      for (const std::string& key : node->right_keys) {
+        if (FindDef(right, key) < 0) {
+          return Status::NotFound("join: right side has no column " + key);
+        }
+      }
+      if (node->join_type == JoinType::kLeftSemi ||
+          node->join_type == JoinType::kLeftAnti) {
+        return left;
+      }
+      for (const ColumnDef& def : right) {
+        if (FindDef(left, def.name) >= 0) {
+          return Status::InvalidArgument("join: duplicate output column " +
+                                         def.name);
+        }
+        left.push_back(def);
+      }
+      return left;
+    }
+    case LogicalOpType::kAggregate: {
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> child,
+                              OutputSchema(node->children[0], resolver));
+      const Table empty = EmptyOf(child);
+      std::vector<ColumnDef> out;
+      for (const std::string& key : node->group_by) {
+        const int i = FindDef(child, key);
+        if (i < 0) return Status::NotFound("group key missing: " + key);
+        out.push_back(child[static_cast<size_t>(i)]);
+      }
+      for (const AggSpec& agg : node->aggregates) {
+        DataType type = DataType::kFloat64;
+        if (agg.op == AggOp::kCount || agg.op == AggOp::kCountDistinct) {
+          type = DataType::kInt64;
+        } else if (agg.input != nullptr &&
+                   agg.input->OutputType(empty) == DataType::kInt64 &&
+                   (agg.op == AggOp::kMin || agg.op == AggOp::kMax ||
+                    agg.op == AggOp::kSum)) {
+          type = DataType::kInt64;
+        }
+        out.push_back(ColumnDef{agg.name, type});
+      }
+      return out;
+    }
+    case LogicalOpType::kSort:
+      return OutputSchema(node->children[0], resolver);
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+void ToStringImpl(const LogicalNodePtr& node, int depth, std::ostream& os) {
+  const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  os << indent;
+  switch (node->type) {
+    case LogicalOpType::kScan: {
+      os << "Scan(" << node->table_name;
+      if (!node->scan_columns.empty()) {
+        os << " cols=[";
+        for (size_t i = 0; i < node->scan_columns.size(); ++i) {
+          os << (i ? "," : "") << node->scan_columns[i];
+        }
+        os << "]";
+      }
+      if (!node->scan_predicates.empty()) {
+        os << " predicates=" << node->scan_predicates.size();
+      }
+      os << ")\n";
+      return;
+    }
+    case LogicalOpType::kFilter:
+      os << "Filter(conjuncts=" << node->conjuncts.size() << ")\n";
+      break;
+    case LogicalOpType::kProject:
+      os << "Project(items=" << node->projections.size() << ")\n";
+      break;
+    case LogicalOpType::kJoin: {
+      os << "Join(";
+      switch (node->join_type) {
+        case JoinType::kInner: os << "inner"; break;
+        case JoinType::kLeftOuter: os << "left_outer"; break;
+        case JoinType::kLeftSemi: os << "semi"; break;
+        case JoinType::kLeftAnti: os << "anti"; break;
+      }
+      os << " on ";
+      for (size_t i = 0; i < node->left_keys.size(); ++i) {
+        os << (i ? "," : "") << node->left_keys[i] << "="
+           << node->right_keys[i];
+      }
+      if (node->broadcast_right) os << " broadcast";
+      os << ")\n";
+      break;
+    }
+    case LogicalOpType::kAggregate: {
+      os << "Aggregate(group=[";
+      for (size_t i = 0; i < node->group_by.size(); ++i) {
+        os << (i ? "," : "") << node->group_by[i];
+      }
+      os << "] aggs=" << node->aggregates.size() << ")\n";
+      break;
+    }
+    case LogicalOpType::kSort:
+      os << "Sort(keys=" << node->sort_keys.size();
+      if (node->limit >= 0) os << " limit=" << node->limit;
+      os << ")\n";
+      break;
+  }
+  for (const LogicalNodePtr& child : node->children) {
+    ToStringImpl(child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string LogicalToString(const LogicalNodePtr& node) {
+  std::ostringstream os;
+  ToStringImpl(node, 0, os);
+  return os.str();
+}
+
+}  // namespace cackle::exec

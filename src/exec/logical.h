@@ -1,0 +1,112 @@
+#ifndef CACKLE_EXEC_LOGICAL_H_
+#define CACKLE_EXEC_LOGICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+
+namespace cackle::exec {
+
+/// \brief Logical relational operators.
+///
+/// The hand-built TPC-H plans in tpch_queries_*.cc are *physical* plans —
+/// stages, task counts, shuffle keys chosen by hand, the way the paper's
+/// system receives them ("Cackle is a query execution engine. It receives
+/// physical query plans"). This layer is the planner front-end above that
+/// interface: build a logical tree, let the optimizer push filters / prune
+/// columns / pick join strategies, and lower it to a StagePlan that the
+/// executor (or the engine's profiler) runs.
+enum class LogicalOpType {
+  kScan,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+};
+
+struct LogicalNode;
+using LogicalNodePtr = std::shared_ptr<LogicalNode>;
+
+/// \brief One node of a logical plan tree. Field groups are used according
+/// to `type`; the builders below construct well-formed nodes.
+struct LogicalNode {
+  LogicalOpType type;
+  std::vector<LogicalNodePtr> children;
+
+  // kScan
+  std::string table_name;
+  /// Columns to read (empty = all); filled in by the pruning rule.
+  std::vector<std::string> scan_columns;
+  /// Predicate pushed into the scan by the optimizer.
+  std::vector<ExprPtr> scan_predicates;
+
+  // kFilter: a conjunction (kept split so pushdown can move conjuncts
+  // independently).
+  std::vector<ExprPtr> conjuncts;
+
+  // kProject
+  std::vector<NamedExpr> projections;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+  /// Set by the optimizer: build/broadcast the right side to every task
+  /// instead of co-partitioning. Always valid; a cost heuristic decides.
+  bool broadcast_right = false;
+
+  // kAggregate
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+  int64_t limit = -1;
+};
+
+// Builders.
+LogicalNodePtr LScan(std::string table_name);
+LogicalNodePtr LFilter(LogicalNodePtr input, ExprPtr predicate);
+LogicalNodePtr LProject(LogicalNodePtr input, std::vector<NamedExpr> items);
+LogicalNodePtr LJoin(LogicalNodePtr left, LogicalNodePtr right,
+                     std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys,
+                     JoinType type = JoinType::kInner);
+LogicalNodePtr LAggregate(LogicalNodePtr input,
+                          std::vector<std::string> group_by,
+                          std::vector<AggSpec> aggregates);
+LogicalNodePtr LSort(LogicalNodePtr input, std::vector<SortKey> keys,
+                     int64_t limit = -1);
+
+/// \brief Resolves logical table names to base tables (and provides row
+/// counts for the optimizer's heuristics).
+class TableResolver {
+ public:
+  void Register(std::string name, const Table* table);
+  /// Registers the eight TPC-H tables under their standard names.
+  static TableResolver ForCatalog(const struct Catalog& catalog);
+
+  const Table* Find(const std::string& name) const;  // nullptr when absent
+
+ private:
+  std::vector<std::pair<std::string, const Table*>> tables_;
+};
+
+/// \brief Output schema of a logical node (used by validation, pruning and
+/// lowering). Fails on unknown tables/columns or malformed nodes.
+StatusOr<std::vector<ColumnDef>> OutputSchema(const LogicalNodePtr& node,
+                                              const TableResolver& resolver);
+
+/// Renders the tree one node per line with indentation — the optimizer
+/// tests assert on this.
+std::string LogicalToString(const LogicalNodePtr& node);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_LOGICAL_H_

@@ -1,0 +1,200 @@
+#include "exec/lowering.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/query_builder.h"
+
+namespace cackle::exec {
+namespace {
+
+struct Lowering {
+  PlanBuilder* builder;
+  const TableResolver* resolver;
+  int tasks;
+
+  /// Lowers `node` into stages whose final output is hash-partitioned on
+  /// `out_keys` into `out_partitions` (empty keys + 1 = gather). Returns
+  /// the producing stage id.
+  StatusOr<int> Lower(const LogicalNodePtr& node,
+                      std::vector<std::string> out_keys, int out_partitions);
+};
+
+StatusOr<int> Lowering::Lower(const LogicalNodePtr& node,
+                              std::vector<std::string> out_keys,
+                              int out_partitions) {
+  switch (node->type) {
+    case LogicalOpType::kScan: {
+      const Table* table = resolver->Find(node->table_name);
+      if (table == nullptr) {
+        return Status::NotFound("unknown table " + node->table_name);
+      }
+      ExprPtr filter;
+      if (!node->scan_predicates.empty()) {
+        filter = AllOf(node->scan_predicates);
+      }
+      std::vector<std::string> cols = node->scan_columns;
+      if (cols.empty()) {
+        for (const ColumnDef& def : table->schema()) {
+          cols.push_back(def.name);
+        }
+      }
+      std::vector<NamedExpr> projections;
+      for (const std::string& name : cols) {
+        projections.push_back(NamedExpr{Col(name), name});
+      }
+      return builder->AddScan("scan_" + node->table_name, table, tasks,
+                              std::move(filter), std::move(projections),
+                              std::move(out_keys), out_partitions);
+    }
+    case LogicalOpType::kFilter: {
+      // Row-local: keep the child partitioned the same way and filter each
+      // partition.
+      const bool gathered = out_partitions == 1 && out_keys.empty();
+      CACKLE_ASSIGN_OR_RETURN(
+          const int child,
+          Lower(node->children[0], out_keys, gathered ? 1 : tasks));
+      const ExprPtr predicate = AllOf(node->conjuncts);
+      auto run = [predicate](const TaskInput& in) {
+        return Filter(*in.tables[0], predicate);
+      };
+      if (gathered) {
+        return builder->AddSingleTask("filter", {child}, std::move(run));
+      }
+      return builder->AddPartitionedStage("filter", {child}, {false}, tasks,
+                                          std::move(run), std::move(out_keys),
+                                          out_partitions);
+    }
+    case LogicalOpType::kProject: {
+      const bool gathered = out_partitions == 1 && out_keys.empty();
+      // The child must be partitioned on columns that exist *below* the
+      // projection; out_keys name post-projection columns. Use an
+      // arbitrary-but-consistent child partitioning: the first
+      // pass-through input column of the projection, or gather when there
+      // is none.
+      std::vector<std::string> child_keys;
+      if (!gathered) {
+        for (const NamedExpr& item : node->projections) {
+          const std::set<std::string> refs = ReferencedColumns(item.expr);
+          if (refs.size() == 1) {
+            child_keys = {*refs.begin()};
+            break;
+          }
+        }
+      }
+      const bool child_gathered = !gathered && child_keys.empty();
+      CACKLE_ASSIGN_OR_RETURN(
+          const int child,
+          Lower(node->children[0], child_keys,
+                (gathered || child_gathered) ? 1 : tasks));
+      auto projections = node->projections;
+      auto run = [projections](const TaskInput& in) {
+        return Project(*in.tables[0], nullptr, projections);
+      };
+      if (gathered || child_gathered) {
+        return builder->AddSingleTask("project", {child}, std::move(run),
+                                      std::move(out_keys), out_partitions);
+      }
+      return builder->AddPartitionedStage("project", {child}, {false}, tasks,
+                                          std::move(run), std::move(out_keys),
+                                          out_partitions);
+    }
+    case LogicalOpType::kJoin: {
+      // Key types must match or the hash join would silently mismatch.
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> left_schema,
+                              OutputSchema(node->children[0], *resolver));
+      CACKLE_ASSIGN_OR_RETURN(const std::vector<ColumnDef> right_schema,
+                              OutputSchema(node->children[1], *resolver));
+      auto type_of = [](const std::vector<ColumnDef>& schema,
+                        const std::string& name) {
+        for (const ColumnDef& def : schema) {
+          if (def.name == name) return def.type;
+        }
+        return DataType::kInt64;
+      };
+      for (size_t k = 0; k < node->left_keys.size(); ++k) {
+        if (type_of(left_schema, node->left_keys[k]) !=
+            type_of(right_schema, node->right_keys[k])) {
+          return Status::InvalidArgument(
+              "join key type mismatch on " + node->left_keys[k] + " vs " +
+              node->right_keys[k]);
+        }
+      }
+      const JoinType join_type = node->join_type;
+      const auto left_keys = node->left_keys;
+      const auto right_keys = node->right_keys;
+      auto run = [left_keys, right_keys, join_type](const TaskInput& in) {
+        return HashJoin(*in.tables[0], left_keys, *in.tables[1], right_keys,
+                        join_type);
+      };
+      if (node->broadcast_right) {
+        CACKLE_ASSIGN_OR_RETURN(const int right,
+                                Lower(node->children[1], {}, 1));
+        CACKLE_ASSIGN_OR_RETURN(const int left,
+                                Lower(node->children[0], left_keys, tasks));
+        return builder->AddPartitionedStage(
+            "broadcast_join", {left, right}, {false, true}, tasks,
+            std::move(run), std::move(out_keys), out_partitions);
+      }
+      CACKLE_ASSIGN_OR_RETURN(const int left,
+                              Lower(node->children[0], left_keys, tasks));
+      CACKLE_ASSIGN_OR_RETURN(const int right,
+                              Lower(node->children[1], right_keys, tasks));
+      return builder->AddPartitionedStage(
+          "hash_join", {left, right}, {false, false}, tasks, std::move(run),
+          std::move(out_keys), out_partitions);
+    }
+    case LogicalOpType::kAggregate: {
+      const auto group_by = node->group_by;
+      const auto aggregates = node->aggregates;
+      auto run = [group_by, aggregates](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], group_by, aggregates);
+      };
+      if (group_by.empty()) {
+        // Global aggregate: gather everything into one task.
+        CACKLE_ASSIGN_OR_RETURN(const int child,
+                                Lower(node->children[0], {}, 1));
+        return builder->AddSingleTask("global_aggregate", {child},
+                                      std::move(run), std::move(out_keys),
+                                      out_partitions);
+      }
+      // Groups are complete within a partition when the input is shuffled
+      // on the group keys.
+      CACKLE_ASSIGN_OR_RETURN(const int child,
+                              Lower(node->children[0], group_by, tasks));
+      return builder->AddPartitionedStage(
+          "aggregate", {child}, {false}, tasks, std::move(run),
+          std::move(out_keys), out_partitions);
+    }
+    case LogicalOpType::kSort: {
+      CACKLE_ASSIGN_OR_RETURN(const int child,
+                              Lower(node->children[0], {}, 1));
+      const auto keys = node->sort_keys;
+      const int64_t limit = node->limit;
+      return builder->AddSingleTask(
+          "sort", {child},
+          [keys, limit](const TaskInput& in) {
+            return SortBy(*in.tables[0], keys, limit);
+          },
+          std::move(out_keys), out_partitions);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+StatusOr<StagePlan> LowerToStagePlan(const LogicalNodePtr& plan,
+                                     const TableResolver& resolver,
+                                     const PlanConfig& config,
+                                     std::string name) {
+  CACKLE_RETURN_IF_ERROR(OutputSchema(plan, resolver).status());
+  PlanBuilder builder(std::move(name));
+  Lowering lowering{&builder, &resolver, config.tasks};
+  CACKLE_RETURN_IF_ERROR(lowering.Lower(plan, {}, 1).status());
+  StagePlan stage_plan = builder.Build();
+  ValidatePlan(stage_plan);
+  return stage_plan;
+}
+
+}  // namespace cackle::exec

@@ -1,0 +1,30 @@
+#ifndef CACKLE_EXEC_LOWERING_H_
+#define CACKLE_EXEC_LOWERING_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exec/logical.h"
+#include "exec/plan.h"
+#include "exec/tpch_queries.h"
+
+namespace cackle::exec {
+
+/// \brief Lowers an (optimized) logical plan to a physical StagePlan in
+/// Cackle's execution model: parallel scan stages with pushed predicates
+/// and pruned columns, co-partitioned hash-join stages (or broadcast joins,
+/// which gather the small side to one partition), partition-wise
+/// aggregation (groups are complete within a partition because the input
+/// is shuffled on the group keys), and a single-task final sort/gather.
+///
+/// The resulting plan runs on PlanExecutor exactly like the hand-built
+/// TPC-H plans, and obeys the same partition-invariance property: results
+/// are identical for any `config.tasks`.
+StatusOr<StagePlan> LowerToStagePlan(const LogicalNodePtr& plan,
+                                     const TableResolver& resolver,
+                                     const PlanConfig& config = PlanConfig(),
+                                     std::string name = "logical_plan");
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_LOWERING_H_

@@ -1,0 +1,407 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace cackle::exec {
+namespace {
+
+/// A hashable/comparable composite key over selected columns of a row.
+struct RowKey {
+  std::vector<int64_t> ints;
+  std::vector<std::string> strings;
+
+  bool operator==(const RowKey& other) const {
+    return ints == other.ints && strings == other.strings;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    for (int64_t v : key.ints) mix(std::hash<int64_t>{}(v));
+    for (const std::string& s : key.strings) mix(std::hash<std::string>{}(s));
+    return h;
+  }
+};
+
+RowKey ExtractKey(const Table& t, const std::vector<int>& cols, int64_t row) {
+  RowKey key;
+  for (int c : cols) {
+    const Column& col = t.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        key.ints.push_back(col.ints()[static_cast<size_t>(row)]);
+        break;
+      case DataType::kFloat64:
+        // Group/join on doubles: bit-cast for exact matching.
+        key.ints.push_back(static_cast<int64_t>(
+            std::hash<double>{}(col.doubles()[static_cast<size_t>(row)])));
+        break;
+      case DataType::kString:
+        key.strings.push_back(col.strings()[static_cast<size_t>(row)]);
+        break;
+    }
+  }
+  return key;
+}
+
+std::vector<int> ResolveColumns(const Table& t,
+                                const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(t.ColumnIndex(n));
+  return out;
+}
+
+}  // namespace
+
+Table Filter(const Table& input, const ExprPtr& predicate) {
+  CACKLE_CHECK(predicate != nullptr);
+  const Column mask = predicate->Eval(input);
+  std::vector<int64_t> keep;
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    if (mask.ints()[static_cast<size_t>(r)] != 0) keep.push_back(r);
+  }
+  return input.TakeRows(keep);
+}
+
+Table Project(const Table& input, const ExprPtr& filter,
+              const std::vector<NamedExpr>& projections) {
+  const Table* source = &input;
+  Table filtered;
+  if (filter != nullptr) {
+    filtered = Filter(input, filter);
+    source = &filtered;
+  }
+  Table out;
+  for (const NamedExpr& ne : projections) {
+    Column col = ne.expr->Eval(*source);
+    out.AddColumn(ColumnDef{ne.name, col.type()}, std::move(col));
+  }
+  return out;
+}
+
+Table HashJoin(const Table& left, const std::vector<std::string>& left_keys,
+               const Table& right, const std::vector<std::string>& right_keys,
+               JoinType type) {
+  CACKLE_CHECK_EQ(left_keys.size(), right_keys.size());
+  CACKLE_CHECK(!left_keys.empty());
+  const std::vector<int> lcols = ResolveColumns(left, left_keys);
+  const std::vector<int> rcols = ResolveColumns(right, right_keys);
+
+  const bool emit_right =
+      type == JoinType::kInner || type == JoinType::kLeftOuter;
+  // Output schema: left columns then right columns; duplicate names CHECKed.
+  std::vector<ColumnDef> defs = left.schema();
+  if (emit_right) {
+    for (const ColumnDef& def : right.schema()) {
+      for (const ColumnDef& existing : defs) {
+        CACKLE_CHECK(existing.name != def.name)
+            << "duplicate column in join output: " << def.name;
+      }
+      defs.push_back(def);
+    }
+  }
+  Table out(defs);
+
+  // Build on the right side.
+  std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash> build;
+  build.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    build[ExtractKey(right, rcols, r)].push_back(r);
+  }
+
+  auto append_joined = [&](int64_t lrow, int64_t rrow) {
+    for (int c = 0; c < left.num_columns(); ++c) {
+      out.column(c).AppendFrom(left.column(c), lrow);
+    }
+    if (emit_right) {
+      for (int c = 0; c < right.num_columns(); ++c) {
+        Column& dst = out.column(left.num_columns() + c);
+        if (rrow >= 0) {
+          dst.AppendFrom(right.column(c), rrow);
+        } else {
+          // Left-outer null padding.
+          switch (dst.type()) {
+            case DataType::kInt64:
+              dst.AppendInt(0);
+              break;
+            case DataType::kFloat64:
+              dst.AppendDouble(0.0);
+              break;
+            case DataType::kString:
+              dst.AppendString("");
+              break;
+          }
+        }
+      }
+    }
+  };
+
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    const auto it = build.find(ExtractKey(left, lcols, l));
+    const bool matched = it != build.end();
+    switch (type) {
+      case JoinType::kInner:
+        if (matched) {
+          for (int64_t r : it->second) append_joined(l, r);
+        }
+        break;
+      case JoinType::kLeftOuter:
+        if (matched) {
+          for (int64_t r : it->second) append_joined(l, r);
+        } else {
+          append_joined(l, -1);
+        }
+        break;
+      case JoinType::kLeftSemi:
+        if (matched) append_joined(l, -1);
+        break;
+      case JoinType::kLeftAnti:
+        if (!matched) append_joined(l, -1);
+        break;
+    }
+  }
+  out.FinishBulkAppend();
+  return out;
+}
+
+Table HashAggregate(const Table& input,
+                    const std::vector<std::string>& group_by,
+                    const std::vector<AggSpec>& aggregates) {
+  const std::vector<int> gcols = ResolveColumns(input, group_by);
+
+  // Evaluate aggregate inputs once over the whole table.
+  std::vector<Column> agg_inputs;
+  agg_inputs.reserve(aggregates.size());
+  for (const AggSpec& spec : aggregates) {
+    if (spec.input != nullptr) {
+      agg_inputs.push_back(spec.input->Eval(input));
+    } else {
+      CACKLE_CHECK(spec.op == AggOp::kCount);
+      agg_inputs.emplace_back(DataType::kInt64);
+    }
+  }
+
+  struct GroupState {
+    int64_t first_row = 0;
+    std::vector<double> sum;
+    std::vector<double> min;
+    std::vector<double> max;
+    std::vector<int64_t> count;
+    std::vector<std::set<int64_t>> distinct_i;
+    std::vector<std::set<std::string>> distinct_s;
+  };
+  auto init_state = [&](int64_t row) {
+    GroupState s;
+    s.first_row = row;
+    s.sum.assign(aggregates.size(), 0.0);
+    s.min.assign(aggregates.size(), 0.0);
+    s.max.assign(aggregates.size(), 0.0);
+    s.count.assign(aggregates.size(), 0);
+    s.distinct_i.resize(aggregates.size());
+    s.distinct_s.resize(aggregates.size());
+    return s;
+  };
+
+  std::unordered_map<RowKey, GroupState, RowKeyHash> groups;
+  std::vector<const RowKey*> order;  // first-seen order for determinism
+
+  auto numeric_at = [](const Column& c, int64_t row) {
+    return c.type() == DataType::kInt64
+               ? static_cast<double>(c.ints()[static_cast<size_t>(row)])
+               : c.doubles()[static_cast<size_t>(row)];
+  };
+
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    RowKey key = ExtractKey(input, gcols, r);
+    auto [it, inserted] = groups.try_emplace(std::move(key), init_state(r));
+    if (inserted) order.push_back(&it->first);
+    GroupState& state = it->second;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggSpec& spec = aggregates[a];
+      if (spec.op == AggOp::kCount && spec.input == nullptr) {
+        ++state.count[a];
+        continue;
+      }
+      const Column& in = agg_inputs[a];
+      if (spec.op == AggOp::kCountDistinct) {
+        if (in.type() == DataType::kString) {
+          state.distinct_s[a].insert(in.strings()[static_cast<size_t>(r)]);
+        } else if (in.type() == DataType::kInt64) {
+          state.distinct_i[a].insert(in.ints()[static_cast<size_t>(r)]);
+        } else {
+          CACKLE_CHECK(false) << "count distinct over doubles unsupported";
+        }
+        continue;
+      }
+      const double v = numeric_at(in, r);
+      if (state.count[a] == 0) {
+        state.min[a] = state.max[a] = v;
+      } else {
+        state.min[a] = std::min(state.min[a], v);
+        state.max[a] = std::max(state.max[a], v);
+      }
+      state.sum[a] += v;
+      ++state.count[a];
+    }
+  }
+
+  // Global aggregate over empty input still yields one row of zeros.
+  const bool global = group_by.empty();
+  if (global && groups.empty()) {
+    RowKey key;
+    auto [it, inserted] = groups.try_emplace(key, init_state(0));
+    CACKLE_CHECK(inserted);
+    order.push_back(&it->first);
+  }
+
+  // Output schema: group columns (original defs) then aggregates.
+  std::vector<ColumnDef> defs;
+  for (size_t g = 0; g < gcols.size(); ++g) {
+    defs.push_back(input.column_def(gcols[static_cast<size_t>(g)]));
+  }
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    const AggSpec& spec = aggregates[a];
+    DataType type = DataType::kFloat64;
+    if (spec.op == AggOp::kCount || spec.op == AggOp::kCountDistinct) {
+      type = DataType::kInt64;
+    } else if (spec.input != nullptr &&
+               spec.input->OutputType(input) == DataType::kInt64 &&
+               (spec.op == AggOp::kMin || spec.op == AggOp::kMax ||
+                spec.op == AggOp::kSum)) {
+      type = DataType::kInt64;
+    }
+    defs.push_back(ColumnDef{spec.name, type});
+  }
+  Table out(defs);
+
+  for (const RowKey* key_ptr : order) {
+    const GroupState& state = groups.at(*key_ptr);
+    // Group key values come from the group's first input row.
+    for (size_t g = 0; g < gcols.size(); ++g) {
+      out.column(static_cast<int>(g))
+          .AppendFrom(input.column(gcols[g]), state.first_row);
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggSpec& spec = aggregates[a];
+      Column& dst = out.column(static_cast<int>(gcols.size() + a));
+      double value = 0.0;
+      switch (spec.op) {
+        case AggOp::kSum:
+          value = state.sum[a];
+          break;
+        case AggOp::kMin:
+          value = state.min[a];
+          break;
+        case AggOp::kMax:
+          value = state.max[a];
+          break;
+        case AggOp::kAvg:
+          value = state.count[a] > 0
+                      ? state.sum[a] / static_cast<double>(state.count[a])
+                      : 0.0;
+          break;
+        case AggOp::kCount:
+          dst.AppendInt(state.count[a]);
+          continue;
+        case AggOp::kCountDistinct:
+          dst.AppendInt(static_cast<int64_t>(state.distinct_i[a].size() +
+                                             state.distinct_s[a].size()));
+          continue;
+      }
+      if (dst.type() == DataType::kInt64) {
+        dst.AppendInt(static_cast<int64_t>(value));
+      } else {
+        dst.AppendDouble(value);
+      }
+    }
+  }
+  out.FinishBulkAppend();
+  return out;
+}
+
+Table SortBy(const Table& input, const std::vector<SortKey>& keys,
+             int64_t limit) {
+  std::vector<int> cols;
+  cols.reserve(keys.size());
+  for (const SortKey& k : keys) cols.push_back(input.ColumnIndex(k.column));
+  std::vector<int64_t> rows(static_cast<size_t>(input.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::stable_sort(rows.begin(), rows.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const Column& c = input.column(cols[k]);
+      int cmp = 0;
+      switch (c.type()) {
+        case DataType::kInt64: {
+          const int64_t x = c.ints()[static_cast<size_t>(a)];
+          const int64_t y = c.ints()[static_cast<size_t>(b)];
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+          break;
+        }
+        case DataType::kFloat64: {
+          const double x = c.doubles()[static_cast<size_t>(a)];
+          const double y = c.doubles()[static_cast<size_t>(b)];
+          cmp = x < y ? -1 : (x > y ? 1 : 0);
+          break;
+        }
+        case DataType::kString:
+          cmp = c.strings()[static_cast<size_t>(a)].compare(
+              c.strings()[static_cast<size_t>(b)]);
+          break;
+      }
+      if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  if (limit >= 0 && limit < static_cast<int64_t>(rows.size())) {
+    rows.resize(static_cast<size_t>(limit));
+  }
+  return input.TakeRows(rows);
+}
+
+std::vector<Table> PartitionByHash(const Table& input,
+                                   const std::vector<std::string>& key_columns,
+                                   int64_t num_partitions) {
+  CACKLE_CHECK_GT(num_partitions, 0);
+  const std::vector<int> cols = ResolveColumns(input, key_columns);
+  std::vector<Table> parts;
+  parts.reserve(static_cast<size_t>(num_partitions));
+  for (int64_t p = 0; p < num_partitions; ++p) parts.emplace_back(input.schema());
+  RowKeyHash hasher;
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    const size_t h = hasher(ExtractKey(input, cols, r));
+    parts[h % static_cast<size_t>(num_partitions)].AppendRowFrom(input, r);
+  }
+  return parts;
+}
+
+Table RenameColumns(const Table& input, const std::vector<std::string>& names) {
+  CACKLE_CHECK_EQ(static_cast<int>(names.size()), input.num_columns());
+  Table out;
+  for (int c = 0; c < input.num_columns(); ++c) {
+    out.AddColumn(ColumnDef{names[static_cast<size_t>(c)],
+                            input.column_def(c).type},
+                  input.column(c));
+  }
+  return out;
+}
+
+Table SelectColumns(const Table& input, const std::vector<std::string>& names) {
+  Table out;
+  for (const std::string& name : names) {
+    const int c = input.ColumnIndex(name);
+    out.AddColumn(input.column_def(c), input.column(c));
+  }
+  return out;
+}
+
+}  // namespace cackle::exec

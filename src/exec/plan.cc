@@ -1,0 +1,148 @@
+#include "exec/plan.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "exec/operators.h"
+
+namespace cackle::exec {
+
+PlanExecutor::PlanExecutor(int num_threads) : num_threads_(num_threads) {
+  CACKLE_CHECK_GE(num_threads, 1);
+}
+
+const StagePlan& ValidatePlan(const StagePlan& plan) {
+  CACKLE_CHECK(!plan.stages.empty()) << plan.name << ": empty plan";
+  for (size_t i = 0; i < plan.stages.size(); ++i) {
+    const PlanStage& stage = plan.stages[i];
+    CACKLE_CHECK_GT(stage.num_tasks, 0) << plan.name << "/" << stage.label;
+    CACKLE_CHECK(stage.run != nullptr) << plan.name << "/" << stage.label;
+    CACKLE_CHECK_EQ(stage.deps.size(), stage.broadcast.size())
+        << plan.name << "/" << stage.label;
+    CACKLE_CHECK_GT(stage.output_partitions, 0);
+    for (size_t d = 0; d < stage.deps.size(); ++d) {
+      const int dep = stage.deps[d];
+      CACKLE_CHECK_GE(dep, 0);
+      CACKLE_CHECK_LT(dep, static_cast<int>(i))
+          << plan.name << ": deps must be topological";
+      const PlanStage& upstream = plan.stages[static_cast<size_t>(dep)];
+      if (stage.broadcast[d]) {
+        CACKLE_CHECK_EQ(upstream.output_partitions, 1)
+            << plan.name << "/" << stage.label
+            << ": broadcast dep must gather to one partition";
+      } else {
+        CACKLE_CHECK_EQ(upstream.output_partitions, stage.num_tasks)
+            << plan.name << "/" << stage.label
+            << ": partitioned dep must match task count";
+      }
+    }
+  }
+  const PlanStage& last = plan.stages.back();
+  CACKLE_CHECK_EQ(last.output_partitions, 1)
+      << plan.name << ": final stage must gather to one partition";
+  return plan;
+}
+
+Table PlanExecutor::Execute(const StagePlan& plan, PlanRunStats* stats) {
+  ValidatePlan(plan);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<StageOutput> outputs(plan.stages.size());
+  if (stats != nullptr) {
+    stats->stages.clear();
+    stats->stages.resize(plan.stages.size());
+  }
+
+  for (size_t i = 0; i < plan.stages.size(); ++i) {
+    const PlanStage& stage = plan.stages[i];
+    StageStats* sstats = stats != nullptr ? &stats->stages[i] : nullptr;
+    if (sstats != nullptr) {
+      sstats->label = stage.label;
+      sstats->num_tasks = stage.num_tasks;
+    }
+    std::vector<Table> task_outputs(static_cast<size_t>(stage.num_tasks));
+    std::vector<int64_t> task_micros(static_cast<size_t>(stage.num_tasks), 0);
+    auto run_one_task = [&](int t) {
+      TaskInput input;
+      input.tables.reserve(stage.deps.size());
+      for (size_t d = 0; d < stage.deps.size(); ++d) {
+        const StageOutput& up = outputs[static_cast<size_t>(stage.deps[d])];
+        const size_t part = stage.broadcast[d] ? 0 : static_cast<size_t>(t);
+        CACKLE_CHECK_LT(part, up.partitions.size());
+        input.tables.push_back(&up.partitions[part]);
+      }
+      const auto task_start = std::chrono::steady_clock::now();
+      task_outputs[static_cast<size_t>(t)] = stage.run(t, input);
+      const auto task_end = std::chrono::steady_clock::now();
+      task_micros[static_cast<size_t>(t)] =
+          std::chrono::duration_cast<std::chrono::microseconds>(task_end -
+                                                                task_start)
+              .count();
+    };
+    if (num_threads_ <= 1 || stage.num_tasks == 1) {
+      for (int t = 0; t < stage.num_tasks; ++t) run_one_task(t);
+    } else {
+      // Tasks of one stage are independent: pull indices from a shared
+      // counter on a small pool. Outputs land in per-index slots, so the
+      // result is identical to serial execution.
+      std::atomic<int> next_task{0};
+      const int workers = std::min(num_threads_, stage.num_tasks);
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const int t = next_task.fetch_add(1);
+            if (t >= stage.num_tasks) break;
+            run_one_task(t);
+          }
+        });
+      }
+      for (std::thread& worker : pool) worker.join();
+    }
+    if (sstats != nullptr) {
+      sstats->task_micros = std::move(task_micros);
+    }
+
+    // Shuffle: partition task outputs for consumers.
+    StageOutput& out = outputs[i];
+    if (stage.output_partitions == 1) {
+      out.partitions.push_back(Concat(task_outputs));
+    } else {
+      CACKLE_CHECK(!stage.output_keys.empty())
+          << plan.name << "/" << stage.label
+          << ": multi-partition output needs keys";
+      std::vector<std::vector<Table>> per_partition(
+          static_cast<size_t>(stage.output_partitions));
+      for (const Table& to : task_outputs) {
+        std::vector<Table> parts =
+            PartitionByHash(to, stage.output_keys, stage.output_partitions);
+        for (size_t p = 0; p < parts.size(); ++p) {
+          per_partition[p].push_back(std::move(parts[p]));
+        }
+      }
+      for (auto& group : per_partition) {
+        out.partitions.push_back(Concat(group));
+      }
+    }
+    if (sstats != nullptr) {
+      for (const Table& p : out.partitions) {
+        sstats->output_bytes += p.EstimateBytes();
+        sstats->output_rows += p.num_rows();
+      }
+    }
+    // Inputs of fully-consumed earlier stages could be freed here; at test
+    // scale we keep them for simplicity.
+  }
+
+  if (stats != nullptr) {
+    stats->total_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  }
+  CACKLE_CHECK_EQ(outputs.back().partitions.size(), 1u);
+  return std::move(outputs.back().partitions[0]);
+}
+
+}  // namespace cackle::exec

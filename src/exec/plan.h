@@ -1,0 +1,94 @@
+#ifndef CACKLE_EXEC_PLAN_H_
+#define CACKLE_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/table.h"
+
+namespace cackle::exec {
+
+/// \brief Output of one executed stage: one table per shuffle partition.
+struct StageOutput {
+  std::vector<Table> partitions;
+};
+
+/// \brief Inputs handed to a task: for each dependency, the partitions this
+/// task should read. Broadcast dependencies supply every task the same
+/// single partition; partitioned dependencies supply partition
+/// `task_index`.
+struct TaskInput {
+  std::vector<const Table*> tables;  // one per dependency, in deps order
+};
+
+/// \brief A stage of a physical query plan, Cackle-style: `num_tasks`
+/// independent tasks that each consume their share of the upstream shuffle
+/// and produce output rows. After all tasks finish, the stage's output is
+/// hash-partitioned on `output_keys` into `output_partitions` partitions
+/// for downstream stages (empty keys + 1 partition = gather/broadcast).
+struct PlanStage {
+  std::string label;
+  std::vector<int> deps;
+  /// For each dep: true = every task reads the dep's single gathered
+  /// partition (broadcast); false = task t reads the dep's partition t
+  /// (requires dep.output_partitions == num_tasks).
+  std::vector<bool> broadcast;
+  int num_tasks = 1;
+  /// Runs task `task_index`; `input.tables[i]` corresponds to deps[i].
+  std::function<Table(int task_index, const TaskInput& input)> run;
+  std::vector<std::string> output_keys;
+  int output_partitions = 1;
+};
+
+/// \brief A full query plan: stages in topological order; the last stage's
+/// single gathered partition is the query result.
+struct StagePlan {
+  std::string name;
+  std::vector<PlanStage> stages;
+};
+
+/// \brief Per-stage execution statistics captured by the executor — the raw
+/// material for Cackle QueryProfiles.
+struct StageStats {
+  std::string label;
+  int num_tasks = 0;
+  std::vector<int64_t> task_micros;
+  int64_t output_bytes = 0;  // bytes shuffled to downstream stages
+  int64_t output_rows = 0;
+};
+
+struct PlanRunStats {
+  std::vector<StageStats> stages;
+  int64_t total_micros = 0;
+};
+
+/// \brief Executes a StagePlan stage by stage, measuring each task's wall
+/// time and each stage's shuffled output size.
+///
+/// With `num_threads` == 1 (default) tasks run serially in index order;
+/// with more threads, each stage's tasks run concurrently on a pool (tasks
+/// of one stage are independent by construction — they read disjoint or
+/// broadcast partitions). Results are identical either way: task outputs
+/// are collected by task index before the shuffle step.
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(int num_threads = 1);
+
+  /// Runs the plan; returns the result table. `stats` may be null.
+  Table Execute(const StagePlan& plan, PlanRunStats* stats = nullptr);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  int num_threads_;
+};
+
+/// Validates stage ids/deps/partition contracts; aborts on violation.
+/// Returns the plan for chaining.
+const StagePlan& ValidatePlan(const StagePlan& plan);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_PLAN_H_

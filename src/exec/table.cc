@@ -1,0 +1,171 @@
+#include "exec/table.h"
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace cackle::exec {
+
+int64_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(ints_.size());
+    case DataType::kFloat64:
+      return static_cast<int64_t>(doubles_.size());
+    case DataType::kString:
+      return static_cast<int64_t>(strings_.size());
+  }
+  return 0;
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.reserve(static_cast<size_t>(n));
+      break;
+    case DataType::kFloat64:
+      doubles_.reserve(static_cast<size_t>(n));
+      break;
+    case DataType::kString:
+      strings_.reserve(static_cast<size_t>(n));
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& other, int64_t row) {
+  CACKLE_CHECK(type_ == other.type_);
+  const size_t r = static_cast<size_t>(row);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(other.ints_[r]);
+      break;
+    case DataType::kFloat64:
+      doubles_.push_back(other.doubles_[r]);
+      break;
+    case DataType::kString:
+      strings_.push_back(other.strings_[r]);
+      break;
+  }
+}
+
+int64_t Column::EstimateBytes() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<int64_t>(ints_.size()) * 8;
+    case DataType::kFloat64:
+      return static_cast<int64_t>(doubles_.size()) * 8;
+    case DataType::kString: {
+      int64_t bytes = 0;
+      for (const std::string& s : strings_) {
+        bytes += 4 + static_cast<int64_t>(s.size());
+      }
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+std::string Column::ValueToString(int64_t row) const {
+  const size_t r = static_cast<size_t>(row);
+  switch (type_) {
+    case DataType::kInt64:
+      return std::to_string(ints_[r]);
+    case DataType::kFloat64:
+      return FormatDouble(doubles_[r], 4);
+    case DataType::kString:
+      return strings_[r];
+  }
+  return "";
+}
+
+Table::Table(std::vector<ColumnDef> defs) : defs_(std::move(defs)) {
+  columns_.reserve(defs_.size());
+  for (const ColumnDef& def : defs_) columns_.emplace_back(def.type);
+}
+
+int Table::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Table::ColumnIndex(std::string_view name) const {
+  const int i = FindColumn(name);
+  CACKLE_CHECK_GE(i, 0) << "no column named " << name;
+  return i;
+}
+
+void Table::AddColumn(ColumnDef def, Column column) {
+  CACKLE_CHECK(def.type == column.type());
+  if (!defs_.empty()) {
+    CACKLE_CHECK_EQ(column.size(), num_rows_);
+  } else {
+    num_rows_ = column.size();
+  }
+  defs_.push_back(std::move(def));
+  columns_.push_back(std::move(column));
+}
+
+void Table::FinishBulkAppend() {
+  CACKLE_CHECK(!columns_.empty());
+  num_rows_ = columns_[0].size();
+  for (const Column& c : columns_) CACKLE_CHECK_EQ(c.size(), num_rows_);
+}
+
+void Table::AppendRowFrom(const Table& other, int64_t row) {
+  CACKLE_CHECK_EQ(columns_.size(), other.columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendFrom(other.columns_[c], row);
+  }
+  ++num_rows_;
+}
+
+Table Table::Slice(int64_t begin, int64_t end) const {
+  CACKLE_CHECK_GE(begin, 0);
+  CACKLE_CHECK_LE(begin, end);
+  CACKLE_CHECK_LE(end, num_rows_);
+  Table out(defs_);
+  for (int64_t r = begin; r < end; ++r) out.AppendRowFrom(*this, r);
+  return out;
+}
+
+Table Table::TakeRows(const std::vector<int64_t>& rows) const {
+  Table out(defs_);
+  for (int64_t r : rows) out.AppendRowFrom(*this, r);
+  return out;
+}
+
+int64_t Table::EstimateBytes() const {
+  int64_t bytes = 0;
+  for (const Column& c : columns_) bytes += c.EstimateBytes();
+  return bytes;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::vector<std::string> headers;
+  headers.reserve(defs_.size());
+  for (const ColumnDef& def : defs_) headers.push_back(def.name);
+  TablePrinter printer(headers);
+  const int64_t n = std::min(num_rows_, max_rows);
+  for (int64_t r = 0; r < n; ++r) {
+    printer.BeginRow();
+    for (const Column& c : columns_) printer.AddCell(c.ValueToString(r));
+  }
+  std::ostringstream os;
+  printer.PrintText(os);
+  if (n < num_rows_) os << "... (" << num_rows_ - n << " more rows)\n";
+  return os.str();
+}
+
+Table Concat(const std::vector<Table>& tables) {
+  if (tables.empty()) return Table();
+  Table out(tables[0].schema());
+  for (const Table& t : tables) {
+    CACKLE_CHECK_EQ(t.num_columns(), out.num_columns());
+    for (int64_t r = 0; r < t.num_rows(); ++r) out.AppendRowFrom(t, r);
+  }
+  return out;
+}
+
+}  // namespace cackle::exec

@@ -1,0 +1,136 @@
+#ifndef CACKLE_EXEC_TABLE_H_
+#define CACKLE_EXEC_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/types.h"
+
+namespace cackle::exec {
+
+/// \brief A typed column of values. Only the vector matching `type` is
+/// populated.
+class Column {
+ public:
+  Column() : type_(DataType::kInt64) {}
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+
+  int64_t size() const;
+  void Reserve(int64_t n);
+
+  // Typed access. The CHECKed accessors catch type confusion early.
+  std::vector<int64_t>& ints() {
+    CACKLE_CHECK(type_ == DataType::kInt64);
+    return ints_;
+  }
+  const std::vector<int64_t>& ints() const {
+    CACKLE_CHECK(type_ == DataType::kInt64);
+    return ints_;
+  }
+  std::vector<double>& doubles() {
+    CACKLE_CHECK(type_ == DataType::kFloat64);
+    return doubles_;
+  }
+  const std::vector<double>& doubles() const {
+    CACKLE_CHECK(type_ == DataType::kFloat64);
+    return doubles_;
+  }
+  std::vector<std::string>& strings() {
+    CACKLE_CHECK(type_ == DataType::kString);
+    return strings_;
+  }
+  const std::vector<std::string>& strings() const {
+    CACKLE_CHECK(type_ == DataType::kString);
+    return strings_;
+  }
+
+  void AppendInt(int64_t v) { ints().push_back(v); }
+  void AppendDouble(double v) { doubles().push_back(v); }
+  void AppendString(std::string v) { strings().push_back(std::move(v)); }
+
+  /// Appends row `row` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, int64_t row);
+
+  /// Approximate in-memory/serialized size, used for shuffle accounting.
+  int64_t EstimateBytes() const;
+
+  /// Renders row `row` for result printing / test comparison.
+  std::string ValueToString(int64_t row) const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+/// \brief Column name + type.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// \brief An in-memory columnar table (also used for intermediate batches).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<ColumnDef> defs);
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const std::vector<ColumnDef>& schema() const { return defs_; }
+  const ColumnDef& column_def(int i) const {
+    return defs_[static_cast<size_t>(i)];
+  }
+
+  /// Index of the column named `name`; aborts when absent.
+  int ColumnIndex(std::string_view name) const;
+  /// -1 when absent.
+  int FindColumn(std::string_view name) const;
+
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const Column& column(std::string_view name) const {
+    return columns_[static_cast<size_t>(ColumnIndex(name))];
+  }
+
+  /// Adds a column; its size must equal num_rows (or define it when this is
+  /// the first column).
+  void AddColumn(ColumnDef def, Column column);
+
+  /// Recomputes num_rows from column sizes after bulk appends; all columns
+  /// must agree.
+  void FinishBulkAppend();
+
+  /// Appends row `row` of `other` (same schema) to this table.
+  void AppendRowFrom(const Table& other, int64_t row);
+
+  /// Rows [begin, end).
+  Table Slice(int64_t begin, int64_t end) const;
+
+  /// Keeps the rows whose index is listed (in order).
+  Table TakeRows(const std::vector<int64_t>& rows) const;
+
+  int64_t EstimateBytes() const;
+
+  /// Renders the table (header + rows) for debugging and result checks;
+  /// doubles rounded to `decimals`.
+  std::string ToString(int64_t max_rows = 50) const;
+
+ private:
+  std::vector<ColumnDef> defs_;
+  std::vector<Column> columns_;
+  int64_t num_rows_ = 0;
+};
+
+/// Concatenates tables with identical schemas (empty input -> empty table).
+Table Concat(const std::vector<Table>& tables);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_TABLE_H_

@@ -1,0 +1,213 @@
+#include "exec/tpch_logical.h"
+
+#include "common/logging.h"
+#include "exec/types.h"
+
+namespace cackle::exec {
+namespace {
+
+NamedExpr C(const char* name) { return NamedExpr{Col(name), name}; }
+
+ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(Lit(1.0), Col("l_discount")));
+}
+
+LogicalNodePtr Q1() {
+  const int64_t cutoff = DateFromCivil(1998, 12, 1) - 90;
+  LogicalNodePtr plan =
+      LFilter(LScan("lineitem"), Le(Col("l_shipdate"), Lit(cutoff)));
+  plan = LProject(
+      std::move(plan),
+      {C("l_returnflag"), C("l_linestatus"), C("l_quantity"),
+       C("l_extendedprice"), C("l_discount"),
+       NamedExpr{Revenue(), "disc_price"},
+       NamedExpr{Mul(Revenue(), Add(Lit(1.0), Col("l_tax"))), "charge"}});
+  plan = LAggregate(
+      std::move(plan), {"l_returnflag", "l_linestatus"},
+      {{AggOp::kSum, Col("l_quantity"), "sum_qty"},
+       {AggOp::kSum, Col("l_extendedprice"), "sum_base_price"},
+       {AggOp::kSum, Col("disc_price"), "sum_disc_price"},
+       {AggOp::kSum, Col("charge"), "sum_charge"},
+       {AggOp::kAvg, Col("l_quantity"), "avg_qty"},
+       {AggOp::kAvg, Col("l_extendedprice"), "avg_price"},
+       {AggOp::kAvg, Col("l_discount"), "avg_disc"},
+       {AggOp::kCount, nullptr, "count_order"}});
+  return LSort(std::move(plan),
+               {{"l_returnflag", true}, {"l_linestatus", true}});
+}
+
+LogicalNodePtr Q5() {
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  // supplier x nation x region(ASIA), then the fact-side joins with the
+  // extra c_nationkey = s_nationkey equi-condition as a second join key.
+  LogicalNodePtr supp =
+      LJoin(LJoin(LScan("supplier"), LScan("nation"), {"s_nationkey"},
+                  {"n_nationkey"}),
+            LFilter(LScan("region"), Eq(Col("r_name"), Lit("ASIA"))),
+            {"n_regionkey"}, {"r_regionkey"}, JoinType::kLeftSemi);
+  LogicalNodePtr fact = LJoin(
+      LJoin(LFilter(LFilter(LScan("orders"),
+                            Ge(Col("o_orderdate"), Lit(lo))),
+                    Lt(Col("o_orderdate"), Lit(hi))),
+            LScan("customer"), {"o_custkey"}, {"c_custkey"}),
+      LScan("lineitem"), {"o_orderkey"}, {"l_orderkey"});
+  LogicalNodePtr joined =
+      LJoin(std::move(fact), std::move(supp),
+            {"l_suppkey", "c_nationkey"}, {"s_suppkey", "s_nationkey"});
+  LogicalNodePtr shaped =
+      LProject(std::move(joined),
+               {C("n_name"), NamedExpr{Revenue(), "revenue"}});
+  LogicalNodePtr agg = LAggregate(std::move(shaped), {"n_name"},
+                                  {{AggOp::kSum, Col("revenue"), "revenue"}});
+  return LSort(std::move(agg), {{"revenue", false}});
+}
+
+LogicalNodePtr Q6() {
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  LogicalNodePtr plan = LFilter(
+      LScan("lineitem"),
+      AllOf({Ge(Col("l_shipdate"), Lit(lo)), Lt(Col("l_shipdate"), Lit(hi)),
+             Ge(Col("l_discount"), Lit(0.05)),
+             Le(Col("l_discount"), Lit(0.07)),
+             Lt(Col("l_quantity"), Lit(24.0))}));
+  plan = LProject(std::move(plan),
+                  {NamedExpr{Mul(Col("l_extendedprice"), Col("l_discount")),
+                             "amount"}});
+  return LAggregate(std::move(plan), {},
+                    {{AggOp::kSum, Col("amount"), "revenue"}});
+}
+
+LogicalNodePtr Q10() {
+  const int64_t lo = DateFromCivil(1993, 10, 1);
+  const int64_t hi = AddMonths(lo, 3);
+  LogicalNodePtr plan = LJoin(
+      LJoin(LJoin(LFilter(LFilter(LScan("orders"),
+                                  Ge(Col("o_orderdate"), Lit(lo))),
+                          Lt(Col("o_orderdate"), Lit(hi))),
+                  LFilter(LScan("lineitem"),
+                          Eq(Col("l_returnflag"), Lit("R"))),
+                  {"o_orderkey"}, {"l_orderkey"}),
+            LScan("customer"), {"o_custkey"}, {"c_custkey"}),
+      LScan("nation"), {"c_nationkey"}, {"n_nationkey"});
+  LogicalNodePtr shaped = LProject(
+      std::move(plan),
+      {C("c_custkey"), C("c_name"), C("c_acctbal"), C("n_name"),
+       C("c_address"), C("c_phone"), C("c_comment"),
+       NamedExpr{Revenue(), "revenue"}});
+  LogicalNodePtr agg = LAggregate(
+      std::move(shaped),
+      {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
+       "c_comment"},
+      {{AggOp::kSum, Col("revenue"), "revenue"}});
+  // Match the physical plan's column order for comparison.
+  LogicalNodePtr reordered = LProject(
+      std::move(agg),
+      {C("c_custkey"), C("c_name"), C("revenue"), C("c_acctbal"),
+       C("n_name"), C("c_address"), C("c_phone"), C("c_comment")});
+  return LSort(std::move(reordered),
+               {{"revenue", false}, {"c_custkey", true}}, 20);
+}
+
+LogicalNodePtr Q12() {
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  const ExprPtr high = Or(Eq(Col("o_orderpriority"), Lit("1-URGENT")),
+                          Eq(Col("o_orderpriority"), Lit("2-HIGH")));
+  LogicalNodePtr line = LFilter(
+      LScan("lineitem"),
+      AllOf({InString(Col("l_shipmode"), {"MAIL", "SHIP"}),
+             Lt(Col("l_commitdate"), Col("l_receiptdate")),
+             Lt(Col("l_shipdate"), Col("l_commitdate")),
+             Ge(Col("l_receiptdate"), Lit(lo)),
+             Lt(Col("l_receiptdate"), Lit(hi))}));
+  LogicalNodePtr joined = LJoin(std::move(line), LScan("orders"),
+                                {"l_orderkey"}, {"o_orderkey"});
+  LogicalNodePtr shaped = LProject(
+      std::move(joined),
+      {C("l_shipmode"),
+       NamedExpr{If(high, Lit(int64_t{1}), Lit(int64_t{0})), "high_line"},
+       NamedExpr{If(high, Lit(int64_t{0}), Lit(int64_t{1})), "low_line"}});
+  LogicalNodePtr agg = LAggregate(
+      std::move(shaped), {"l_shipmode"},
+      {{AggOp::kSum, Col("high_line"), "high_line_count"},
+       {AggOp::kSum, Col("low_line"), "low_line_count"}});
+  return LSort(std::move(agg), {{"l_shipmode", true}});
+}
+
+LogicalNodePtr Q14() {
+  const int64_t lo = DateFromCivil(1995, 9, 1);
+  const int64_t hi = AddMonths(lo, 1);
+  LogicalNodePtr line =
+      LFilter(LFilter(LScan("lineitem"), Ge(Col("l_shipdate"), Lit(lo))),
+              Lt(Col("l_shipdate"), Lit(hi)));
+  LogicalNodePtr joined = LJoin(std::move(line), LScan("part"),
+                                {"l_partkey"}, {"p_partkey"});
+  LogicalNodePtr shaped = LProject(
+      std::move(joined),
+      {NamedExpr{If(StrPrefix(Col("p_type"), "PROMO"), Revenue(), Lit(0.0)),
+                 "promo_revenue"},
+       NamedExpr{Revenue(), "revenue"}});
+  LogicalNodePtr agg = LAggregate(
+      std::move(shaped), {},
+      {{AggOp::kSum, Col("promo_revenue"), "promo"},
+       {AggOp::kSum, Col("revenue"), "total"}});
+  return LProject(std::move(agg),
+                  {NamedExpr{Mul(Lit(100.0), Div(Col("promo"), Col("total"))),
+                             "promo_revenue"}});
+}
+
+LogicalNodePtr Q19() {
+  LogicalNodePtr line = LFilter(
+      LScan("lineitem"),
+      And(InString(Col("l_shipmode"), {"AIR", "REG AIR"}),
+          Eq(Col("l_shipinstruct"), Lit("DELIVER IN PERSON"))));
+  LogicalNodePtr joined = LJoin(std::move(line), LScan("part"),
+                                {"l_partkey"}, {"p_partkey"});
+  const ExprPtr b1 = AllOf(
+      {Eq(Col("p_brand"), Lit("Brand#12")),
+       InString(Col("p_container"), {"SM CASE", "SM BOX", "SM PACK",
+                                     "SM PKG"}),
+       Between(Col("l_quantity"), Lit(1.0), Lit(11.0)),
+       Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{5}))});
+  const ExprPtr b2 = AllOf(
+      {Eq(Col("p_brand"), Lit("Brand#23")),
+       InString(Col("p_container"), {"MED BAG", "MED BOX", "MED PKG",
+                                     "MED PACK"}),
+       Between(Col("l_quantity"), Lit(10.0), Lit(20.0)),
+       Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{10}))});
+  const ExprPtr b3 = AllOf(
+      {Eq(Col("p_brand"), Lit("Brand#34")),
+       InString(Col("p_container"), {"LG CASE", "LG BOX", "LG PACK",
+                                     "LG PKG"}),
+       Between(Col("l_quantity"), Lit(20.0), Lit(30.0)),
+       Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{15}))});
+  LogicalNodePtr filtered =
+      LFilter(std::move(joined), Or(Or(b1, b2), b3));
+  LogicalNodePtr shaped = LProject(std::move(filtered),
+                                   {NamedExpr{Revenue(), "revenue"}});
+  return LAggregate(std::move(shaped), {},
+                    {{AggOp::kSum, Col("revenue"), "revenue"}});
+}
+
+}  // namespace
+
+std::vector<int> LogicalTpchQueryIds() { return {1, 5, 6, 10, 12, 14, 19}; }
+
+LogicalNodePtr LogicalTpch(int query_id) {
+  switch (query_id) {
+    case 1: return Q1();
+    case 5: return Q5();
+    case 6: return Q6();
+    case 10: return Q10();
+    case 12: return Q12();
+    case 14: return Q14();
+    case 19: return Q19();
+    default:
+      CACKLE_CHECK(false) << "no logical formulation for query " << query_id;
+      __builtin_unreachable();
+  }
+}
+
+}  // namespace cackle::exec

@@ -1,0 +1,28 @@
+#ifndef CACKLE_EXEC_TPCH_LOGICAL_H_
+#define CACKLE_EXEC_TPCH_LOGICAL_H_
+
+#include <vector>
+
+#include "exec/logical.h"
+
+namespace cackle::exec {
+
+/// \brief Logical-plan formulations of a subset of TPC-H.
+///
+/// The hand-built plans in tpch_queries_*.cc are the physical ground truth
+/// (the form the paper's engine receives). These logical formulations
+/// exercise the planner front-end — write the query declaratively, let the
+/// optimizer push filters/prune/broadcast, lower, execute — and are tested
+/// to produce identical results to the physical plans. Covered shapes:
+/// scan-aggregate (Q1, Q6), broadcast-chain joins (Q5, Q10), semi join
+/// (Q3's customer filter via the physical plan uses semi; here Q5/Q10 use
+/// plain inner joins), disjunctive predicates (Q19), conditional
+/// aggregation (Q12, Q14).
+LogicalNodePtr LogicalTpch(int query_id);
+
+/// Query ids with a logical formulation.
+std::vector<int> LogicalTpchQueryIds();
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_TPCH_LOGICAL_H_

@@ -1,0 +1,49 @@
+#include "exec/tpch_queries.h"
+
+#include "common/logging.h"
+#include "exec/tpch_queries_internal.h"
+
+namespace cackle::exec {
+
+std::vector<int> AllTpchQueryIds() {
+  std::vector<int> ids;
+  for (int q = 1; q <= 25; ++q) ids.push_back(q);
+  return ids;
+}
+
+StagePlan BuildTpchPlan(int query_id, const Catalog& catalog,
+                        const PlanConfig& config) {
+  using namespace internal;  // NOLINT: query builders
+  switch (query_id) {
+    case 1: return BuildQ1(catalog, config);
+    case 2: return BuildQ2(catalog, config);
+    case 3: return BuildQ3(catalog, config);
+    case 4: return BuildQ4(catalog, config);
+    case 5: return BuildQ5(catalog, config);
+    case 6: return BuildQ6(catalog, config);
+    case 7: return BuildQ7(catalog, config);
+    case 8: return BuildQ8(catalog, config);
+    case 9: return BuildQ9(catalog, config);
+    case 10: return BuildQ10(catalog, config);
+    case 11: return BuildQ11(catalog, config);
+    case 12: return BuildQ12(catalog, config);
+    case 13: return BuildQ13(catalog, config);
+    case 14: return BuildQ14(catalog, config);
+    case 15: return BuildQ15(catalog, config);
+    case 16: return BuildQ16(catalog, config);
+    case 17: return BuildQ17(catalog, config);
+    case 18: return BuildQ18(catalog, config);
+    case 19: return BuildQ19(catalog, config);
+    case 20: return BuildQ20(catalog, config);
+    case 21: return BuildQ21(catalog, config);
+    case 22: return BuildQ22(catalog, config);
+    case 23: return BuildQ23Iterative(catalog, config);
+    case 24: return BuildQ24Reporting(catalog, config);
+    case 25: return BuildQ25MultiFact(catalog, config);
+    default:
+      CACKLE_CHECK(false) << "unknown query id " << query_id;
+      __builtin_unreachable();
+  }
+}
+
+}  // namespace cackle::exec

@@ -1,0 +1,37 @@
+#ifndef CACKLE_EXEC_TPCH_QUERIES_H_
+#define CACKLE_EXEC_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/datagen.h"
+#include "exec/plan.h"
+
+namespace cackle::exec {
+
+/// \brief Knobs for plan construction.
+struct PlanConfig {
+  /// Tasks per parallel stage (scans, partitioned joins, aggregations).
+  /// Results must be identical for any value >= 1 — the partition-
+  /// invariance property tests rely on it.
+  int tasks = 4;
+};
+
+/// \brief Builds the physical plan for TPC-H query `query_id` (1..22) or a
+/// DS-like addition (23 = iterative, 24 = reporting, 25 = multi-fact; the
+/// Section 7.1.6 mix). Plans follow the paper's execution model: a DAG of
+/// stages, each a set of fixed-size tasks, joins realized as broadcast or
+/// partitioned hash joins, results exchanged between stages through
+/// hash-partitioned shuffles.
+///
+/// `catalog` must outlive the returned plan (stages capture table
+/// pointers).
+StagePlan BuildTpchPlan(int query_id, const Catalog& catalog,
+                        const PlanConfig& config = PlanConfig());
+
+/// All implemented query ids (1..25).
+std::vector<int> AllTpchQueryIds();
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_TPCH_QUERIES_H_

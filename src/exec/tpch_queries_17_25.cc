@@ -1,0 +1,503 @@
+// TPC-H queries 17-22 and the three DS-like additions (23 iterative,
+// 24 reporting, 25 multi-fact-table) as Cackle-style stage plans.
+
+#include "exec/tpch_queries_internal.h"
+
+namespace cackle::exec::internal {
+
+// Q17: small-quantity-order revenue.
+StagePlan BuildQ17(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q17");
+  const int J = cfg.tasks;
+  const int part = b.AddScan(
+      "scan_part", &cat.part, J,
+      And(Eq(Col("p_brand"), Lit("Brand#23")),
+          Eq(Col("p_container"), Lit("MED BOX"))),
+      {C("p_partkey")}, {"p_partkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, nullptr,
+      {C("l_partkey"), C("l_quantity"), C("l_extendedprice")},
+      {"l_partkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_avg_filter", {line, part}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                           {"p_partkey"}, JoinType::kLeftSemi);
+        if (j.num_rows() == 0) {
+          Table empty;
+          Column c(DataType::kFloat64);
+          empty.AddColumn({"l_extendedprice", DataType::kFloat64},
+                          std::move(c));
+          return empty;
+        }
+        // Per-part average quantity is local: co-partitioned on partkey.
+        Table avg = RenameColumns(
+            HashAggregate(j, {"l_partkey"},
+                          {{AggOp::kAvg, Col("l_quantity"), "avg_qty"}}),
+            {"avg_partkey", "avg_qty"});
+        Table matched = HashJoin(j, {"l_partkey"}, avg, {"avg_partkey"});
+        matched = Filter(
+            matched, Lt(Col("l_quantity"), Mul(Lit(0.2), Col("avg_qty"))));
+        return SelectColumns(matched, {"l_extendedprice"});
+      });
+  b.AddSingleTask("final", {join}, [](const TaskInput& in) {
+    const Table sum = HashAggregate(
+        *in.tables[0], {}, {{AggOp::kSum, Col("l_extendedprice"), "total"}});
+    return Project(sum, nullptr,
+                   {N(Div(Col("total"), Lit(7.0)), "avg_yearly")});
+  });
+  return b.Build();
+}
+
+// Q18: large volume customers (sum(l_quantity) > threshold).
+StagePlan BuildQ18(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q18");
+  const int J = cfg.tasks;
+  // The spec threshold is 300 at SF>=1; scale down so the query stays
+  // non-empty on small test catalogs.
+  const double threshold = cat.orders.num_rows() > 500'000 ? 300.0 : 150.0;
+  const int line = b.AddScan("scan_lineitem", &cat.lineitem, J, nullptr,
+                             {C("l_orderkey"), C("l_quantity")},
+                             {"l_orderkey"}, J);
+  const int big = b.AddPartitionedStage(
+      "having_sum_qty", {line}, {false}, J,
+      [threshold](const TaskInput& in) {
+        Table per_order = HashAggregate(
+            *in.tables[0], {"l_orderkey"},
+            {{AggOp::kSum, Col("l_quantity"), "sum_qty"}});
+        return Filter(per_order, Gt(Col("sum_qty"), Lit(threshold)));
+      },
+      {"l_orderkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J, nullptr,
+      {C("o_orderkey"), C("o_custkey"), C("o_orderdate"), C("o_totalprice")},
+      {"o_orderkey"}, J);
+  const int ojoin = b.AddPartitionedStage(
+      "join_orders", {big, orders}, {false, false}, J,
+      [](const TaskInput& in) {
+        return HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                        {"o_orderkey"});
+      },
+      {"o_custkey"}, J);
+  const int cust = b.AddScan("scan_customer", &cat.customer, J, nullptr,
+                             {C("c_custkey"), C("c_name")}, {"c_custkey"}, J);
+  const int cjoin = b.AddPartitionedStage(
+      "join_customer", {ojoin, cust}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"o_custkey"}, *in.tables[1],
+                           {"c_custkey"});
+        return SelectColumns(j, {"c_name", "c_custkey", "o_orderkey",
+                                 "o_orderdate", "o_totalprice", "sum_qty"});
+      });
+  b.AddSingleTask("top100", {cjoin}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0],
+                  {{"o_totalprice", false}, {"o_orderdate", true}}, 100);
+  });
+  return b.Build();
+}
+
+// Q19: discounted revenue (disjunctive brand/container/quantity predicate).
+StagePlan BuildQ19(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q19");
+  const int J = cfg.tasks;
+  const int part = b.AddScan(
+      "scan_part", &cat.part, J, nullptr,
+      {C("p_partkey"), C("p_brand"), C("p_container"), C("p_size")},
+      {"p_partkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      And(InString(Col("l_shipmode"), {"AIR", "REG AIR"}),
+          Eq(Col("l_shipinstruct"), Lit("DELIVER IN PERSON"))),
+      {C("l_partkey"), C("l_quantity"), N(Revenue(), "revenue")},
+      {"l_partkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_disjunction", {line, part}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                           {"p_partkey"});
+        const ExprPtr b1 = AllOf(
+            {Eq(Col("p_brand"), Lit("Brand#12")),
+             InString(Col("p_container"),
+                      {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}),
+             Between(Col("l_quantity"), Lit(1.0), Lit(11.0)),
+             Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{5}))});
+        const ExprPtr b2 = AllOf(
+            {Eq(Col("p_brand"), Lit("Brand#23")),
+             InString(Col("p_container"),
+                      {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}),
+             Between(Col("l_quantity"), Lit(10.0), Lit(20.0)),
+             Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{10}))});
+        const ExprPtr b3 = AllOf(
+            {Eq(Col("p_brand"), Lit("Brand#34")),
+             InString(Col("p_container"),
+                      {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}),
+             Between(Col("l_quantity"), Lit(20.0), Lit(30.0)),
+             Between(Col("p_size"), Lit(int64_t{1}), Lit(int64_t{15}))});
+        Table matched = Filter(j, Or(Or(b1, b2), b3));
+        return HashAggregate(matched, {},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      });
+  b.AddSingleTask("final", {join}, [](const TaskInput& in) {
+    return HashAggregate(*in.tables[0], {},
+                         {{AggOp::kSum, Col("revenue"), "revenue"}});
+  });
+  return b.Build();
+}
+
+// Q20: potential part promotion (nested aggregation + semi joins).
+StagePlan BuildQ20(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q20");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  const int part = b.AddScan("scan_part", &cat.part, J,
+                             StrPrefix(Col("p_name"), "forest"),
+                             {C("p_partkey")}, {"p_partkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      And(Ge(Col("l_shipdate"), Lit(lo)), Lt(Col("l_shipdate"), Lit(hi))),
+      {C("l_partkey"), C("l_suppkey"), C("l_quantity")}, {"l_partkey"}, J);
+  const int ps = b.AddScan("scan_partsupp", &cat.partsupp, J, nullptr,
+                           {C("ps_partkey"), C("ps_suppkey"),
+                            C("ps_availqty")},
+                           {"ps_partkey"}, J);
+  const int eligible = b.AddPartitionedStage(
+      "eligible_partsupp", {ps, line, part}, {false, false, false}, J,
+      [](const TaskInput& in) {
+        // Half the shipped 1994 quantity per (part, supp).
+        Table shipped = RenameColumns(
+            HashAggregate(*in.tables[1], {"l_partkey", "l_suppkey"},
+                          {{AggOp::kSum, Col("l_quantity"), "sum_qty"}}),
+            {"sq_partkey", "sq_suppkey", "sum_qty"});
+        Table j = HashJoin(*in.tables[0], {"ps_partkey"}, *in.tables[2],
+                           {"p_partkey"}, JoinType::kLeftSemi);
+        j = HashJoin(j, {"ps_partkey", "ps_suppkey"}, shipped,
+                     {"sq_partkey", "sq_suppkey"});
+        j = Filter(j, Gt(Mul(Col("ps_availqty"), Lit(1.0)),
+                         Mul(Lit(0.5), Col("sum_qty"))));
+        return SelectColumns(j, {"ps_suppkey"});
+      });
+  b.AddSingleTask("suppliers", {eligible}, [catp](const TaskInput& in) {
+    const Table n = Filter(catp->nation, Eq(Col("n_name"), Lit("CANADA")));
+    Table s = HashJoin(catp->supplier, {"s_nationkey"}, n, {"n_nationkey"});
+    s = HashJoin(s, {"s_suppkey"}, *in.tables[0], {"ps_suppkey"},
+                 JoinType::kLeftSemi);
+    s = SelectColumns(s, {"s_name", "s_address"});
+    return SortBy(s, {{"s_name", true}});
+  });
+  return b.Build();
+}
+
+// Q21: suppliers who kept orders waiting.
+StagePlan BuildQ21(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q21");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int line_all = b.AddScan(
+      "scan_lineitem_all", &cat.lineitem, J, nullptr,
+      {C("l_orderkey"), C("l_suppkey"),
+       N(If(Gt(Col("l_receiptdate"), Col("l_commitdate")), Lit(int64_t{1}),
+            Lit(int64_t{0})),
+         "is_late")},
+      {"l_orderkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      Eq(Col("o_orderstatus"), Lit("F")), {C("o_orderkey")}, {"o_orderkey"},
+      J);
+  const int supp_saudi = b.AddSingleTask(
+      "saudi_suppliers", {}, [catp](const TaskInput&) {
+        const Table n =
+            Filter(catp->nation, Eq(Col("n_name"), Lit("SAUDI ARABIA")));
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, n,
+                           {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey", "s_name"});
+      });
+  const int waits = b.AddPartitionedStage(
+      "waiting_analysis", {line_all, orders, supp_saudi},
+      {false, false, true}, J,
+      [](const TaskInput& in) {
+        // Keep finished orders only.
+        Table l = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"}, JoinType::kLeftSemi);
+        if (l.num_rows() == 0) {
+          Table empty;
+          empty.AddColumn({"s_name", DataType::kString},
+                          Column(DataType::kString));
+          return empty;
+        }
+        // Per order: distinct suppliers overall and among late lines
+        // (co-partitioned by orderkey, so both are local).
+        Table late = Filter(l, Eq(Col("is_late"), Lit(int64_t{1})));
+        Table all_supp = RenameColumns(
+            HashAggregate(l, {"l_orderkey"},
+                          {{AggOp::kCountDistinct, Col("l_suppkey"),
+                            "nsupp"}}),
+            {"a_orderkey", "nsupp"});
+        Table late_supp = RenameColumns(
+            HashAggregate(late, {"l_orderkey"},
+                          {{AggOp::kCountDistinct, Col("l_suppkey"),
+                            "nlate"}}),
+            {"b_orderkey", "nlate"});
+        // l1: late lines of Saudi suppliers.
+        Table l1 = HashJoin(late, {"l_suppkey"}, *in.tables[2],
+                            {"s_suppkey"});
+        l1 = HashJoin(l1, {"l_orderkey"}, all_supp, {"a_orderkey"});
+        l1 = HashJoin(l1, {"l_orderkey"}, late_supp, {"b_orderkey"});
+        // exists other supplier in the order; not exists other late
+        // supplier.
+        l1 = Filter(l1, And(Gt(Col("nsupp"), Lit(int64_t{1})),
+                            Eq(Col("nlate"), Lit(int64_t{1}))));
+        return SelectColumns(l1, {"s_name"});
+      },
+      {"s_name"}, J);
+  const int agg = b.AddPartitionedStage(
+      "count_per_supplier", {waits}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"s_name"},
+                             {{AggOp::kCount, nullptr, "numwait"}});
+      });
+  b.AddSingleTask("top100", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"numwait", false}, {"s_name", true}},
+                  100);
+  });
+  return b.Build();
+}
+
+// Q22: global sales opportunity.
+StagePlan BuildQ22(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q22");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const std::vector<std::string> codes = {"13", "31", "23", "29",
+                                          "30", "18", "17"};
+  const int cust = b.AddScan(
+      "scan_customer", &cat.customer, J,
+      InString(Substr(Col("c_phone"), 2), codes),
+      {C("c_custkey"), C("c_acctbal"),
+       N(Substr(Col("c_phone"), 2), "cntrycode")},
+      {"c_custkey"}, J);
+  const int orders = b.AddScan("scan_orders", &cat.orders, J, nullptr,
+                               {C("o_custkey")}, {"o_custkey"}, J);
+  const int avg_bal = b.AddSingleTask(
+      "avg_positive_balance", {},
+      [catp, codes](const TaskInput&) {
+        const Table pos =
+            Filter(catp->customer,
+                   And(InString(Substr(Col("c_phone"), 2), codes),
+                       Gt(Col("c_acctbal"), Lit(0.0))));
+        return HashAggregate(pos, {},
+                             {{AggOp::kAvg, Col("c_acctbal"), "avg_bal"}});
+      });
+  const int anti = b.AddPartitionedStage(
+      "anti_join", {cust, orders, avg_bal}, {false, false, true}, J,
+      [](const TaskInput& in) {
+        const double avg =
+            in.tables[2]->column("avg_bal").doubles()[0];
+        Table c = Filter(*in.tables[0], Gt(Col("c_acctbal"), Lit(avg)));
+        c = HashJoin(c, {"c_custkey"}, *in.tables[1], {"o_custkey"},
+                     JoinType::kLeftAnti);
+        return HashAggregate(c, {"cntrycode"},
+                             {{AggOp::kCount, nullptr, "numcust"},
+                              {AggOp::kSum, Col("c_acctbal"), "totacctbal"}});
+      },
+      {"cntrycode"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {anti}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(
+            *in.tables[0], {"cntrycode"},
+            {{AggOp::kSum, Col("numcust"), "numcust"},
+             {AggOp::kSum, Col("totacctbal"), "totacctbal"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"cntrycode", true}});
+  });
+  return b.Build();
+}
+
+// Q23 (DS-like iterative, in the spirit of TPC-DS 24): two dependent passes
+// over the fact table — pass 1 computes per-customer 1995 spending and its
+// mean; pass 2 re-joins 1996 activity for the customers above the mean.
+StagePlan BuildQ23Iterative(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("dslike_q24_iterative");
+  const int J = cfg.tasks;
+  const int64_t y95 = DateFromCivil(1995, 1, 1);
+  const int64_t y96 = DateFromCivil(1996, 1, 1);
+  const int64_t y97 = DateFromCivil(1997, 1, 1);
+  const int orders95 = b.AddScan(
+      "scan_orders_1995", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(y95)), Lt(Col("o_orderdate"), Lit(y96))),
+      {C("o_custkey"), C("o_totalprice")}, {"o_custkey"}, J);
+  // Per-customer sums are disjoint across custkey partitions, so gathering
+  // the partial aggregates to one partition yields the full result.
+  const int spend95 = b.AddPartitionedStage(
+      "spending_1995", {orders95}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"o_custkey"},
+                             {{AggOp::kSum, Col("o_totalprice"), "spend95"}});
+      });
+  const int above_avg = b.AddSingleTask(
+      "above_average_customers", {spend95}, [](const TaskInput& in) {
+        const Table avg = HashAggregate(
+            *in.tables[0], {}, {{AggOp::kAvg, Col("spend95"), "avg_spend"}});
+        const double mean = avg.column("avg_spend").doubles()[0];
+        return SelectColumns(
+            Filter(*in.tables[0], Gt(Col("spend95"), Lit(mean))),
+            {"o_custkey"});
+      });
+  const int orders96 = b.AddScan(
+      "scan_orders_1996", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(y96)), Lt(Col("o_orderdate"), Lit(y97))),
+      {C("o_custkey"), C("o_totalprice"), N(Year(Col("o_orderdate")),
+                                            "o_year")},
+      {"o_custkey"}, J);
+  const int pass2 = b.AddPartitionedStage(
+      "pass2_join", {orders96, above_avg}, {false, true}, J,
+      [](const TaskInput& in) {
+        // Rename the broadcast side to avoid a duplicate o_custkey column.
+        const Table key_cust =
+            RenameColumns(*in.tables[1], {"k_custkey"});
+        Table j = HashJoin(*in.tables[0], {"o_custkey"}, key_cust,
+                           {"k_custkey"}, JoinType::kLeftSemi);
+        return HashAggregate(j, {},
+                             {{AggOp::kSum, Col("o_totalprice"),
+                               "repeat_revenue"},
+                              {AggOp::kCount, nullptr, "repeat_orders"}});
+      });
+  b.AddSingleTask("final", {pass2}, [](const TaskInput& in) {
+    return HashAggregate(
+        *in.tables[0], {},
+        {{AggOp::kSum, Col("repeat_revenue"), "repeat_revenue"},
+         {AggOp::kSum, Col("repeat_orders"), "repeat_orders"}});
+  });
+  return b.Build();
+}
+
+// Q24 (DS-like reporting, in the spirit of TPC-DS 58): revenue per brand in
+// three consecutive windows, aligned in one report.
+StagePlan BuildQ24Reporting(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("dslike_q58_reporting");
+  const int J = cfg.tasks;
+  const int part = b.AddScan("scan_part", &cat.part, J, nullptr,
+                             {C("p_partkey"), C("p_brand")}, {"p_partkey"},
+                             J);
+  auto window_scan = [&](const char* label, int64_t lo) {
+    return b.AddScan(
+        label, &cat.lineitem, J,
+        And(Ge(Col("l_shipdate"), Lit(lo)),
+            Lt(Col("l_shipdate"), Lit(AddMonths(lo, 2)))),
+        {C("l_partkey"), N(Revenue(), "revenue")}, {"l_partkey"}, J);
+  };
+  const int w1 = window_scan("scan_window_a", DateFromCivil(1995, 1, 1));
+  const int w2 = window_scan("scan_window_b", DateFromCivil(1995, 3, 1));
+  const int w3 = window_scan("scan_window_c", DateFromCivil(1995, 5, 1));
+  // Tag each window's rows with the brand, re-shuffling by brand so the
+  // alignment join below sees complete per-brand revenue in one partition.
+  auto brand_stage = [&](const char* label, int window_stage,
+                         const char* rev_name) {
+    return b.AddPartitionedStage(
+        label, {window_stage, part}, {false, false}, J,
+        [rev_name](const TaskInput& in) {
+          Table j = HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                             {"p_partkey"});
+          return RenameColumns(SelectColumns(j, {"p_brand", "revenue"}),
+                               {"p_brand", rev_name});
+        },
+        {"p_brand"}, J);
+  };
+  const int ba = brand_stage("brand_window_a", w1, "rev_a");
+  const int bb = brand_stage("brand_window_b", w2, "rev_b");
+  const int bc = brand_stage("brand_window_c", w3, "rev_c");
+  const int align = b.AddPartitionedStage(
+      "align_brands", {ba, bb, bc}, {false, false, false}, J,
+      [](const TaskInput& in) {
+        // Brands are co-partitioned across the three windows here, so the
+        // per-brand sums and the alignment join are complete.
+        Table a = HashAggregate(*in.tables[0], {"p_brand"},
+                                {{AggOp::kSum, Col("rev_a"), "rev_a"}});
+        a = RenameColumns(a, {"b_a", "rev_a"});
+        Table bt = HashAggregate(*in.tables[1], {"p_brand"},
+                                 {{AggOp::kSum, Col("rev_b"), "rev_b"}});
+        bt = RenameColumns(bt, {"b_b", "rev_b"});
+        Table c = HashAggregate(*in.tables[2], {"p_brand"},
+                                {{AggOp::kSum, Col("rev_c"), "rev_c"}});
+        c = RenameColumns(c, {"b_c", "rev_c"});
+        Table j = HashJoin(a, {"b_a"}, bt, {"b_b"});
+        j = HashJoin(j, {"b_a"}, c, {"b_c"});
+        return SelectColumns(j, {"b_a", "rev_a", "rev_b", "rev_c"});
+      });
+  b.AddSingleTask("report", {align}, [](const TaskInput& in) {
+    Table t = Project(
+        *in.tables[0], nullptr,
+        {N(Col("b_a"), "p_brand"), C("rev_a"), C("rev_b"), C("rev_c"),
+         N(Div(Add(Add(Col("rev_a"), Col("rev_b")), Col("rev_c")), Lit(3.0)),
+           "avg_window_revenue")});
+    return SortBy(t, {{"avg_window_revenue", false}, {"p_brand", true}}, 50);
+  });
+  return b.Build();
+}
+
+// Q25 (DS-like multi-fact, in the spirit of TPC-DS 81): margin analysis over
+// three fact tables — lineitem x orders x partsupp — by supplier nation and
+// year.
+StagePlan BuildQ25MultiFact(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("dslike_q81_multifact");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, nullptr,
+      {C("l_orderkey"), C("l_partkey"), C("l_suppkey"), C("l_quantity"),
+       N(Revenue(), "revenue")},
+      {"l_partkey"}, J);
+  const int ps = b.AddScan(
+      "scan_partsupp", &cat.partsupp, J, nullptr,
+      {C("ps_partkey"), C("ps_suppkey"), C("ps_supplycost")}, {"ps_partkey"},
+      J);
+  const int lps = b.AddPartitionedStage(
+      "join_lineitem_partsupp", {line, ps}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_partkey", "l_suppkey"},
+                           *in.tables[1], {"ps_partkey", "ps_suppkey"});
+        return SelectColumns(
+            Project(j, nullptr,
+                    {C("l_orderkey"), C("l_suppkey"),
+                     N(Sub(Col("revenue"), Mul(Col("ps_supplycost"),
+                                               Col("l_quantity"))),
+                       "margin")}),
+            {"l_orderkey", "l_suppkey", "margin"});
+      },
+      {"l_orderkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J, nullptr,
+      {C("o_orderkey"), N(Year(Col("o_orderdate")), "o_year")},
+      {"o_orderkey"}, J);
+  const int supp_nation = b.AddSingleTask(
+      "supplier_nation", {}, [catp](const TaskInput&) {
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, catp->nation,
+                           {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey", "n_name"});
+      });
+  const int join = b.AddPartitionedStage(
+      "join_orders", {lps, orders, supp_nation}, {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        j = HashJoin(j, {"l_suppkey"}, *in.tables[2], {"s_suppkey"});
+        return HashAggregate(j, {"n_name", "o_year"},
+                             {{AggOp::kSum, Col("margin"), "total_margin"},
+                              {AggOp::kCount, nullptr, "line_count"}});
+      },
+      {"n_name", "o_year"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(
+            *in.tables[0], {"n_name", "o_year"},
+            {{AggOp::kSum, Col("total_margin"), "total_margin"},
+             {AggOp::kSum, Col("line_count"), "line_count"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0],
+                  {{"n_name", true}, {"o_year", true}});
+  });
+  return b.Build();
+}
+
+}  // namespace cackle::exec::internal

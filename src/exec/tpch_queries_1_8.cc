@@ -1,0 +1,413 @@
+// TPC-H queries 1-8 as Cackle-style stage plans. Each plan is a DAG of
+// stages with fixed task parallelism; joins are broadcast (small build
+// sides gathered to one partition) or partitioned hash joins
+// (co-partitioned shuffles), matching the physical plans described in
+// Section 7.1.4 of the paper.
+
+#include "exec/tpch_queries_internal.h"
+
+namespace cackle::exec::internal {
+
+// Q1: pricing summary report.
+StagePlan BuildQ1(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q01");
+  const int J = cfg.tasks;
+  const int64_t cutoff = DateFromCivil(1998, 12, 1) - 90;
+  const int scan = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      Le(Col("l_shipdate"), Lit(cutoff)),
+      {C("l_returnflag"), C("l_linestatus"), C("l_quantity"),
+       C("l_extendedprice"), C("l_discount"),
+       N(Mul(Col("l_extendedprice"), Sub(Lit(1.0), Col("l_discount"))),
+         "disc_price"),
+       N(Mul(Mul(Col("l_extendedprice"), Sub(Lit(1.0), Col("l_discount"))),
+             Add(Lit(1.0), Col("l_tax"))),
+         "charge")},
+      {"l_returnflag", "l_linestatus"}, J);
+  const int agg = b.AddPartitionedStage(
+      "aggregate", {scan}, {false}, J,
+      [](const TaskInput& in) {
+        return HashAggregate(
+            *in.tables[0], {"l_returnflag", "l_linestatus"},
+            {{AggOp::kSum, Col("l_quantity"), "sum_qty"},
+             {AggOp::kSum, Col("l_extendedprice"), "sum_base_price"},
+             {AggOp::kSum, Col("disc_price"), "sum_disc_price"},
+             {AggOp::kSum, Col("charge"), "sum_charge"},
+             {AggOp::kAvg, Col("l_quantity"), "avg_qty"},
+             {AggOp::kAvg, Col("l_extendedprice"), "avg_price"},
+             {AggOp::kAvg, Col("l_discount"), "avg_disc"},
+             {AggOp::kCount, nullptr, "count_order"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0],
+                  {{"l_returnflag", true}, {"l_linestatus", true}});
+  });
+  return b.Build();
+}
+
+// Q2: minimum cost supplier in EUROPE for size-15 %BRASS parts.
+StagePlan BuildQ2(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q02");
+  const int J = cfg.tasks;
+  const int part_scan = b.AddScan(
+      "scan_part", &cat.part, J,
+      And(Eq(Col("p_size"), Lit(int64_t{15})),
+          StrSuffix(Col("p_type"), "BRASS")),
+      {C("p_partkey"), C("p_mfgr")}, {"p_partkey"}, J);
+  const Catalog* catp = &cat;
+  const int supp_europe = b.AddSingleTask(
+      "suppliers_in_europe", {}, [catp](const TaskInput&) {
+        const Table nr = HashJoin(
+            Filter(catp->region, Eq(Col("r_name"), Lit("EUROPE"))),
+            {"r_regionkey"}, catp->nation, {"n_regionkey"});
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, nr,
+                           {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey", "s_acctbal", "s_name", "n_name",
+                                 "s_address", "s_phone", "s_comment"});
+      });
+  const int ps_scan = b.AddScan(
+      "scan_partsupp", &cat.partsupp, J, nullptr,
+      {C("ps_partkey"), C("ps_suppkey"), C("ps_supplycost")}, {"ps_partkey"},
+      J);
+  const int join = b.AddPartitionedStage(
+      "join_min_cost", {part_scan, ps_scan, supp_europe},
+      {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[1], {"ps_partkey"}, *in.tables[0],
+                           {"p_partkey"});
+        j = HashJoin(j, {"ps_suppkey"}, *in.tables[2], {"s_suppkey"});
+        if (j.num_rows() == 0) return SelectColumns(j, {"s_acctbal", "s_name",
+                                                        "n_name", "p_partkey",
+                                                        "p_mfgr", "s_address",
+                                                        "s_phone",
+                                                        "s_comment"});
+        // Keep rows whose supplycost equals the per-part minimum
+        // (co-partitioned by partkey, so the minimum is local). Rename the
+        // aggregate's key to avoid a duplicate column in the join output.
+        Table mins = RenameColumns(
+            HashAggregate(j, {"ps_partkey"},
+                          {{AggOp::kMin, Col("ps_supplycost"), "min_cost"}}),
+            {"min_partkey", "min_cost"});
+        Table matched =
+            HashJoin(j, {"ps_partkey"}, mins, {"min_partkey"});
+        return SelectColumns(
+            Filter(matched, Eq(Col("ps_supplycost"), Col("min_cost"))),
+            {"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+             "s_address", "s_phone", "s_comment"});
+      });
+  b.AddSingleTask("sort", {join}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0],
+                  {{"s_acctbal", false},
+                   {"n_name", true},
+                   {"s_name", true},
+                   {"p_partkey", true}},
+                  100);
+  });
+  return b.Build();
+}
+
+// Q3: shipping priority.
+StagePlan BuildQ3(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q03");
+  const int J = cfg.tasks;
+  const int64_t date = DateFromCivil(1995, 3, 15);
+  const int cust = b.AddScan(
+      "scan_customer", &cat.customer, J,
+      Eq(Col("c_mktsegment"), Lit("BUILDING")), {C("c_custkey")},
+      {"c_custkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J, Lt(Col("o_orderdate"), Lit(date)),
+      {C("o_orderkey"), C("o_custkey"), C("o_orderdate"),
+       C("o_shippriority")},
+      {"o_custkey"}, J);
+  const int co = b.AddPartitionedStage(
+      "join_customer_orders", {orders, cust}, {false, false}, J,
+      [](const TaskInput& in) {
+        return HashJoin(*in.tables[0], {"o_custkey"}, *in.tables[1],
+                        {"c_custkey"}, JoinType::kLeftSemi);
+      },
+      {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, Gt(Col("l_shipdate"), Lit(date)),
+      {C("l_orderkey"), N(Revenue(), "revenue")}, {"l_orderkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_lineitem", {line, co}, {false, false}, J,
+      [](const TaskInput& in) {
+        const Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                                 {"o_orderkey"});
+        return HashAggregate(j,
+                             {"l_orderkey", "o_orderdate", "o_shippriority"},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      });
+  b.AddSingleTask("sort", {join}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"revenue", false}, {"o_orderdate", true}},
+                  10);
+  });
+  return b.Build();
+}
+
+// Q4: order priority checking.
+StagePlan BuildQ4(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q04");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1993, 7, 1);
+  const int64_t hi = AddMonths(lo, 3);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(lo)), Lt(Col("o_orderdate"), Lit(hi))),
+      {C("o_orderkey"), C("o_orderpriority")}, {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      Lt(Col("l_commitdate"), Col("l_receiptdate")), {C("l_orderkey")},
+      {"l_orderkey"}, J);
+  const int semi = b.AddPartitionedStage(
+      "semi_join", {orders, line}, {false, false}, J,
+      [](const TaskInput& in) {
+        const Table j = HashJoin(*in.tables[0], {"o_orderkey"}, *in.tables[1],
+                                 {"l_orderkey"}, JoinType::kLeftSemi);
+        return HashAggregate(j, {"o_orderpriority"},
+                             {{AggOp::kCount, nullptr, "order_count"}});
+      },
+      {"o_orderpriority"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {semi}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"o_orderpriority"},
+                             {{AggOp::kSum, Col("order_count"),
+                               "order_count"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"o_orderpriority", true}});
+  });
+  return b.Build();
+}
+
+// Q5: local supplier volume in ASIA.
+StagePlan BuildQ5(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q05");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  const Catalog* catp = &cat;
+  const int supp_asia = b.AddSingleTask(
+      "suppliers_in_asia", {}, [catp](const TaskInput&) {
+        const Table nr = HashJoin(
+            Filter(catp->region, Eq(Col("r_name"), Lit("ASIA"))),
+            {"r_regionkey"}, catp->nation, {"n_regionkey"});
+        Table s =
+            HashJoin(catp->supplier, {"s_nationkey"}, nr, {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey", "s_nationkey", "n_name"});
+      });
+  const int cust = b.AddScan("scan_customer", &cat.customer, J, nullptr,
+                             {C("c_custkey"), C("c_nationkey")},
+                             {"c_custkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(lo)), Lt(Col("o_orderdate"), Lit(hi))),
+      {C("o_orderkey"), C("o_custkey")}, {"o_custkey"}, J);
+  const int co = b.AddPartitionedStage(
+      "join_customer_orders", {orders, cust}, {false, false}, J,
+      [](const TaskInput& in) {
+        return SelectColumns(HashJoin(*in.tables[0], {"o_custkey"},
+                                      *in.tables[1], {"c_custkey"}),
+                             {"o_orderkey", "c_nationkey"});
+      },
+      {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, nullptr,
+      {C("l_orderkey"), C("l_suppkey"), N(Revenue(), "revenue")},
+      {"l_orderkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_all", {line, co, supp_asia}, {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        j = HashJoin(j, {"l_suppkey"}, *in.tables[2], {"s_suppkey"});
+        j = Filter(j, Eq(Col("c_nationkey"), Col("s_nationkey")));
+        return HashAggregate(j, {"n_name"},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      },
+      {"n_name"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"n_name"},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"revenue", false}});
+  });
+  return b.Build();
+}
+
+// Q6: forecasting revenue change.
+StagePlan BuildQ6(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q06");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  const int scan = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      AllOf({Ge(Col("l_shipdate"), Lit(lo)), Lt(Col("l_shipdate"), Lit(hi)),
+             Ge(Col("l_discount"), Lit(0.05)),
+             Le(Col("l_discount"), Lit(0.07)),
+             Lt(Col("l_quantity"), Lit(24.0))}),
+      {N(Mul(Col("l_extendedprice"), Col("l_discount")), "amount")}, {}, 1);
+  b.AddSingleTask("aggregate", {scan}, [](const TaskInput& in) {
+    return HashAggregate(*in.tables[0], {},
+                         {{AggOp::kSum, Col("amount"), "revenue"}});
+  });
+  return b.Build();
+}
+
+// Q7: volume shipping between FRANCE and GERMANY.
+StagePlan BuildQ7(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q07");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int supp_nations = b.AddSingleTask(
+      "supplier_nations", {}, [catp](const TaskInput&) {
+        const Table n = Filter(catp->nation,
+                               Or(Eq(Col("n_name"), Lit("FRANCE")),
+                                  Eq(Col("n_name"), Lit("GERMANY"))));
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, n,
+                           {"n_nationkey"});
+        s = SelectColumns(s, {"s_suppkey", "n_name"});
+        return RenameColumns(s, {"s_suppkey", "supp_nation"});
+      });
+  const int cust_nations = b.AddSingleTask(
+      "customer_nations", {}, [catp](const TaskInput&) {
+        const Table n = Filter(catp->nation,
+                               Or(Eq(Col("n_name"), Lit("FRANCE")),
+                                  Eq(Col("n_name"), Lit("GERMANY"))));
+        Table c = HashJoin(catp->customer, {"c_nationkey"}, n,
+                           {"n_nationkey"});
+        c = SelectColumns(c, {"c_custkey", "n_name"});
+        return RenameColumns(c, {"c_custkey", "cust_nation"});
+      });
+  const int orders = b.AddScan("scan_orders", &cat.orders, J, nullptr,
+                               {C("o_orderkey"), C("o_custkey")},
+                               {"o_custkey"}, J);
+  const int co = b.AddPartitionedStage(
+      "join_customer_orders", {orders, cust_nations}, {false, true}, J,
+      [](const TaskInput& in) {
+        return SelectColumns(HashJoin(*in.tables[0], {"o_custkey"},
+                                      *in.tables[1], {"c_custkey"}),
+                             {"o_orderkey", "cust_nation"});
+      },
+      {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      And(Ge(Col("l_shipdate"), Lit(DateFromCivil(1995, 1, 1))),
+          Le(Col("l_shipdate"), Lit(DateFromCivil(1996, 12, 31)))),
+      {C("l_orderkey"), C("l_suppkey"), N(Revenue(), "volume"),
+       N(Year(Col("l_shipdate")), "l_year")},
+      {"l_orderkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_all", {line, co, supp_nations}, {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        j = HashJoin(j, {"l_suppkey"}, *in.tables[2], {"s_suppkey"});
+        j = Filter(j, Ne(Col("supp_nation"), Col("cust_nation")));
+        return HashAggregate(j, {"supp_nation", "cust_nation", "l_year"},
+                             {{AggOp::kSum, Col("volume"), "revenue"}});
+      },
+      {"supp_nation", "cust_nation", "l_year"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0],
+                             {"supp_nation", "cust_nation", "l_year"},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"supp_nation", true},
+                                  {"cust_nation", true},
+                                  {"l_year", true}});
+  });
+  return b.Build();
+}
+
+// Q8: national market share of BRAZIL in AMERICA for a part type.
+StagePlan BuildQ8(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q08");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int part = b.AddScan(
+      "scan_part", &cat.part, J,
+      Eq(Col("p_type"), Lit("ECONOMY ANODIZED STEEL")), {C("p_partkey")},
+      {"p_partkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, nullptr,
+      {C("l_orderkey"), C("l_partkey"), C("l_suppkey"),
+       N(Revenue(), "volume")},
+      {"l_partkey"}, J);
+  const int pl = b.AddPartitionedStage(
+      "join_part_lineitem", {line, part}, {false, false}, J,
+      [](const TaskInput& in) {
+        return SelectColumns(
+            HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                     {"p_partkey"}, JoinType::kLeftSemi),
+            {"l_orderkey", "l_suppkey", "volume"});
+      },
+      {"l_orderkey"}, J);
+  const int cust_america = b.AddSingleTask(
+      "customers_in_america", {}, [catp](const TaskInput&) {
+        const Table nr = HashJoin(
+            Filter(catp->region, Eq(Col("r_name"), Lit("AMERICA"))),
+            {"r_regionkey"}, catp->nation, {"n_regionkey"});
+        Table c = HashJoin(catp->customer, {"c_nationkey"}, nr,
+                           {"n_nationkey"});
+        return SelectColumns(c, {"c_custkey"});
+      });
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(DateFromCivil(1995, 1, 1))),
+          Le(Col("o_orderdate"), Lit(DateFromCivil(1996, 12, 31)))),
+      {C("o_orderkey"), C("o_custkey"), N(Year(Col("o_orderdate")),
+                                          "o_year")},
+      {"o_orderkey"}, J);
+  const int supp_nation = b.AddSingleTask(
+      "supplier_nation", {}, [catp](const TaskInput&) {
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, catp->nation,
+                           {"n_nationkey"});
+        s = SelectColumns(s, {"s_suppkey", "n_name"});
+        return RenameColumns(s, {"s_suppkey", "supp_nation"});
+      });
+  const int join = b.AddPartitionedStage(
+      "join_all", {pl, orders, cust_america, supp_nation},
+      {false, false, true, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        j = HashJoin(j, {"o_custkey"}, *in.tables[2], {"c_custkey"},
+                     JoinType::kLeftSemi);
+        j = HashJoin(j, {"l_suppkey"}, *in.tables[3], {"s_suppkey"});
+        Table shaped = Project(
+            j, nullptr,
+            {C("o_year"), C("volume"),
+             N(If(Eq(Col("supp_nation"), Lit("BRAZIL")), Col("volume"),
+                  Lit(0.0)),
+               "brazil_volume")});
+        return HashAggregate(
+            shaped, {"o_year"},
+            {{AggOp::kSum, Col("brazil_volume"), "brazil_volume"},
+             {AggOp::kSum, Col("volume"), "total_volume"}});
+      },
+      {"o_year"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(
+            *in.tables[0], {"o_year"},
+            {{AggOp::kSum, Col("brazil_volume"), "brazil_volume"},
+             {AggOp::kSum, Col("total_volume"), "total_volume"}});
+      });
+  b.AddSingleTask("market_share", {agg}, [](const TaskInput& in) {
+    Table shares = Project(
+        *in.tables[0], nullptr,
+        {C("o_year"),
+         N(Div(Col("brazil_volume"), Col("total_volume")), "mkt_share")});
+    return SortBy(shares, {{"o_year", true}});
+  });
+  return b.Build();
+}
+
+}  // namespace cackle::exec::internal

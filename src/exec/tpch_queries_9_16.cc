@@ -1,0 +1,373 @@
+// TPC-H queries 9-16 as Cackle-style stage plans.
+
+#include "exec/tpch_queries_internal.h"
+
+namespace cackle::exec::internal {
+
+// Q9: product type profit measure ("%green%" parts).
+StagePlan BuildQ9(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q09");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int part = b.AddScan("scan_part", &cat.part, J,
+                             StrContains(Col("p_name"), "green"),
+                             {C("p_partkey")}, {"p_partkey"}, J);
+  const int ps = b.AddScan(
+      "scan_partsupp", &cat.partsupp, J, nullptr,
+      {C("ps_partkey"), C("ps_suppkey"), C("ps_supplycost")}, {"ps_partkey"},
+      J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J, nullptr,
+      {C("l_orderkey"), C("l_partkey"), C("l_suppkey"), C("l_quantity"),
+       N(Revenue(), "revenue")},
+      {"l_partkey"}, J);
+  const int supp_nation = b.AddSingleTask(
+      "supplier_nation", {}, [catp](const TaskInput&) {
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, catp->nation,
+                           {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey", "n_name"});
+      });
+  const int plps = b.AddPartitionedStage(
+      "join_part_lineitem_partsupp", {line, part, ps}, {false, false, false},
+      J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                           {"p_partkey"}, JoinType::kLeftSemi);
+        j = HashJoin(j, {"l_partkey", "l_suppkey"}, *in.tables[2],
+                     {"ps_partkey", "ps_suppkey"});
+        return SelectColumns(Project(j, nullptr,
+                                     {C("l_orderkey"), C("l_suppkey"),
+                                      N(Sub(Col("revenue"),
+                                            Mul(Col("ps_supplycost"),
+                                                Col("l_quantity"))),
+                                        "amount")}),
+                             {"l_orderkey", "l_suppkey", "amount"});
+      },
+      {"l_orderkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J, nullptr,
+      {C("o_orderkey"), N(Year(Col("o_orderdate")), "o_year")},
+      {"o_orderkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_orders_supplier", {plps, orders, supp_nation},
+      {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        j = HashJoin(j, {"l_suppkey"}, *in.tables[2], {"s_suppkey"});
+        return HashAggregate(j, {"n_name", "o_year"},
+                             {{AggOp::kSum, Col("amount"), "sum_profit"}});
+      },
+      {"n_name", "o_year"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"n_name", "o_year"},
+                             {{AggOp::kSum, Col("sum_profit"),
+                               "sum_profit"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"n_name", true}, {"o_year", false}});
+  });
+  return b.Build();
+}
+
+// Q10: returned item reporting (top 20 customers).
+StagePlan BuildQ10(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q10");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1993, 10, 1);
+  const int64_t hi = AddMonths(lo, 3);
+  const int cust = b.AddScan(
+      "scan_customer", &cat.customer, J, nullptr,
+      {C("c_custkey"), C("c_name"), C("c_acctbal"), C("c_address"),
+       C("c_nationkey"), C("c_phone"), C("c_comment")},
+      {"c_custkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      And(Ge(Col("o_orderdate"), Lit(lo)), Lt(Col("o_orderdate"), Lit(hi))),
+      {C("o_orderkey"), C("o_custkey")}, {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      Eq(Col("l_returnflag"), Lit("R")),
+      {C("l_orderkey"), N(Revenue(), "revenue")}, {"l_orderkey"}, J);
+  const int lo_join = b.AddPartitionedStage(
+      "join_lineitem_orders", {line, orders}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        return HashAggregate(j, {"o_custkey"},
+                             {{AggOp::kSum, Col("revenue"), "revenue"}});
+      },
+      {"o_custkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_customer", {lo_join, cust}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table per_cust = HashAggregate(
+            *in.tables[0], {"o_custkey"},
+            {{AggOp::kSum, Col("revenue"), "revenue"}});
+        return HashJoin(per_cust, {"o_custkey"}, *in.tables[1],
+                        {"c_custkey"});
+      });
+  const Table* nation = &cat.nation;
+  b.AddSingleTask("top20", {join}, [nation](const TaskInput& in) {
+    Table j = HashJoin(*in.tables[0], {"c_nationkey"}, *nation,
+                       {"n_nationkey"});
+    j = SelectColumns(j, {"c_custkey", "c_name", "revenue", "c_acctbal",
+                          "n_name", "c_address", "c_phone", "c_comment"});
+    return SortBy(j, {{"revenue", false}, {"c_custkey", true}}, 20);
+  });
+  return b.Build();
+}
+
+// Q11: important stock identification in GERMANY.
+StagePlan BuildQ11(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q11");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int supp_germany = b.AddSingleTask(
+      "suppliers_in_germany", {}, [catp](const TaskInput&) {
+        const Table n =
+            Filter(catp->nation, Eq(Col("n_name"), Lit("GERMANY")));
+        Table s = HashJoin(catp->supplier, {"s_nationkey"}, n,
+                           {"n_nationkey"});
+        return SelectColumns(s, {"s_suppkey"});
+      });
+  const int ps = b.AddScan(
+      "scan_partsupp", &cat.partsupp, J, nullptr,
+      {C("ps_partkey"), C("ps_suppkey"),
+       N(Mul(Col("ps_supplycost"),
+             Mul(Col("ps_availqty"), Lit(1.0))),
+         "value")},
+      {"ps_partkey"}, J);
+  const int per_part = b.AddPartitionedStage(
+      "per_part_value", {ps, supp_germany}, {false, true}, J,
+      [](const TaskInput& in) {
+        const Table j = HashJoin(*in.tables[0], {"ps_suppkey"},
+                                 *in.tables[1], {"s_suppkey"},
+                                 JoinType::kLeftSemi);
+        return HashAggregate(j, {"ps_partkey"},
+                             {{AggOp::kSum, Col("value"), "value"}});
+      });
+  b.AddSingleTask("threshold_filter", {per_part}, [](const TaskInput& in) {
+    const Table total = HashAggregate(
+        *in.tables[0], {}, {{AggOp::kSum, Col("value"), "total"}});
+    const double threshold =
+        total.column("total").doubles()[0] * 0.0001;
+    Table filtered =
+        Filter(*in.tables[0], Gt(Col("value"), Lit(threshold)));
+    return SortBy(filtered, {{"value", false}, {"ps_partkey", true}});
+  });
+  return b.Build();
+}
+
+// Q12: shipping modes and order priority.
+StagePlan BuildQ12(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q12");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1994, 1, 1);
+  const int64_t hi = AddYears(lo, 1);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J, nullptr,
+      {C("o_orderkey"), C("o_orderpriority")}, {"o_orderkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      AllOf({InString(Col("l_shipmode"), {"MAIL", "SHIP"}),
+             Lt(Col("l_commitdate"), Col("l_receiptdate")),
+             Lt(Col("l_shipdate"), Col("l_commitdate")),
+             Ge(Col("l_receiptdate"), Lit(lo)),
+             Lt(Col("l_receiptdate"), Lit(hi))}),
+      {C("l_orderkey"), C("l_shipmode")}, {"l_orderkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_count", {line, orders}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_orderkey"}, *in.tables[1],
+                           {"o_orderkey"});
+        Table shaped = Project(
+            j, nullptr,
+            {C("l_shipmode"),
+             N(If(Or(Eq(Col("o_orderpriority"), Lit("1-URGENT")),
+                     Eq(Col("o_orderpriority"), Lit("2-HIGH"))),
+                  Lit(int64_t{1}), Lit(int64_t{0})),
+               "high_line"),
+             N(If(Or(Eq(Col("o_orderpriority"), Lit("1-URGENT")),
+                     Eq(Col("o_orderpriority"), Lit("2-HIGH"))),
+                  Lit(int64_t{0}), Lit(int64_t{1})),
+               "low_line")});
+        return HashAggregate(
+            shaped, {"l_shipmode"},
+            {{AggOp::kSum, Col("high_line"), "high_line_count"},
+             {AggOp::kSum, Col("low_line"), "low_line_count"}});
+      },
+      {"l_shipmode"}, J);
+  const int agg = b.AddPartitionedStage(
+      "reaggregate", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(
+            *in.tables[0], {"l_shipmode"},
+            {{AggOp::kSum, Col("high_line_count"), "high_line_count"},
+             {AggOp::kSum, Col("low_line_count"), "low_line_count"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"l_shipmode", true}});
+  });
+  return b.Build();
+}
+
+// Q13: customer distribution (left outer join with comment filter).
+StagePlan BuildQ13(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q13");
+  const int J = cfg.tasks;
+  const int cust = b.AddScan("scan_customer", &cat.customer, J, nullptr,
+                             {C("c_custkey")}, {"c_custkey"}, J);
+  const int orders = b.AddScan(
+      "scan_orders", &cat.orders, J,
+      Not(StrContainsSeq(Col("o_comment"), "special", "requests")),
+      {C("o_orderkey"), C("o_custkey")}, {"o_custkey"}, J);
+  const int outer = b.AddPartitionedStage(
+      "outer_join_count", {cust, orders}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"c_custkey"}, *in.tables[1],
+                           {"o_custkey"}, JoinType::kLeftOuter);
+        // Unmatched customers get o_orderkey = 0 padding; count real ones.
+        Table shaped = Project(
+            j, nullptr,
+            {C("c_custkey"),
+             N(If(Gt(Col("o_orderkey"), Lit(int64_t{0})), Lit(int64_t{1}),
+                  Lit(int64_t{0})),
+               "has_order")});
+        return HashAggregate(shaped, {"c_custkey"},
+                             {{AggOp::kSum, Col("has_order"), "c_count"}});
+      },
+      {"c_count"}, J);
+  const int dist = b.AddPartitionedStage(
+      "distribution", {outer}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"c_count"},
+                             {{AggOp::kCount, nullptr, "custdist"}});
+      });
+  b.AddSingleTask("sort", {dist}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"custdist", false}, {"c_count", false}});
+  });
+  return b.Build();
+}
+
+// Q14: promotion effect.
+StagePlan BuildQ14(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q14");
+  const int J = cfg.tasks;
+  const int64_t lo = DateFromCivil(1995, 9, 1);
+  const int64_t hi = AddMonths(lo, 1);
+  const int part = b.AddScan("scan_part", &cat.part, J, nullptr,
+                             {C("p_partkey"), C("p_type")}, {"p_partkey"}, J);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      And(Ge(Col("l_shipdate"), Lit(lo)), Lt(Col("l_shipdate"), Lit(hi))),
+      {C("l_partkey"), N(Revenue(), "revenue")}, {"l_partkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_promo", {line, part}, {false, false}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"l_partkey"}, *in.tables[1],
+                           {"p_partkey"});
+        Table shaped = Project(
+            j, nullptr,
+            {N(If(StrPrefix(Col("p_type"), "PROMO"), Col("revenue"),
+                  Lit(0.0)),
+               "promo_revenue"),
+             C("revenue")});
+        return HashAggregate(
+            shaped, {},
+            {{AggOp::kSum, Col("promo_revenue"), "promo"},
+             {AggOp::kSum, Col("revenue"), "total"}});
+      });
+  b.AddSingleTask("ratio", {join}, [](const TaskInput& in) {
+    const Table totals = HashAggregate(
+        *in.tables[0], {},
+        {{AggOp::kSum, Col("promo"), "promo"},
+         {AggOp::kSum, Col("total"), "total"}});
+    return Project(totals, nullptr,
+                   {N(Mul(Lit(100.0), Div(Col("promo"), Col("total"))),
+                      "promo_revenue")});
+  });
+  return b.Build();
+}
+
+// Q15: top supplier (revenue view + max).
+StagePlan BuildQ15(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q15");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int64_t lo = DateFromCivil(1996, 1, 1);
+  const int64_t hi = AddMonths(lo, 3);
+  const int line = b.AddScan(
+      "scan_lineitem", &cat.lineitem, J,
+      And(Ge(Col("l_shipdate"), Lit(lo)), Lt(Col("l_shipdate"), Lit(hi))),
+      {C("l_suppkey"), N(Revenue(), "revenue")}, {"l_suppkey"}, J);
+  const int view = b.AddPartitionedStage(
+      "revenue_view", {line}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"l_suppkey"},
+                             {{AggOp::kSum, Col("revenue"),
+                               "total_revenue"}});
+      });
+  b.AddSingleTask("max_join", {view}, [catp](const TaskInput& in) {
+    const Table& view_table = *in.tables[0];
+    const Table max_rev = HashAggregate(
+        view_table, {}, {{AggOp::kMax, Col("total_revenue"), "max_rev"}});
+    const double max_value = max_rev.column("max_rev").doubles()[0];
+    Table top = Filter(view_table,
+                       Ge(Col("total_revenue"), Lit(max_value - 1e-6)));
+    Table j = HashJoin(top, {"l_suppkey"}, catp->supplier, {"s_suppkey"});
+    j = SelectColumns(j, {"s_suppkey", "s_name", "s_address", "s_phone",
+                          "total_revenue"});
+    return SortBy(j, {{"s_suppkey", true}});
+  });
+  return b.Build();
+}
+
+// Q16: parts/supplier relationship.
+StagePlan BuildQ16(const Catalog& cat, const PlanConfig& cfg) {
+  PlanBuilder b("tpch_q16");
+  const int J = cfg.tasks;
+  const Catalog* catp = &cat;
+  const int part = b.AddScan(
+      "scan_part", &cat.part, J,
+      AllOf({Ne(Col("p_brand"), Lit("Brand#45")),
+             Not(StrPrefix(Col("p_type"), "MEDIUM POLISHED")),
+             InInt(Col("p_size"), {49, 14, 23, 45, 19, 3, 36, 9})}),
+      {C("p_partkey"), C("p_brand"), C("p_type"), C("p_size")},
+      {"p_partkey"}, J);
+  const int complainers = b.AddSingleTask(
+      "complaint_suppliers", {}, [catp](const TaskInput&) {
+        return SelectColumns(
+            Filter(catp->supplier,
+                   StrContainsSeq(Col("s_comment"), "Customer",
+                                  "Complaints")),
+            {"s_suppkey"});
+      });
+  const int ps = b.AddScan("scan_partsupp", &cat.partsupp, J, nullptr,
+                           {C("ps_partkey"), C("ps_suppkey")},
+                           {"ps_partkey"}, J);
+  const int join = b.AddPartitionedStage(
+      "join_anti", {ps, part, complainers}, {false, false, true}, J,
+      [](const TaskInput& in) {
+        Table j = HashJoin(*in.tables[0], {"ps_partkey"}, *in.tables[1],
+                           {"p_partkey"});
+        j = HashJoin(j, {"ps_suppkey"}, *in.tables[2], {"s_suppkey"},
+                     JoinType::kLeftAnti);
+        return SelectColumns(j, {"p_brand", "p_type", "p_size",
+                                 "ps_suppkey"});
+      },
+      {"p_brand", "p_type", "p_size"}, J);
+  const int agg = b.AddPartitionedStage(
+      "count_distinct", {join}, {false}, J, [](const TaskInput& in) {
+        return HashAggregate(*in.tables[0], {"p_brand", "p_type", "p_size"},
+                             {{AggOp::kCountDistinct, Col("ps_suppkey"),
+                               "supplier_cnt"}});
+      });
+  b.AddSingleTask("sort", {agg}, [](const TaskInput& in) {
+    return SortBy(*in.tables[0], {{"supplier_cnt", false},
+                                  {"p_brand", true},
+                                  {"p_type", true},
+                                  {"p_size", true}});
+  });
+  return b.Build();
+}
+
+}  // namespace cackle::exec::internal

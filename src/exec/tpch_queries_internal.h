@@ -1,0 +1,50 @@
+#ifndef CACKLE_EXEC_TPCH_QUERIES_INTERNAL_H_
+#define CACKLE_EXEC_TPCH_QUERIES_INTERNAL_H_
+
+#include "exec/datagen.h"
+#include "exec/query_builder.h"
+#include "exec/tpch_queries.h"
+
+namespace cackle::exec::internal {
+
+/// Shorthand: pass-through projection column.
+inline NamedExpr C(const char* name) { return NamedExpr{Col(name), name}; }
+/// Shorthand: named expression.
+inline NamedExpr N(ExprPtr e, const char* name) {
+  return NamedExpr{std::move(e), name};
+}
+
+/// l_extendedprice * (1 - l_discount).
+inline ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(Lit(1.0), Col("l_discount")));
+}
+
+StagePlan BuildQ1(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ2(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ3(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ4(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ5(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ6(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ7(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ8(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ9(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ10(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ11(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ12(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ13(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ14(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ15(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ16(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ17(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ18(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ19(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ20(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ21(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ22(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ23Iterative(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ24Reporting(const Catalog& cat, const PlanConfig& cfg);
+StagePlan BuildQ25MultiFact(const Catalog& cat, const PlanConfig& cfg);
+
+}  // namespace cackle::exec::internal
+
+#endif  // CACKLE_EXEC_TPCH_QUERIES_INTERNAL_H_

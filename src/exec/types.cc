@@ -1,0 +1,51 @@
+#include "exec/types.h"
+
+#include <cstdio>
+
+namespace cackle::exec {
+namespace {
+
+constexpr bool IsLeap(int64_t y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+constexpr unsigned DaysInMonth(int64_t y, unsigned m) {
+  constexpr unsigned kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int64_t AddMonths(int64_t date, int64_t months) {
+  const CivilDate c = CivilFromDate(date);
+  int64_t total = c.year * 12 + static_cast<int64_t>(c.month) - 1 + months;
+  const int64_t y = (total >= 0 ? total : total - 11) / 12;
+  const unsigned m = static_cast<unsigned>(total - y * 12) + 1;
+  unsigned d = c.day;
+  const unsigned dim = DaysInMonth(y, m);
+  if (d > dim) d = dim;
+  return DateFromCivil(y, m, d);
+}
+
+std::string FormatDate(int64_t date) {
+  const CivilDate c = CivilFromDate(date);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u",
+                static_cast<long long>(c.year), c.month, c.day);
+  return buf;
+}
+
+}  // namespace cackle::exec

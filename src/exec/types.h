@@ -1,0 +1,64 @@
+#ifndef CACKLE_EXEC_TYPES_H_
+#define CACKLE_EXEC_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cackle::exec {
+
+/// \brief Column data types of the mini executor.
+///
+/// Dates are stored as kInt64 days-since-civil-epoch (see DateFromCivil);
+/// decimals as kFloat64 (sufficient for TPC-H aggregates at test scale).
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+std::string_view DataTypeName(DataType type);
+
+/// \brief Days since 1970-01-01 for a proleptic Gregorian date
+/// (Howard Hinnant's civil-days algorithm; valid for all TPC-H dates).
+constexpr int64_t DateFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+/// \brief Inverse of DateFromCivil.
+struct CivilDate {
+  int64_t year;
+  unsigned month;
+  unsigned day;
+};
+constexpr CivilDate CivilFromDate(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{y + (m <= 2), m, d};
+}
+
+/// Adds `months` calendar months, clamping the day to the target month's
+/// length (TPC-H interval semantics).
+int64_t AddMonths(int64_t date, int64_t months);
+inline int64_t AddYears(int64_t date, int64_t years) {
+  return AddMonths(date, years * 12);
+}
+
+/// Formats as YYYY-MM-DD.
+std::string FormatDate(int64_t date);
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_TYPES_H_

@@ -1,0 +1,62 @@
+#include "model/analytical_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "strategy/allocation_model.h"
+#include "strategy/shuffle_provisioner.h"
+
+namespace cackle {
+
+ModelResult AnalyticalModel::Run(ProvisioningStrategy* strategy,
+                                 const DemandCurve& demand,
+                                 const ModelOptions& options,
+                                 bool record_series) const {
+  ModelResult result;
+  result.compute = EvaluateStrategy(strategy, demand.tasks_per_second(),
+                                    *cost_, record_series);
+
+  if (options.include_shuffle) {
+    ShuffleProvisioner provisioner(cost_);
+    AllocationModel nodes(cost_->shuffle_node_startup_ms / 1000,
+                          cost_->shuffle_node_min_billing_ms / 1000,
+                          cost_->shuffle_node_cost_per_hour / 3600.0,
+                          /*elastic_price_per_s=*/0.0);
+    const int64_t seconds = demand.duration_seconds();
+    for (int64_t s = 0; s < seconds; ++s) {
+      const int64_t resident = demand.ShuffleBytesAt(s);
+      const int64_t target = provisioner.Step(resident);
+      const auto step = nodes.Step(target, /*demand=*/0);
+      const int64_t capacity =
+          step.available * cost_->shuffle_node_memory_bytes;
+      // When resident intermediate state exceeds provisioned node memory,
+      // the overflowing fraction of this second's shuffle traffic goes
+      // through cloud storage and is billed per request (the Starling
+      // fallback path).
+      double overflow_fraction = 0.0;
+      if (resident > capacity && resident > 0) {
+        overflow_fraction = static_cast<double>(resident - capacity) /
+                            static_cast<double>(resident);
+      }
+      const double puts =
+          static_cast<double>(demand.PutsAt(s)) * overflow_fraction;
+      const double gets =
+          static_cast<double>(demand.GetsAt(s)) * overflow_fraction;
+      result.object_store_puts += static_cast<int64_t>(puts + 0.5);
+      result.object_store_gets += static_cast<int64_t>(gets + 0.5);
+      result.object_store_cost += puts * cost_->object_store_put_cost +
+                                  gets * cost_->object_store_get_cost;
+    }
+    nodes.Finish();
+    result.shuffle_node_cost = nodes.vm_cost();
+  }
+
+  if (options.include_coordinator) {
+    const double hours =
+        static_cast<double>(demand.duration_seconds()) / 3600.0;
+    result.coordinator_cost = cost_->coordinator_cost_per_hour * hours;
+  }
+  return result;
+}
+
+}  // namespace cackle

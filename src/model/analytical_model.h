@@ -1,0 +1,67 @@
+#ifndef CACKLE_MODEL_ANALYTICAL_MODEL_H_
+#define CACKLE_MODEL_ANALYTICAL_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cost_model.h"
+#include "strategy/cost_calculator.h"
+#include "strategy/strategy.h"
+#include "workload/demand.h"
+
+namespace cackle {
+
+/// \brief Full analytical-model result for one strategy on one workload.
+struct ModelResult {
+  /// Execution-layer compute (VMs + elastic pool).
+  StrategyEvaluation compute;
+  /// Shuffling layer: provisioned shuffle nodes plus cloud-storage requests
+  /// for the overflow.
+  double shuffle_node_cost = 0.0;
+  double object_store_cost = 0.0;
+  int64_t object_store_puts = 0;
+  int64_t object_store_gets = 0;
+  /// Coordinator VM rental over the workload (included when requested).
+  double coordinator_cost = 0.0;
+
+  double compute_cost() const { return compute.total(); }
+  double shuffle_cost() const { return shuffle_node_cost + object_store_cost; }
+  double total() const {
+    return compute_cost() + shuffle_cost() + coordinator_cost;
+  }
+};
+
+/// \brief Options for an analytical-model run.
+struct ModelOptions {
+  /// Model the shuffling layer (Section 5.6). Off for the pure compute
+  /// experiments of Figures 5-10, on when comparing end-to-end costs.
+  bool include_shuffle = false;
+  /// Charge the single always-on coordinator VM.
+  bool include_coordinator = false;
+};
+
+/// \brief The analytical model of Section 5: second-by-second accounting of
+/// a workload's demand against a provisioning strategy and the cost model.
+///
+/// Compute: demand is served by available provisioned VMs first; the excess
+/// runs on the elastic pool (delegated to EvaluateStrategy, shared with the
+/// dynamic strategy's internal expert evaluation). Shuffling: shuffle nodes
+/// follow the Section 5.6 policy (trailing 20-minute max of resident
+/// intermediate state, 16 GB floor); when resident state exceeds provisioned
+/// node memory, the overflow's reads and writes go to cloud storage at
+/// per-request prices.
+class AnalyticalModel {
+ public:
+  explicit AnalyticalModel(const CostModel* cost) : cost_(cost) {}
+
+  ModelResult Run(ProvisioningStrategy* strategy, const DemandCurve& demand,
+                  const ModelOptions& options = ModelOptions(),
+                  bool record_series = false) const;
+
+ private:
+  const CostModel* cost_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_MODEL_ANALYTICAL_MODEL_H_

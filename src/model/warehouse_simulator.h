@@ -1,0 +1,78 @@
+#ifndef CACKLE_MODEL_WAREHOUSE_SIMULATOR_H_
+#define CACKLE_MODEL_WAREHOUSE_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/simulation.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+namespace cackle {
+
+/// \brief Configuration of a conventional cloud data-warehouse baseline
+/// (Databricks-SQL-like or Redshift-Serverless-like; Sections 7.1.7/7.1.8).
+///
+/// The baselines capture the documented behaviours the paper contrasts with
+/// Cackle: queries run on a set of clusters with bounded concurrency; when
+/// all slots are taken, queries queue; auto-scaling adds a cluster only
+/// after queries have queued for a while and new clusters take minutes to
+/// come online; surplus clusters are released slowly. Fixed warehouses bill
+/// all clusters for the whole workload; serverless billing charges only
+/// while queries are running, with a one-minute minimum per busy period.
+struct WarehouseOptions {
+  std::string name = "warehouse";
+  int min_clusters = 1;
+  int max_clusters = 1;
+  /// Queries running concurrently per cluster before queueing.
+  int slots_per_cluster = 10;
+  /// Dollars per cluster-hour (e.g. Databricks small = 12 DBU x $0.70).
+  double cluster_cost_per_hour = 8.4;
+  /// Query latency = profile critical path x this factor (warm local-disk
+  /// caches make warehouses faster than cloud-storage-bound execution).
+  double speed_factor = 0.6;
+  /// Time for a newly requested cluster to come online.
+  SimTimeMs cluster_startup_ms = 150 * kMillisPerSecond;
+  /// A queued query older than this triggers a scale-up request.
+  SimTimeMs queue_before_scale_up_ms = 30 * kMillisPerSecond;
+  /// Additionally require at least this many queued queries before scaling
+  /// up (Snowflake's "economy" multi-cluster policy waits for a real
+  /// backlog; "standard" scales on any queueing).
+  int64_t min_queued_for_scale_up = 1;
+  /// An idle surplus cluster is released after this long.
+  SimTimeMs idle_before_release_ms = 10 * kMillisPerMinute;
+  /// Redshift-Serverless-style billing: charged only while at least one
+  /// query is running, with a 60 s minimum per busy period.
+  bool serverless_billing = false;
+};
+
+/// Canonical baseline configurations used by the Figure 1/14 benches.
+WarehouseOptions DatabricksSmallFixed(int clusters = 5);
+WarehouseOptions DatabricksSmallAuto();
+WarehouseOptions DatabricksMediumFixed(int clusters = 3);
+WarehouseOptions DatabricksMediumAuto();
+WarehouseOptions RedshiftServerless8Rpu();
+/// Snowflake-like multi-cluster warehouse (related work, [29]): standard
+/// policy scales on any sustained queueing; economy waits for a backlog.
+WarehouseOptions SnowflakeLikeMultiCluster(bool economy);
+
+/// \brief Result of a warehouse baseline run.
+struct WarehouseResult {
+  std::string name;
+  SampleSet latencies_s;
+  double cost = 0.0;
+  int64_t clusters_started = 0;
+  int64_t peak_clusters = 0;
+  int64_t queries_queued = 0;  // queries that waited at least one second
+};
+
+/// Simulates the warehouse on a generated workload.
+WarehouseResult RunWarehouseSimulation(
+    const std::vector<QueryArrival>& arrivals, const ProfileLibrary& library,
+    const WarehouseOptions& options);
+
+}  // namespace cackle
+
+#endif  // CACKLE_MODEL_WAREHOUSE_SIMULATOR_H_

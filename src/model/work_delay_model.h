@@ -1,0 +1,44 @@
+#ifndef CACKLE_MODEL_WORK_DELAY_MODEL_H_
+#define CACKLE_MODEL_WORK_DELAY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cost_model.h"
+#include "common/stats.h"
+#include "sim/simulation.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+namespace cackle {
+
+/// \brief Result of simulating a work-delaying system (Section 5.5).
+struct WorkDelayResult {
+  /// Per-query latency (submission to completion), seconds.
+  SampleSet latencies_s;
+  /// Compute cost: the fixed fleet rented for the whole makespan.
+  double cost = 0.0;
+  /// Time until the last query finished.
+  SimTimeMs makespan_ms = 0;
+  int64_t tasks_executed = 0;
+};
+
+/// \brief Simulates the conventional OLAP provisioning model: a fixed fleet
+/// of `num_workers` task slots; work queues FIFO (priority to the earliest
+/// submitted query) until a slot frees up. Unlike Cackle there is no elastic
+/// pool, so demand spikes translate into queueing delay instead of cost.
+///
+/// Used for Figure 11's cost-vs-p95-latency frontier of fixed provisionings.
+WorkDelayResult RunWorkDelaySimulation(
+    const std::vector<QueryArrival>& arrivals, const ProfileLibrary& library,
+    int64_t num_workers, const CostModel& cost);
+
+/// \brief Latencies of the same workload under Cackle's execution model:
+/// tasks never queue (the elastic pool absorbs overflow), so each query
+/// completes after its unconstrained critical path.
+SampleSet UnconstrainedLatencies(const std::vector<QueryArrival>& arrivals,
+                                 const ProfileLibrary& library);
+
+}  // namespace cackle
+
+#endif  // CACKLE_MODEL_WORK_DELAY_MODEL_H_

@@ -1,0 +1,79 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace cackle {
+
+uint64_t Simulation::ScheduleAt(SimTimeMs when, Callback cb) {
+  CACKLE_CHECK_GE(when, now_) << "cannot schedule in the past";
+  Event* ev = new Event{when, next_seq_++, std::move(cb), false};
+  queue_.push(ev);
+  pending_.push_back(ev);
+  ++live_events_;
+  return ev->seq;
+}
+
+Simulation::Event* Simulation::FindPending(uint64_t seq) {
+  if (seq < base_seq_) return nullptr;
+  const uint64_t slot = seq - base_seq_;
+  if (slot >= pending_.size()) return nullptr;
+  return pending_[slot];
+}
+
+bool Simulation::Cancel(uint64_t event_id) {
+  Event* ev = FindPending(event_id);
+  if (ev == nullptr || ev->cancelled) return false;
+  ev->cancelled = true;
+  --live_events_;
+  return true;
+}
+
+void Simulation::CompactRegistry() {
+  // Drop leading registry slots whose events have already executed
+  // (marked nullptr) to keep memory bounded on long simulations.
+  size_t drop = 0;
+  while (drop < pending_.size() && pending_[drop] == nullptr) ++drop;
+  if (drop > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(drop));
+    base_seq_ += drop;
+  }
+}
+
+int64_t Simulation::RunUntil(SimTimeMs until) {
+  int64_t ran = 0;
+  while (!queue_.empty()) {
+    Event* ev = queue_.top();
+    if (ev->when > until) break;
+    queue_.pop();
+    const uint64_t slot = ev->seq - base_seq_;
+    CACKLE_CHECK_LT(slot, pending_.size());
+    pending_[slot] = nullptr;
+    if (!ev->cancelled) {
+      now_ = ev->when;
+      --live_events_;
+      Callback cb = std::move(ev->cb);
+      delete ev;
+      cb();
+      ++ran;
+      ++executed_;
+    } else {
+      delete ev;
+    }
+    if ((executed_ & 0xFFF) == 0) CompactRegistry();
+  }
+  if (queue_.empty()) CompactRegistry();
+  if (until > now_ && queue_.empty()) now_ = until;
+  return ran;
+}
+
+int64_t Simulation::RunToCompletion() {
+  int64_t ran = 0;
+  while (!queue_.empty()) {
+    ran += RunUntil(queue_.top()->when);
+  }
+  CompactRegistry();
+  return ran;
+}
+
+}  // namespace cackle

@@ -1,0 +1,96 @@
+#ifndef CACKLE_SIM_SIMULATION_H_
+#define CACKLE_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cackle {
+
+/// Simulated time in milliseconds since the start of the workload. All cloud
+/// substrate and engine components operate in simulated time; nothing in the
+/// library reads the wall clock.
+using SimTimeMs = int64_t;
+
+constexpr SimTimeMs kMillisPerSecond = 1000;
+constexpr SimTimeMs kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr SimTimeMs kMillisPerHour = 60 * kMillisPerMinute;
+
+constexpr double MsToSeconds(SimTimeMs ms) {
+  return static_cast<double>(ms) / 1000.0;
+}
+constexpr SimTimeMs SecondsToMs(double seconds) {
+  return static_cast<SimTimeMs>(seconds * 1000.0 + 0.5);
+}
+
+/// \brief Discrete-event simulation kernel.
+///
+/// Events are closures executed in (time, insertion-sequence) order, so
+/// simultaneous events run deterministically in the order they were
+/// scheduled. Components (VM fleet, elastic pool, coordinator, shuffle
+/// layer) share one Simulation and interact only through scheduled events.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTimeMs NowMs() const { return now_; }
+
+  /// Schedules `cb` at absolute simulated time `when` (>= NowMs()).
+  /// Returns an event id usable with Cancel().
+  uint64_t ScheduleAt(SimTimeMs when, Callback cb);
+
+  /// Schedules `cb` `delay` milliseconds from now.
+  uint64_t ScheduleAfter(SimTimeMs delay, Callback cb) {
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if the event already ran or was
+  /// already cancelled.
+  bool Cancel(uint64_t event_id);
+
+  /// Runs events until the queue is empty or simulated time would pass
+  /// `until` (inclusive). Returns the number of events executed.
+  int64_t RunUntil(SimTimeMs until);
+
+  /// Runs until no events remain.
+  int64_t RunToCompletion();
+
+  bool empty() const { return live_events_ == 0; }
+  int64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTimeMs when;
+    uint64_t seq;
+    Callback cb;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  SimTimeMs now_ = 0;
+  uint64_t next_seq_ = 0;
+  int64_t live_events_ = 0;
+  int64_t executed_ = 0;
+  std::priority_queue<Event*, std::vector<Event*>, EventOrder> queue_;
+  // Owned events, indexed by seq for cancellation. Entries are deleted as
+  // they run; the vector of pointers is kept small by the queue draining.
+  std::vector<Event*> pending_;  // flat registry, slot = seq - base_seq_
+  uint64_t base_seq_ = 0;
+
+  Event* FindPending(uint64_t seq);
+  void CompactRegistry();
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_SIM_SIMULATION_H_

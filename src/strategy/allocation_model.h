@@ -1,0 +1,104 @@
+#ifndef CACKLE_STRATEGY_ALLOCATION_MODEL_H_
+#define CACKLE_STRATEGY_ALLOCATION_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "cloud/cost_model.h"
+
+namespace cackle {
+
+/// \brief Second-granularity model of how a target history turns into an
+/// allocation history (Section 4.4.2) and what it costs (Section 4.4.3).
+///
+/// Rules mirror the simulated cloud substrate:
+///  - A rise in target requests VMs that become available after the startup
+///    delay (in whole seconds).
+///  - A drop in target first cancels still-pending requests (newest first,
+///    free), then terminates idle VMs — oldest first, and only VMs that
+///    have met their minimum billing time (younger idle VMs stay: there is
+///    no value in stopping them early, and they may be reused).
+///  - Only idle VMs terminate: with demand d and a available, min(d, a) VMs
+///    are busy, so at most max(0, a - d) can stop this second.
+///  - Each second costs: available x VM price + overflow x elastic price,
+///    where overflow = max(0, demand - available). (Section 4.4.3: demand
+///    under the allocation runs on VMs, the excess on the elastic pool.)
+///
+/// The model is incremental — O(1) amortized per second — so the dynamic
+/// meta-strategy can maintain one instance per expert.
+class AllocationModel {
+ public:
+  explicit AllocationModel(const CostModel* cost);
+
+  /// Generalized constructor for other provisioned fleets (the shuffle layer
+  /// reuses the same allocation rules with its own prices; its overflow is
+  /// priced per request by the caller, so `elastic_price_per_s` may be 0).
+  AllocationModel(int64_t startup_s, int64_t min_billing_s, double price_per_s,
+                  double elastic_price_per_s);
+
+  struct StepResult {
+    /// VMs available during this second.
+    int64_t available = 0;
+    /// Dollars accrued this second (including any early-termination
+    /// minimum-billing penalties paid this second).
+    double vm_cost = 0.0;
+    double elastic_cost = 0.0;
+  };
+
+  /// Advances one second: applies the strategy's `target`, serves `demand`.
+  StepResult Step(int64_t target, int64_t demand);
+
+  /// Terminates everything (end of workload), charging remaining
+  /// minimum-billing penalties. Further Steps are invalid.
+  void Finish();
+
+  int64_t now_s() const { return now_s_; }
+  int64_t available() const {
+    return static_cast<int64_t>(running_.size());
+  }
+  int64_t pending() const { return pending_count_; }
+  double vm_cost() const { return vm_cost_; }
+  double elastic_cost() const { return elastic_cost_; }
+  double total_cost() const { return vm_cost_ + elastic_cost_; }
+  int64_t total_vm_seconds() const { return total_vm_seconds_; }
+  int64_t total_elastic_task_seconds() const {
+    return total_elastic_task_seconds_;
+  }
+
+ private:
+  struct PendingBatch {
+    int64_t ready_s;  // second at which these VMs become available
+    int64_t count;
+  };
+
+  void TerminateOne();
+  /// Whether the oldest running VM has met its minimum billing time (only
+  /// such VMs are worth terminating mid-run).
+  bool OldestPastMinBilling() const;
+  /// Re-reads prices and the startup delay from the CostModel (when
+  /// constructed from one), so mid-workload environment changes
+  /// (Section 5.3: spot prices nearly doubling within a quarter) take
+  /// effect on the next step.
+  void RefreshEnvironment();
+
+  const CostModel* cost_ = nullptr;  // null for the fixed-price constructor
+  int64_t startup_s_;
+  int64_t min_billing_s_;
+  double vm_price_s_;
+  double elastic_price_s_;
+
+  int64_t now_s_ = 0;
+  std::deque<PendingBatch> pending_;  // ordered by ready_s
+  int64_t pending_count_ = 0;
+  /// Start second of each running VM, oldest first.
+  std::deque<int64_t> running_;
+  double vm_cost_ = 0.0;
+  double elastic_cost_ = 0.0;
+  int64_t total_vm_seconds_ = 0;
+  int64_t total_elastic_task_seconds_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_STRATEGY_ALLOCATION_MODEL_H_

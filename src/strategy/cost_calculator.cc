@@ -1,0 +1,36 @@
+#include "strategy/cost_calculator.h"
+
+#include "strategy/allocation_model.h"
+#include "strategy/workload_history.h"
+
+namespace cackle {
+
+StrategyEvaluation EvaluateStrategy(
+    ProvisioningStrategy* strategy,
+    const std::vector<int64_t>& demand_per_second, const CostModel& cost,
+    bool record_series) {
+  StrategyEvaluation eval;
+  WorkloadHistory history;
+  AllocationModel model(&cost);
+  if (record_series) {
+    eval.target_series.reserve(demand_per_second.size());
+    eval.allocation_series.reserve(demand_per_second.size());
+  }
+  for (int64_t demand : demand_per_second) {
+    history.Append(demand);
+    const int64_t target = strategy->Target(history);
+    const auto step = model.Step(target, demand);
+    if (record_series) {
+      eval.target_series.push_back(target);
+      eval.allocation_series.push_back(step.available);
+    }
+  }
+  model.Finish();
+  eval.vm_cost = model.vm_cost();
+  eval.elastic_cost = model.elastic_cost();
+  eval.vm_seconds = model.total_vm_seconds();
+  eval.elastic_task_seconds = model.total_elastic_task_seconds();
+  return eval;
+}
+
+}  // namespace cackle

@@ -1,0 +1,84 @@
+#include "strategy/dynamic_strategy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+DynamicStrategy::DynamicStrategy(const CostModel* cost,
+                                 DynamicStrategyOptions options)
+    : cost_(cost), options_(std::move(options)),
+      experts_(BuildPercentileFamily(options_.family)), rng_(options_.seed) {
+  expert_names_.reserve(experts_.size());
+  models_.reserve(experts_.size());
+  for (const auto& e : experts_) {
+    expert_names_.push_back(e->name());
+    models_.emplace_back(cost_);
+  }
+  interval_cost_.assign(experts_.size(), 0.0);
+  mw_ = std::make_unique<MultiplicativeWeights>(
+      experts_.size(), options_.epsilon, options_.weight_floor_ratio);
+  chosen_ = experts_.size() / 2;  // arbitrary deterministic initial expert
+}
+
+DynamicStrategy::~DynamicStrategy() = default;
+
+const std::string& DynamicStrategy::chosen_expert_name() const {
+  return expert_names_[chosen_];
+}
+
+double DynamicStrategy::ExpertCost(size_t i) const {
+  CACKLE_CHECK_LT(i, models_.size());
+  return models_[i].total_cost();
+}
+
+int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
+  const int64_t demand = history.Latest();
+  // Evaluate every expert on this second: its target, and what it would
+  // have cost (allocation under the known startup time + cost model).
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    const int64_t expert_target = experts_[i]->Target(history);
+    const auto step = models_[i].Step(expert_target, demand);
+    interval_cost_[i] += step.vm_cost + step.elastic_cost;
+  }
+  ++seconds_seen_;
+
+  if (seconds_seen_ % options_.update_interval_s == 0) {
+    // Normalize interval costs into [0, 1] penalties as *relative regret*:
+    // penalty_i = (cost_i - best) / best, clamped to 1. An expert 10% more
+    // expensive than the best gets 0.1 every round, so the weights
+    // concentrate on the near-optimal cluster quickly; normalizing by the
+    // worst expert instead would compress all useful distinctions to ~0
+    // whenever one wild expert (e.g. a 20x multiplier) dominates the range.
+    double max_cost = 0.0;
+    double min_cost = interval_cost_.empty() ? 0.0 : interval_cost_[0];
+    for (double c : interval_cost_) {
+      max_cost = std::max(max_cost, c);
+      min_cost = std::min(min_cost, c);
+    }
+    std::vector<double> penalties(experts_.size(), 0.0);
+    if (max_cost > min_cost) {
+      const double denom = min_cost > 0.0 ? min_cost : max_cost;
+      for (size_t i = 0; i < experts_.size(); ++i) {
+        penalties[i] =
+            std::min(1.0, (interval_cost_[i] - min_cost) / denom);
+      }
+    }
+    mw_->Update(penalties);
+    std::fill(interval_cost_.begin(), interval_cost_.end(), 0.0);
+    const size_t next =
+        options_.sample_expert ? mw_->Sample(&rng_) : mw_->Best();
+    if (next != chosen_) ++switches_;
+    chosen_ = next;
+    // The meta-strategy runs every update interval (five seconds in the
+    // paper); the executed target is re-computed here and held in between,
+    // which keeps the fleet from churning on per-second percentile noise.
+    last_target_ = experts_[chosen_]->Target(history);
+  } else if (seconds_seen_ <= 1) {
+    last_target_ = experts_[chosen_]->Target(history);
+  }
+  return last_target_;
+}
+
+}  // namespace cackle

@@ -1,0 +1,89 @@
+#ifndef CACKLE_STRATEGY_DYNAMIC_STRATEGY_H_
+#define CACKLE_STRATEGY_DYNAMIC_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cost_model.h"
+#include "common/rng.h"
+#include "strategy/allocation_model.h"
+#include "strategy/multiplicative_weights.h"
+#include "strategy/strategy.h"
+
+namespace cackle {
+
+/// \brief Options for the dynamic cost-based meta-strategy.
+struct DynamicStrategyOptions {
+  FamilyOptions family;
+  /// The meta-strategy re-runs (penalty update + expert re-selection) at
+  /// this cadence; the paper uses five seconds.
+  int64_t update_interval_s = 5;
+  /// Multiplicative-weights learning rate.
+  double epsilon = 0.25;
+  /// Relative weight floor (fixed-share style) so the meta-strategy can
+  /// re-converge quickly after an environment change; 0 disables.
+  double weight_floor_ratio = 1e-6;
+  /// Expert selection each round: true = sample from the weight
+  /// distribution (the textbook randomized algorithm and the paper's
+  /// description); false = play the heaviest expert (follow-the-leader,
+  /// deterministic). Sampling keeps the adversarial regret guarantee;
+  /// argmax avoids bouncing among near-tied experts.
+  bool sample_expert = true;
+  uint64_t seed = 7;
+};
+
+/// \brief Cackle's dynamic cost-based meta-strategy (Section 4.4).
+///
+/// Maintains the whole percentile family as experts. Every second each
+/// expert produces a target from the workload history; a per-expert
+/// AllocationModel turns that target history into an allocation history
+/// under the known VM startup time, and prices it against the cost model
+/// (what the expert *would* have cost had it been driving the system).
+/// Every `update_interval_s` seconds the interval costs become penalties
+/// for a multiplicative-weights update and the played expert is re-sampled
+/// from the weight distribution. The played expert's current target is the
+/// strategy's output.
+///
+/// If the cost model changes mid-workload (price or startup-time change),
+/// the expert evaluations pick up the new conditions from the next step —
+/// no parameters encode the old prices.
+class DynamicStrategy : public ProvisioningStrategy {
+ public:
+  DynamicStrategy(const CostModel* cost,
+                  DynamicStrategyOptions options = DynamicStrategyOptions());
+  ~DynamicStrategy() override;
+
+  std::string name() const override { return "dynamic"; }
+  int64_t Target(const WorkloadHistory& history) override;
+
+  size_t num_experts() const { return experts_.size(); }
+  /// The expert currently driving the system.
+  size_t chosen_expert() const { return chosen_; }
+  const std::string& chosen_expert_name() const;
+  /// Predicted cumulative cost of expert `i` so far.
+  double ExpertCost(size_t i) const;
+  const MultiplicativeWeights& weights() const { return *mw_; }
+
+  /// Number of times the chosen expert changed across updates.
+  int64_t expert_switches() const { return switches_; }
+
+ private:
+  const CostModel* cost_;
+  DynamicStrategyOptions options_;
+  std::vector<std::unique_ptr<ProvisioningStrategy>> experts_;
+  std::vector<std::string> expert_names_;
+  std::vector<AllocationModel> models_;
+  std::vector<double> interval_cost_;
+  std::unique_ptr<MultiplicativeWeights> mw_;
+  Rng rng_;
+  size_t chosen_ = 0;
+  int64_t seconds_seen_ = 0;
+  int64_t switches_ = 0;
+  int64_t last_target_ = 0;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_STRATEGY_DYNAMIC_STRATEGY_H_

@@ -1,0 +1,150 @@
+#include "strategy/oracle.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cackle {
+namespace {
+
+/// Cost accumulator carried through the per-layer dynamic program so the
+/// final answer keeps the VM / elastic split.
+struct Acc {
+  double vm = 0.0;
+  double elastic = 0.0;
+  int64_t sessions = 0;
+  int64_t vm_seconds = 0;
+  int64_t elastic_seconds = 0;
+
+  double total() const { return vm + elastic; }
+};
+
+Acc Better(const Acc& a, const Acc& b) { return a.total() <= b.total() ? a : b; }
+
+/// Per-layer DP state. Runs of this layer arrive in chronological order;
+/// `f` is the optimal cost of serving all runs seen so far. Recent runs are
+/// retained as potential session starts; a VM session never bridges more
+/// than 2x the minimum billing time of idle gap (bridging gap g costs
+/// g * vm_price, while splitting wastes at most one minimum-billing
+/// remainder per session), so older runs can be dropped.
+class LayerDp {
+ public:
+  void AddRun(int64_t start_s, int64_t end_s, double vm_price_s,
+              double elastic_price_s, int64_t min_billing_s,
+              bool allow_elastic) {
+    const int64_t busy = end_s - start_s;
+    CACKLE_CHECK_GT(busy, 0);
+
+    // Candidate 1: serve this run on the elastic pool.
+    Acc best;
+    bool have_best = false;
+    if (allow_elastic) {
+      best = f_;
+      best.elastic += static_cast<double>(busy) * elastic_price_s;
+      best.elastic_seconds += busy;
+      have_best = true;
+    }
+
+    // Candidate 2: one VM session covering runs i..this, for each retained
+    // candidate start i (the run itself is pushed first so "session = just
+    // this run" is included).
+    recent_.push_back(Candidate{start_s, busy_total_, f_});
+    busy_total_ += busy;
+    // Evict candidates whose cumulative bridged gap exceeds the bound.
+    const int64_t max_bridge = 2 * min_billing_s;
+    while (!recent_.empty()) {
+      const Candidate& c = recent_.front();
+      const int64_t span = end_s - c.start_s;
+      const int64_t busy_sum = busy_total_ - c.busy_before;
+      if (span - busy_sum > max_bridge && recent_.size() > 1) {
+        recent_.pop_front();
+      } else {
+        break;
+      }
+    }
+    for (const Candidate& c : recent_) {
+      const int64_t span = end_s - c.start_s;
+      const int64_t billed = std::max(span, min_billing_s);
+      Acc candidate = c.f_before;
+      candidate.vm += static_cast<double>(billed) * vm_price_s;
+      candidate.vm_seconds += billed;
+      candidate.sessions += 1;
+      if (!have_best) {
+        best = candidate;
+        have_best = true;
+      } else {
+        best = Better(best, candidate);
+      }
+    }
+    CACKLE_CHECK(have_best);
+    f_ = best;
+  }
+
+  const Acc& result() const { return f_; }
+
+ private:
+  struct Candidate {
+    int64_t start_s;
+    int64_t busy_before;  // layer busy seconds before this run
+    Acc f_before;         // DP value before serving this run
+  };
+
+  Acc f_;
+  int64_t busy_total_ = 0;
+  std::deque<Candidate> recent_;
+};
+
+}  // namespace
+
+OracleResult ComputeOracleCost(const std::vector<int64_t>& demand_per_second,
+                               const CostModel& cost, bool allow_elastic) {
+  const double vm_price_s = cost.VmCostPerSecond();
+  const double elastic_price_s = cost.ElasticCostPerSecond();
+  const int64_t min_billing_s = cost.vm_min_billing_ms / 1000;
+
+  // Decompose demand into unit layers with a stack sweep: layer k is busy
+  // at second t iff demand(t) >= k. Rises push run starts; falls emit
+  // finished runs into the layer's DP, which consumes runs in time order.
+  std::vector<LayerDp> layers;
+  std::vector<int64_t> open_start;  // open_start[k-1] = start of layer k's run
+  int64_t prev = 0;
+  const int64_t n = static_cast<int64_t>(demand_per_second.size());
+  auto emit = [&](int64_t layer_index, int64_t start_s, int64_t end_s) {
+    if (static_cast<size_t>(layer_index) >= layers.size()) {
+      layers.resize(static_cast<size_t>(layer_index) + 1);
+    }
+    layers[static_cast<size_t>(layer_index)].AddRun(
+        start_s, end_s, vm_price_s, elastic_price_s, min_billing_s,
+        allow_elastic);
+  };
+  for (int64_t t = 0; t <= n; ++t) {
+    const int64_t d = (t < n) ? std::max<int64_t>(0, demand_per_second[
+                                    static_cast<size_t>(t)])
+                              : 0;
+    if (d > prev) {
+      for (int64_t k = prev; k < d; ++k) open_start.push_back(t);
+    } else if (d < prev) {
+      for (int64_t k = prev - 1; k >= d; --k) {
+        emit(k, open_start.back(), t);
+        open_start.pop_back();
+      }
+    }
+    prev = d;
+  }
+  CACKLE_CHECK(open_start.empty());
+
+  OracleResult result;
+  for (const LayerDp& layer : layers) {
+    const Acc& acc = layer.result();
+    result.vm_cost += acc.vm;
+    result.elastic_cost += acc.elastic;
+    result.vm_sessions += acc.sessions;
+    result.vm_seconds_billed += acc.vm_seconds;
+    result.elastic_task_seconds += acc.elastic_seconds;
+  }
+  return result;
+}
+
+}  // namespace cackle

@@ -1,0 +1,47 @@
+#ifndef CACKLE_STRATEGY_ORACLE_H_
+#define CACKLE_STRATEGY_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/cost_model.h"
+
+namespace cackle {
+
+/// \brief Result of the offline oracle computation.
+struct OracleResult {
+  double vm_cost = 0.0;
+  double elastic_cost = 0.0;
+  double total() const { return vm_cost + elastic_cost; }
+  /// Number of VM rental sessions the oracle opened.
+  int64_t vm_sessions = 0;
+  int64_t vm_seconds_billed = 0;
+  int64_t elastic_task_seconds = 0;
+};
+
+/// \brief The oracle strategy of Section 5.1: full knowledge of the
+/// upcoming workload, allocating provisioned instances to minimize compute
+/// cost. It takes the demand curve as-is (no plan changes) and only decides
+/// allocation.
+///
+/// Because the oracle knows arrival times, it requests each VM exactly one
+/// startup delay early, so the startup latency does not affect its cost
+/// (Section 5.3.2) — billing starts when a VM becomes available. The
+/// optimization decomposes the demand curve into unit "layers" (the k-th
+/// layer is busy in second t iff demand(t) >= k); within a layer, busy runs
+/// are served either by the elastic pool (run_length x elastic price) or by
+/// VM rental sessions (span x VM price with the minimum billing time).
+/// Bridging a gap between runs with a live VM costs the gap; a dynamic
+/// program per layer picks the optimal session boundaries. Layers are
+/// independent because VMs are interchangeable, so the per-layer optima sum
+/// to the global optimum for this cost model.
+///
+/// `allow_elastic=false` yields the "Cackle Oracle Without Elastic Pool" of
+/// Figure 11: enough VMs are always provisioned to run all work instantly.
+OracleResult ComputeOracleCost(const std::vector<int64_t>& demand_per_second,
+                               const CostModel& cost,
+                               bool allow_elastic = true);
+
+}  // namespace cackle
+
+#endif  // CACKLE_STRATEGY_ORACLE_H_

@@ -1,0 +1,79 @@
+#include "strategy/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+
+namespace cackle {
+
+std::string MeanStrategy::name() const {
+  std::string n = "mean_" + FormatDouble(multiplier_, 1);
+  if (n.size() >= 2 && n.substr(n.size() - 2) == ".0") {
+    n = n.substr(0, n.size() - 2);
+  }
+  return n;
+}
+
+int64_t MeanStrategy::Target(const WorkloadHistory& history) {
+  const double mean = history.Mean(lookback_s_);
+  return static_cast<int64_t>(std::ceil(mean * multiplier_));
+}
+
+int64_t PredictiveStrategy::Target(const WorkloadHistory& history) {
+  const int64_t n = std::min<int64_t>(history.size(), lookback_s_);
+  if (n == 0) return 0;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(static_cast<size_t>(n));
+  ys.reserve(static_cast<size_t>(n));
+  const int64_t start = history.size() - n;
+  for (int64_t i = 0; i < n; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(static_cast<double>(history.At(start + i)));
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  // Predict demand out to when VMs requested now would start, and target
+  // the maximum of the prediction over that horizon (the fit's slope makes
+  // this either the current fitted value or the horizon endpoint).
+  const double at_now = fit.At(static_cast<double>(n - 1));
+  const double at_horizon = fit.At(static_cast<double>(n - 1 + horizon_s_));
+  const double target = std::max(at_now, at_horizon);
+  return std::max<int64_t>(0, static_cast<int64_t>(std::ceil(target)));
+}
+
+std::string PercentileStrategy::name() const {
+  std::string n = "p" + std::to_string(static_cast<int>(percentile_));
+  if (multiplier_ != 1.0) n += "_x" + FormatDouble(multiplier_, 2);
+  n += "_lb" + std::to_string(lookback_s_);
+  return n;
+}
+
+int64_t PercentileStrategy::Target(const WorkloadHistory& history) {
+  const int64_t pct = history.Percentile(lookback_s_, percentile_);
+  return static_cast<int64_t>(
+      std::ceil(static_cast<double>(pct) * multiplier_));
+}
+
+std::vector<std::unique_ptr<ProvisioningStrategy>> BuildPercentileFamily(
+    const FamilyOptions& options) {
+  std::vector<std::unique_ptr<ProvisioningStrategy>> family;
+  for (int64_t lb : options.lookbacks_s) {
+    for (int p = options.percentile_lo; p <= options.percentile_hi;
+         p += options.percentile_step) {
+      family.push_back(
+          std::make_unique<PercentileStrategy>(lb, static_cast<double>(p),
+                                               1.0));
+    }
+    for (double m : options.boost_multipliers) {
+      family.push_back(std::make_unique<PercentileStrategy>(
+          lb, options.boosted_percentile, m));
+    }
+  }
+  CACKLE_CHECK(!family.empty());
+  return family;
+}
+
+}  // namespace cackle

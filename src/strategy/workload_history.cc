@@ -1,0 +1,89 @@
+#include "strategy/workload_history.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+const std::vector<int64_t>& WorkloadHistory::DefaultLookbacks() {
+  static const std::vector<int64_t>* lookbacks =
+      new std::vector<int64_t>{10, 60, 300, 900, 1800, 3600};
+  return *lookbacks;
+}
+
+WorkloadHistory::WorkloadHistory(std::vector<int64_t> lookbacks,
+                                 int64_t demand_domain)
+    : lookbacks_(std::move(lookbacks)), domain_(demand_domain) {
+  CACKLE_CHECK(!lookbacks_.empty());
+  std::sort(lookbacks_.begin(), lookbacks_.end());
+  for (int64_t lb : lookbacks_) {
+    CACKLE_CHECK_GT(lb, 0);
+    Window w;
+    w.lookback_s = lb;
+    w.counter = std::make_unique<FenwickCounter>(domain_);
+    windows_.push_back(std::move(w));
+  }
+}
+
+void WorkloadHistory::Append(int64_t demand) {
+  CACKLE_CHECK_GE(demand, 0);
+  if (demand >= domain_) {
+    demand = domain_ - 1;
+    ++clamped_;
+  }
+  history_.push_back(demand);
+  const int64_t now = size();  // number of samples after append
+  for (Window& w : windows_) {
+    w.counter->Insert(demand);
+    w.sum += demand;
+    if (now > w.lookback_s) {
+      const int64_t evicted =
+          history_[static_cast<size_t>(now - w.lookback_s - 1)];
+      w.counter->Erase(evicted);
+      w.sum -= evicted;
+    }
+  }
+}
+
+const WorkloadHistory::Window& WorkloadHistory::FindWindow(
+    int64_t lookback_s) const {
+  for (const Window& w : windows_) {
+    if (w.lookback_s == lookback_s) return w;
+  }
+  CACKLE_CHECK(false) << "lookback " << lookback_s << " not registered";
+  __builtin_unreachable();
+}
+
+int64_t WorkloadHistory::Percentile(int64_t lookback_s, double p) const {
+  const Window& w = FindWindow(lookback_s);
+  if (w.counter->size() == 0) return 0;
+  return w.counter->Percentile(p);
+}
+
+double WorkloadHistory::Mean(int64_t lookback_s) const {
+  CACKLE_CHECK_GT(lookback_s, 0);
+  for (const Window& w : windows_) {
+    if (w.lookback_s == lookback_s) {
+      const int64_t n = std::min<int64_t>(size(), lookback_s);
+      return n == 0 ? 0.0
+                    : static_cast<double>(w.sum) / static_cast<double>(n);
+    }
+  }
+  // Unregistered lookback: compute from the raw history.
+  const int64_t n = std::min<int64_t>(size(), lookback_s);
+  if (n == 0) return 0.0;
+  int64_t sum = 0;
+  for (int64_t i = size() - n; i < size(); ++i) {
+    sum += history_[static_cast<size_t>(i)];
+  }
+  return static_cast<double>(sum) / static_cast<double>(n);
+}
+
+int64_t WorkloadHistory::Max(int64_t lookback_s) const {
+  const Window& w = FindWindow(lookback_s);
+  if (w.counter->size() == 0) return 0;
+  return w.counter->Max();
+}
+
+}  // namespace cackle

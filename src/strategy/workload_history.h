@@ -1,0 +1,76 @@
+#ifndef CACKLE_STRATEGY_WORKLOAD_HISTORY_H_
+#define CACKLE_STRATEGY_WORKLOAD_HISTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/fenwick.h"
+
+namespace cackle {
+
+/// \brief The per-second demand history the coordinator maintains
+/// (Section 4.4.1): the maximum number of concurrently requested tasks in
+/// each second since the start of the workload.
+///
+/// Provisioning strategies ask for aggregates over trailing windows
+/// ("lookbacks"). For each registered lookback the history maintains a
+/// Fenwick-tree index over the window so that percentile/max queries cost
+/// O(log domain) instead of O(window), which keeps the several-hundred-
+/// expert dynamic strategy cheap to re-evaluate every few seconds.
+class WorkloadHistory {
+ public:
+  /// Default lookbacks (seconds) used by the strategy family: 10 s to 1 h.
+  static const std::vector<int64_t>& DefaultLookbacks();
+
+  /// `demand_domain` bounds representable demand values; larger samples are
+  /// clamped (with the clamp count observable for diagnostics).
+  explicit WorkloadHistory(
+      std::vector<int64_t> lookbacks = DefaultLookbacks(),
+      int64_t demand_domain = 1 << 20);
+
+  /// Appends one second of demand.
+  void Append(int64_t demand);
+
+  /// Number of seconds recorded.
+  int64_t size() const { return static_cast<int64_t>(history_.size()); }
+  /// Most recent sample (0 when empty).
+  int64_t Latest() const { return history_.empty() ? 0 : history_.back(); }
+  int64_t At(int64_t second) const { return history_[static_cast<size_t>(second)]; }
+  const std::vector<int64_t>& values() const { return history_; }
+
+  /// p in (0, 100]. Nearest-rank percentile over the last `lookback_s`
+  /// seconds (or the whole history if shorter). `lookback_s` must be one of
+  /// the registered lookbacks. Returns 0 on an empty history.
+  int64_t Percentile(int64_t lookback_s, double p) const;
+
+  /// Mean over the last `lookback_s` seconds (any lookback; O(1) via the
+  /// registered window sums when registered, otherwise computed from the
+  /// raw history).
+  double Mean(int64_t lookback_s) const;
+
+  /// Maximum over the last `lookback_s` seconds (registered lookback only).
+  int64_t Max(int64_t lookback_s) const;
+
+  const std::vector<int64_t>& lookbacks() const { return lookbacks_; }
+  int64_t clamped_samples() const { return clamped_; }
+
+ private:
+  struct Window {
+    int64_t lookback_s;
+    std::unique_ptr<FenwickCounter> counter;
+    int64_t sum = 0;
+  };
+
+  const Window& FindWindow(int64_t lookback_s) const;
+
+  std::vector<int64_t> lookbacks_;
+  int64_t domain_;
+  std::vector<int64_t> history_;
+  std::vector<Window> windows_;
+  int64_t clamped_ = 0;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_STRATEGY_WORKLOAD_HISTORY_H_

@@ -1,0 +1,123 @@
+#include "workload/demand.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+DemandCurve::DemandCurve(int64_t duration_seconds) {
+  CACKLE_CHECK_GE(duration_seconds, 0);
+  EnsureSize(duration_seconds);
+}
+
+void DemandCurve::EnsureSize(int64_t seconds) {
+  if (seconds > static_cast<int64_t>(tasks_.size())) {
+    tasks_.resize(static_cast<size_t>(seconds), 0);
+    shuffle_bytes_.resize(static_cast<size_t>(seconds), 0);
+    puts_.resize(static_cast<size_t>(seconds), 0);
+    gets_.resize(static_cast<size_t>(seconds), 0);
+  }
+}
+
+void DemandCurve::AddTasks(SimTimeMs start_ms, SimTimeMs duration_ms,
+                           int64_t count) {
+  CACKLE_CHECK_GE(start_ms, 0);
+  CACKLE_CHECK_GT(count, 0);
+  const int64_t start_s = start_ms / 1000;
+  // Round the duration up to whole seconds, minimum one.
+  int64_t dur_s = (duration_ms + 999) / 1000;
+  dur_s = std::max<int64_t>(dur_s, 1);
+  EnsureSize(start_s + dur_s);
+  for (int64_t s = start_s; s < start_s + dur_s; ++s) {
+    tasks_[static_cast<size_t>(s)] += count;
+  }
+}
+
+void DemandCurve::AddShuffle(SimTimeMs start_ms, SimTimeMs end_ms,
+                             int64_t bytes, int64_t puts, int64_t gets) {
+  CACKLE_CHECK_GE(start_ms, 0);
+  const int64_t start_s = start_ms / 1000;
+  const int64_t end_s = std::max(start_s + 1, (end_ms + 999) / 1000);
+  EnsureSize(end_s);
+  for (int64_t s = start_s; s < end_s; ++s) {
+    shuffle_bytes_[static_cast<size_t>(s)] += bytes;
+  }
+  // Writes happen at shuffle production; reads when consumers start. The
+  // model only needs per-second totals, so attribute puts to the first
+  // second and gets to the last.
+  puts_[static_cast<size_t>(start_s)] += puts;
+  gets_[static_cast<size_t>(end_s - 1)] += gets;
+}
+
+DemandCurve DemandCurve::FromWorkload(
+    const std::vector<QueryArrival>& arrivals, const ProfileLibrary& library) {
+  DemandCurve curve(0);
+  for (const QueryArrival& qa : arrivals) {
+    const QueryProfile& profile = library.at(qa.profile_index);
+    const std::vector<SimTimeMs> stage_start = profile.StageStartTimes();
+    const SimTimeMs query_end = qa.arrival_ms + profile.CriticalPathMs();
+    for (size_t i = 0; i < profile.stages.size(); ++i) {
+      const StageProfile& stage = profile.stages[i];
+      const SimTimeMs start = qa.arrival_ms + stage_start[i];
+      if (stage.task_durations_ms.empty()) {
+        curve.AddTasks(start, stage.task_duration_ms, stage.num_tasks);
+      } else {
+        for (SimTimeMs d : stage.task_durations_ms) {
+          curve.AddTasks(start, d, 1);
+        }
+      }
+      if (stage.shuffle_bytes_out > 0) {
+        // Intermediate state is resident from when the stage finishes
+        // writing until the query completes and state is garbage collected.
+        const SimTimeMs write_time = start + stage.MaxTaskDuration();
+        curve.AddShuffle(write_time, query_end, stage.shuffle_bytes_out,
+                         stage.object_store_puts, stage.object_store_gets);
+      }
+    }
+  }
+  return curve;
+}
+
+DemandCurve DemandCurve::FromSeries(std::vector<int64_t> tasks_per_second) {
+  DemandCurve curve(static_cast<int64_t>(tasks_per_second.size()));
+  curve.tasks_ = std::move(tasks_per_second);
+  curve.shuffle_bytes_.assign(curve.tasks_.size(), 0);
+  curve.puts_.assign(curve.tasks_.size(), 0);
+  curve.gets_.assign(curve.tasks_.size(), 0);
+  return curve;
+}
+
+int64_t DemandCurve::TasksAt(int64_t second) const {
+  if (second < 0 || second >= duration_seconds()) return 0;
+  return tasks_[static_cast<size_t>(second)];
+}
+
+int64_t DemandCurve::ShuffleBytesAt(int64_t second) const {
+  if (second < 0 || second >= duration_seconds()) return 0;
+  return shuffle_bytes_[static_cast<size_t>(second)];
+}
+
+int64_t DemandCurve::PutsAt(int64_t second) const {
+  if (second < 0 || second >= duration_seconds()) return 0;
+  return puts_[static_cast<size_t>(second)];
+}
+
+int64_t DemandCurve::GetsAt(int64_t second) const {
+  if (second < 0 || second >= duration_seconds()) return 0;
+  return gets_[static_cast<size_t>(second)];
+}
+
+int64_t DemandCurve::MaxTasks() const {
+  int64_t max = 0;
+  for (int64_t t : tasks_) max = std::max(max, t);
+  return max;
+}
+
+int64_t DemandCurve::TotalTaskSeconds() const {
+  int64_t total = 0;
+  for (int64_t t : tasks_) total += t;
+  return total;
+}
+
+}  // namespace cackle

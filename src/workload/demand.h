@@ -1,0 +1,75 @@
+#ifndef CACKLE_WORKLOAD_DEMAND_H_
+#define CACKLE_WORKLOAD_DEMAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
+
+namespace cackle {
+
+/// \brief Second-granularity resource demand of a workload (Section 4.3:
+/// "the number of compute nodes requested by the query plan at a
+/// second-by-second granularity" — a record of requests, not utilization).
+///
+/// Built by scheduling every query unconstrained: each stage starts the
+/// moment its dependencies finish, because in Cackle tasks never wait in a
+/// queue (overflow runs on the elastic pool). Alongside task demand the
+/// curve tracks the shuffle-layer series needed by the shuffle cost model:
+/// bytes of intermediate state resident and the potential object-store
+/// requests per second.
+class DemandCurve {
+ public:
+  /// Creates an all-zero curve covering `duration_seconds`.
+  explicit DemandCurve(int64_t duration_seconds);
+
+  /// Builds the demand curve of a generated workload.
+  static DemandCurve FromWorkload(const std::vector<QueryArrival>& arrivals,
+                                  const ProfileLibrary& library);
+
+  /// Wraps a raw task-demand series (used for replaying external traces).
+  static DemandCurve FromSeries(std::vector<int64_t> tasks_per_second);
+
+  /// Adds `count` tasks over [start_ms, start_ms + duration_ms). Durations
+  /// are rounded up to whole seconds with a minimum of one second (the
+  /// paper rounds task durations to the nearest second, minimum one).
+  void AddTasks(SimTimeMs start_ms, SimTimeMs duration_ms, int64_t count);
+
+  /// Records `bytes` of intermediate shuffle state resident over
+  /// [start_ms, end_ms), plus the object-store requests that would be
+  /// needed if this shuffle went through cloud storage.
+  void AddShuffle(SimTimeMs start_ms, SimTimeMs end_ms, int64_t bytes,
+                  int64_t puts, int64_t gets);
+
+  int64_t duration_seconds() const {
+    return static_cast<int64_t>(tasks_.size());
+  }
+
+  int64_t TasksAt(int64_t second) const;
+  int64_t ShuffleBytesAt(int64_t second) const;
+  int64_t PutsAt(int64_t second) const;
+  int64_t GetsAt(int64_t second) const;
+
+  int64_t MaxTasks() const;
+  /// Total task-seconds of compute demand.
+  int64_t TotalTaskSeconds() const;
+
+  const std::vector<int64_t>& tasks_per_second() const { return tasks_; }
+  const std::vector<int64_t>& shuffle_bytes_per_second() const {
+    return shuffle_bytes_;
+  }
+
+ private:
+  void EnsureSize(int64_t seconds);
+
+  std::vector<int64_t> tasks_;
+  std::vector<int64_t> shuffle_bytes_;
+  std::vector<int64_t> puts_;
+  std::vector<int64_t> gets_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_WORKLOAD_DEMAND_H_

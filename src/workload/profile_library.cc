@@ -1,0 +1,301 @@
+#include "workload/profile_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cackle {
+namespace {
+
+constexpr int64_t kMB = 1024 * 1024;
+
+/// Declarative stage description at scale factor 100.
+struct StageSpec {
+  int tasks;            // task count at SF 100
+  double duration_s;    // per-task duration in seconds
+  double out_mb;        // shuffle output in MB at SF 100
+  std::vector<int> deps;
+};
+
+struct QuerySpec {
+  int id;
+  const char* name;
+  std::vector<StageSpec> stages;
+};
+
+/// Stage shapes per query, loosely following the physical plans the paper
+/// borrows from Redshift (all joins are broadcast or partitioned hash
+/// joins; base-table scans read ORC files from cloud storage). Magnitudes
+/// follow Starling-on-SF100 behaviour: leaf scans of lineitem/orders use up
+/// to ~256/128 tasks of a few seconds each and whole queries finish in
+/// roughly 5-30 s of unconstrained wall time.
+const std::vector<QuerySpec>& QuerySpecs() {
+  static const std::vector<QuerySpec>* specs = new std::vector<QuerySpec>{
+      // Q1: pricing summary report. lineitem scan+partial agg -> final agg.
+      {1, "tpch_q01", {{128, 6.0, 48, {}}, {4, 2.0, 1, {0}}, {1, 1.0, 0, {1}}}},
+      // Q2: minimum cost supplier. small-table joins, then partsupp join.
+      {2, "tpch_q02",
+       {{16, 2.0, 24, {}},          // part scan (filtered)
+        {8, 2.0, 16, {}},           // supplier+nation+region broadcast side
+        {64, 3.0, 96, {}},          // partsupp scan
+        {32, 3.0, 20, {0, 1, 2}},   // join + min agg
+        {1, 1.0, 0, {3}}}},
+      // Q3: shipping priority. customer, orders, lineitem joins.
+      {3, "tpch_q03",
+       {{16, 2.0, 40, {}},          // customer scan
+        {96, 3.5, 220, {}},         // orders scan
+        {192, 4.0, 380, {}},        // lineitem scan
+        {64, 4.0, 64, {0, 1}},      // c JOIN o (partitioned)
+        {64, 5.0, 24, {2, 3}},      // JOIN l + partial agg
+        {1, 1.0, 0, {4}}}},
+      // Q4: order priority checking. orders semi-join lineitem.
+      {4, "tpch_q04",
+       {{96, 3.0, 160, {}},
+        {192, 3.5, 120, {}},
+        {48, 3.5, 8, {0, 1}},
+        {1, 1.0, 0, {2}}}},
+      // Q5: local supplier volume. six-table join.
+      {5, "tpch_q05",
+       {{16, 2.0, 32, {}},          // customer
+        {96, 3.5, 240, {}},         // orders
+        {192, 4.0, 420, {}},        // lineitem
+        {8, 1.5, 10, {}},           // supplier+nation+region
+        {64, 4.5, 120, {0, 1}},     // c JOIN o
+        {96, 5.0, 30, {2, 3, 4}},   // JOIN l JOIN s + agg
+        {1, 1.0, 0, {5}}}},
+      // Q6: forecasting revenue change. single scan + agg.
+      {6, "tpch_q06", {{128, 5.0, 2, {}}, {1, 1.0, 0, {0}}}},
+      // Q7: volume shipping.
+      {7, "tpch_q07",
+       {{8, 1.5, 8, {}},            // nation/supplier broadcast
+        {16, 2.0, 36, {}},          // customer
+        {96, 3.5, 220, {}},         // orders
+        {192, 4.0, 440, {}},        // lineitem (filtered on shipdate)
+        {96, 5.0, 140, {2, 3}},     // o JOIN l
+        {48, 4.0, 12, {0, 1, 4}},   // remaining joins + agg
+        {1, 1.0, 0, {5}}}},
+      // Q8: national market share.
+      {8, "tpch_q08",
+       {{24, 2.5, 30, {}},          // part (filtered)
+        {192, 4.0, 260, {}},        // lineitem
+        {96, 3.5, 200, {}},         // orders (filtered on date)
+        {16, 2.0, 30, {}},          // customer + nation + region
+        {8, 1.5, 8, {}},            // supplier + nation
+        {96, 4.5, 150, {0, 1}},     // p JOIN l
+        {64, 4.5, 40, {2, 3, 5}},   // JOIN o JOIN c
+        {16, 3.0, 4, {4, 6}},       // JOIN s + agg
+        {1, 1.0, 0, {7}}}},
+      // Q9: product type profit.
+      {9, "tpch_q09",
+       {{32, 3.0, 70, {}},          // part (like filter)
+        {192, 4.5, 520, {}},        // lineitem
+        {96, 3.0, 180, {}},         // partsupp
+        {8, 1.5, 8, {}},            // supplier + nation
+        {128, 3.5, 320, {}},        // orders
+        {128, 5.5, 280, {0, 1, 2}}, // p JOIN l JOIN ps
+        {96, 5.0, 60, {3, 4, 5}},   // JOIN s JOIN o + agg
+        {1, 1.5, 0, {6}}}},
+      // Q10: returned item reporting.
+      {10, "tpch_q10",
+       {{16, 2.0, 44, {}},          // customer
+        {96, 3.5, 210, {}},         // orders (quarter filter)
+        {192, 4.0, 160, {}},        // lineitem (returnflag filter)
+        {64, 4.0, 110, {0, 1}},     // c JOIN o
+        {64, 4.5, 36, {2, 3}},      // JOIN l + agg
+        {1, 1.0, 0, {4}}}},
+      // Q11: important stock identification (partsupp only).
+      {11, "tpch_q11",
+       {{64, 3.0, 130, {}},         // partsupp scan
+        {8, 1.5, 6, {}},            // supplier+nation broadcast
+        {32, 3.0, 24, {0, 1}},      // join + group
+        {1, 2.0, 0, {2}}}},         // threshold + filter
+      // Q12: shipping modes.
+      {12, "tpch_q12",
+       {{96, 3.0, 130, {}},         // orders
+        {192, 3.5, 60, {}},         // lineitem (shipmode filter)
+        {48, 3.5, 6, {0, 1}},
+        {1, 1.0, 0, {2}}}},
+      // Q13: customer distribution. outer join.
+      {13, "tpch_q13",
+       {{16, 2.5, 60, {}},          // customer
+        {128, 3.5, 300, {}},        // orders (comment filter)
+        {64, 4.5, 30, {0, 1}},      // outer join + count
+        {8, 2.0, 2, {2}},           // distribution agg
+        {1, 1.0, 0, {3}}}},
+      // Q14: promotion effect.
+      {14, "tpch_q14",
+       {{24, 2.5, 40, {}}, {192, 3.5, 90, {}}, {32, 3.0, 2, {0, 1}},
+        {1, 1.0, 0, {2}}}},
+      // Q15: top supplier (view + self comparison: two passes).
+      {15, "tpch_q15",
+       {{192, 3.5, 70, {}},         // lineitem quarter scan
+        {16, 2.5, 10, {0}},         // revenue view agg
+        {8, 1.5, 6, {}},            // supplier
+        {8, 2.0, 1, {1, 2}},        // max + join
+        {1, 1.0, 0, {3}}}},
+      // Q16: parts/supplier relationship.
+      {16, "tpch_q16",
+       {{32, 2.5, 60, {}},          // part
+        {64, 3.0, 120, {}},         // partsupp
+        {8, 1.5, 4, {}},            // supplier (anti join side)
+        {48, 3.5, 12, {0, 1, 2}},   // joins + distinct agg
+        {1, 1.5, 0, {3}}}},
+      // Q17: small-quantity-order revenue (correlated agg on part).
+      {17, "tpch_q17",
+       {{8, 2.0, 6, {}},            // part (brand+container filter)
+        {192, 4.0, 170, {}},        // lineitem
+        {64, 4.5, 90, {0, 1}},      // join + per-part avg
+        {32, 3.0, 1, {2}},          // filter + sum
+        {1, 1.0, 0, {3}}}},
+      // Q18: large volume customer.
+      {18, "tpch_q18",
+       {{192, 4.0, 360, {}},        // lineitem group by orderkey
+        {48, 3.5, 40, {0}},         // having sum(qty) > 300
+        {96, 3.5, 220, {}},         // orders
+        {16, 2.0, 44, {}},          // customer
+        {64, 4.0, 16, {1, 2, 3}},   // joins + topN
+        {1, 1.0, 0, {4}}}},
+      // Q19: discounted revenue (disjunctive predicates).
+      {19, "tpch_q19",
+       {{24, 2.5, 20, {}}, {192, 4.0, 60, {}}, {48, 3.5, 2, {0, 1}},
+        {1, 1.0, 0, {2}}}},
+      // Q20: potential part promotion (nested semi joins).
+      {20, "tpch_q20",
+       {{24, 2.0, 16, {}},          // part (name filter)
+        {64, 3.0, 90, {}},          // partsupp
+        {192, 3.5, 80, {}},         // lineitem (year filter, per ps agg)
+        {48, 4.0, 18, {0, 1, 2}},   // semi joins
+        {8, 2.0, 2, {3}},           // supplier + nation filter
+        {1, 1.0, 0, {4}}}},
+      // Q21: suppliers who kept orders waiting (multi self-join).
+      {21, "tpch_q21",
+       {{192, 4.5, 420, {}},        // lineitem l1
+        {192, 3.5, 160, {}},        // lineitem l2/l3 (exists / not exists)
+        {96, 3.0, 140, {}},         // orders (status filter)
+        {8, 1.5, 6, {}},            // supplier + nation
+        {128, 5.5, 70, {0, 1, 2}},  // joins + exists logic
+        {32, 3.0, 2, {3, 4}},       // final join + topN
+        {1, 1.0, 0, {5}}}},
+      // Q22: global sales opportunity.
+      {22, "tpch_q22",
+       {{16, 2.5, 30, {}},          // customer (phone filter)
+        {96, 3.0, 70, {}},          // orders (anti join side)
+        {16, 2.5, 2, {0}},          // avg balance subquery
+        {32, 3.0, 2, {0, 1, 2}},    // anti join + agg
+        {1, 1.0, 0, {3}}}},
+      // DS-like additions (Section 7.1.6: an iterative query, a reporting
+      // query, and a query with multiple fact tables).
+      // Q23 "iterative": two dependent passes over lineitem (like TPC-DS 24).
+      {23, "dslike_q24_iterative",
+       {{192, 4.0, 280, {}},        // pass 1: scan + pre-agg
+        {64, 4.0, 120, {0}},        // intermediate result
+        {128, 4.5, 90, {1}},        // pass 2 re-join against pass 1 output
+        {32, 3.0, 8, {2}},
+        {1, 1.0, 0, {3}}}},
+      // Q24 "reporting": wide rollup over joined facts (like TPC-DS 58).
+      {24, "dslike_q58_reporting",
+       {{128, 3.5, 240, {}},        // fact scan window A
+        {128, 3.5, 240, {}},        // fact scan window B
+        {128, 3.5, 240, {}},        // fact scan window C
+        {48, 4.0, 36, {0, 1, 2}},   // align on item/date
+        {8, 2.0, 2, {3}},
+        {1, 1.0, 0, {4}}}},
+      // Q25 "multi-fact": lineitem x orders x partsupp (like TPC-DS 81).
+      {25, "dslike_q81_multifact",
+       {{192, 4.5, 400, {}},        // fact 1
+        {128, 3.5, 260, {}},        // fact 2
+        {96, 3.0, 160, {}},         // fact 3
+        {96, 5.0, 130, {0, 1}},     // fact1 JOIN fact2
+        {64, 4.5, 20, {2, 3}},      // JOIN fact3 + agg
+        {1, 1.0, 0, {4}}}},
+  };
+  return *specs;
+}
+
+QueryProfile BuildProfile(const QuerySpec& spec, int scale_factor) {
+  QueryProfile p;
+  p.query_id = spec.id;
+  p.scale_factor = scale_factor;
+  p.name = std::string(spec.name) + "_sf" + std::to_string(scale_factor);
+  const double scale = static_cast<double>(scale_factor) / 100.0;
+  std::vector<int> scaled_tasks(spec.stages.size());
+  for (size_t i = 0; i < spec.stages.size(); ++i) {
+    scaled_tasks[i] = std::max(
+        1, static_cast<int>(std::lround(spec.stages[i].tasks * scale)));
+  }
+  for (size_t i = 0; i < spec.stages.size(); ++i) {
+    const StageSpec& ss = spec.stages[i];
+    StageProfile s;
+    s.stage_id = static_cast<int>(i);
+    s.dependencies = ss.deps;
+    s.num_tasks = scaled_tasks[i];
+    s.task_duration_ms = SecondsToMs(ss.duration_s);
+    s.shuffle_bytes_out =
+        static_cast<int64_t>(ss.out_mb * scale * static_cast<double>(kMB));
+    // Starling-style cloud-storage shuffle accounting: a T-task producer
+    // stage issues 2 PUTs per task, and every (producer, consumer-task)
+    // pair costs one GET (Section 7.1.3's 128x128 example).
+    if (s.shuffle_bytes_out > 0) {
+      int consumers = 0;
+      for (size_t j = 0; j < spec.stages.size(); ++j) {
+        for (int dep : spec.stages[j].deps) {
+          if (dep == static_cast<int>(i)) consumers += scaled_tasks[j];
+        }
+      }
+      s.object_store_puts = 2LL * s.num_tasks;
+      s.object_store_gets =
+          static_cast<int64_t>(s.num_tasks) * std::max(1, consumers);
+    }
+    p.stages.push_back(std::move(s));
+  }
+  CACKLE_CHECK_OK(p.Validate());
+  return p;
+}
+
+}  // namespace
+
+const std::vector<int>& ProfileLibrary::BuiltinScaleFactors() {
+  static const std::vector<int>* sfs = new std::vector<int>{10, 50, 100};
+  return *sfs;
+}
+
+ProfileLibrary ProfileLibrary::BuiltinTpch() {
+  ProfileLibrary lib;
+  for (const QuerySpec& spec : QuerySpecs()) {
+    for (int sf : BuiltinScaleFactors()) {
+      lib.Add(BuildProfile(spec, sf));
+    }
+  }
+  return lib;
+}
+
+void ProfileLibrary::Add(QueryProfile profile) {
+  CACKLE_CHECK_OK(profile.Validate());
+  profiles_.push_back(std::move(profile));
+}
+
+Status ProfileLibrary::LoadText(const std::string& text) {
+  auto parsed = ParseProfiles(text);
+  if (!parsed.ok()) return parsed.status();
+  for (auto& p : parsed.value()) profiles_.push_back(std::move(p));
+  return Status::OK();
+}
+
+const QueryProfile& ProfileLibrary::Get(int query_id, int scale_factor) const {
+  for (const auto& p : profiles_) {
+    if (p.query_id == query_id && p.scale_factor == scale_factor) return p;
+  }
+  CACKLE_CHECK(false) << "no profile for query " << query_id << " sf "
+                      << scale_factor;
+  __builtin_unreachable();
+}
+
+const QueryProfile* ProfileLibrary::FindByName(const std::string& name) const {
+  for (const auto& p : profiles_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace cackle

@@ -1,0 +1,188 @@
+#include "workload/query_profile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+SimTimeMs StageProfile::MaxTaskDuration() const {
+  if (!task_durations_ms.empty()) {
+    return *std::max_element(task_durations_ms.begin(),
+                             task_durations_ms.end());
+  }
+  return task_duration_ms;
+}
+
+SimTimeMs StageProfile::TotalTaskMs() const {
+  if (!task_durations_ms.empty()) {
+    SimTimeMs total = 0;
+    for (SimTimeMs d : task_durations_ms) total += d;
+    return total;
+  }
+  return task_duration_ms * num_tasks;
+}
+
+int64_t QueryProfile::TotalTasks() const {
+  int64_t total = 0;
+  for (const auto& s : stages) total += s.num_tasks;
+  return total;
+}
+
+SimTimeMs QueryProfile::TotalTaskMs() const {
+  SimTimeMs total = 0;
+  for (const auto& s : stages) total += s.TotalTaskMs();
+  return total;
+}
+
+int64_t QueryProfile::TotalShuffleBytes() const {
+  int64_t total = 0;
+  for (const auto& s : stages) total += s.shuffle_bytes_out;
+  return total;
+}
+
+int64_t QueryProfile::TotalObjectStorePuts() const {
+  int64_t total = 0;
+  for (const auto& s : stages) total += s.object_store_puts;
+  return total;
+}
+
+int64_t QueryProfile::TotalObjectStoreGets() const {
+  int64_t total = 0;
+  for (const auto& s : stages) total += s.object_store_gets;
+  return total;
+}
+
+std::vector<SimTimeMs> QueryProfile::StageStartTimes() const {
+  std::vector<SimTimeMs> start(stages.size(), 0);
+  std::vector<SimTimeMs> finish(stages.size(), 0);
+  for (size_t i = 0; i < stages.size(); ++i) {
+    SimTimeMs earliest = 0;
+    for (int dep : stages[i].dependencies) {
+      earliest = std::max(earliest, finish[static_cast<size_t>(dep)]);
+    }
+    start[i] = earliest;
+    finish[i] = earliest + stages[i].MaxTaskDuration();
+  }
+  return start;
+}
+
+SimTimeMs QueryProfile::CriticalPathMs() const {
+  const std::vector<SimTimeMs> start = StageStartTimes();
+  SimTimeMs end = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    end = std::max(end, start[i] + stages[i].MaxTaskDuration());
+  }
+  return end;
+}
+
+Status QueryProfile::Validate() const {
+  if (stages.empty()) return Status::InvalidArgument("profile has no stages");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageProfile& s = stages[i];
+    if (s.stage_id != static_cast<int>(i)) {
+      return Status::InvalidArgument("stage ids must be dense and ordered");
+    }
+    if (s.num_tasks <= 0) {
+      return Status::InvalidArgument("stage must have at least one task");
+    }
+    if (!s.task_durations_ms.empty() &&
+        s.task_durations_ms.size() != static_cast<size_t>(s.num_tasks)) {
+      return Status::InvalidArgument("task_durations_ms size mismatch");
+    }
+    if (s.task_duration_ms <= 0 && s.task_durations_ms.empty()) {
+      return Status::InvalidArgument("task duration must be positive");
+    }
+    for (int dep : s.dependencies) {
+      if (dep < 0 || dep >= static_cast<int>(i)) {
+        return Status::InvalidArgument(
+            "dependencies must reference earlier stages (topological order)");
+      }
+    }
+    if (s.shuffle_bytes_out < 0 || s.object_store_puts < 0 ||
+        s.object_store_gets < 0) {
+      return Status::InvalidArgument("negative resource counts");
+    }
+  }
+  return Status::OK();
+}
+
+std::string SerializeProfiles(const std::vector<QueryProfile>& profiles) {
+  std::ostringstream os;
+  os << "# cackle query profiles v1\n";
+  for (const auto& p : profiles) {
+    os << "profile " << p.name << " " << p.query_id << " " << p.scale_factor
+       << " " << p.stages.size() << "\n";
+    for (const auto& s : p.stages) {
+      os << "stage " << s.stage_id << " tasks " << s.num_tasks << " dur_ms "
+         << s.task_duration_ms << " bytes " << s.shuffle_bytes_out << " puts "
+         << s.object_store_puts << " gets " << s.object_store_gets << " deps";
+      for (int dep : s.dependencies) os << " " << dep;
+      os << "\n";
+      if (!s.task_durations_ms.empty()) {
+        os << "task_durs";
+        for (SimTimeMs d : s.task_durations_ms) os << " " << d;
+        os << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+StatusOr<std::vector<QueryProfile>> ParseProfiles(const std::string& text) {
+  std::vector<QueryProfile> profiles;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "profile") {
+      QueryProfile p;
+      size_t num_stages = 0;
+      ls >> p.name >> p.query_id >> p.scale_factor >> num_stages;
+      if (ls.fail()) return Status::InvalidArgument("bad profile line: " + line);
+      profiles.push_back(std::move(p));
+      (void)num_stages;
+    } else if (tag == "stage") {
+      if (profiles.empty()) {
+        return Status::InvalidArgument("stage before profile header");
+      }
+      StageProfile s;
+      std::string kw;
+      ls >> s.stage_id >> kw >> s.num_tasks >> kw >> s.task_duration_ms >>
+          kw >> s.shuffle_bytes_out >> kw >> s.object_store_puts >> kw >>
+          s.object_store_gets >> kw;
+      if (ls.fail() || kw != "deps") {
+        return Status::InvalidArgument("bad stage line: " + line);
+      }
+      int dep = 0;
+      while (ls >> dep) s.dependencies.push_back(dep);
+      profiles.back().stages.push_back(std::move(s));
+    } else if (tag == "task_durs") {
+      if (profiles.empty() || profiles.back().stages.empty()) {
+        return Status::InvalidArgument("task_durs without a stage");
+      }
+      SimTimeMs d = 0;
+      auto& stage = profiles.back().stages.back();
+      while (ls >> d) stage.task_durations_ms.push_back(d);
+      if (stage.task_durations_ms.size() !=
+          static_cast<size_t>(stage.num_tasks)) {
+        return Status::InvalidArgument("task_durs count mismatch: " + line);
+      }
+    } else {
+      return Status::InvalidArgument("unknown line: " + line);
+    }
+  }
+  for (const auto& p : profiles) {
+    const Status s = p.Validate();
+    if (!s.ok()) {
+      return Status::InvalidArgument("profile " + p.name + ": " + s.message());
+    }
+  }
+  return profiles;
+}
+
+}  // namespace cackle

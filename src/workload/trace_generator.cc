@@ -1,0 +1,168 @@
+#include "workload/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cackle {
+namespace {
+
+constexpr int64_t kSecondsPerHour = 3600;
+constexpr int64_t kSecondsPerDay = 24 * kSecondsPerHour;
+
+bool IsWeekend(int64_t second) {
+  // Day 0 is a Monday.
+  const int64_t day = (second / kSecondsPerDay) % 7;
+  return day >= 5;
+}
+
+double HourOfDay(int64_t second) {
+  return static_cast<double>(second % kSecondsPerDay) / kSecondsPerHour;
+}
+
+/// Smooth working-hours activity bump peaking mid-afternoon.
+double WorkdayActivity(int64_t second) {
+  const double h = HourOfDay(second);
+  // Gaussian bump centred at 14:00 with sigma 3.5h.
+  const double bump = std::exp(-0.5 * std::pow((h - 14.0) / 3.5, 2.0));
+  return IsWeekend(second) ? 0.25 * bump : bump;
+}
+
+/// Multiplicative spike process: occasional bursts that double or triple
+/// demand for a few minutes, arriving at irregular (exponential) intervals.
+class SpikeProcess {
+ public:
+  SpikeProcess(Rng* rng, double spikes_per_day, double min_factor,
+               double max_factor, int64_t min_duration_s,
+               int64_t max_duration_s)
+      : rng_(rng), min_factor_(min_factor), max_factor_(max_factor),
+        min_duration_s_(min_duration_s), max_duration_s_(max_duration_s),
+        rate_per_second_(spikes_per_day / static_cast<double>(kSecondsPerDay)) {
+    ScheduleNext(0);
+  }
+
+  /// Multiplier in effect at `second`; advances internal state; must be
+  /// called with non-decreasing seconds.
+  double FactorAt(int64_t second) {
+    while (second >= next_spike_s_) {
+      spike_end_s_ = next_spike_s_ +
+                     rng_->NextInt(min_duration_s_, max_duration_s_);
+      spike_factor_ = rng_->NextDouble(min_factor_, max_factor_);
+      ScheduleNext(next_spike_s_ + 1);
+    }
+    return second < spike_end_s_ ? spike_factor_ : 1.0;
+  }
+
+ private:
+  void ScheduleNext(int64_t from) {
+    next_spike_s_ =
+        from + static_cast<int64_t>(rng_->NextExponential(rate_per_second_));
+  }
+
+  Rng* rng_;
+  double min_factor_;
+  double max_factor_;
+  int64_t min_duration_s_;
+  int64_t max_duration_s_;
+  double rate_per_second_;
+  int64_t next_spike_s_ = 0;
+  int64_t spike_end_s_ = -1;
+  double spike_factor_ = 1.0;
+};
+
+}  // namespace
+
+std::vector<SimTimeMs> TraceGenerator::StartupArrivals(uint64_t seed,
+                                                       int hours) {
+  Rng rng(seed);
+  std::vector<SimTimeMs> arrivals;
+  const int64_t horizon_s = static_cast<int64_t>(hours) * kSecondsPerHour;
+  // Dashboard cadence: every 15 minutes a burst of related queries.
+  for (int64_t t = 0; t < horizon_s; t += 15 * 60) {
+    const int64_t burst = rng.NextInt(2, 6);
+    for (int64_t i = 0; i < burst; ++i) {
+      const SimTimeMs jitter = rng.NextInt(0, 20'000);
+      arrivals.push_back(t * 1000 + jitter);
+    }
+  }
+  // Analyst ad-hoc queries: inhomogeneous Poisson, working hours only, via
+  // thinning against a peak rate of ~40 queries/hour.
+  const double peak_rate_per_s = 40.0 / kSecondsPerHour;
+  int64_t t = 0;
+  while (t < horizon_s) {
+    t += static_cast<int64_t>(std::ceil(rng.NextExponential(peak_rate_per_s)));
+    if (t >= horizon_s) break;
+    if (rng.NextDouble() < WorkdayActivity(t)) {
+      arrivals.push_back(t * 1000 + rng.NextInt(0, 999));
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+std::vector<int64_t> TraceGenerator::StartupConcurrency(uint64_t seed,
+                                                        int hours) {
+  Rng rng(seed ^ 0xc0ffee);
+  const std::vector<SimTimeMs> arrivals = StartupArrivals(seed, hours);
+  const int64_t horizon_s = static_cast<int64_t>(hours) * kSecondsPerHour;
+  std::vector<int64_t> concurrency(static_cast<size_t>(horizon_s), 0);
+  for (SimTimeMs a : arrivals) {
+    const int64_t start = a / 1000;
+    // Query durations: log-uniform between 10 s and 10 min.
+    const double log_dur =
+        rng.NextDouble(std::log(10.0), std::log(600.0));
+    const int64_t dur = static_cast<int64_t>(std::exp(log_dur));
+    const int64_t end = std::min(horizon_s, start + std::max<int64_t>(1, dur));
+    for (int64_t s = start; s < end; ++s) {
+      ++concurrency[static_cast<size_t>(s)];
+    }
+  }
+  return concurrency;
+}
+
+std::vector<int64_t> TraceGenerator::AlibabaCpus(uint64_t seed, int hours,
+                                                 int64_t scale) {
+  CACKLE_CHECK_GT(scale, 0);
+  Rng rng(seed);
+  SpikeProcess spikes(&rng, /*spikes_per_day=*/3.0, 1.6, 3.0,
+                      /*min_duration_s=*/120, /*max_duration_s=*/1800);
+  const int64_t horizon_s = static_cast<int64_t>(hours) * kSecondsPerHour;
+  std::vector<int64_t> cpus(static_cast<size_t>(horizon_s), 0);
+  // Real trace: ~40k CPUs baseline with daily peaks to ~250-300k.
+  const double base = 40000.0 / static_cast<double>(scale);
+  const double daily = 180000.0 / static_cast<double>(scale);
+  double noise = 0.0;  // AR(1) relative noise
+  for (int64_t s = 0; s < horizon_s; ++s) {
+    const double h = HourOfDay(s);
+    // Peak near 22:00 (the published trace peaks late in the day).
+    const double cycle = std::exp(-0.5 * std::pow((h - 22.0) / 4.0, 2.0)) +
+                         std::exp(-0.5 * std::pow((h + 2.0) / 4.0, 2.0));
+    noise = 0.999 * noise + 0.002 * rng.NextGaussian();
+    const double level =
+        (base + daily * cycle) * (1.0 + noise) * spikes.FactorAt(s);
+    cpus[static_cast<size_t>(s)] =
+        std::max<int64_t>(0, static_cast<int64_t>(level));
+  }
+  return cpus;
+}
+
+std::vector<int64_t> TraceGenerator::AzureNodes(uint64_t seed, int hours) {
+  Rng rng(seed);
+  SpikeProcess spikes(&rng, /*spikes_per_day=*/2.0, 2.0, 3.2,
+                      /*min_duration_s=*/180, /*max_duration_s=*/1200);
+  const int64_t horizon_s = static_cast<int64_t>(hours) * kSecondsPerHour;
+  std::vector<int64_t> nodes(static_cast<size_t>(horizon_s), 0);
+  double noise = 0.0;
+  for (int64_t s = 0; s < horizon_s; ++s) {
+    const double activity = WorkdayActivity(s);
+    noise = 0.9995 * noise + 0.001 * rng.NextGaussian();
+    const double level =
+        (120.0 + 650.0 * activity) * (1.0 + noise) * spikes.FactorAt(s);
+    nodes[static_cast<size_t>(s)] =
+        std::max<int64_t>(0, static_cast<int64_t>(level));
+  }
+  return nodes;
+}
+
+}  // namespace cackle

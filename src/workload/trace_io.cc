@@ -1,0 +1,107 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace cackle {
+namespace {
+
+bool LooksLikeHeader(const std::string& line) {
+  for (char c : line) {
+    if (std::isalpha(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<int64_t>> ParseDemandCsv(const std::string& text,
+                                              const TraceCsvOptions& options) {
+  std::vector<std::pair<int64_t, int64_t>> samples;
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR (Windows exports) and surrounding whitespace.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line_no == 1 && LooksLikeHeader(line)) continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'second,demand'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const int64_t second = std::strtoll(line.c_str(), &end, 10);
+    const int64_t demand =
+        std::strtoll(line.c_str() + comma + 1, &end, 10);
+    if (errno != 0 || second < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad second value");
+    }
+    if (demand < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": negative demand");
+    }
+    samples.emplace_back(second, demand);
+  }
+  if (samples.empty()) return Status::InvalidArgument("empty trace");
+  std::sort(samples.begin(), samples.end());
+  const int64_t horizon = samples.back().first + 1;
+  if (horizon > 400LL * 24 * 3600) {
+    return Status::InvalidArgument("trace longer than 400 days; check units");
+  }
+  std::vector<int64_t> series(static_cast<size_t>(horizon), 0);
+  for (const auto& [second, demand] : samples) {
+    series[static_cast<size_t>(second)] = demand;
+  }
+  if (options.fill_gaps) {
+    int64_t last = 0;
+    std::vector<bool> sampled(static_cast<size_t>(horizon), false);
+    for (const auto& [second, demand] : samples) {
+      sampled[static_cast<size_t>(second)] = true;
+    }
+    for (size_t s = 0; s < series.size(); ++s) {
+      if (sampled[s]) {
+        last = series[s];
+      } else {
+        series[s] = last;
+      }
+    }
+  }
+  return series;
+}
+
+StatusOr<std::vector<int64_t>> LoadDemandCsv(const std::string& path,
+                                             const TraceCsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDemandCsv(buffer.str(), options);
+}
+
+std::string FormatDemandCsv(const std::vector<int64_t>& series) {
+  std::ostringstream out;
+  out << "second,demand\n";
+  for (size_t s = 0; s < series.size(); ++s) {
+    out << s << "," << series[s] << "\n";
+  }
+  return out.str();
+}
+
+Status SaveDemandCsv(const std::string& path,
+                     const std::vector<int64_t>& series) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << FormatDemandCsv(series);
+  return out ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace cackle

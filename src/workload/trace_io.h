@@ -1,0 +1,42 @@
+#ifndef CACKLE_WORKLOAD_TRACE_IO_H_
+#define CACKLE_WORKLOAD_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cackle {
+
+/// \brief CSV import/export for demand traces, so external workloads (a
+/// Redshift console export, a cluster-manager log) can be replayed through
+/// the analytical model the way Section 5.4 replays the startup / Alibaba /
+/// Azure traces.
+///
+/// Format: an optional header line, then `second,demand` rows. Seconds may
+/// be sparse or unordered; gaps are filled with the previous value when
+/// `fill_gaps` is set (cluster exports often sample irregularly), otherwise
+/// with zero. Negative demand is rejected.
+struct TraceCsvOptions {
+  bool fill_gaps = true;
+};
+
+/// Parses CSV text into a per-second demand series.
+StatusOr<std::vector<int64_t>> ParseDemandCsv(
+    const std::string& text, const TraceCsvOptions& options = {});
+
+/// Loads from a file path.
+StatusOr<std::vector<int64_t>> LoadDemandCsv(
+    const std::string& path, const TraceCsvOptions& options = {});
+
+/// Renders a series as `second,demand` CSV text (with header).
+std::string FormatDemandCsv(const std::vector<int64_t>& series);
+
+/// Writes a series to a file.
+Status SaveDemandCsv(const std::string& path,
+                     const std::vector<int64_t>& series);
+
+}  // namespace cackle
+
+#endif  // CACKLE_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,50 @@
+#include "workload/workload_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+SimTimeMs SampleArrivalTime(const WorkloadOptions& options, Rng* rng) {
+  CACKLE_CHECK_GT(options.duration_ms, 0);
+  if (rng->NextBernoulli(options.baseline_load)) {
+    return rng->NextInt(0, options.duration_ms - 1);
+  }
+  // Sine-shaped density: f(t) proportional to 1 + sin(2*pi*t/P), sampled by
+  // rejection against the uniform envelope (max density 2).
+  const double period = static_cast<double>(options.arrival_period_ms);
+  for (;;) {
+    const SimTimeMs t = rng->NextInt(0, options.duration_ms - 1);
+    const double density =
+        1.0 + std::sin(2.0 * M_PI * static_cast<double>(t) / period);
+    if (rng->NextDouble() * 2.0 < density) return t;
+  }
+}
+
+std::vector<QueryArrival> WorkloadGenerator::Generate(
+    const WorkloadOptions& options) const {
+  CACKLE_CHECK_GT(library_->size(), 0u);
+  Rng rng(options.seed);
+  std::vector<QueryArrival> arrivals;
+  arrivals.reserve(static_cast<size_t>(options.num_queries));
+  for (int64_t i = 0; i < options.num_queries; ++i) {
+    QueryArrival qa;
+    qa.arrival_ms = SampleArrivalTime(options, &rng);
+    qa.profile_index =
+        static_cast<size_t>(rng.NextBounded(library_->size()));
+    qa.batch = rng.NextBernoulli(options.batch_fraction);
+    arrivals.push_back(qa);
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const QueryArrival& a, const QueryArrival& b) {
+              if (a.arrival_ms != b.arrival_ms) {
+                return a.arrival_ms < b.arrival_ms;
+              }
+              return a.profile_index < b.profile_index;
+            });
+  return arrivals;
+}
+
+}  // namespace cackle

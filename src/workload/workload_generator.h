@@ -1,0 +1,63 @@
+#ifndef CACKLE_WORKLOAD_WORKLOAD_GENERATOR_H_
+#define CACKLE_WORKLOAD_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+#include "workload/profile_library.h"
+
+namespace cackle {
+
+/// \brief One query arrival in a generated workload.
+struct QueryArrival {
+  SimTimeMs arrival_ms = 0;
+  /// Index into the ProfileLibrary used to generate the workload.
+  size_t profile_index = 0;
+  /// Batch queries (Section 2.1) tolerate delay: the engine queues their
+  /// tasks for idle provisioned VMs instead of bursting to the elastic
+  /// pool. Interactive queries (the default) never queue.
+  bool batch = false;
+};
+
+/// \brief Options for workload generation (defaults = Table 1 of the paper).
+///
+/// Queries arrive in a fixed window. A `baseline_load` fraction arrives
+/// uniformly at random over the window; the remainder arrive according to a
+/// sine-shaped density with period `arrival_period_ms`, matching the
+/// cyclical-plus-bursty shape of the real-world traces in Section 2.
+struct WorkloadOptions {
+  int64_t num_queries = 16384;
+  SimTimeMs duration_ms = 12 * kMillisPerHour;
+  double baseline_load = 0.30;
+  SimTimeMs arrival_period_ms = 3 * kMillisPerHour;
+  /// Fraction of queries marked as delay-tolerant batch work (Section 2.1's
+  /// query classes). 0 = all interactive, matching the paper's evaluation.
+  double batch_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates query workloads from a profile library.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const ProfileLibrary* library)
+      : library_(library) {}
+
+  /// Generates arrivals sorted by time. Each query uniformly picks a profile
+  /// from the library (the paper selects uniformly from the query set and
+  /// the scale factors).
+  std::vector<QueryArrival> Generate(const WorkloadOptions& options) const;
+
+ private:
+  const ProfileLibrary* library_;
+};
+
+/// \brief Samples one arrival time in [0, duration) from the mixture of a
+/// uniform (with weight `baseline_load`) and a sine-shaped density with the
+/// given period. Exposed for tests.
+SimTimeMs SampleArrivalTime(const WorkloadOptions& options, Rng* rng);
+
+}  // namespace cackle
+
+#endif  // CACKLE_WORKLOAD_WORKLOAD_GENERATOR_H_

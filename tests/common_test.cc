@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+
+namespace cackle {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kIoError); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status Propagates() {
+  CACKLE_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(10);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextExponential(0.25));
+  EXPECT_NEAR(stats.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(5);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextUint64(), fork.NextUint64());
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+}
+
+TEST(SampleSetTest, CdfMonotone) {
+  SampleSet set;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) set.Add(rng.NextDouble(0, 100));
+  auto cdf = set.Cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(FitLineTest, RecoversExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.At(100), 293.0, 1e-9);
+}
+
+TEST(FitLineTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLine({}, {}).slope, 0.0);
+  const LinearFit flat = FitLine({2, 2, 2}, {5, 6, 7});
+  EXPECT_DOUBLE_EQ(flat.slope, 0.0);
+  EXPECT_DOUBLE_EQ(flat.intercept, 6.0);
+}
+
+TEST(TablePrinterTest, TextAndCsv) {
+  TablePrinter t({"name", "cost"});
+  t.BeginRow();
+  t.AddCell("dynamic");
+  t.AddCell(12.5, 2);
+  t.BeginRow();
+  t.AddCell("fixed,0");
+  t.AddCell(int64_t{3});
+  std::ostringstream text;
+  t.PrintText(text);
+  EXPECT_NE(text.str().find("dynamic"), std::string::npos);
+  EXPECT_NE(text.str().find("12.50"), std::string::npos);
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_NE(csv.str().find("\"fixed,0\""), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FormatDoubleTest, FixedDecimals) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cackle

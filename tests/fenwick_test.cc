@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fenwick.h"
+#include "common/rng.h"
+
+namespace cackle {
+namespace {
+
+TEST(FenwickTest, InsertEraseCount) {
+  FenwickCounter f(100);
+  f.Insert(5);
+  f.Insert(5);
+  f.Insert(20);
+  EXPECT_EQ(f.size(), 3);
+  EXPECT_EQ(f.CountLessEqual(4), 0);
+  EXPECT_EQ(f.CountLessEqual(5), 2);
+  EXPECT_EQ(f.CountLessEqual(99), 3);
+  f.Erase(5);
+  EXPECT_EQ(f.CountLessEqual(5), 1);
+  EXPECT_EQ(f.size(), 2);
+}
+
+TEST(FenwickTest, KthSmallest) {
+  FenwickCounter f(50);
+  for (int64_t v : {10, 3, 3, 42, 17}) f.Insert(v);
+  EXPECT_EQ(f.KthSmallest(1), 3);
+  EXPECT_EQ(f.KthSmallest(2), 3);
+  EXPECT_EQ(f.KthSmallest(3), 10);
+  EXPECT_EQ(f.KthSmallest(4), 17);
+  EXPECT_EQ(f.KthSmallest(5), 42);
+  EXPECT_EQ(f.Max(), 42);
+}
+
+TEST(FenwickTest, PercentileNearestRank) {
+  FenwickCounter f(200);
+  for (int64_t v = 1; v <= 100; ++v) f.Insert(v);
+  // Nearest-rank: p-th percentile of 1..100 is exactly p.
+  for (double p : {1.0, 25.0, 50.0, 80.0, 99.0, 100.0}) {
+    EXPECT_EQ(f.Percentile(p), static_cast<int64_t>(p)) << "p=" << p;
+  }
+}
+
+TEST(FenwickTest, DomainBoundaries) {
+  FenwickCounter f(8);
+  f.Insert(0);
+  f.Insert(7);
+  EXPECT_EQ(f.KthSmallest(1), 0);
+  EXPECT_EQ(f.KthSmallest(2), 7);
+  EXPECT_EQ(f.CountLessEqual(-1), 0);
+  EXPECT_EQ(f.CountLessEqual(1000), 2);
+}
+
+/// Property test: randomized operations must match a brute-force multiset.
+class FenwickPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FenwickPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int64_t domain = 1 + static_cast<int64_t>(rng.NextBounded(300));
+  FenwickCounter f(domain);
+  std::vector<int64_t> mirror;
+  for (int step = 0; step < 2000; ++step) {
+    const bool insert = mirror.empty() || rng.NextBernoulli(0.6);
+    if (insert) {
+      const int64_t v = static_cast<int64_t>(
+          rng.NextBounded(static_cast<uint64_t>(domain)));
+      f.Insert(v);
+      mirror.push_back(v);
+    } else {
+      const size_t idx = static_cast<size_t>(rng.NextBounded(mirror.size()));
+      f.Erase(mirror[idx]);
+      mirror.erase(mirror.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(f.size(), static_cast<int64_t>(mirror.size()));
+    if (!mirror.empty() && step % 10 == 0) {
+      std::vector<int64_t> sorted = mirror;
+      std::sort(sorted.begin(), sorted.end());
+      const int64_t k =
+          1 + static_cast<int64_t>(rng.NextBounded(sorted.size()));
+      ASSERT_EQ(f.KthSmallest(k), sorted[static_cast<size_t>(k - 1)]);
+      const double p = rng.NextDouble(0.01, 100.0);
+      const int64_t rank = std::clamp<int64_t>(
+          static_cast<int64_t>((p / 100.0) * static_cast<double>(sorted.size()) +
+                               0.9999999),
+          1, static_cast<int64_t>(sorted.size()));
+      ASSERT_EQ(f.Percentile(p), sorted[static_cast<size_t>(rank - 1)])
+          << "p=" << p << " n=" << sorted.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FenwickPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cackle

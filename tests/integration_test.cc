@@ -1,0 +1,105 @@
+// End-to-end integration: the real executor profiles queries, the profiles
+// drive workload generation, the analytical model prices strategies on the
+// resulting demand, and the engine simulation validates the model — the
+// full pipeline of the paper in one test binary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/engine.h"
+#include "exec/datagen.h"
+#include "exec/profiler.h"
+#include "model/analytical_model.h"
+#include "strategy/oracle.h"
+
+namespace cackle {
+namespace {
+
+TEST(PipelineIntegrationTest, MeasuredProfilesDriveModelAndEngine) {
+  // 1. Execute + profile a handful of real queries on generated TPC-H data.
+  const exec::Catalog catalog = exec::GenerateTpch(0.005);
+  exec::ProfilerOptions prof_opts;
+  prof_opts.measured_scale_factor = 0.005;
+  prof_opts.plan_config.tasks = 3;
+  prof_opts.target_scale_factors = {10, 100};
+  // Keep tasks well above one second: the analytical model accounts demand
+  // at second granularity, so sub-second tasks inflate its cost estimate
+  // relative to the millisecond-billed engine and would dominate the gap.
+  prof_opts.min_task_ms = 2500;
+  ProfileLibrary library;
+  for (int q : {1, 3, 6, 12, 18}) {
+    for (auto& p : exec::ProfileQuery(q, catalog, prof_opts)) {
+      library.Add(std::move(p));
+    }
+  }
+  ASSERT_EQ(library.size(), 10u);
+
+  // 2. Generate a workload over the measured profiles.
+  WorkloadGenerator gen(&library);
+  WorkloadOptions opts;
+  opts.num_queries = 300;
+  opts.duration_ms = kMillisPerHour;
+  opts.arrival_period_ms = 20 * kMillisPerMinute;
+  const auto arrivals = gen.Generate(opts);
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, library);
+  ASSERT_GT(demand.MaxTasks(), 0);
+  int64_t peak_shuffle = 0;
+  for (int64_t s = 0; s < demand.duration_seconds(); ++s) {
+    peak_shuffle = std::max(peak_shuffle, demand.ShuffleBytesAt(s));
+  }
+  ASSERT_GT(peak_shuffle, 0);
+
+  // 3. Price strategies with the analytical model.
+  CostModel cost;
+  AnalyticalModel model(&cost);
+  DynamicStrategy dynamic(&cost);
+  ModelOptions model_opts;
+  model_opts.include_shuffle = true;
+  const ModelResult priced = model.Run(&dynamic, demand, model_opts);
+  EXPECT_GT(priced.compute_cost(), 0.0);
+  EXPECT_GT(priced.shuffle_cost(), 0.0);
+  const double oracle =
+      ComputeOracleCost(demand.tasks_per_second(), cost).total();
+  EXPECT_GE(priced.compute_cost(), oracle - 1e-9);
+
+  // 4. Run the engine on the same workload; model and engine must agree on
+  //    compute cost within a loose band.
+  EngineOptions engine_opts;
+  CackleEngine engine(&cost, engine_opts);
+  const EngineResult real = engine.Run(arrivals, library);
+  EXPECT_EQ(real.queries_completed, opts.num_queries);
+  const double gap =
+      std::abs(real.compute_cost() - priced.compute_cost()) /
+      std::max(1e-9, priced.compute_cost());
+  EXPECT_LT(gap, 0.4) << "engine=" << real.compute_cost()
+                      << " model=" << priced.compute_cost();
+}
+
+TEST(PipelineIntegrationTest, BuiltinAndMeasuredProfilesInterchangeable) {
+  // The builtin library and profiler-produced profiles satisfy the same
+  // contract; mixing them in one library works.
+  const exec::Catalog catalog = exec::GenerateTpch(0.005);
+  exec::ProfilerOptions prof_opts;
+  prof_opts.measured_scale_factor = 0.005;
+  prof_opts.target_scale_factors = {50};
+  ProfileLibrary library = ProfileLibrary::BuiltinTpch();
+  const size_t builtin_count = library.size();
+  for (auto& p : exec::ProfileQuery(6, catalog, prof_opts)) {
+    p.name = "measured_" + p.name;
+    library.Add(std::move(p));
+  }
+  EXPECT_EQ(library.size(), builtin_count + 1);
+  EXPECT_NE(library.FindByName("measured_tpch_q06_sf50"), nullptr);
+  WorkloadGenerator gen(&library);
+  WorkloadOptions opts;
+  opts.num_queries = 50;
+  opts.duration_ms = kMillisPerHour / 4;
+  const DemandCurve demand =
+      DemandCurve::FromWorkload(gen.Generate(opts), library);
+  EXPECT_GT(demand.TotalTaskSeconds(), 0);
+}
+
+}  // namespace
+}  // namespace cackle

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/analytical_model.h"
+#include "model/warehouse_simulator.h"
+#include "model/work_delay_model.h"
+#include "strategy/oracle.h"
+#include "workload/trace_generator.h"
+
+namespace cackle {
+namespace {
+
+std::vector<QueryArrival> SmallWorkload(const ProfileLibrary& lib, int64_t n,
+                                        SimTimeMs duration, uint64_t seed) {
+  WorkloadGenerator gen(&lib);
+  WorkloadOptions opts;
+  opts.num_queries = n;
+  opts.duration_ms = duration;
+  opts.arrival_period_ms = duration / 3;
+  opts.seed = seed;
+  return gen.Generate(opts);
+}
+
+TEST(AnalyticalModelTest, ComputeOnlyMatchesEvaluateStrategy) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 200, kMillisPerHour, 5);
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, lib);
+  CostModel cost;
+  AnalyticalModel model(&cost);
+  FixedStrategy fixed(50);
+  const ModelResult r = model.Run(&fixed, demand);
+  FixedStrategy fixed2(50);
+  const auto direct = EvaluateStrategy(&fixed2, demand.tasks_per_second(),
+                                       cost);
+  EXPECT_DOUBLE_EQ(r.compute.total(), direct.total());
+  EXPECT_DOUBLE_EQ(r.shuffle_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(r.coordinator_cost, 0.0);
+}
+
+TEST(AnalyticalModelTest, ShuffleLayerCostsAppear) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 400, kMillisPerHour, 6);
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, lib);
+  CostModel cost;
+  AnalyticalModel model(&cost);
+  FixedStrategy fixed(0);
+  ModelOptions opts;
+  opts.include_shuffle = true;
+  opts.include_coordinator = true;
+  const ModelResult r = model.Run(&fixed, demand, opts);
+  // The 16 GB floor keeps at least two shuffle nodes rented for the hour.
+  EXPECT_GE(r.shuffle_node_cost, 2 * 0.9 * cost.shuffle_node_cost_per_hour);
+  EXPECT_GT(r.coordinator_cost, 0.0);
+  EXPECT_NEAR(r.coordinator_cost,
+              cost.coordinator_cost_per_hour *
+                  static_cast<double>(demand.duration_seconds()) / 3600.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(r.total(), r.compute_cost() + r.shuffle_cost() +
+                                  r.coordinator_cost);
+}
+
+TEST(AnalyticalModelTest, ProvisionedShuffleCheaperThanPureS3) {
+  // Section 5.6 / 7.1.3: for busy workloads, provisioned shuffle nodes cost
+  // far less than paying per-request for every shuffle. Compare the modeled
+  // shuffle cost with what the same workload would pay in pure S3 requests.
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 1500, kMillisPerHour, 7);
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, lib);
+  CostModel cost;
+  AnalyticalModel model(&cost);
+  FixedStrategy fixed(0);
+  ModelOptions opts;
+  opts.include_shuffle = true;
+  const ModelResult r = model.Run(&fixed, demand, opts);
+  double pure_s3 = 0.0;
+  for (const QueryArrival& qa : arrivals) {
+    const QueryProfile& p = lib.at(qa.profile_index);
+    pure_s3 += static_cast<double>(p.TotalObjectStorePuts()) *
+                   cost.object_store_put_cost +
+               static_cast<double>(p.TotalObjectStoreGets()) *
+                   cost.object_store_get_cost;
+  }
+  EXPECT_LT(r.shuffle_cost(), 0.5 * pure_s3);
+}
+
+TEST(WorkDelayModelTest, AmpleWorkersMatchUnconstrainedLatency) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 20, kMillisPerHour, 8);
+  CostModel cost;
+  const auto delayed = RunWorkDelaySimulation(arrivals, lib, 1'000'000, cost);
+  auto unconstrained = UnconstrainedLatencies(arrivals, lib);
+  ASSERT_EQ(delayed.latencies_s.size(), unconstrained.size());
+  EXPECT_NEAR(delayed.latencies_s.Percentile(95),
+              unconstrained.Percentile(95), 1e-6);
+}
+
+TEST(WorkDelayModelTest, FewWorkersQueueAndSlowDown) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 60, kMillisPerHour, 9);
+  CostModel cost;
+  const auto tight = RunWorkDelaySimulation(arrivals, lib, 50, cost);
+  const auto ample = RunWorkDelaySimulation(arrivals, lib, 100'000, cost);
+  EXPECT_GT(tight.latencies_s.Percentile(95),
+            2.0 * ample.latencies_s.Percentile(95));
+  EXPECT_GE(tight.makespan_ms, ample.makespan_ms);
+  EXPECT_EQ(tight.tasks_executed, ample.tasks_executed);
+}
+
+TEST(WorkDelayModelTest, CostScalesWithWorkers) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 30, kMillisPerHour / 2, 10);
+  CostModel cost;
+  const auto a = RunWorkDelaySimulation(arrivals, lib, 200, cost);
+  const auto b = RunWorkDelaySimulation(arrivals, lib, 400, cost);
+  // Twice the fleet for a similar-or-shorter makespan: cost roughly up to
+  // 2x, and never cheaper per-worker-second.
+  EXPECT_GT(b.cost, a.cost * 0.9);
+  EXPECT_NEAR(a.cost,
+              200 * MsToSeconds(a.makespan_ms) * cost.VmCostPerSecond(),
+              1e-9);
+}
+
+TEST(WarehouseSimulatorTest, UnloadedWarehouseHasNoQueueing) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 20, kMillisPerHour, 11);
+  const auto r =
+      RunWarehouseSimulation(arrivals, lib, DatabricksSmallFixed(5));
+  EXPECT_EQ(r.latencies_s.size(), 20u);
+  EXPECT_EQ(r.queries_queued, 0);
+  // Latency ~= speed_factor x critical path for every query.
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const double expected =
+        MsToSeconds(lib.at(arrivals[i].profile_index).CriticalPathMs()) * 0.6;
+    // Completion order differs from arrival order; just bound the max.
+    EXPECT_LE(r.latencies_s.samples()[i], 2 * expected + 60.0);
+  }
+}
+
+TEST(WarehouseSimulatorTest, OverloadedFixedWarehouseQueues) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 4000, kMillisPerHour, 12);
+  const auto one = RunWarehouseSimulation(arrivals, lib,
+                                          DatabricksSmallFixed(1));
+  const auto five = RunWarehouseSimulation(arrivals, lib,
+                                           DatabricksSmallFixed(5));
+  EXPECT_GT(one.queries_queued, 0);
+  EXPECT_GT(one.latencies_s.Percentile(90),
+            2.0 * five.latencies_s.Percentile(90));
+  EXPECT_LT(one.cost, five.cost);
+}
+
+TEST(WarehouseSimulatorTest, AutoscalerAddsAndChargesClusters) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 4000, kMillisPerHour, 12);
+  const auto fixed1 = RunWarehouseSimulation(arrivals, lib,
+                                             DatabricksSmallFixed(1));
+  const auto autosc = RunWarehouseSimulation(arrivals, lib,
+                                             DatabricksSmallAuto());
+  EXPECT_GT(autosc.clusters_started, 1);
+  EXPECT_GT(autosc.peak_clusters, 1);
+  // Autoscaling improves tail latency over a single fixed cluster but costs
+  // more than it.
+  EXPECT_LT(autosc.latencies_s.Percentile(90),
+            fixed1.latencies_s.Percentile(90));
+  EXPECT_GT(autosc.cost, fixed1.cost * 0.99);
+}
+
+TEST(WarehouseSimulatorTest, SnowflakePoliciesTradeLatencyForCost) {
+  // Standard scales on any queueing; economy waits for a 12-query backlog
+  // and releases fast: cheaper, slower under bursts.
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 4000, kMillisPerHour, 15);
+  const auto standard = RunWarehouseSimulation(
+      arrivals, lib, SnowflakeLikeMultiCluster(/*economy=*/false));
+  const auto economy = RunWarehouseSimulation(
+      arrivals, lib, SnowflakeLikeMultiCluster(/*economy=*/true));
+  EXPECT_LE(economy.cost, standard.cost);
+  EXPECT_GE(economy.latencies_s.Percentile(90),
+            standard.latencies_s.Percentile(90));
+  EXPECT_GE(standard.peak_clusters, economy.peak_clusters);
+}
+
+TEST(WarehouseSimulatorTest, ServerlessBillsOnlyBusyPeriods) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  // A couple of queries in a long window: serverless cost << always-on.
+  const auto arrivals = SmallWorkload(lib, 4, 6 * kMillisPerHour, 13);
+  const auto r = RunWarehouseSimulation(arrivals, lib,
+                                        RedshiftServerless8Rpu());
+  const double always_on = 2.88 * 6.0;
+  EXPECT_LT(r.cost, 0.2 * always_on);
+  EXPECT_GT(r.cost, 0.0);
+}
+
+TEST(WarehouseSimulatorTest, AutoscalerReleasesIdleClusters) {
+  // A burst early in a long quiet window: the autoscaler adds clusters for
+  // the burst and releases them after the idle threshold, so it ends the
+  // window cheaper than a fixed warehouse of its peak size.
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  WorkloadGenerator gen(&lib);
+  WorkloadOptions opts;
+  opts.num_queries = 1500;
+  opts.duration_ms = 20 * kMillisPerMinute;  // burst confined to 20 minutes
+  opts.arrival_period_ms = opts.duration_ms;
+  opts.seed = 16;
+  auto arrivals = gen.Generate(opts);
+  // One trailing query three hours later keeps the simulation window long.
+  arrivals.push_back(QueryArrival{3 * kMillisPerHour, 0});
+  const auto autosc =
+      RunWarehouseSimulation(arrivals, lib, DatabricksSmallAuto());
+  ASSERT_GT(autosc.peak_clusters, 1);
+  const auto fixed_peak = RunWarehouseSimulation(
+      arrivals, lib,
+      DatabricksSmallFixed(static_cast<int>(autosc.peak_clusters)));
+  EXPECT_LT(autosc.cost, 0.7 * fixed_peak.cost);
+}
+
+TEST(Figure11ShapeTest, ElasticOracleDominatesDelayingFrontier) {
+  // The headline claim of Section 5.5: with the elastic pool, Cackle
+  // reaches latency at-or-below the best over-provisioned work-delaying
+  // system at lower cost, because 60 s minimum billing makes short bursts
+  // cheaper on the elastic pool.
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = SmallWorkload(lib, 256, 2 * kMillisPerHour, 14);
+  const DemandCurve demand = DemandCurve::FromWorkload(arrivals, lib);
+  CostModel cost;
+  const OracleResult with_pool =
+      ComputeOracleCost(demand.tasks_per_second(), cost, true);
+  const OracleResult without_pool =
+      ComputeOracleCost(demand.tasks_per_second(), cost, false);
+  EXPECT_LT(with_pool.total(), without_pool.total());
+}
+
+}  // namespace
+}  // namespace cackle

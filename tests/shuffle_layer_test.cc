@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.h"
+#include "cloud/object_store.h"
+#include "engine/shuffle_layer.h"
+#include "sim/simulation.h"
+
+namespace cackle {
+namespace {
+
+class ShuffleLayerTest : public ::testing::Test {
+ protected:
+  ShuffleLayerTest()
+      : store_(&cost_, &meter_), layer_(&sim_, &cost_, &meter_, &store_) {}
+
+  /// Provisions shuffle nodes and waits for them to start.
+  void ProvisionNodes() {
+    layer_.Tick();  // floor: 16 GB -> 2 nodes
+    sim_.RunUntil(cost_.shuffle_node_startup_ms + 1);
+  }
+
+  Simulation sim_;
+  CostModel cost_;
+  BillingMeter meter_;
+  ObjectStore store_;
+  ShuffleLayer layer_;
+};
+
+TEST_F(ShuffleLayerTest, FloorProvisionsTwoNodes) {
+  ProvisionNodes();
+  EXPECT_EQ(layer_.num_nodes(), 2);
+  EXPECT_EQ(layer_.node_capacity_bytes(), 2 * cost_.shuffle_node_memory_bytes);
+}
+
+TEST_F(ShuffleLayerTest, WritesWithinCapacityStayOnNodes) {
+  ProvisionNodes();
+  const double fallback = layer_.Write(/*query_id=*/1, /*stage_id=*/0,
+                                       /*total_bytes=*/1 << 30,
+                                       /*num_partitions=*/64,
+                                       /*object_store_puts=*/128);
+  EXPECT_DOUBLE_EQ(fallback, 0.0);
+  EXPECT_EQ(layer_.resident_bytes(), 1 << 30);
+  EXPECT_EQ(store_.num_puts(), 0);
+  // Reads of node-resident data cost nothing.
+  layer_.Read(1, 0, /*object_store_gets=*/10'000);
+  EXPECT_DOUBLE_EQ(meter_.CategoryDollars(CostCategory::kObjectStoreGet),
+                   0.0);
+}
+
+TEST_F(ShuffleLayerTest, OverflowFallsBackToObjectStore) {
+  ProvisionNodes();
+  // 20 GB into 16 GB of node memory: ~1/5 spills.
+  const int64_t bytes = 20LL << 30;
+  const double fallback = layer_.Write(2, 0, bytes, 128, 256);
+  EXPECT_GT(fallback, 0.15);
+  EXPECT_LT(fallback, 0.25);
+  EXPECT_GT(store_.bytes_stored(), 0);
+  EXPECT_GT(meter_.CategoryDollars(CostCategory::kObjectStorePut), 0.0);
+  // Reads now pay GETs proportional to the spilled share.
+  layer_.Read(2, 0, 1000);
+  EXPECT_GT(meter_.CategoryDollars(CostCategory::kObjectStoreGet), 0.0);
+  EXPECT_EQ(layer_.total_fallback_bytes(), store_.bytes_stored());
+}
+
+TEST_F(ShuffleLayerTest, ReleaseQueryFreesNodeMemoryAndStoreObjects) {
+  ProvisionNodes();
+  layer_.Write(3, 0, 20LL << 30, 64, 128);
+  ASSERT_GT(store_.num_objects(), 0);
+  const int64_t resident_before = layer_.resident_bytes();
+  ASSERT_GT(resident_before, 0);
+  layer_.ReleaseQuery(3);
+  EXPECT_EQ(layer_.resident_bytes(), 0);
+  EXPECT_EQ(store_.num_objects(), 0);
+  // Freed node memory is reusable: the next write fits entirely.
+  EXPECT_DOUBLE_EQ(layer_.Write(4, 0, 8LL << 30, 32, 64), 0.0);
+}
+
+TEST_F(ShuffleLayerTest, TickGrowsFleetWithResidentState) {
+  ProvisionNodes();
+  layer_.Write(5, 0, 30LL << 30, 64, 128);  // 30 GB resident
+  layer_.Tick();                            // target ceil(30/8) = 4 nodes
+  sim_.RunUntil(sim_.NowMs() + cost_.shuffle_node_startup_ms + 1);
+  EXPECT_EQ(layer_.num_nodes(), 4);
+}
+
+TEST_F(ShuffleLayerTest, ShutdownDrainsAndBills) {
+  ProvisionNodes();
+  sim_.RunUntil(sim_.NowMs() + 10 * kMillisPerMinute);
+  layer_.Shutdown();
+  EXPECT_EQ(layer_.num_nodes(), 0);
+  EXPECT_GT(meter_.CategoryDollars(CostCategory::kShuffleNode), 0.0);
+}
+
+TEST_F(ShuffleLayerTest, ReleaseUnknownQueryIsNoop) {
+  layer_.ReleaseQuery(12345);
+  layer_.Read(12345, 0, 100);
+  EXPECT_DOUBLE_EQ(meter_.TotalDollars(), 0.0);
+}
+
+}  // namespace
+}  // namespace cackle

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+#include "sim/simulation.h"
+
+namespace cackle {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.NowMs(), 300);
+}
+
+TEST(SimulationTest, SimultaneousEventsRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.NowMs(), 40);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const uint64_t id = sim.ScheduleAt(100, [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel reports failure
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  std::vector<SimTimeMs> fired;
+  for (SimTimeMs t : {10, 20, 30, 40}) {
+    sim.ScheduleAt(t, [&fired, &sim] { fired.push_back(sim.NowMs()); });
+  }
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTimeMs>{10, 20}));
+  EXPECT_FALSE(sim.empty());
+  sim.RunToCompletion();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.NowMs(), 5000);
+}
+
+TEST(SimulationTest, ManyEventsStayDeterministic) {
+  Simulation sim;
+  int64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.ScheduleAt((i * 7919) % 1000, [&sum, i] { sum += i; });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sum, 100000LL * 99999 / 2);
+  EXPECT_EQ(sim.executed_events(), 100000);
+}
+
+TEST(SimulationTest, CancelInterleavedWithExecution) {
+  Simulation sim;
+  int ran = 0;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.ScheduleAt(i * 10, [&] { ++ran; }));
+  }
+  // Cancel every other event from inside an early event.
+  sim.ScheduleAt(1, [&] {
+    for (size_t i = 0; i < ids.size(); i += 2) sim.Cancel(ids[i]);
+  });
+  sim.RunToCompletion();
+  // Event 0 ran before the cancel event at t=1; the 50 odd-indexed events
+  // survive; even-indexed events 2..98 were cancelled.
+  EXPECT_EQ(ran, 51);
+}
+
+/// Property: under random scheduling, cancellation, and event-driven
+/// re-scheduling, events execute exactly once, in non-decreasing time
+/// order, and ties execute in scheduling order.
+class SimulationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulationPropertyTest, RandomScheduleExecutesInOrder) {
+  Rng rng(GetParam());
+  Simulation sim;
+  struct Fired {
+    SimTimeMs when;
+    uint64_t seq;
+  };
+  std::vector<Fired> fired;
+  std::vector<uint64_t> ids;
+  std::vector<int> executed(1000, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTimeMs when = rng.NextInt(0, 5000);
+    const uint64_t id = sim.ScheduleAt(when, [&fired, &executed, &sim, i] {
+      fired.push_back(Fired{sim.NowMs(), static_cast<uint64_t>(i)});
+      ++executed[static_cast<size_t>(i)];
+    });
+    ids.push_back(id);
+  }
+  // Cancel a random 20%.
+  std::set<size_t> cancelled;
+  for (int c = 0; c < 200; ++c) {
+    const size_t idx = static_cast<size_t>(rng.NextBounded(ids.size()));
+    if (sim.Cancel(ids[idx])) cancelled.insert(idx);
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fired.size(), 1000 - cancelled.size());
+  for (size_t i = 0; i < executed.size(); ++i) {
+    EXPECT_EQ(executed[i], cancelled.count(i) ? 0 : 1) << i;
+  }
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].when, fired[i - 1].when);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationPropertyTest,
+                         ::testing::Values(71, 72, 73, 74, 75));
+
+TEST(MsConversionTest, RoundTrips) {
+  EXPECT_EQ(SecondsToMs(1.5), 1500);
+  EXPECT_DOUBLE_EQ(MsToSeconds(2500), 2.5);
+  EXPECT_EQ(kMillisPerHour, 3600000);
+}
+
+}  // namespace
+}  // namespace cackle
