@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_family.dir/ablation_family.cc.o"
+  "CMakeFiles/ablation_family.dir/ablation_family.cc.o.d"
+  "ablation_family"
+  "ablation_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vm_speedup.dir/ablation_vm_speedup.cc.o"
+  "CMakeFiles/ablation_vm_speedup.dir/ablation_vm_speedup.cc.o.d"
+  "ablation_vm_speedup"
+  "ablation_vm_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vm_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_batch_delay.dir/extension_batch_delay.cc.o"
+  "CMakeFiles/extension_batch_delay.dir/extension_batch_delay.cc.o.d"
+  "extension_batch_delay"
+  "extension_batch_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_batch_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_batch_delay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_price_change.dir/extension_price_change.cc.o"
+  "CMakeFiles/extension_price_change.dir/extension_price_change.cc.o.d"
+  "extension_price_change"
+  "extension_price_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_price_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

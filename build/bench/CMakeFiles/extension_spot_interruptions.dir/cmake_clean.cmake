@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_spot_interruptions.dir/extension_spot_interruptions.cc.o"
+  "CMakeFiles/extension_spot_interruptions.dir/extension_spot_interruptions.cc.o.d"
+  "extension_spot_interruptions"
+  "extension_spot_interruptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_spot_interruptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_spot_interruptions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_04_traces.dir/fig02_04_traces.cc.o"
+  "CMakeFiles/fig02_04_traces.dir/fig02_04_traces.cc.o.d"
+  "fig02_04_traces"
+  "fig02_04_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_04_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_query_density.dir/fig05_query_density.cc.o"
+  "CMakeFiles/fig05_query_density.dir/fig05_query_density.cc.o.d"
+  "fig05_query_density"
+  "fig05_query_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_query_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_arrival_period.dir/fig06_arrival_period.cc.o"
+  "CMakeFiles/fig06_arrival_period.dir/fig06_arrival_period.cc.o.d"
+  "fig06_arrival_period"
+  "fig06_arrival_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_arrival_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_baseline_load.dir/fig07_baseline_load.cc.o"
+  "CMakeFiles/fig07_baseline_load.dir/fig07_baseline_load.cc.o.d"
+  "fig07_baseline_load"
+  "fig07_baseline_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_baseline_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_elastic_premium.dir/fig08_elastic_premium.cc.o"
+  "CMakeFiles/fig08_elastic_premium.dir/fig08_elastic_premium.cc.o.d"
+  "fig08_elastic_premium"
+  "fig08_elastic_premium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_elastic_premium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_vm_startup.cc" "bench/CMakeFiles/fig09_vm_startup.dir/fig09_vm_startup.cc.o" "gcc" "bench/CMakeFiles/fig09_vm_startup.dir/fig09_vm_startup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/cackle_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/cackle_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/cackle_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/cackle_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cackle_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cackle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cackle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cackle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vm_startup.dir/fig09_vm_startup.cc.o"
+  "CMakeFiles/fig09_vm_startup.dir/fig09_vm_startup.cc.o.d"
+  "fig09_vm_startup"
+  "fig09_vm_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vm_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

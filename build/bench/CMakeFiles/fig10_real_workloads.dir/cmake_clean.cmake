@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_real_workloads.dir/fig10_real_workloads.cc.o"
+  "CMakeFiles/fig10_real_workloads.dir/fig10_real_workloads.cc.o.d"
+  "fig10_real_workloads"
+  "fig10_real_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_real_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

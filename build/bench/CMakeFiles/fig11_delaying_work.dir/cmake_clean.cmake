@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_delaying_work.dir/fig11_delaying_work.cc.o"
+  "CMakeFiles/fig11_delaying_work.dir/fig11_delaying_work.cc.o.d"
+  "fig11_delaying_work"
+  "fig11_delaying_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_delaying_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

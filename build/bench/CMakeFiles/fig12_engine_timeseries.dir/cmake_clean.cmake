@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_engine_timeseries.dir/fig12_engine_timeseries.cc.o"
+  "CMakeFiles/fig12_engine_timeseries.dir/fig12_engine_timeseries.cc.o.d"
+  "fig12_engine_timeseries"
+  "fig12_engine_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_engine_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_model_validation.dir/fig13_model_validation.cc.o"
+  "CMakeFiles/fig13_model_validation.dir/fig13_model_validation.cc.o.d"
+  "fig13_model_validation"
+  "fig13_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

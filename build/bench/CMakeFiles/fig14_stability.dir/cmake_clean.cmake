@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_stability.dir/fig14_stability.cc.o"
+  "CMakeFiles/fig14_stability.dir/fig14_stability.cc.o.d"
+  "fig14_stability"
+  "fig14_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_strategy.dir/micro_strategy.cc.o"
+  "CMakeFiles/micro_strategy.dir/micro_strategy.cc.o.d"
+  "micro_strategy"
+  "micro_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_sim_cli.dir/cackle_sim.cpp.o"
+  "CMakeFiles/cackle_sim_cli.dir/cackle_sim.cpp.o.d"
+  "cackle_sim"
+  "cackle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

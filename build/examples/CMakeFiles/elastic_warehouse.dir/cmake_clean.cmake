@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_warehouse.dir/elastic_warehouse.cpp.o"
+  "CMakeFiles/elastic_warehouse.dir/elastic_warehouse.cpp.o.d"
+  "elastic_warehouse"
+  "elastic_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_query.dir/logical_query.cpp.o"
+  "CMakeFiles/logical_query.dir/logical_query.cpp.o.d"
+  "logical_query"
+  "logical_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tpch.dir/profile_tpch.cpp.o"
+  "CMakeFiles/profile_tpch.dir/profile_tpch.cpp.o.d"
+  "profile_tpch"
+  "profile_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_playground.dir/provisioning_playground.cpp.o"
+  "CMakeFiles/provisioning_playground.dir/provisioning_playground.cpp.o.d"
+  "provisioning_playground"
+  "provisioning_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_tpch_query.dir/run_tpch_query.cpp.o"
+  "CMakeFiles/run_tpch_query.dir/run_tpch_query.cpp.o.d"
+  "run_tpch_query"
+  "run_tpch_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_tpch_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

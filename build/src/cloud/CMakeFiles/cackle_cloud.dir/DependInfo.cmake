@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/cloud/CMakeFiles/cackle_cloud.dir/billing.cc.o" "gcc" "src/cloud/CMakeFiles/cackle_cloud.dir/billing.cc.o.d"
+  "/root/repo/src/cloud/elastic_pool.cc" "src/cloud/CMakeFiles/cackle_cloud.dir/elastic_pool.cc.o" "gcc" "src/cloud/CMakeFiles/cackle_cloud.dir/elastic_pool.cc.o.d"
+  "/root/repo/src/cloud/object_store.cc" "src/cloud/CMakeFiles/cackle_cloud.dir/object_store.cc.o" "gcc" "src/cloud/CMakeFiles/cackle_cloud.dir/object_store.cc.o.d"
+  "/root/repo/src/cloud/spot_market.cc" "src/cloud/CMakeFiles/cackle_cloud.dir/spot_market.cc.o" "gcc" "src/cloud/CMakeFiles/cackle_cloud.dir/spot_market.cc.o.d"
+  "/root/repo/src/cloud/vm_fleet.cc" "src/cloud/CMakeFiles/cackle_cloud.dir/vm_fleet.cc.o" "gcc" "src/cloud/CMakeFiles/cackle_cloud.dir/vm_fleet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cackle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cackle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_cloud.dir/billing.cc.o"
+  "CMakeFiles/cackle_cloud.dir/billing.cc.o.d"
+  "CMakeFiles/cackle_cloud.dir/elastic_pool.cc.o"
+  "CMakeFiles/cackle_cloud.dir/elastic_pool.cc.o.d"
+  "CMakeFiles/cackle_cloud.dir/object_store.cc.o"
+  "CMakeFiles/cackle_cloud.dir/object_store.cc.o.d"
+  "CMakeFiles/cackle_cloud.dir/spot_market.cc.o"
+  "CMakeFiles/cackle_cloud.dir/spot_market.cc.o.d"
+  "CMakeFiles/cackle_cloud.dir/vm_fleet.cc.o"
+  "CMakeFiles/cackle_cloud.dir/vm_fleet.cc.o.d"
+  "libcackle_cloud.a"
+  "libcackle_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

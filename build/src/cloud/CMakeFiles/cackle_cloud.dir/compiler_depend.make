@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cackle_cloud.
+# This may be replaced when dependencies are built.

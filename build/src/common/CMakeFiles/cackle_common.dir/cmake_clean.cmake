@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_common.dir/logging.cc.o"
+  "CMakeFiles/cackle_common.dir/logging.cc.o.d"
+  "CMakeFiles/cackle_common.dir/rng.cc.o"
+  "CMakeFiles/cackle_common.dir/rng.cc.o.d"
+  "CMakeFiles/cackle_common.dir/stats.cc.o"
+  "CMakeFiles/cackle_common.dir/stats.cc.o.d"
+  "CMakeFiles/cackle_common.dir/status.cc.o"
+  "CMakeFiles/cackle_common.dir/status.cc.o.d"
+  "CMakeFiles/cackle_common.dir/table_printer.cc.o"
+  "CMakeFiles/cackle_common.dir/table_printer.cc.o.d"
+  "libcackle_common.a"
+  "libcackle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_engine.dir/engine.cc.o"
+  "CMakeFiles/cackle_engine.dir/engine.cc.o.d"
+  "CMakeFiles/cackle_engine.dir/shuffle_layer.cc.o"
+  "CMakeFiles/cackle_engine.dir/shuffle_layer.cc.o.d"
+  "libcackle_engine.a"
+  "libcackle_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

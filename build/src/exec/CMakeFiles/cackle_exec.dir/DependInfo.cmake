@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/datagen.cc" "src/exec/CMakeFiles/cackle_exec.dir/datagen.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/datagen.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/cackle_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/logical.cc" "src/exec/CMakeFiles/cackle_exec.dir/logical.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/logical.cc.o.d"
+  "/root/repo/src/exec/lowering.cc" "src/exec/CMakeFiles/cackle_exec.dir/lowering.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/lowering.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/cackle_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/optimizer.cc" "src/exec/CMakeFiles/cackle_exec.dir/optimizer.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/optimizer.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/cackle_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/profiler.cc" "src/exec/CMakeFiles/cackle_exec.dir/profiler.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/profiler.cc.o.d"
+  "/root/repo/src/exec/storage.cc" "src/exec/CMakeFiles/cackle_exec.dir/storage.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/storage.cc.o.d"
+  "/root/repo/src/exec/table.cc" "src/exec/CMakeFiles/cackle_exec.dir/table.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/table.cc.o.d"
+  "/root/repo/src/exec/tpch_logical.cc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_logical.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_logical.cc.o.d"
+  "/root/repo/src/exec/tpch_queries.cc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries.cc.o.d"
+  "/root/repo/src/exec/tpch_queries_17_25.cc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_17_25.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_17_25.cc.o.d"
+  "/root/repo/src/exec/tpch_queries_1_8.cc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_1_8.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_1_8.cc.o.d"
+  "/root/repo/src/exec/tpch_queries_9_16.cc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_9_16.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/tpch_queries_9_16.cc.o.d"
+  "/root/repo/src/exec/types.cc" "src/exec/CMakeFiles/cackle_exec.dir/types.cc.o" "gcc" "src/exec/CMakeFiles/cackle_exec.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cackle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cackle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cackle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_model.dir/analytical_model.cc.o"
+  "CMakeFiles/cackle_model.dir/analytical_model.cc.o.d"
+  "CMakeFiles/cackle_model.dir/warehouse_simulator.cc.o"
+  "CMakeFiles/cackle_model.dir/warehouse_simulator.cc.o.d"
+  "CMakeFiles/cackle_model.dir/work_delay_model.cc.o"
+  "CMakeFiles/cackle_model.dir/work_delay_model.cc.o.d"
+  "libcackle_model.a"
+  "libcackle_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_sim.dir/simulation.cc.o"
+  "CMakeFiles/cackle_sim.dir/simulation.cc.o.d"
+  "libcackle_sim.a"
+  "libcackle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcackle_sim.a"
+)

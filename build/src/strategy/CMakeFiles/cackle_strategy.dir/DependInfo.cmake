@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/allocation_model.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/allocation_model.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/allocation_model.cc.o.d"
+  "/root/repo/src/strategy/cost_calculator.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/cost_calculator.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/cost_calculator.cc.o.d"
+  "/root/repo/src/strategy/dynamic_strategy.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/dynamic_strategy.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/dynamic_strategy.cc.o.d"
+  "/root/repo/src/strategy/multiplicative_weights.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/multiplicative_weights.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/multiplicative_weights.cc.o.d"
+  "/root/repo/src/strategy/oracle.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/oracle.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/oracle.cc.o.d"
+  "/root/repo/src/strategy/shuffle_provisioner.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/shuffle_provisioner.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/shuffle_provisioner.cc.o.d"
+  "/root/repo/src/strategy/strategy.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/strategy.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/strategy.cc.o.d"
+  "/root/repo/src/strategy/workload_history.cc" "src/strategy/CMakeFiles/cackle_strategy.dir/workload_history.cc.o" "gcc" "src/strategy/CMakeFiles/cackle_strategy.dir/workload_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cackle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/cackle_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cackle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_strategy.dir/allocation_model.cc.o"
+  "CMakeFiles/cackle_strategy.dir/allocation_model.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/cost_calculator.cc.o"
+  "CMakeFiles/cackle_strategy.dir/cost_calculator.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/dynamic_strategy.cc.o"
+  "CMakeFiles/cackle_strategy.dir/dynamic_strategy.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/multiplicative_weights.cc.o"
+  "CMakeFiles/cackle_strategy.dir/multiplicative_weights.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/oracle.cc.o"
+  "CMakeFiles/cackle_strategy.dir/oracle.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/shuffle_provisioner.cc.o"
+  "CMakeFiles/cackle_strategy.dir/shuffle_provisioner.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/strategy.cc.o"
+  "CMakeFiles/cackle_strategy.dir/strategy.cc.o.d"
+  "CMakeFiles/cackle_strategy.dir/workload_history.cc.o"
+  "CMakeFiles/cackle_strategy.dir/workload_history.cc.o.d"
+  "libcackle_strategy.a"
+  "libcackle_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcackle_strategy.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/demand.cc" "src/workload/CMakeFiles/cackle_workload.dir/demand.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/demand.cc.o.d"
+  "/root/repo/src/workload/profile_library.cc" "src/workload/CMakeFiles/cackle_workload.dir/profile_library.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/profile_library.cc.o.d"
+  "/root/repo/src/workload/query_profile.cc" "src/workload/CMakeFiles/cackle_workload.dir/query_profile.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/query_profile.cc.o.d"
+  "/root/repo/src/workload/trace_generator.cc" "src/workload/CMakeFiles/cackle_workload.dir/trace_generator.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/trace_generator.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/cackle_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/workload_generator.cc" "src/workload/CMakeFiles/cackle_workload.dir/workload_generator.cc.o" "gcc" "src/workload/CMakeFiles/cackle_workload.dir/workload_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cackle_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cackle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cackle_workload.dir/demand.cc.o"
+  "CMakeFiles/cackle_workload.dir/demand.cc.o.d"
+  "CMakeFiles/cackle_workload.dir/profile_library.cc.o"
+  "CMakeFiles/cackle_workload.dir/profile_library.cc.o.d"
+  "CMakeFiles/cackle_workload.dir/query_profile.cc.o"
+  "CMakeFiles/cackle_workload.dir/query_profile.cc.o.d"
+  "CMakeFiles/cackle_workload.dir/trace_generator.cc.o"
+  "CMakeFiles/cackle_workload.dir/trace_generator.cc.o.d"
+  "CMakeFiles/cackle_workload.dir/trace_io.cc.o"
+  "CMakeFiles/cackle_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/cackle_workload.dir/workload_generator.cc.o"
+  "CMakeFiles/cackle_workload.dir/workload_generator.cc.o.d"
+  "libcackle_workload.a"
+  "libcackle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cackle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

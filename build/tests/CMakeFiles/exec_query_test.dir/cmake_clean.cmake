@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_query_test.dir/exec_query_test.cc.o"
+  "CMakeFiles/exec_query_test.dir/exec_query_test.cc.o.d"
+  "exec_query_test"
+  "exec_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_layer_test.dir/shuffle_layer_test.cc.o"
+  "CMakeFiles/shuffle_layer_test.dir/shuffle_layer_test.cc.o.d"
+  "shuffle_layer_test"
+  "shuffle_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
