@@ -22,16 +22,32 @@ SimTimeMs ElasticPool::SampleStartupLatency() {
   return rng_.NextInt(tail, 5 * std::max<SimTimeMs>(1, tail));
 }
 
-void ElasticPool::Acquire(std::function<void(ElasticSlotId)> granted) {
+Status ElasticPool::TryAcquire(std::function<void(ElasticSlotId)> granted) {
+  // Lambda-style throttling: admission is decided at request time against
+  // everything the provider considers in flight (running + starting).
+  const int64_t limit =
+      injector_ != nullptr ? injector_->profile().elastic_concurrency_limit : 0;
+  if (limit > 0 && num_active_ + num_starting_ >= limit) {
+    ++total_throttled_;
+    return Status::ResourceExhausted("elastic pool concurrency limit");
+  }
+  ++num_starting_;
   const SimTimeMs latency = SampleStartupLatency();
   sim_->ScheduleAfter(latency, [this, granted = std::move(granted)] {
     const ElasticSlotId id = next_id_++;
     active_.emplace(id, sim_->NowMs());
+    --num_starting_;
     ++num_active_;
     ++total_invocations_;
     peak_active_ = std::max(peak_active_, num_active_);
     granted(id);
   });
+  return Status::OK();
+}
+
+void ElasticPool::Acquire(std::function<void(ElasticSlotId)> granted) {
+  const Status status = TryAcquire(std::move(granted));
+  CACKLE_CHECK(status.ok()) << "Acquire throttled: " << status.ToString();
 }
 
 void ElasticPool::Release(ElasticSlotId id) {

@@ -7,7 +7,9 @@
 
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
+#include "cloud/fault_injector.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "sim/simulation.h"
 
 namespace cackle {
@@ -21,14 +23,26 @@ using ElasticSlotId = int64_t;
 ///     startup latency (the paper measures 99% of Lambdas within 200 ms).
 ///  2. Fine-grained usage — slots are billed per millisecond from grant to
 ///     release with no minimum.
-/// Capacity is unbounded; the premium relative to VMs lives in CostModel.
+/// Capacity is unbounded by default; the premium relative to VMs lives in
+/// CostModel. A FaultInjector can impose a Lambda-style account concurrency
+/// limit, in which case requests above the limit are throttled (rejected at
+/// request time) and the caller must back off and retry.
 class ElasticPool {
  public:
   ElasticPool(Simulation* sim, const CostModel* cost, BillingMeter* meter,
               Rng rng);
 
+  /// Attaches a fault injector whose profile may impose a concurrency limit.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   /// Requests a slot; `granted` runs after the sampled startup latency with
-  /// the slot id. The caller must eventually Release() the slot.
+  /// the slot id. The caller must eventually Release() the slot. Returns
+  /// ResourceExhausted (and does not run `granted`) when the request is
+  /// throttled by the concurrency limit.
+  Status TryAcquire(std::function<void(ElasticSlotId)> granted);
+
+  /// Like TryAcquire but aborts on throttling; for callers that have not
+  /// configured a concurrency limit.
   void Acquire(std::function<void(ElasticSlotId)> granted);
 
   /// Ends a slot's billing period.
@@ -41,6 +55,7 @@ class ElasticPool {
   int64_t num_active() const { return num_active_; }
   int64_t peak_active() const { return peak_active_; }
   int64_t total_invocations() const { return total_invocations_; }
+  int64_t total_throttled() const { return total_throttled_; }
   SimTimeMs total_billed_ms() const { return total_billed_ms_; }
 
   /// Samples the invocation startup latency (exposed for tests).
@@ -51,12 +66,17 @@ class ElasticPool {
   const CostModel* cost_;
   BillingMeter* meter_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
 
   std::unordered_map<ElasticSlotId, SimTimeMs> active_;  // id -> grant time
   ElasticSlotId next_id_ = 0;
   int64_t num_active_ = 0;
+  /// Requests granted admission but still inside their startup latency;
+  /// counted against the concurrency limit.
+  int64_t num_starting_ = 0;
   int64_t peak_active_ = 0;
   int64_t total_invocations_ = 0;
+  int64_t total_throttled_ = 0;
   SimTimeMs total_billed_ms_ = 0;
 };
 

@@ -1,0 +1,96 @@
+#include "cloud/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+FaultProfile FaultProfile::Light() {
+  FaultProfile p;
+  p.elastic_failure_rate = 0.005;
+  p.elastic_straggler_rate = 0.005;
+  p.store_error_rate = 0.005;
+  p.vm_launch_failure_rate = 0.01;
+  p.shuffle_crash_rate_per_hour = 0.1;
+  return p;
+}
+
+FaultProfile FaultProfile::Moderate() {
+  FaultProfile p;
+  p.elastic_failure_rate = 0.02;
+  p.elastic_straggler_rate = 0.02;
+  p.store_error_rate = 0.02;
+  p.vm_launch_failure_rate = 0.05;
+  p.shuffle_crash_rate_per_hour = 0.5;
+  return p;
+}
+
+FaultProfile FaultProfile::Heavy() {
+  FaultProfile p;
+  p.elastic_failure_rate = 0.08;
+  p.elastic_straggler_rate = 0.05;
+  p.store_error_rate = 0.10;
+  p.vm_launch_failure_rate = 0.15;
+  p.shuffle_crash_rate_per_hour = 2.0;
+  return p;
+}
+
+FaultInjector::FaultInjector(const FaultProfile& profile, uint64_t seed)
+    : profile_(profile),
+      elastic_rng_(seed ^ 0xe1a5711cULL),
+      store_rng_(seed ^ 0x5707e000ULL),
+      vm_rng_(seed ^ 0x00ff1ee7ULL),
+      shuffle_rng_(seed ^ 0x5a0ff1e5ULL) {
+  CACKLE_CHECK_GE(profile_.elastic_failure_rate, 0.0);
+  CACKLE_CHECK_GE(profile_.elastic_concurrency_limit, 0);
+  CACKLE_CHECK_GE(profile_.elastic_straggler_rate, 0.0);
+  CACKLE_CHECK_GT(profile_.elastic_straggler_slowdown, 0.0);
+  CACKLE_CHECK_GE(profile_.store_error_rate, 0.0);
+  CACKLE_CHECK_GE(profile_.vm_launch_failure_rate, 0.0);
+  CACKLE_CHECK_GE(profile_.shuffle_crash_rate_per_hour, 0.0);
+  // Transient errors must stay transient: a retry loop with error rate ~1
+  // never terminates.
+  CACKLE_CHECK_LE(profile_.store_error_rate, 0.95);
+  CACKLE_CHECK_LE(profile_.elastic_failure_rate, 0.95);
+  CACKLE_CHECK_LE(profile_.vm_launch_failure_rate, 0.95);
+}
+
+std::optional<SimTimeMs> FaultInjector::SampleElasticFailure(
+    SimTimeMs duration_ms) {
+  if (profile_.elastic_failure_rate <= 0.0) return std::nullopt;
+  if (!elastic_rng_.NextBernoulli(profile_.elastic_failure_rate)) {
+    return std::nullopt;
+  }
+  return elastic_rng_.NextInt(1, std::max<SimTimeMs>(1, duration_ms));
+}
+
+bool FaultInjector::SampleElasticStraggler() {
+  if (profile_.elastic_straggler_rate <= 0.0) return false;
+  return elastic_rng_.NextBernoulli(profile_.elastic_straggler_rate);
+}
+
+bool FaultInjector::SampleStoreError() {
+  if (profile_.store_error_rate <= 0.0) return false;
+  return store_rng_.NextBernoulli(profile_.store_error_rate);
+}
+
+bool FaultInjector::SampleVmLaunchFailure() {
+  if (profile_.vm_launch_failure_rate <= 0.0) return false;
+  return vm_rng_.NextBernoulli(profile_.vm_launch_failure_rate);
+}
+
+int64_t FaultInjector::SampleShuffleCrashes(int64_t num_nodes,
+                                            SimTimeMs window_ms) {
+  if (profile_.shuffle_crash_rate_per_hour <= 0.0 || num_nodes <= 0) return 0;
+  const double p = std::min(
+      1.0, profile_.shuffle_crash_rate_per_hour * static_cast<double>(window_ms) /
+               static_cast<double>(kMillisPerHour));
+  int64_t crashes = 0;
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    if (shuffle_rng_.NextBernoulli(p)) ++crashes;
+  }
+  return crashes;
+}
+
+}  // namespace cackle

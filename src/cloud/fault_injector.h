@@ -1,0 +1,99 @@
+#ifndef CACKLE_CLOUD_FAULT_INJECTOR_H_
+#define CACKLE_CLOUD_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace cackle {
+
+/// \brief Per-service fault rates of the simulated cloud substrate.
+///
+/// All rates default to zero, which must leave every component bit-identical
+/// to a run without fault injection: a zero rate consumes no randomness and
+/// takes no alternative code path. Nonzero rates model the failure modes the
+/// paper's substrate abstracts away (Starling Section 5, Smartpick's
+/// serverless unreliability model):
+///  - Elastic invocations fail mid-run and must be re-placed.
+///  - The elastic pool enforces a Lambda-style account concurrency limit;
+///    requests above it are throttled and the caller must back off.
+///  - Object-store requests return transient errors; failed requests are
+///    still billed (S3 bills errored requests).
+///  - VM launches fail after the startup delay (spot capacity errors).
+///  - Shuffle nodes crash, destroying their share of resident partitions.
+///  - A fraction of elastic invocations straggle (run `straggler_slowdown`
+///    times slower), motivating speculative re-execution.
+struct FaultProfile {
+  /// Probability an elastic invocation fails partway through its run.
+  double elastic_failure_rate = 0.0;
+  /// Max concurrent elastic slots (granted + in flight); 0 = unbounded.
+  int64_t elastic_concurrency_limit = 0;
+  /// Probability an elastic invocation runs `elastic_straggler_slowdown`
+  /// times slower than its nominal duration.
+  double elastic_straggler_rate = 0.0;
+  double elastic_straggler_slowdown = 4.0;
+  /// Probability an object-store PUT or GET fails transiently (still billed).
+  double store_error_rate = 0.0;
+  /// Probability a requested VM fails to launch (no charge; re-requested).
+  double vm_launch_failure_rate = 0.0;
+  /// Crash intensity per shuffle node per hour of uptime.
+  double shuffle_crash_rate_per_hour = 0.0;
+
+  bool any() const {
+    return elastic_failure_rate > 0.0 || elastic_concurrency_limit > 0 ||
+           elastic_straggler_rate > 0.0 || store_error_rate > 0.0 ||
+           vm_launch_failure_rate > 0.0 || shuffle_crash_rate_per_hour > 0.0;
+  }
+
+  /// Presets for the chaos_matrix bench: escalating fault levels. The
+  /// concurrency limit stays unbounded in the presets (it depends on the
+  /// workload's peak demand); benches set it explicitly.
+  static FaultProfile None() { return FaultProfile{}; }
+  static FaultProfile Light();
+  static FaultProfile Moderate();
+  static FaultProfile Heavy();
+};
+
+/// \brief Seeded, deterministic fault sampler shared by the cloud substrate.
+///
+/// Each service samples from its own independent stream so one service's
+/// fault draws never perturb another's. Every Sample* method is guarded:
+/// when the corresponding rate is zero it returns the no-fault answer
+/// without consuming randomness, so a zero profile is bit-identical to no
+/// injector at all.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, uint64_t seed);
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// If this elastic invocation fails mid-run, the simulated time (uniform
+  /// in [1, duration_ms]) at which it dies; nullopt when it survives.
+  std::optional<SimTimeMs> SampleElasticFailure(SimTimeMs duration_ms);
+
+  /// Whether this elastic invocation straggles.
+  bool SampleElasticStraggler();
+
+  /// Whether this object-store request fails transiently.
+  bool SampleStoreError();
+
+  /// Whether this VM launch fails.
+  bool SampleVmLaunchFailure();
+
+  /// Number of shuffle nodes (out of `num_nodes`) crashing within a window
+  /// of `window_ms` simulated milliseconds.
+  int64_t SampleShuffleCrashes(int64_t num_nodes, SimTimeMs window_ms);
+
+ private:
+  FaultProfile profile_;
+  Rng elastic_rng_;
+  Rng store_rng_;
+  Rng vm_rng_;
+  Rng shuffle_rng_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_CLOUD_FAULT_INJECTOR_H_

@@ -6,10 +6,13 @@
 
 namespace cackle {
 
-void ObjectStore::Put(const std::string& key, int64_t bytes) {
+Status ObjectStore::TryPut(const std::string& key, int64_t bytes) {
   CACKLE_CHECK_GE(bytes, 0);
   ++num_puts_;
   meter_->Charge(CostCategory::kObjectStorePut, cost_->object_store_put_cost);
+  if (injector_ != nullptr && injector_->SampleStoreError()) {
+    return Status::IoError("transient object store PUT failure");
+  }
   auto [it, inserted] = objects_.try_emplace(key, bytes);
   if (!inserted) {
     bytes_stored_ -= it->second;
@@ -17,14 +20,51 @@ void ObjectStore::Put(const std::string& key, int64_t bytes) {
   }
   bytes_stored_ += bytes;
   peak_bytes_stored_ = std::max(peak_bytes_stored_, bytes_stored_);
+  return Status::OK();
+}
+
+StatusOr<int64_t> ObjectStore::TryGet(const std::string& key) {
+  ++num_gets_;
+  meter_->Charge(CostCategory::kObjectStoreGet, cost_->object_store_get_cost);
+  if (injector_ != nullptr && injector_->SampleStoreError()) {
+    return Status::IoError("transient object store GET failure");
+  }
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + key);
+  }
+  return it->second;
+}
+
+void ObjectStore::Put(const std::string& key, int64_t bytes) {
+  int attempts = 0;
+  const Status status = retry_policy_.Execute(
+      [&] { return TryPut(key, bytes); }, &attempts);
+  num_retries_ += attempts - 1;
+  CACKLE_CHECK(status.ok()) << "object store PUT failed after " << attempts
+                            << " attempts: " << status.ToString();
 }
 
 std::optional<int64_t> ObjectStore::Get(const std::string& key) {
-  ++num_gets_;
-  meter_->Charge(CostCategory::kObjectStoreGet, cost_->object_store_get_cost);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) return std::nullopt;
-  return it->second;
+  std::optional<int64_t> result;
+  int attempts = 0;
+  const Status status = retry_policy_.Execute(
+      [&]() -> Status {
+        StatusOr<int64_t> got = TryGet(key);
+        if (got.ok()) {
+          result = got.value();
+          return Status::OK();
+        }
+        // A 404 is a definitive answer, not a transient error; billed but
+        // not retried.
+        if (got.status().code() == StatusCode::kNotFound) return Status::OK();
+        return got.status();
+      },
+      &attempts);
+  num_retries_ += attempts - 1;
+  CACKLE_CHECK(status.ok()) << "object store GET failed after " << attempts
+                            << " attempts: " << status.ToString();
+  return result;
 }
 
 bool ObjectStore::Delete(const std::string& key) {

@@ -8,6 +8,9 @@
 
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
+#include "cloud/fault_injector.h"
+#include "common/retry_policy.h"
+#include "common/status.h"
 
 namespace cackle {
 
@@ -18,19 +21,39 @@ namespace cackle {
 /// simulation only needs object sizes, not payloads, so values are byte
 /// counts. Deletes are free (matching S3) and are issued when intermediate
 /// shuffle state is garbage-collected after a query finishes.
+///
+/// A FaultInjector can make requests fail transiently. Failed requests are
+/// still billed (S3 charges for errored and 404 requests alike). TryPut /
+/// TryGet surface the error as a Status; the infallible Put / Get wrappers
+/// retry under the store's RetryPolicy — the store has no modelled latency,
+/// so backoff is virtual — and count retries in num_retries().
 class ObjectStore {
  public:
   ObjectStore(const CostModel* cost, BillingMeter* meter)
-      : cost_(cost), meter_(meter) {}
+      : cost_(cost), meter_(meter), retry_policy_(DefaultRetryOptions()) {}
 
-  /// Stores (or overwrites) an object of `bytes` bytes. Bills one PUT.
+  /// Attaches a fault injector providing the transient-error rate.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Single attempt to store (or overwrite) an object of `bytes` bytes.
+  /// Bills one PUT even on injected failure.
+  Status TryPut(const std::string& key, int64_t bytes);
+
+  /// Single attempt to fetch an object's size. Bills one GET even on
+  /// injected failure or 404 (S3 charges for 404s). NotFound when absent.
+  StatusOr<int64_t> TryGet(const std::string& key);
+
+  /// Stores (or overwrites) an object, retrying transient errors. Every
+  /// attempt bills one PUT.
   void Put(const std::string& key, int64_t bytes);
 
-  /// Returns the object's size, billing one GET; nullopt (still billed, as
-  /// S3 charges for 404s) when absent.
+  /// Returns the object's size, retrying transient errors; nullopt (still
+  /// billed) when absent. Every attempt bills one GET.
   std::optional<int64_t> Get(const std::string& key);
 
-  /// Removes an object; free of charge. Returns whether it existed.
+  /// Removes an object; free of charge (S3 deletes are free, and failed
+  /// deletes are indistinguishable from missing keys). Returns whether it
+  /// existed.
   bool Delete(const std::string& key);
 
   bool Contains(const std::string& key) const {
@@ -39,16 +62,31 @@ class ObjectStore {
 
   int64_t num_puts() const { return num_puts_; }
   int64_t num_gets() const { return num_gets_; }
+  /// Attempts beyond the first across all retried Put/Get calls.
+  int64_t num_retries() const { return num_retries_; }
   int64_t num_objects() const { return static_cast<int64_t>(objects_.size()); }
   int64_t bytes_stored() const { return bytes_stored_; }
   int64_t peak_bytes_stored() const { return peak_bytes_stored_; }
 
  private:
+  static RetryPolicyOptions DefaultRetryOptions() {
+    RetryPolicyOptions opts;
+    // Generous cap: transient errors at the clamped maximum rate (0.95)
+    // still terminate with overwhelming probability, and the simulation
+    // must not lose writes.
+    opts.max_attempts = 100;
+    opts.jitter = 0.0;  // no clock here; jitter would burn randomness
+    return opts;
+  }
+
   const CostModel* cost_;
   BillingMeter* meter_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
   std::unordered_map<std::string, int64_t> objects_;
   int64_t num_puts_ = 0;
   int64_t num_gets_ = 0;
+  int64_t num_retries_ = 0;
   int64_t bytes_stored_ = 0;
   int64_t peak_bytes_stored_ = 0;
 };

@@ -45,6 +45,17 @@ void VmFleet::OnVmStarted(VmId id) {
   auto it = std::find(pending_.begin(), pending_.end(), id);
   CACKLE_CHECK(it != pending_.end());
   pending_.erase(it);
+  if (injector_ != nullptr && injector_->SampleVmLaunchFailure()) {
+    // Spot capacity error: the launch never completes and is not billed; a
+    // maintained target re-requests the capacity (another startup delay).
+    vm.state = VmState::kTerminated;
+    ++total_launch_failures_;
+    if (num_allocated() < target_) {
+      const int64_t t = target_;
+      SetTarget(t);
+    }
+    return;
+  }
   vm.state = VmState::kIdle;
   vm.ready_time = sim_->NowMs();
   idle_.push_back(id);
@@ -143,6 +154,19 @@ void VmFleet::Interrupt(VmId id) {
     const int64_t t = target_;
     SetTarget(t);
   }
+}
+
+bool VmFleet::InterruptOneIdle() {
+  VmId victim = -1;
+  for (VmId id : idle_) {
+    if (vms_[static_cast<size_t>(id)].state == VmState::kIdle) {
+      victim = id;
+      break;
+    }
+  }
+  if (victim < 0) return false;
+  Interrupt(victim);
+  return true;
 }
 
 void VmFleet::ReconcileDown() {

@@ -9,6 +9,7 @@
 
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
+#include "cloud/fault_injector.h"
 #include "cloud/spot_market.h"
 #include "common/rng.h"
 #include "sim/simulation.h"
@@ -70,6 +71,16 @@ class VmFleet {
     on_vm_interrupted_ = std::move(cb);
   }
 
+  /// Attaches a fault injector: each launch may fail after the startup
+  /// delay (a spot capacity error). Failed launches are not billed and a
+  /// maintained target re-requests the capacity.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Force-reclaims one idle READY VM (injected node crash). Billing and
+  /// replacement behave exactly like a provider interruption. Returns false
+  /// when no idle VM exists.
+  bool InterruptOneIdle();
+
   /// Terminates every VM (end of workload) and flushes billing.
   void TerminateAll();
 
@@ -85,6 +96,7 @@ class VmFleet {
   int64_t total_vms_started() const { return total_started_; }
   int64_t total_vms_terminated() const { return total_terminated_; }
   int64_t total_vms_interrupted() const { return total_interrupted_; }
+  int64_t total_launch_failures() const { return total_launch_failures_; }
   /// Total READY-to-termination milliseconds across terminated VMs.
   SimTimeMs total_runtime_ms() const { return total_runtime_ms_; }
 
@@ -123,6 +135,8 @@ class VmFleet {
   int64_t total_started_ = 0;
   int64_t total_terminated_ = 0;
   int64_t total_interrupted_ = 0;
+  int64_t total_launch_failures_ = 0;
+  FaultInjector* injector_ = nullptr;
   SimTimeMs total_runtime_ms_ = 0;
   std::function<void(VmId)> on_vm_ready_;
   std::function<void(VmId)> on_vm_interrupted_;

@@ -1,0 +1,57 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+RetryPolicy::RetryPolicy(RetryPolicyOptions options, Rng* rng)
+    : options_(options), rng_(rng) {
+  CACKLE_CHECK_GE(options_.max_attempts, 0);
+  CACKLE_CHECK_GT(options_.initial_backoff_ms, 0);
+  CACKLE_CHECK_GE(options_.multiplier, 1.0);
+  CACKLE_CHECK_GE(options_.max_backoff_ms, options_.initial_backoff_ms);
+  CACKLE_CHECK_GE(options_.jitter, 0.0);
+  CACKLE_CHECK_LT(options_.jitter, 1.0);
+  CACKLE_CHECK_GE(options_.deadline_ms, 0);
+}
+
+int64_t RetryPolicy::BackoffMs(int attempt) {
+  CACKLE_CHECK_GE(attempt, 1);
+  double backoff = static_cast<double>(options_.initial_backoff_ms) *
+                   std::pow(options_.multiplier, attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
+  if (rng_ != nullptr && options_.jitter > 0.0) {
+    backoff *= rng_->NextDouble(1.0 - options_.jitter, 1.0 + options_.jitter);
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(backoff));
+}
+
+bool RetryPolicy::ShouldRetry(int attempt, int64_t elapsed_ms) const {
+  if (options_.max_attempts > 0 && attempt >= options_.max_attempts) {
+    return false;
+  }
+  if (options_.deadline_ms > 0 && elapsed_ms >= options_.deadline_ms) {
+    return false;
+  }
+  return true;
+}
+
+Status RetryPolicy::Execute(const std::function<Status()>& op,
+                            int* attempts_out) {
+  int attempt = 0;
+  int64_t elapsed_ms = 0;
+  Status status;
+  do {
+    ++attempt;
+    status = op();
+    if (status.ok()) break;
+    elapsed_ms += BackoffMs(attempt);
+  } while (ShouldRetry(attempt, elapsed_ms));
+  if (attempts_out != nullptr) *attempts_out = attempt;
+  return status;
+}
+
+}  // namespace cackle

@@ -17,13 +17,28 @@ struct CackleEngine::QueryState {
 };
 
 CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
-    : cost_(cost), options_(std::move(options)) {
+    : cost_(cost), options_(std::move(options)),
+      chaos_rng_(options_.seed ^ 0xbac0ffULL) {
+  injector_ = std::make_unique<FaultInjector>(options_.faults,
+                                              options_.seed ^ 0xfa017ULL);
+  elastic_retry_policy_ =
+      std::make_unique<RetryPolicy>(options_.elastic_retry, &chaos_rng_);
   fleet_ = std::make_unique<VmFleet>(&sim_, cost_, &meter_);
   pool_ = std::make_unique<ElasticPool>(&sim_, cost_, &meter_,
                                         Rng(options_.seed));
   object_store_ = std::make_unique<ObjectStore>(cost_, &meter_);
   shuffle_ = std::make_unique<ShuffleLayer>(&sim_, cost_, &meter_,
                                             object_store_.get());
+  fleet_->SetFaultInjector(injector_.get());
+  pool_->SetFaultInjector(injector_.get());
+  object_store_->SetFaultInjector(injector_.get());
+  shuffle_->SetFaultInjector(injector_.get());
+  shuffle_->SetOnPartitionsLost(
+      [this](int64_t query_id, int stage_id, int64_t lost_bytes,
+             int64_t lost_partitions) {
+        OnShufflePartitionsLost(query_id, stage_id, lost_bytes,
+                                lost_partitions);
+      });
   if (options_.use_dynamic) {
     DynamicStrategyOptions dyn = options_.dynamic;
     dyn.seed = options_.seed ^ 0x5eed;
@@ -89,34 +104,32 @@ void CackleEngine::ScheduleStage(int64_t query_id, int stage_id) {
     }
   }
   for (int t = 0; t < stage.num_tasks; ++t) {
-    RunTask(query_id, stage_id, stage.TaskDuration(t));
+    RunTask(TaskRef{query_id, stage_id, /*recovery=*/false},
+            stage.TaskDuration(t));
   }
 }
 
-void CackleEngine::RunTask(int64_t query_id, int stage_id,
-                           SimTimeMs duration_ms) {
-  const QueryState& state = queries_[static_cast<size_t>(query_id)];
+void CackleEngine::RunTask(TaskRef ref, SimTimeMs duration_ms) {
+  const QueryState& state = queries_[static_cast<size_t>(ref.query_id)];
   if (state.batch) {
     // Batch work (Section 2.1) tolerates delay: run on an idle VM if one
     // exists, otherwise wait for spare provisioned capacity instead of
     // paying the elastic premium.
-    if (TryPlaceOnVm(query_id, stage_id, duration_ms)) {
+    if (TryPlaceOnVm(ref, duration_ms)) {
       ++running_tasks_;
       second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
     } else {
       ++result_.batch_tasks_delayed;
-      batch_queue_.push_back(
-          BatchTask{query_id, stage_id, duration_ms, sim_.NowMs()});
+      batch_queue_.push_back(BatchTask{ref, duration_ms, sim_.NowMs()});
     }
     return;
   }
   ++running_tasks_;
   second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
-  PlaceTask(query_id, stage_id, duration_ms);
+  PlaceTask(ref, duration_ms);
 }
 
-bool CackleEngine::TryPlaceOnVm(int64_t query_id, int stage_id,
-                                SimTimeMs duration_ms) {
+bool CackleEngine::TryPlaceOnVm(TaskRef ref, SimTimeMs duration_ms) {
   const auto vm = fleet_->TryAcquire();
   if (!vm.has_value()) return false;
   ++result_.tasks_on_vms;
@@ -124,39 +137,154 @@ bool CackleEngine::TryPlaceOnVm(int64_t query_id, int stage_id,
       1, static_cast<SimTimeMs>(static_cast<double>(duration_ms) /
                                 options_.vm_speedup));
   const uint64_t event =
-      sim_.ScheduleAfter(dur, [this, query_id, stage_id, vm_id = *vm] {
+      sim_.ScheduleAfter(dur, [this, ref, vm_id = *vm] {
         vm_tasks_.erase(vm_id);
         fleet_->Release(vm_id);
-        OnTaskDone(query_id, stage_id);
+        OnTaskDone(ref);
       });
-  vm_tasks_[*vm] = VmTask{query_id, stage_id, duration_ms, event};
+  vm_tasks_[*vm] = VmTask{ref, duration_ms, event};
   return true;
 }
 
-void CackleEngine::PlaceTask(int64_t query_id, int stage_id,
-                             SimTimeMs duration_ms) {
-  if (TryPlaceOnVm(query_id, stage_id, duration_ms)) return;
-  ++result_.tasks_on_elastic;
-  pool_->Acquire([this, query_id, stage_id,
-                  duration_ms](ElasticSlotId slot) {
-    sim_.ScheduleAfter(duration_ms, [this, query_id, stage_id, slot] {
-      pool_->Release(slot);
-      OnTaskDone(query_id, stage_id);
+void CackleEngine::PlaceTask(TaskRef ref, SimTimeMs duration_ms,
+                             int attempt) {
+  if (TryPlaceOnVm(ref, duration_ms)) return;
+  PlaceOnElastic(ref, duration_ms, attempt);
+}
+
+void CackleEngine::PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms,
+                                  int attempt) {
+  const int64_t run_id = next_elastic_run_id_++;
+  const Status admitted = pool_->TryAcquire(
+      [this, run_id](ElasticSlotId slot) { OnElasticGranted(run_id, slot); });
+  if (!admitted.ok()) {
+    // Throttled by the concurrency limit: queue behind a deterministic
+    // exponential backoff, then try a full placement again (a VM may have
+    // freed up in the meantime). Attempts are unlimited — graceful
+    // degradation is late work, never lost work.
+    const SimTimeMs backoff = elastic_retry_policy_->BackoffMs(attempt + 1);
+    sim_.ScheduleAfter(backoff, [this, ref, duration_ms, attempt] {
+      PlaceTask(ref, duration_ms, attempt + 1);
     });
-  });
+    return;
+  }
+  ++result_.tasks_on_elastic;
+  ElasticRun& run = elastic_runs_[run_id];
+  run.ref = ref;
+  run.duration_ms = duration_ms;
+  run.starting = 1;
+}
+
+void CackleEngine::OnElasticGranted(int64_t run_id, ElasticSlotId slot) {
+  auto it = elastic_runs_.find(run_id);
+  if (it == elastic_runs_.end()) {
+    // The task completed (or failed over) while this speculative copy was
+    // still starting; give the slot straight back.
+    pool_->Release(slot);
+    return;
+  }
+  ElasticRun& run = it->second;
+  --run.starting;
+  SimTimeMs dur = run.duration_ms;
+  if (injector_->SampleElasticStraggler()) {
+    dur = std::max<SimTimeMs>(
+        1, static_cast<SimTimeMs>(
+               static_cast<double>(dur) *
+               options_.faults.elastic_straggler_slowdown));
+  }
+  const auto fail_at = injector_->SampleElasticFailure(dur);
+  uint64_t event;
+  if (fail_at.has_value()) {
+    event = sim_.ScheduleAfter(*fail_at, [this, run_id, slot] {
+      OnElasticAttemptFailed(run_id, slot);
+    });
+  } else {
+    event = sim_.ScheduleAfter(dur, [this, run_id, slot] {
+      OnElasticAttemptDone(run_id, slot);
+    });
+  }
+  const bool first_attempt = run.live.empty() && !run.speculated;
+  run.live.emplace_back(slot, event);
+  if (first_attempt && SpeculationEnabled()) {
+    // Straggler timeout: if the task is still running well past its
+    // expected duration (allowing for startup jitter), launch a copy.
+    const SimTimeMs timeout =
+        std::max<SimTimeMs>(
+            1, static_cast<SimTimeMs>(
+                   static_cast<double>(run.duration_ms) *
+                   options_.straggler_timeout_multiplier)) +
+        2 * cost_->elastic_startup_tail_ms;
+    sim_.ScheduleAfter(timeout, [this, run_id] { MaybeSpeculate(run_id); });
+  }
+}
+
+void CackleEngine::OnElasticAttemptDone(int64_t run_id, ElasticSlotId slot) {
+  auto it = elastic_runs_.find(run_id);
+  CACKLE_CHECK(it != elastic_runs_.end());
+  ElasticRun& run = it->second;
+  pool_->Release(slot);
+  // First finisher wins: cancel and release the speculation loser.
+  for (auto& [other_slot, other_event] : run.live) {
+    if (other_slot == slot) continue;
+    sim_.Cancel(other_event);
+    pool_->Release(other_slot);
+  }
+  const TaskRef ref = run.ref;
+  elastic_runs_.erase(it);
+  OnTaskDone(ref);
+}
+
+void CackleEngine::OnElasticAttemptFailed(int64_t run_id, ElasticSlotId slot) {
+  auto it = elastic_runs_.find(run_id);
+  CACKLE_CHECK(it != elastic_runs_.end());
+  ElasticRun& run = it->second;
+  // The invocation died mid-run; its runtime until failure is still billed.
+  pool_->Release(slot);
+  ++result_.elastic_failures;
+  run.live.erase(std::find_if(run.live.begin(), run.live.end(),
+                              [slot](const auto& p) {
+                                return p.first == slot;
+                              }));
+  if (!run.live.empty() || run.starting > 0) {
+    // A speculative sibling is still running (or starting); it carries the
+    // task to completion.
+    return;
+  }
+  const TaskRef ref = run.ref;
+  const SimTimeMs duration_ms = run.duration_ms;
+  elastic_runs_.erase(it);
+  // Re-place from scratch, same path as a spot interruption: an idle VM if
+  // one appeared, otherwise the pool again.
+  PlaceTask(ref, duration_ms);
+}
+
+void CackleEngine::MaybeSpeculate(int64_t run_id) {
+  auto it = elastic_runs_.find(run_id);
+  if (it == elastic_runs_.end()) return;  // task already finished
+  ElasticRun& run = it->second;
+  if (run.speculated || run.live.size() + run.starting != 1) return;
+  run.speculated = true;
+  const Status admitted = pool_->TryAcquire(
+      [this, run_id](ElasticSlotId slot) { OnElasticGranted(run_id, slot); });
+  // A throttled speculative copy is simply skipped — the primary attempt is
+  // still running and speculation is best-effort.
+  if (!admitted.ok()) return;
+  ++run.starting;
+  ++result_.tasks_speculated;
+  ++result_.tasks_on_elastic;
 }
 
 void CackleEngine::DrainBatchQueue() {
   while (!batch_queue_.empty()) {
     const BatchTask task = batch_queue_.front();
-    if (TryPlaceOnVm(task.query_id, task.stage_id, task.duration_ms)) {
+    if (TryPlaceOnVm(task.ref, task.duration_ms)) {
       batch_queue_.pop_front();
     } else if (sim_.NowMs() - task.enqueued_ms >=
                options_.max_batch_delay_ms) {
       // SLA escalation: overdue batch work runs on the elastic pool.
       batch_queue_.pop_front();
       ++result_.batch_tasks_escalated;
-      PlaceTask(task.query_id, task.stage_id, task.duration_ms);
+      PlaceTask(task.ref, task.duration_ms);
     } else {
       break;
     }
@@ -172,25 +300,74 @@ void CackleEngine::OnVmInterrupted(VmId vm) {
   vm_tasks_.erase(it);
   sim_.Cancel(task.completion_event);
   ++result_.tasks_retried;
-  if (queries_[static_cast<size_t>(task.query_id)].batch) {
+  if (queries_[static_cast<size_t>(task.ref.query_id)].batch) {
     // Batch work goes back to waiting for spare capacity.
     --running_tasks_;
-    batch_queue_.push_front(BatchTask{task.query_id, task.stage_id,
-                                      task.duration_ms, sim_.NowMs()});
+    batch_queue_.push_front(
+        BatchTask{task.ref, task.duration_ms, sim_.NowMs()});
     return;
   }
   // Retry from scratch; the fleet has already retired the VM, so this
   // lands on another idle VM or (typically) the elastic pool.
-  PlaceTask(task.query_id, task.stage_id, task.duration_ms);
+  PlaceTask(task.ref, task.duration_ms);
 }
 
-void CackleEngine::OnTaskDone(int64_t query_id, int stage_id) {
+void CackleEngine::OnShufflePartitionsLost(int64_t query_id, int stage_id,
+                                           int64_t lost_bytes,
+                                           int64_t lost_partitions) {
+  result_.shuffle_partitions_lost += lost_partitions;
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  if (state.done) return;  // released queries hold no shuffle state
+  Recovery& rec = recoveries_[{query_id, stage_id}];
+  const bool already_running = rec.tasks_remaining > 0;
+  rec.lost_bytes += lost_bytes;
+  rec.lost_partitions += lost_partitions;
+  if (already_running) return;  // fold further losses into the in-flight run
+  ++result_.stages_reexecuted;
+  const StageProfile& stage =
+      state.profile->stages[static_cast<size_t>(stage_id)];
+  rec.tasks_remaining = stage.num_tasks;
+  for (int t = 0; t < stage.num_tasks; ++t) {
+    ++running_tasks_;
+    second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+    PlaceTask(TaskRef{query_id, stage_id, /*recovery=*/true},
+              stage.TaskDuration(t));
+  }
+}
+
+void CackleEngine::OnRecoveryTaskDone(TaskRef ref) {
+  auto it = recoveries_.find({ref.query_id, ref.stage_id});
+  CACKLE_CHECK(it != recoveries_.end());
+  if (--it->second.tasks_remaining > 0) return;
+  const Recovery rec = it->second;
+  recoveries_.erase(it);
+  QueryState& state = queries_[static_cast<size_t>(ref.query_id)];
+  // If every consumer finished while we were re-executing, the regenerated
+  // partitions are no longer needed.
+  if (state.done || !options_.enable_shuffle) return;
+  const StageProfile& stage =
+      state.profile->stages[static_cast<size_t>(ref.stage_id)];
+  // Rewrite the regenerated partitions through the shuffle layer (they land
+  // on nodes or spill to the store like any write), billing PUTs
+  // proportional to the regenerated share of the stage's output.
+  const int64_t puts = std::max<int64_t>(
+      1, stage.object_store_puts * rec.lost_bytes /
+             std::max<int64_t>(1, stage.shuffle_bytes_out));
+  shuffle_->Write(ref.query_id, ref.stage_id, rec.lost_bytes,
+                  std::max<int64_t>(1, rec.lost_partitions), puts);
+}
+
+void CackleEngine::OnTaskDone(TaskRef ref) {
   --running_tasks_;
   // A slot just freed up; queued batch work can use it.
   if (!batch_queue_.empty()) DrainBatchQueue();
-  QueryState& state = queries_[static_cast<size_t>(query_id)];
-  if (--state.tasks_remaining[static_cast<size_t>(stage_id)] == 0) {
-    OnStageDone(query_id, stage_id);
+  if (ref.recovery) {
+    OnRecoveryTaskDone(ref);
+    return;
+  }
+  QueryState& state = queries_[static_cast<size_t>(ref.query_id)];
+  if (--state.tasks_remaining[static_cast<size_t>(ref.stage_id)] == 0) {
+    OnStageDone(ref.query_id, ref.stage_id);
   }
 }
 
@@ -282,6 +459,13 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
                   static_cast<int64_t>(arrivals.size()));
   CACKLE_CHECK_EQ(running_tasks_, 0);
   CACKLE_CHECK(batch_queue_.empty());
+  // End-of-run leak invariants: every resource the engine acquired must
+  // have been returned — a leaked slot or in-flight retry is a bug, not a
+  // rounding error.
+  CACKLE_CHECK_EQ(pool_->num_active(), 0) << "leaked elastic slots";
+  CACKLE_CHECK(elastic_runs_.empty()) << "leaked elastic task state";
+  CACKLE_CHECK(vm_tasks_.empty()) << "leaked VM task state";
+  CACKLE_CHECK(recoveries_.empty()) << "unfinished shuffle recovery";
 
   // Drain fleets and flush billing.
   fleet_->SetTarget(0);
@@ -294,6 +478,11 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   result_.shuffle_fallback_bytes = shuffle_->total_fallback_bytes();
   result_.shuffle_written_bytes = shuffle_->total_written_bytes();
   result_.vms_interrupted = fleet_->total_vms_interrupted();
+  result_.elastic_throttled = pool_->total_throttled();
+  result_.store_retries = object_store_->num_retries();
+  result_.vm_launch_failures =
+      fleet_->total_launch_failures() + shuffle_->node_launch_failures();
+  result_.shuffle_nodes_crashed = shuffle_->total_nodes_crashed();
   result_.billing = meter_;
   return result_;
 }

@@ -2,17 +2,21 @@
 #define CACKLE_ENGINE_ENGINE_H_
 
 #include <cstdint>
-#include <memory>
 #include <deque>
-#include <unordered_map>
+#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
 #include "cloud/elastic_pool.h"
+#include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/vm_fleet.h"
+#include "common/retry_policy.h"
 #include "common/stats.h"
 #include "engine/shuffle_layer.h"
 #include "sim/simulation.h"
@@ -53,6 +57,26 @@ struct EngineOptions {
   /// a reclaimed VM are retried immediately (usually on the elastic pool).
   double spot_mean_lifetime_hours = 0.0;
 
+  /// Injected fault rates for the cloud substrate (all zero by default,
+  /// which is bit-identical to a fault-free run).
+  FaultProfile faults;
+
+  /// Backoff policy for elastic placements rejected by the concurrency
+  /// limit. Unlimited attempts: a task is never dropped, it keeps backing
+  /// off (capped) until the pool admits it or a VM frees up.
+  RetryPolicyOptions elastic_retry{/*max_attempts=*/0,
+                                   /*initial_backoff_ms=*/200,
+                                   /*multiplier=*/2.0,
+                                   /*max_backoff_ms=*/10'000,
+                                   /*jitter=*/0.25,
+                                   /*deadline_ms=*/0};
+
+  /// Straggler mitigation: an elastic task still running after
+  /// `straggler_timeout_multiplier` times its expected duration gets a
+  /// speculative second copy; first finisher wins. Active only when the
+  /// fault profile injects stragglers; 0 disables speculation entirely.
+  double straggler_timeout_multiplier = 2.0;
+
   /// Cold-start priming (Section 4.4.6): an expected demand curve appended
   /// to the workload history before execution begins, so the meta-strategy
   /// starts with differentiated expert weights instead of fluctuating
@@ -82,6 +106,23 @@ struct EngineResult {
   int64_t batch_tasks_escalated = 0;
   int64_t shuffle_fallback_bytes = 0;
   int64_t shuffle_written_bytes = 0;
+  // --- Chaos counters (all zero when no faults are injected) ---
+  /// Elastic requests rejected by the concurrency limit (then backed off).
+  int64_t elastic_throttled = 0;
+  /// Elastic invocations that failed mid-run and were re-placed.
+  int64_t elastic_failures = 0;
+  /// Object-store request attempts beyond the first (transient errors).
+  int64_t store_retries = 0;
+  /// VM/shuffle-node launches that failed and were re-requested.
+  int64_t vm_launch_failures = 0;
+  /// Shuffle nodes crashed by fault injection.
+  int64_t shuffle_nodes_crashed = 0;
+  /// Node-resident shuffle partitions destroyed by crashes.
+  int64_t shuffle_partitions_lost = 0;
+  /// Producing stages re-executed to regenerate lost partitions.
+  int64_t stages_reexecuted = 0;
+  /// Speculative copies launched for straggling elastic tasks.
+  int64_t tasks_speculated = 0;
   /// Per-second series (when requested).
   std::vector<int64_t> demand_series;
   std::vector<int64_t> target_series;
@@ -100,6 +141,12 @@ struct EngineResult {
 /// history, and re-runs the provisioning strategy every second (the dynamic
 /// meta-strategy re-selects its expert every five). The shuffling layer
 /// stores stage outputs on shuffle nodes with object-store fallback.
+///
+/// Graceful degradation under injected faults: throttled elastic requests
+/// back off and retry, mid-run invocation failures re-place the task (same
+/// path as spot interruptions), lost shuffle partitions re-execute their
+/// producing stage, and straggling elastic tasks get a speculative copy.
+/// Every fault path preserves the invariant that all queries complete.
 class CackleEngine {
  public:
   CackleEngine(const CostModel* cost, EngineOptions options);
@@ -112,19 +159,44 @@ class CackleEngine {
  private:
   struct QueryState;
 
+  /// Identifies the logical task a placement belongs to. `recovery` marks
+  /// re-execution of an already-finished stage to regenerate shuffle
+  /// partitions lost to a node crash; recovery completions feed the
+  /// recovery bookkeeping instead of the stage DAG.
+  struct TaskRef {
+    int64_t query_id = 0;
+    int stage_id = 0;
+    bool recovery = false;
+  };
+
   void CoordinatorTick();
   void OnQueryArrival(int64_t query_id);
   void ScheduleStage(int64_t query_id, int stage_id);
-  void RunTask(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  void RunTask(TaskRef ref, SimTimeMs duration_ms);
   /// Places a (possibly retried) task on a VM or the elastic pool without
-  /// touching the running-task accounting.
-  void PlaceTask(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  /// touching the running-task accounting. `attempt` counts elastic
+  /// throttle rejections for backoff growth.
+  void PlaceTask(TaskRef ref, SimTimeMs duration_ms, int attempt = 0);
   /// VM-only placement; returns false when no idle VM exists.
-  bool TryPlaceOnVm(int64_t query_id, int stage_id, SimTimeMs duration_ms);
+  bool TryPlaceOnVm(TaskRef ref, SimTimeMs duration_ms);
+  /// Elastic placement with throttle backoff, fault sampling, and
+  /// speculative re-execution.
+  void PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms, int attempt);
+  void OnElasticGranted(int64_t run_id, ElasticSlotId slot);
+  void OnElasticAttemptDone(int64_t run_id, ElasticSlotId slot);
+  void OnElasticAttemptFailed(int64_t run_id, ElasticSlotId slot);
+  void MaybeSpeculate(int64_t run_id);
+  bool SpeculationEnabled() const {
+    return options_.straggler_timeout_multiplier > 0.0 &&
+           options_.faults.elastic_straggler_rate > 0.0;
+  }
   /// Starts queued batch tasks on idle VMs (escalating overdue ones).
   void DrainBatchQueue();
   void OnVmInterrupted(VmId vm);
-  void OnTaskDone(int64_t query_id, int stage_id);
+  void OnShufflePartitionsLost(int64_t query_id, int stage_id,
+                               int64_t lost_bytes, int64_t lost_partitions);
+  void OnRecoveryTaskDone(TaskRef ref);
+  void OnTaskDone(TaskRef ref);
   void OnStageDone(int64_t query_id, int stage_id);
   void OnQueryDone(int64_t query_id);
 
@@ -133,6 +205,9 @@ class CackleEngine {
 
   Simulation sim_;
   BillingMeter meter_;
+  std::unique_ptr<FaultInjector> injector_;
+  Rng chaos_rng_;
+  std::unique_ptr<RetryPolicy> elastic_retry_policy_;
   std::unique_ptr<VmFleet> fleet_;
   std::unique_ptr<ElasticPool> pool_;
   std::unique_ptr<ObjectStore> object_store_;
@@ -141,22 +216,41 @@ class CackleEngine {
   WorkloadHistory history_;
 
   struct VmTask {
-    int64_t query_id;
-    int stage_id;
+    TaskRef ref;
     SimTimeMs duration_ms;
     uint64_t completion_event;
   };
 
   struct BatchTask {
-    int64_t query_id;
-    int stage_id;
+    TaskRef ref;
     SimTimeMs duration_ms;
     SimTimeMs enqueued_ms;
+  };
+
+  /// One logical elastic task: its primary attempt plus (at most) one
+  /// speculative copy. Slots in `live` are granted and running; `starting`
+  /// counts admitted requests still inside their startup latency.
+  struct ElasticRun {
+    TaskRef ref;
+    SimTimeMs duration_ms = 0;
+    int starting = 0;
+    bool speculated = false;
+    std::vector<std::pair<ElasticSlotId, uint64_t>> live;  // slot, event
+  };
+
+  /// Re-execution of a producing stage after a shuffle-node crash.
+  struct Recovery {
+    int tasks_remaining = 0;
+    int64_t lost_bytes = 0;
+    int64_t lost_partitions = 0;
   };
 
   std::vector<QueryState> queries_;
   std::deque<BatchTask> batch_queue_;
   std::unordered_map<VmId, VmTask> vm_tasks_;
+  std::unordered_map<int64_t, ElasticRun> elastic_runs_;
+  int64_t next_elastic_run_id_ = 0;
+  std::map<std::pair<int64_t, int>, Recovery> recoveries_;
   EngineResult result_;
   int64_t running_tasks_ = 0;
   int64_t second_max_tasks_ = 0;

@@ -13,9 +13,68 @@ ShuffleLayer::ShuffleLayer(Simulation* sim, const CostModel* cost,
              CostCategory::kShuffleNode),
       provisioner_(cost) {}
 
+void ShuffleLayer::SetFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  fleet_.SetFaultInjector(injector);
+}
+
 void ShuffleLayer::Tick() {
+  if (injector_ != nullptr) {
+    const int64_t crashes = injector_->SampleShuffleCrashes(
+        fleet_.num_ready(), kMillisPerSecond);
+    for (int64_t c = 0; c < crashes; ++c) CrashOneNode();
+  }
   const int64_t target = provisioner_.Step(resident_bytes_);
   fleet_.SetTarget(target);
+}
+
+void ShuffleLayer::CrashOneNode() {
+  const int64_t nodes_before = fleet_.num_ready();
+  if (nodes_before <= 0) return;
+  if (!fleet_.InterruptOneIdle()) return;
+  ++total_nodes_crashed_;
+
+  // With uniform hash placement the crashed node held ~1/n of every stage's
+  // node-resident partitions. Collect losses first (sorted for
+  // deterministic callback order), then mutate and notify.
+  struct Loss {
+    int64_t query_id;
+    int stage_id;
+    int64_t bytes;
+    int64_t partitions;
+  };
+  std::vector<Loss> losses;
+  for (auto& [query_id, stages] : queries_) {
+    for (auto& [stage_id, state] : stages) {
+      if (state.node_partitions <= 0 || state.node_bytes <= 0) continue;
+      int64_t lost_partitions =
+          std::max<int64_t>(1, state.node_partitions / nodes_before);
+      lost_partitions = std::min(lost_partitions, state.node_partitions);
+      const int64_t lost_bytes =
+          state.node_bytes * lost_partitions / state.node_partitions;
+      losses.push_back(Loss{query_id, stage_id, lost_bytes, lost_partitions});
+    }
+  }
+  std::sort(losses.begin(), losses.end(), [](const Loss& a, const Loss& b) {
+    return a.query_id != b.query_id ? a.query_id < b.query_id
+                                    : a.stage_id < b.stage_id;
+  });
+  for (const Loss& loss : losses) {
+    StageState& state = queries_[loss.query_id][loss.stage_id];
+    state.node_partitions -= loss.partitions;
+    state.node_bytes -= loss.bytes;
+    node_used_bytes_ -= loss.bytes;
+    resident_bytes_ -= loss.bytes;
+    total_partitions_lost_ += loss.partitions;
+  }
+  CACKLE_CHECK_GE(node_used_bytes_, 0);
+  CACKLE_CHECK_GE(resident_bytes_, 0);
+  if (on_partitions_lost_) {
+    for (const Loss& loss : losses) {
+      on_partitions_lost_(loss.query_id, loss.stage_id, loss.bytes,
+                          loss.partitions);
+    }
+  }
 }
 
 double ShuffleLayer::Write(int64_t query_id, int stage_id,
@@ -35,6 +94,7 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
   const int64_t partition_bytes =
       (total_bytes + num_partitions - 1) / num_partitions;
   int64_t written_to_nodes = 0;
+  int64_t node_partitions = 0;
   int64_t written_to_store = 0;
   for (int64_t p = 0; p < num_partitions; ++p) {
     const int64_t bytes =
@@ -43,11 +103,13 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
     if (node_used_bytes_ + bytes <= capacity) {
       node_used_bytes_ += bytes;
       written_to_nodes += bytes;
+      ++node_partitions;
     } else {
       written_to_store += bytes;
     }
   }
   state.node_bytes += written_to_nodes;
+  state.node_partitions += node_partitions;
   state.store_bytes += written_to_store;
   resident_bytes_ += written_to_nodes + written_to_store;
   total_fallback_bytes_ += written_to_store;
@@ -65,7 +127,8 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
                                 0.5));
     const std::string key = "shuffle/q" + std::to_string(query_id) + "/s" +
                             std::to_string(stage_id) + "/t" +
-                            std::to_string(sim_->NowMs());
+                            std::to_string(sim_->NowMs()) + "/n" +
+                            std::to_string(state.store_keys.size());
     object_store_->Put(key, written_to_store);
     state.store_keys.push_back(key);
     // The single tracked object stands in for `puts` request charges.
@@ -114,6 +177,14 @@ void ShuffleLayer::ReleaseQuery(int64_t query_id) {
 }
 
 void ShuffleLayer::Shutdown() {
+  // Leak invariants: all intermediate state must have been released by
+  // ReleaseQuery before the layer drains; a nonzero residue means a query
+  // leaked bytes (or the engine shut down with live queries).
+  CACKLE_CHECK(queries_.empty())
+      << "shuffle layer shut down with " << queries_.size()
+      << " unreleased queries";
+  CACKLE_CHECK_EQ(resident_bytes_, 0) << "resident shuffle bytes leaked";
+  CACKLE_CHECK_EQ(node_used_bytes_, 0) << "shuffle node bytes leaked";
   fleet_.SetTarget(0);
   // Remaining terminations happen as the simulation drains; TerminateAll
   // flushes billing for nodes past their minimum billing window.

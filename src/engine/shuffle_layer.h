@@ -2,12 +2,14 @@
 #define CACKLE_ENGINE_SHUFFLE_LAYER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
+#include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/vm_fleet.h"
 #include "sim/simulation.h"
@@ -27,13 +29,32 @@ namespace cackle {
 ///
 /// Node provisioning follows the Section 5.6 policy via ShuffleProvisioner
 /// and the shared VmFleet lifecycle (spot startup delay, minimum billing).
+///
+/// With a FaultInjector attached, shuffle nodes crash at the profile's rate.
+/// A crash reclaims the node (the maintained fleet target replaces it) and
+/// destroys its uniform-hashing share of every stage's node-resident
+/// partitions; the loss callback lets the engine re-execute the producing
+/// stage. Object-store-resident partitions survive crashes.
 class ShuffleLayer {
  public:
+  /// Invoked once per (query, stage) whose node-resident partitions were
+  /// destroyed by a crash, with the lost byte count and partition count.
+  using PartitionLossCallback =
+      std::function<void(int64_t query_id, int stage_id, int64_t lost_bytes,
+                         int64_t lost_partitions)>;
+
   ShuffleLayer(Simulation* sim, const CostModel* cost, BillingMeter* meter,
                ObjectStore* object_store);
 
+  /// Attaches a fault injector (node crash rate + launch failures).
+  void SetFaultInjector(FaultInjector* injector);
+
+  void SetOnPartitionsLost(PartitionLossCallback cb) {
+    on_partitions_lost_ = std::move(cb);
+  }
+
   /// Called once per second by the coordinator with current resident bytes;
-  /// adjusts the shuffle-node fleet target.
+  /// adjusts the shuffle-node fleet target and samples node crashes.
   void Tick();
 
   /// Writes one stage's shuffle output: `total_bytes` split into
@@ -52,7 +73,8 @@ class ShuffleLayer {
   /// Frees all intermediate state of a finished query.
   void ReleaseQuery(int64_t query_id);
 
-  /// Drains the fleet at end of workload.
+  /// Drains the fleet at end of workload. Asserts that no resident shuffle
+  /// state leaked: every query must have been released first.
   void Shutdown();
 
   int64_t resident_bytes() const { return resident_bytes_; }
@@ -62,13 +84,22 @@ class ShuffleLayer {
   }
   int64_t total_fallback_bytes() const { return total_fallback_bytes_; }
   int64_t total_written_bytes() const { return total_written_bytes_; }
+  int64_t total_nodes_crashed() const { return total_nodes_crashed_; }
+  int64_t total_partitions_lost() const { return total_partitions_lost_; }
+  int64_t node_launch_failures() const {
+    return fleet_.total_launch_failures();
+  }
 
  private:
   struct StageState {
-    int64_t node_bytes = 0;   // bytes held on shuffle nodes
-    int64_t store_bytes = 0;  // bytes held in the object store
+    int64_t node_bytes = 0;       // bytes held on shuffle nodes
+    int64_t node_partitions = 0;  // partitions held on shuffle nodes
+    int64_t store_bytes = 0;      // bytes held in the object store
     std::vector<std::string> store_keys;
   };
+
+  /// Reclaims one node and destroys its share of resident partitions.
+  void CrashOneNode();
 
   Simulation* sim_;
   const CostModel* cost_;
@@ -76,6 +107,8 @@ class ShuffleLayer {
   ObjectStore* object_store_;
   VmFleet fleet_;
   ShuffleProvisioner provisioner_;
+  FaultInjector* injector_ = nullptr;
+  PartitionLossCallback on_partitions_lost_;
   /// Bytes currently stored on shuffle nodes (aggregate; individual node
   /// occupancy is modelled as a shared pool with per-node capacity checks
   /// at write time via the hash-placement path).
@@ -83,6 +116,8 @@ class ShuffleLayer {
   int64_t resident_bytes_ = 0;
   int64_t total_fallback_bytes_ = 0;
   int64_t total_written_bytes_ = 0;
+  int64_t total_nodes_crashed_ = 0;
+  int64_t total_partitions_lost_ = 0;
   std::unordered_map<int64_t, std::unordered_map<int, StageState>> queries_;
 };
 

@@ -4,6 +4,14 @@
 
 namespace cackle {
 
+Simulation::~Simulation() {
+  // Events still queued (cancelled or simply never reached) are owned here.
+  while (!queue_.empty()) {
+    delete queue_.top();
+    queue_.pop();
+  }
+}
+
 uint64_t Simulation::ScheduleAt(SimTimeMs when, Callback cb) {
   CACKLE_CHECK_GE(when, now_) << "cannot schedule in the past";
   Event* ev = new Event{when, next_seq_++, std::move(cb), false};

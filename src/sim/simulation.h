@@ -35,6 +35,7 @@ class Simulation {
   using Callback = std::function<void()>;
 
   Simulation() = default;
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace cackle {
+namespace {
+
+std::vector<QueryArrival> MakeWorkload(const ProfileLibrary& lib, int64_t n,
+                                       SimTimeMs duration, uint64_t seed,
+                                       double batch_fraction = 0.0) {
+  WorkloadGenerator gen(&lib);
+  WorkloadOptions opts;
+  opts.num_queries = n;
+  opts.duration_ms = duration;
+  opts.arrival_period_ms = duration / 3;
+  opts.batch_fraction = batch_fraction;
+  opts.seed = seed;
+  return gen.Generate(opts);
+}
+
+int64_t TotalTasks(const ProfileLibrary& lib,
+                   const std::vector<QueryArrival>& arrivals) {
+  int64_t tasks = 0;
+  for (const auto& qa : arrivals) {
+    tasks += lib.at(qa.profile_index).TotalTasks();
+  }
+  return tasks;
+}
+
+void ExpectIdenticalResults(const EngineResult& a, const EngineResult& b) {
+  EXPECT_DOUBLE_EQ(a.total_cost(), b.total_cost());
+  EXPECT_DOUBLE_EQ(a.compute_cost(), b.compute_cost());
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_EQ(a.tasks_on_vms, b.tasks_on_vms);
+  EXPECT_EQ(a.tasks_on_elastic, b.tasks_on_elastic);
+  EXPECT_EQ(a.tasks_retried, b.tasks_retried);
+  EXPECT_EQ(a.vms_interrupted, b.vms_interrupted);
+  EXPECT_EQ(a.elastic_throttled, b.elastic_throttled);
+  EXPECT_EQ(a.elastic_failures, b.elastic_failures);
+  EXPECT_EQ(a.store_retries, b.store_retries);
+  EXPECT_EQ(a.vm_launch_failures, b.vm_launch_failures);
+  EXPECT_EQ(a.shuffle_nodes_crashed, b.shuffle_nodes_crashed);
+  EXPECT_EQ(a.shuffle_partitions_lost, b.shuffle_partitions_lost);
+  EXPECT_EQ(a.stages_reexecuted, b.stages_reexecuted);
+  EXPECT_EQ(a.tasks_speculated, b.tasks_speculated);
+  // Bit-identical per-query latencies, not just identical percentiles.
+  ASSERT_EQ(a.latencies_s.samples(), b.latencies_s.samples());
+  ASSERT_EQ(a.batch_latencies_s.samples(), b.batch_latencies_s.samples());
+}
+
+// The contract the whole chaos substrate is built around: with every fault
+// rate at zero, the machinery must be invisible. Knobs that only matter
+// under faults (retry backoff shape, straggler timeout) must not perturb a
+// fault-free run, and every chaos counter must stay zero.
+TEST(ChaosTest, ZeroFaultProfileIsBitIdentical) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 80, kMillisPerHour / 4, 101);
+  CostModel cost;
+
+  EngineOptions defaults;  // faults all zero
+
+  EngineOptions perturbed;
+  perturbed.faults = FaultProfile::None();
+  perturbed.straggler_timeout_multiplier = 0.0;  // speculation fully off
+  perturbed.elastic_retry.initial_backoff_ms = 1;
+  perturbed.elastic_retry.jitter = 0.9;
+  perturbed.elastic_retry.max_backoff_ms = 50;
+
+  CackleEngine e1(&cost, defaults);
+  CackleEngine e2(&cost, perturbed);
+  const EngineResult r1 = e1.Run(arrivals, lib);
+  const EngineResult r2 = e2.Run(arrivals, lib);
+  ExpectIdenticalResults(r1, r2);
+
+  EXPECT_EQ(r1.elastic_throttled, 0);
+  EXPECT_EQ(r1.elastic_failures, 0);
+  EXPECT_EQ(r1.store_retries, 0);
+  EXPECT_EQ(r1.vm_launch_failures, 0);
+  EXPECT_EQ(r1.shuffle_nodes_crashed, 0);
+  EXPECT_EQ(r1.shuffle_partitions_lost, 0);
+  EXPECT_EQ(r1.stages_reexecuted, 0);
+  EXPECT_EQ(r1.tasks_speculated, 0);
+}
+
+TEST(ChaosTest, ThrottledElasticRequestsBackOffAndComplete) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 30, kMillisPerHour / 4, 102);
+  CostModel cost;
+  EngineOptions opts;
+  opts.use_dynamic = false;
+  opts.fixed_target = 0;  // everything wants the pool
+  opts.enable_shuffle = false;
+  opts.faults.elastic_concurrency_limit = 8;  // far below peak demand
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 30);
+  EXPECT_GT(r.elastic_throttled, 0);
+  // Throttling delays work but never drops it: each task is placed once.
+  EXPECT_EQ(r.tasks_on_elastic, TotalTasks(lib, arrivals));
+  EXPECT_EQ(r.tasks_on_vms, 0);
+}
+
+TEST(ChaosTest, ThrottlingDegradesLatencyGracefully) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 30, kMillisPerHour / 4, 103);
+  CostModel cost;
+  EngineOptions free_opts;
+  free_opts.use_dynamic = false;
+  free_opts.fixed_target = 0;
+  free_opts.enable_shuffle = false;
+  EngineOptions throttled_opts = free_opts;
+  throttled_opts.faults.elastic_concurrency_limit = 8;
+  CackleEngine e1(&cost, free_opts);
+  CackleEngine e2(&cost, throttled_opts);
+  const EngineResult r1 = e1.Run(arrivals, lib);
+  const EngineResult r2 = e2.Run(arrivals, lib);
+  // Queuing behind 8 slots must cost latency (otherwise the limit is not
+  // binding and the test is vacuous) but the workload still finishes.
+  EXPECT_GT(r2.latencies_s.Percentile(99), r1.latencies_s.Percentile(99));
+  EXPECT_EQ(r2.queries_completed, 30);
+}
+
+TEST(ChaosTest, ElasticFailuresAreReplacedWithoutLosingWork) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 40, kMillisPerHour / 4, 104);
+  CostModel cost;
+  EngineOptions opts;
+  opts.use_dynamic = false;
+  opts.fixed_target = 0;
+  opts.enable_shuffle = false;
+  opts.faults.elastic_failure_rate = 0.2;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 40);
+  EXPECT_GT(r.elastic_failures, 0);
+  // Placements = tasks + failed attempts that were re-placed.
+  EXPECT_EQ(r.tasks_on_elastic,
+            TotalTasks(lib, arrivals) + r.elastic_failures);
+}
+
+TEST(ChaosTest, StragglersGetSpeculativeCopies) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 40, kMillisPerHour / 4, 105);
+  CostModel cost;
+  EngineOptions opts;
+  opts.use_dynamic = false;
+  opts.fixed_target = 0;
+  opts.enable_shuffle = false;
+  opts.faults.elastic_straggler_rate = 0.25;
+  opts.faults.elastic_straggler_slowdown = 8.0;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 40);
+  EXPECT_GT(r.tasks_speculated, 0);
+
+  // Speculation bounds the tail: p99 with speculation beats p99 without.
+  EngineOptions no_spec = opts;
+  no_spec.straggler_timeout_multiplier = 0.0;
+  CackleEngine baseline(&cost, no_spec);
+  const EngineResult rb = baseline.Run(arrivals, lib);
+  EXPECT_EQ(rb.tasks_speculated, 0);
+  EXPECT_LT(r.latencies_s.Percentile(99), rb.latencies_s.Percentile(99));
+}
+
+TEST(ChaosTest, VmLaunchFailuresAreReRequested) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 40, kMillisPerHour / 4, 106);
+  CostModel cost;
+  EngineOptions opts;
+  opts.use_dynamic = false;
+  opts.fixed_target = 100;
+  opts.enable_shuffle = false;
+  opts.faults.vm_launch_failure_rate = 0.3;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 40);
+  EXPECT_GT(r.vm_launch_failures, 0);
+  EXPECT_GT(r.tasks_on_vms, 0);  // the fleet still came up
+}
+
+TEST(ChaosTest, ShuffleCrashesReexecuteProducingStages) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 120, kMillisPerHour / 2, 107);
+  CostModel cost;
+  EngineOptions opts;  // shuffle on
+  opts.faults.shuffle_crash_rate_per_hour = 20.0;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 120);
+  EXPECT_GT(r.shuffle_nodes_crashed, 0);
+  EXPECT_GT(r.shuffle_partitions_lost, 0);
+  EXPECT_GT(r.stages_reexecuted, 0);
+  // Re-execution re-writes the regenerated partitions, so total bytes
+  // written exceeds the workload's declared shuffle output.
+  int64_t declared_bytes = 0;
+  for (const auto& qa : arrivals) {
+    declared_bytes += lib.at(qa.profile_index).TotalShuffleBytes();
+  }
+  EXPECT_GT(r.shuffle_written_bytes, declared_bytes);
+}
+
+TEST(ChaosTest, StoreErrorsAreRetriedUnderHeavyFaults) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals = MakeWorkload(lib, 120, kMillisPerHour / 2, 108);
+  CostModel cost;
+  EngineOptions opts;  // shuffle on => object-store fallback traffic
+  opts.faults.store_error_rate = 0.3;
+  opts.faults.shuffle_crash_rate_per_hour = 10.0;  // force extra churn
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 120);
+  if (r.shuffle_fallback_bytes > 0) {
+    EXPECT_GT(r.store_retries, 0);
+  }
+}
+
+// Satellite: determinism regression with every chaos source enabled at
+// once — same seed, same workload => identical results down to the
+// per-query latency samples.
+TEST(ChaosTest, DeterministicUnderFullChaos) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals =
+      MakeWorkload(lib, 80, kMillisPerHour / 4, 109, /*batch_fraction=*/0.3);
+  CostModel cost;
+  EngineOptions opts;
+  opts.spot_mean_lifetime_hours = 0.1;
+  opts.faults = FaultProfile::Moderate();
+  opts.faults.elastic_concurrency_limit = 200;
+  CackleEngine e1(&cost, opts);
+  CackleEngine e2(&cost, opts);
+  const EngineResult r1 = e1.Run(arrivals, lib);
+  const EngineResult r2 = e2.Run(arrivals, lib);
+  EXPECT_EQ(r1.queries_completed, 80);
+  ExpectIdenticalResults(r1, r2);
+}
+
+// Satellite: a reclaimed VM while batch tasks sit in the queue. Batch work
+// must drain — re-queued interrupted tasks included — and overdue tasks
+// escalate to the elastic pool within the SLA.
+TEST(ChaosTest, SpotInterruptionsWithQueuedBatchWorkStillDrain) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals =
+      MakeWorkload(lib, 40, kMillisPerHour / 4, 110, /*batch_fraction=*/1.0);
+  CostModel cost;
+  EngineOptions opts;
+  opts.enable_shuffle = false;
+  opts.use_dynamic = false;
+  opts.fixed_target = 10;  // small fleet: batch work queues behind it
+  opts.spot_mean_lifetime_hours = 0.05;  // reclaim every ~3 minutes
+  opts.max_batch_delay_ms = 2 * kMillisPerMinute;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 40);
+  EXPECT_EQ(r.batch_latencies_s.size(), 40u);
+  EXPECT_GT(r.vms_interrupted, 0);
+  EXPECT_GT(r.batch_tasks_delayed, 0);
+  // A 10-VM fleet cannot carry this workload within the SLA: escalation
+  // must have kicked in rather than batch work waiting forever.
+  EXPECT_GT(r.batch_tasks_escalated, 0);
+  // Batch p99 is bounded by queueing + SLA, not unbounded starvation:
+  // every task waits at most max_batch_delay before running somewhere.
+  EXPECT_GT(r.batch_latencies_s.Percentile(99),
+            r.batch_latencies_s.Percentile(10));
+}
+
+// Everything at once, cranked high: no fault combination may lose work.
+TEST(ChaosTest, HeavyChaosCompletesEveryQuery) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  const auto arrivals =
+      MakeWorkload(lib, 60, kMillisPerHour / 4, 111, /*batch_fraction=*/0.2);
+  CostModel cost;
+  EngineOptions opts;
+  opts.spot_mean_lifetime_hours = 0.05;
+  opts.faults = FaultProfile::Heavy();
+  opts.faults.elastic_concurrency_limit = 100;
+  CackleEngine engine(&cost, opts);
+  const EngineResult r = engine.Run(arrivals, lib);
+  EXPECT_EQ(r.queries_completed, 60);
+  EXPECT_EQ(static_cast<int64_t>(r.latencies_s.size() +
+                                 r.batch_latencies_s.size()),
+            60);
+  EXPECT_GT(r.total_cost(), 0.0);
+}
+
+}  // namespace
+}  // namespace cackle

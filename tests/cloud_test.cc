@@ -4,6 +4,7 @@
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
 #include "cloud/elastic_pool.h"
+#include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/spot_market.h"
 #include "cloud/vm_fleet.h"
@@ -340,6 +341,220 @@ TEST(ObjectStoreTest, OverwriteAdjustsBytes) {
   EXPECT_EQ(store.num_objects(), 1);
   EXPECT_EQ(store.bytes_stored(), 100);
   EXPECT_EQ(store.peak_bytes_stored(), 5000);
+}
+
+TEST(ObjectStoreTest, MissingKeyGetIsBilledLikeS3404) {
+  CostModel cost;
+  BillingMeter meter;
+  ObjectStore store(&cost, &meter);
+  // S3 charges for GETs that return 404.
+  EXPECT_FALSE(store.Get("nope").has_value());
+  const StatusOr<int64_t> got = store.TryGet("nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.num_gets(), 2);
+  EXPECT_EQ(store.num_retries(), 0);  // 404 is definitive, never retried
+  EXPECT_NEAR(meter.CategoryDollars(CostCategory::kObjectStoreGet),
+              2 * cost.object_store_get_cost, 1e-15);
+}
+
+TEST(ObjectStoreTest, DeleteOfMissingKeyIsFreeAndReturnsFalse) {
+  CostModel cost;
+  BillingMeter meter;
+  ObjectStore store(&cost, &meter);
+  EXPECT_FALSE(store.Delete("never-existed"));
+  EXPECT_DOUBLE_EQ(meter.TotalDollars(), 0.0);
+  store.Put("k", 10);
+  EXPECT_TRUE(store.Delete("k"));
+  EXPECT_FALSE(store.Delete("k"));  // second delete: gone, still free
+  EXPECT_EQ(store.bytes_stored(), 0);
+  // Only the PUT cost accrued; deletes never charge.
+  EXPECT_NEAR(meter.TotalDollars(), cost.object_store_put_cost, 1e-15);
+}
+
+TEST(ObjectStoreTest, OverwriteKeepsBytesConsistentUnderChurn) {
+  CostModel cost;
+  BillingMeter meter;
+  ObjectStore store(&cost, &meter);
+  store.Put("a", 100);
+  store.Put("b", 200);
+  store.Put("a", 300);  // grow
+  store.Put("b", 50);   // shrink
+  EXPECT_EQ(store.num_objects(), 2);
+  EXPECT_EQ(store.bytes_stored(), 350);
+  EXPECT_TRUE(store.Delete("a"));
+  EXPECT_EQ(store.bytes_stored(), 50);
+  EXPECT_TRUE(store.Delete("b"));
+  EXPECT_EQ(store.bytes_stored(), 0);
+  EXPECT_EQ(store.num_objects(), 0);
+}
+
+TEST(ObjectStoreTest, InjectedErrorsAreBilledAndRetried) {
+  CostModel cost;
+  BillingMeter meter;
+  ObjectStore store(&cost, &meter);
+  FaultProfile profile;
+  profile.store_error_rate = 0.5;
+  FaultInjector injector(profile, 77);
+  store.SetFaultInjector(&injector);
+  for (int i = 0; i < 50; ++i) {
+    store.Put("k" + std::to_string(i), 100);
+  }
+  EXPECT_EQ(store.num_objects(), 50);
+  EXPECT_EQ(store.bytes_stored(), 50 * 100);
+  // At a 50% error rate, retries are a statistical certainty over 50 PUTs,
+  // and every failed attempt billed a PUT request.
+  EXPECT_GT(store.num_retries(), 0);
+  EXPECT_EQ(store.num_puts(), 50 + store.num_retries());
+  EXPECT_NEAR(meter.CategoryDollars(CostCategory::kObjectStorePut),
+              static_cast<double>(store.num_puts()) *
+                  cost.object_store_put_cost,
+              1e-12);
+}
+
+TEST(ObjectStoreTest, TryPutSurfacesInjectedErrorWithoutStoring) {
+  CostModel cost;
+  BillingMeter meter;
+  ObjectStore store(&cost, &meter);
+  FaultProfile profile;
+  profile.store_error_rate = 0.95;  // the clamped maximum
+  FaultInjector injector(profile, 5);
+  store.SetFaultInjector(&injector);
+  // At 95% the first failure arrives almost immediately; find it.
+  Status failed = Status::OK();
+  std::string failed_key;
+  for (int i = 0; i < 50 && failed.ok(); ++i) {
+    failed_key = "k" + std::to_string(i);
+    failed = store.TryPut(failed_key, 123);
+  }
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_FALSE(store.Contains(failed_key));  // failed PUT stored nothing
+  // Every attempt, failed ones included, billed a PUT request.
+  EXPECT_NEAR(meter.CategoryDollars(CostCategory::kObjectStorePut),
+              static_cast<double>(store.num_puts()) *
+                  cost.object_store_put_cost,
+              1e-12);
+}
+
+TEST(FaultInjectorTest, ZeroProfileConsumesNoRandomnessAndNeverFires) {
+  FaultInjector injector(FaultProfile::None(), 99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(injector.SampleElasticFailure(10'000).has_value());
+    EXPECT_FALSE(injector.SampleElasticStraggler());
+    EXPECT_FALSE(injector.SampleStoreError());
+    EXPECT_FALSE(injector.SampleVmLaunchFailure());
+    EXPECT_EQ(injector.SampleShuffleCrashes(100, kMillisPerSecond), 0);
+  }
+}
+
+TEST(FaultInjectorTest, DeterministicForSeed) {
+  FaultProfile profile = FaultProfile::Heavy();
+  FaultInjector a(profile, 42);
+  FaultInjector b(profile, 42);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.SampleElasticFailure(5'000), b.SampleElasticFailure(5'000));
+    EXPECT_EQ(a.SampleStoreError(), b.SampleStoreError());
+    EXPECT_EQ(a.SampleVmLaunchFailure(), b.SampleVmLaunchFailure());
+    EXPECT_EQ(a.SampleShuffleCrashes(10, kMillisPerHour),
+              b.SampleShuffleCrashes(10, kMillisPerHour));
+  }
+}
+
+TEST(FaultInjectorTest, FailureTimeWithinDuration) {
+  FaultProfile profile;
+  profile.elastic_failure_rate = 0.5;
+  FaultInjector injector(profile, 7);
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto at = injector.SampleElasticFailure(10'000);
+    if (at.has_value()) {
+      ++failures;
+      EXPECT_GE(*at, 1);
+      EXPECT_LE(*at, 10'000);
+    }
+  }
+  // ~50% failure rate.
+  EXPECT_GT(failures, 800);
+  EXPECT_LT(failures, 1200);
+}
+
+TEST(FaultInjectorTest, ShuffleCrashRateScalesWithNodesAndWindow) {
+  FaultProfile profile;
+  profile.shuffle_crash_rate_per_hour = 1.0;
+  FaultInjector injector(profile, 13);
+  int64_t crashes = 0;
+  // 100 nodes for 100 simulated hours at 1 crash/node/hour.
+  for (int i = 0; i < 100; ++i) {
+    crashes += injector.SampleShuffleCrashes(100, kMillisPerHour);
+  }
+  EXPECT_GT(crashes, 8'000);
+  EXPECT_LT(crashes, 12'000);
+  EXPECT_EQ(injector.SampleShuffleCrashes(0, kMillisPerHour), 0);
+}
+
+TEST_F(ElasticPoolTest, ConcurrencyLimitThrottlesAtAdmission) {
+  ElasticPool pool(&sim_, &cost_, &meter_, Rng(6));
+  FaultProfile profile;
+  profile.elastic_concurrency_limit = 2;
+  FaultInjector injector(profile, 1);
+  pool.SetFaultInjector(&injector);
+
+  std::vector<ElasticSlotId> granted;
+  auto grab = [&](ElasticSlotId id) { granted.push_back(id); };
+  EXPECT_TRUE(pool.TryAcquire(grab).ok());
+  EXPECT_TRUE(pool.TryAcquire(grab).ok());
+  // Third request: both slots are taken (starting counts too).
+  const Status throttled = pool.TryAcquire(grab);
+  EXPECT_FALSE(throttled.ok());
+  EXPECT_EQ(throttled.code(), StatusCode::kResourceExhausted);
+  sim_.RunToCompletion();
+  ASSERT_EQ(granted.size(), 2u);
+  EXPECT_EQ(pool.total_throttled(), 1);
+
+  // Releasing a slot frees admission capacity.
+  pool.Release(granted[0]);
+  EXPECT_TRUE(pool.TryAcquire(grab).ok());
+  sim_.RunToCompletion();
+  EXPECT_EQ(granted.size(), 3u);
+  pool.Release(granted[1]);
+  pool.Release(granted[2]);
+  EXPECT_EQ(pool.num_active(), 0);
+}
+
+TEST_F(ElasticPoolTest, NoLimitNeverThrottles) {
+  ElasticPool pool(&sim_, &cost_, &meter_, Rng(6));
+  FaultInjector injector(FaultProfile::None(), 1);
+  pool.SetFaultInjector(&injector);
+  std::vector<ElasticSlotId> granted;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        pool.TryAcquire([&](ElasticSlotId id) { granted.push_back(id); })
+            .ok());
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(granted.size(), 100u);
+  EXPECT_EQ(pool.total_throttled(), 0);
+  for (ElasticSlotId id : granted) pool.Release(id);
+  EXPECT_EQ(pool.num_active(), 0);
+}
+
+TEST(VmFleetFaultTest, LaunchFailuresAreReRequestedUntilTargetMet) {
+  Simulation sim;
+  CostModel cost;
+  BillingMeter meter;
+  VmFleet fleet(&sim, &cost, &meter);
+  FaultProfile profile;
+  profile.vm_launch_failure_rate = 0.4;
+  FaultInjector injector(profile, 21);
+  fleet.SetFaultInjector(&injector);
+  fleet.SetTarget(50);
+  sim.RunToCompletion();
+  // Despite a 40% launch failure rate, the maintained target converges.
+  EXPECT_EQ(fleet.num_ready(), 50);
+  EXPECT_GT(fleet.total_launch_failures(), 0);
+  fleet.SetTarget(0);
+  fleet.TerminateAll();
 }
 
 }  // namespace

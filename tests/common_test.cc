@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -187,6 +188,106 @@ TEST(TablePrinterTest, TextAndCsv) {
 TEST(FormatDoubleTest, FixedDecimals) {
   EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicyOptions opts;
+  opts.initial_backoff_ms = 100;
+  opts.multiplier = 2.0;
+  opts.max_backoff_ms = 1000;
+  opts.jitter = 0.0;
+  RetryPolicy policy(opts);
+  EXPECT_EQ(policy.BackoffMs(1), 100);
+  EXPECT_EQ(policy.BackoffMs(2), 200);
+  EXPECT_EQ(policy.BackoffMs(3), 400);
+  EXPECT_EQ(policy.BackoffMs(4), 800);
+  EXPECT_EQ(policy.BackoffMs(5), 1000);  // capped
+  EXPECT_EQ(policy.BackoffMs(20), 1000);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBoundsAndIsDeterministic) {
+  RetryPolicyOptions opts;
+  opts.initial_backoff_ms = 1000;
+  opts.multiplier = 1.0;
+  opts.jitter = 0.25;
+  Rng rng1(7), rng2(7);
+  RetryPolicy p1(opts, &rng1);
+  RetryPolicy p2(opts, &rng2);
+  for (int i = 1; i <= 50; ++i) {
+    const int64_t b1 = p1.BackoffMs(i);
+    EXPECT_GE(b1, 750);
+    EXPECT_LE(b1, 1250);
+    EXPECT_EQ(b1, p2.BackoffMs(i));  // same seed => same jitter sequence
+  }
+}
+
+TEST(RetryPolicyTest, ExecuteRetriesUntilSuccess) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 10;
+  opts.jitter = 0.0;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  int attempts = 0;
+  const Status s = policy.Execute(
+      [&] {
+        ++calls;
+        return calls < 4 ? Status::IoError("transient") : Status::OK();
+      },
+      &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(attempts, 4);
+}
+
+TEST(RetryPolicyTest, ExecuteStopsAtMaxAttempts) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 3;
+  opts.jitter = 0.0;
+  RetryPolicy policy(opts);
+  int calls = 0;
+  const Status s =
+      policy.Execute([&] { ++calls; return Status::IoError("nope"); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, DeadlineBoundsVirtualBackoffTime) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 0;  // unlimited attempts: only the deadline stops it
+  opts.initial_backoff_ms = 100;
+  opts.multiplier = 1.0;
+  opts.jitter = 0.0;
+  opts.deadline_ms = 450;  // allows 4 backoffs of 100 ms
+  RetryPolicy policy(opts);
+  int calls = 0;
+  const Status s =
+      policy.Execute([&] { ++calls; return Status::IoError("nope"); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 5);  // initial try + 4 retries within the deadline
+}
+
+TEST(RetryPolicyTest, ShouldRetryRespectsBothLimits) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 3;
+  opts.deadline_ms = 1000;
+  RetryPolicy policy(opts);
+  EXPECT_TRUE(policy.ShouldRetry(1, 0));
+  EXPECT_TRUE(policy.ShouldRetry(2, 999));
+  EXPECT_FALSE(policy.ShouldRetry(3, 0));     // attempts exhausted
+  EXPECT_FALSE(policy.ShouldRetry(1, 1000));  // deadline exhausted
+}
+
+TEST(RetryPolicyTest, ZeroJitterConsumesNoRandomness) {
+  RetryPolicyOptions opts;
+  opts.jitter = 0.0;
+  Rng rng(42);
+  Rng reference(42);
+  RetryPolicy policy(opts, &rng);
+  policy.BackoffMs(1);
+  policy.BackoffMs(2);
+  // The Rng stream is untouched: next draws match a fresh same-seed Rng.
+  EXPECT_EQ(rng.NextUint64(), reference.NextUint64());
 }
 
 }  // namespace
