@@ -7,12 +7,14 @@
 // the simulated substrate; the comparisons and crossovers are the result.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cloud/cost_model.h"
+#include "common/observability.h"
 #include "common/table_printer.h"
 #include "model/analytical_model.h"
 #include "strategy/cost_calculator.h"
@@ -107,6 +109,26 @@ inline void PrintHeader(const std::string& title, const std::string& note) {
   std::cout << "=== " << title << " ===\n";
   if (!note.empty()) std::cout << note << "\n";
   std::cout << "\n";
+}
+
+/// Writes the machine-readable artifact `BENCH_<name>.json` (metrics
+/// including per-query latency percentiles, the per-query cost-attribution
+/// table, and a capped span sample) into the working directory, or into
+/// $CACKLE_BENCH_OUT_DIR when set. EXPERIMENTS.md documents the schema.
+/// Returns the path written.
+inline std::string WriteBenchArtifact(const Observability& obs,
+                                      const std::string& name,
+                                      size_t max_spans = 2000) {
+  std::string path = "BENCH_" + name + ".json";
+  if (const char* dir = std::getenv("CACKLE_BENCH_OUT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  WriteSnapshotJson(obs, name, out, max_spans);
+  out << "\n";
+  std::cout << "artifact: " << path << "\n";
+  return path;
 }
 
 }  // namespace cackle::bench

@@ -25,10 +25,13 @@ int main() {
   const auto arrivals = gen.Generate(opts);
   CostModel cost;
 
+  Observability obs;
   EngineOptions engine_opts;
   engine_opts.dynamic = DefaultDynamicOptions();
+  engine_opts.observability = &obs;
   CackleEngine engine(&cost, engine_opts);
   const EngineResult cackle = engine.Run(arrivals, Library());
+  WriteBenchArtifact(obs, "fig01_latency_cdf");
   const auto fixed5 =
       RunWarehouseSimulation(arrivals, Library(), DatabricksSmallFixed(5));
   const auto autosc =

@@ -23,11 +23,14 @@ int main() {
   const auto arrivals = gen.Generate(opts);
 
   CostModel cost;
+  Observability obs;
   EngineOptions engine_opts;
   engine_opts.record_series = true;
   engine_opts.dynamic = DefaultDynamicOptions();
+  engine_opts.observability = &obs;
   CackleEngine engine(&cost, engine_opts);
   const EngineResult result = engine.Run(arrivals, Library());
+  WriteBenchArtifact(obs, "fig12_engine_timeseries");
 
   // Replay the engine-observed demand through the analytical model.
   DemandCurve observed = DemandCurve::FromSeries(result.demand_series);

@@ -43,10 +43,15 @@ int main() {
     const auto arrivals = gen.Generate(opts);
     const double q = static_cast<double>(n);
 
+    // One observability artifact per sweep, from the heaviest point (a
+    // fresh sink per engine: the ledger finalizes once per run).
+    Observability obs;
     EngineOptions engine_opts;
     engine_opts.dynamic = DefaultDynamicOptions();
+    if (n == sweep.back()) engine_opts.observability = &obs;
     CackleEngine engine(&cost, engine_opts);
     const EngineResult cackle = engine.Run(arrivals, Library());
+    if (n == sweep.back()) WriteBenchArtifact(obs, "fig14_stability");
 
     table.BeginRow();
     table.AddCell(n);

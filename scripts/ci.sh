@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests the Release configuration and an
-# AddressSanitizer+UBSan configuration. Any test failure or sanitizer
-# report (sanitizers run with -fno-sanitize-recover=all) fails the script.
+# CI entry point: builds and tests three configurations — Release,
+# AddressSanitizer+UBSan, and ThreadSanitizer — and smoke-runs the executor
+# microbenchmarks to produce a BENCH_micro_exec.json artifact. Any test
+# failure or sanitizer report (sanitizers run with
+# -fno-sanitize-recover=all) fails the script.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -9,21 +11,44 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+# run_config <dir> <ctest-regex|-> [cmake args...]
+# "-" runs the whole suite; anything else is passed to ctest -R.
 run_config() {
   local dir="$1"
-  shift
+  local filter="$2"
+  shift 2
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@"
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== test ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  local ctest_args=(--test-dir "${dir}" --output-on-failure -j "${JOBS}")
+  if [[ "${filter}" != "-" ]]; then
+    ctest_args+=(-R "${filter}")
+  fi
+  ctest "${ctest_args[@]}"
 }
 
 # (No -DCACKLE_WERROR=ON: GCC 12's -O3 -Wrestrict false-positive on
 # std::string operator+ in strategy.cc would fail the build.)
-run_config build-release -DCMAKE_BUILD_TYPE=Release
-run_config build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+run_config build-release - -DCMAKE_BUILD_TYPE=Release
+run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DCACKLE_SANITIZE=address;undefined"
+# TSan covers the only genuinely multithreaded code (the PlanExecutor
+# thread pool and everything running on it); the DES engine is
+# single-threaded by construction, so rerunning it under TSan buys nothing.
+run_config build-tsan \
+  "exec|golden|operators|logical|storage" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
 
-echo "CI passed: Release and address;undefined configurations are green."
+# Bench smoke: a short microbenchmark pass that both exercises the bench
+# binaries and leaves a machine-readable artifact for trend tracking.
+echo "=== bench smoke (micro_exec) ==="
+./build-release/bench/micro_exec \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=build-release/BENCH_micro_exec.json \
+  --benchmark_out_format=json
+echo "bench artifact: build-release/BENCH_micro_exec.json"
+
+echo "CI passed: Release, address;undefined, and thread configurations" \
+  "are green."

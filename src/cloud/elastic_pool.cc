@@ -60,6 +60,14 @@ void ElasticPool::Release(ElasticSlotId id) {
   meter_->Charge(CostCategory::kElasticPool, cost_->ElasticCost(held));
 }
 
+void ElasticPool::ExportMetrics(MetricsRegistry* metrics,
+                                const std::string& prefix) const {
+  metrics->SetCounter(prefix + ".invocations", total_invocations_);
+  metrics->SetCounter(prefix + ".throttled", total_throttled_);
+  metrics->SetCounter(prefix + ".billed_ms", total_billed_ms_);
+  metrics->SetGauge(prefix + ".peak_active", static_cast<double>(peak_active_));
+}
+
 void ElasticPool::Invoke(SimTimeMs duration_ms, std::function<void()> done) {
   Acquire([this, duration_ms, done = std::move(done)](ElasticSlotId id) {
     sim_->ScheduleAfter(duration_ms, [this, id, done] {

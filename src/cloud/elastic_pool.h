@@ -8,6 +8,7 @@
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
 #include "cloud/fault_injector.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/simulation.h"
@@ -60,6 +61,10 @@ class ElasticPool {
 
   /// Samples the invocation startup latency (exposed for tests).
   SimTimeMs SampleStartupLatency();
+
+  /// Exports lifetime totals into a metrics registry under `prefix`.
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
  private:
   Simulation* sim_;

@@ -75,4 +75,16 @@ bool ObjectStore::Delete(const std::string& key) {
   return true;
 }
 
+void ObjectStore::ExportMetrics(MetricsRegistry* metrics,
+                                const std::string& prefix) const {
+  metrics->SetCounter(prefix + ".puts", num_puts_);
+  metrics->SetCounter(prefix + ".gets", num_gets_);
+  metrics->SetCounter(prefix + ".retries", num_retries_);
+  metrics->SetCounter(prefix + ".objects", num_objects());
+  metrics->SetGauge(prefix + ".bytes_stored",
+                    static_cast<double>(bytes_stored_));
+  metrics->SetGauge(prefix + ".peak_bytes_stored",
+                    static_cast<double>(peak_bytes_stored_));
+}
+
 }  // namespace cackle

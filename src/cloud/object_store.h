@@ -9,6 +9,7 @@
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
 #include "cloud/fault_injector.h"
+#include "common/metrics.h"
 #include "common/retry_policy.h"
 #include "common/status.h"
 
@@ -67,6 +68,10 @@ class ObjectStore {
   int64_t num_objects() const { return static_cast<int64_t>(objects_.size()); }
   int64_t bytes_stored() const { return bytes_stored_; }
   int64_t peak_bytes_stored() const { return peak_bytes_stored_; }
+
+  /// Exports lifetime totals into a metrics registry under `prefix`.
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
  private:
   static RetryPolicyOptions DefaultRetryOptions() {

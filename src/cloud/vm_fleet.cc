@@ -231,4 +231,15 @@ void VmFleet::TerminateAll() {
   CACKLE_CHECK_EQ(num_idle_, 0);
 }
 
+void VmFleet::ExportMetrics(MetricsRegistry* metrics,
+                            const std::string& prefix) const {
+  metrics->SetCounter(prefix + ".vms_started", total_started_);
+  metrics->SetCounter(prefix + ".vms_terminated", total_terminated_);
+  metrics->SetCounter(prefix + ".vms_interrupted", total_interrupted_);
+  metrics->SetCounter(prefix + ".launch_failures", total_launch_failures_);
+  metrics->SetCounter(prefix + ".runtime_ms", total_runtime_ms_);
+  metrics->SetGauge(prefix + ".target", static_cast<double>(target_));
+  metrics->SetGauge(prefix + ".ready", static_cast<double>(num_ready()));
+}
+
 }  // namespace cackle

@@ -11,6 +11,7 @@
 #include "cloud/cost_model.h"
 #include "cloud/fault_injector.h"
 #include "cloud/spot_market.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "sim/simulation.h"
 
@@ -83,6 +84,11 @@ class VmFleet {
 
   /// Terminates every VM (end of workload) and flushes billing.
   void TerminateAll();
+
+  /// Exports lifetime totals into a metrics registry under `prefix`
+  /// (e.g. "vm_fleet"). Read-only; call at any point.
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
   int64_t target() const { return target_; }
   /// Started and not terminated (idle + busy).

@@ -1,0 +1,123 @@
+#include "common/cost_ledger.h"
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace cackle {
+
+void CostLedger::EnsureCategories(const std::vector<std::string>& names) {
+  if (category_names_.empty()) {
+    category_names_ = names;
+    attributed_.assign(names.size(), 0.0);
+    return;
+  }
+  CACKLE_CHECK(category_names_ == names)
+      << "cost ledger reused with a different category schema";
+}
+
+CostLedger::Row& CostLedger::RowFor(int64_t query_id) {
+  Row& row = rows_[query_id];
+  if (row.dollars.empty()) {
+    row.dollars.assign(num_categories(), 0.0);
+    row.usage.assign(num_categories(), 0.0);
+  }
+  return row;
+}
+
+void CostLedger::Attribute(int64_t query_id, size_t category, double dollars,
+                           double usage) {
+  CACKLE_CHECK(!finalized_) << "attribution after FinalizeAgainst";
+  CACKLE_CHECK_LT(category, num_categories());
+  Row& row = RowFor(query_id);
+  row.dollars[category] += dollars;
+  row.usage[category] += usage;
+  attributed_[category] += dollars;
+}
+
+void CostLedger::AddUsage(int64_t query_id, size_t category, double usage) {
+  CACKLE_CHECK(!finalized_) << "attribution after FinalizeAgainst";
+  CACKLE_CHECK_LT(category, num_categories());
+  RowFor(query_id).usage[category] += usage;
+}
+
+double CostLedger::CategoryAttributed(size_t category) const {
+  CACKLE_CHECK_LT(category, num_categories());
+  return attributed_[category];
+}
+
+void CostLedger::FinalizeAgainst(
+    const std::vector<double>& billed_per_category) {
+  CACKLE_CHECK(!finalized_) << "FinalizeAgainst called twice";
+  CACKLE_CHECK_EQ(billed_per_category.size(), num_categories());
+  finalized_ = true;
+  for (size_t c = 0; c < num_categories(); ++c) {
+    const double residual = billed_per_category[c] - attributed_[c];
+    if (residual == 0.0) continue;
+    double total_usage = 0.0;
+    int64_t last_user = kOverheadQueryId;
+    for (const auto& [query_id, row] : rows_) {
+      if (row.usage[c] > 0.0) {
+        total_usage += row.usage[c];
+        last_user = query_id;
+      }
+    }
+    if (total_usage <= 0.0) {
+      // Nothing to key the split on: overhead (e.g. coordinator rental).
+      RowFor(kOverheadQueryId).dollars[c] += residual;
+      attributed_[c] += residual;
+      continue;
+    }
+    // Proportional split; the heaviest-indexed user takes the exact
+    // remainder so the category closes to the bill.
+    double distributed = 0.0;
+    for (auto& [query_id, row] : rows_) {
+      if (row.usage[c] <= 0.0) continue;
+      double share;
+      if (query_id == last_user) {
+        share = residual - distributed;
+      } else {
+        share = residual * (row.usage[c] / total_usage);
+        distributed += share;
+      }
+      row.dollars[c] += share;
+      attributed_[c] += share;
+    }
+  }
+}
+
+double CostLedger::QueryDollars(int64_t query_id) const {
+  auto it = rows_.find(query_id);
+  return it == rows_.end() ? 0.0 : it->second.Total();
+}
+
+double CostLedger::TotalDollars() const {
+  double total = 0.0;
+  for (const auto& [query_id, row] : rows_) total += row.Total();
+  return total;
+}
+
+void CostLedger::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Field("finalized", finalized_);
+  json.Key("categories").BeginArray();
+  for (const std::string& name : category_names_) json.String(name);
+  json.EndArray();
+  json.Key("attributed_per_category").BeginArray();
+  for (double d : attributed_) json.Double(d);
+  json.EndArray();
+  json.Key("rows").BeginArray();
+  for (const auto& [query_id, row] : rows_) {
+    json.BeginObject();
+    json.Field("query_id", query_id);
+    json.Field("total", row.Total());
+    json.Key("by_category").BeginArray();
+    for (double d : row.dollars) json.Double(d);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("total", TotalDollars());
+  json.EndObject();
+}
+
+}  // namespace cackle

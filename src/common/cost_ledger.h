@@ -1,0 +1,103 @@
+#ifndef CACKLE_COMMON_COST_LEDGER_H_
+#define CACKLE_COMMON_COST_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cackle {
+
+class JsonWriter;
+
+/// \brief Per-query cost attribution ledger.
+///
+/// Splits every billed cent across the queries that incurred it. Categories
+/// are small integer indices with display names (the engine uses its
+/// CostCategory enum; the ledger itself is layer-agnostic so it can live in
+/// common/ below the cloud substrate).
+///
+/// Usage pattern:
+///  1. Instrumented code calls Attribute(query, category, dollars[, usage])
+///     with the exact dollar amounts it simultaneously charges to the
+///     BillingMeter (elastic slot-milliseconds, object-store requests), or
+///     marginal amounts for shared resources (a task's VM-milliseconds at
+///     the hourly rate).
+///  2. Code that cannot attribute directly records AddUsage() weights
+///     (e.g. shuffle bytes a query parked on shared shuffle nodes).
+///  3. FinalizeAgainst(billed) closes the books: for every category the
+///     residual between the real bill and the directly attributed sum
+///     (idle VM capacity, startup time, minimum-billing rounding) is
+///     distributed across queries proportionally to their recorded usage —
+///     the last query receives the exact remainder so the per-category
+///     attributed total equals the bill to the last floating-point bit of
+///     the residual. Categories with no recorded usage (e.g. the
+///     coordinator rental) fall to the overhead row, query id -1.
+///
+/// Like the other observability sinks, attribution is pure arithmetic on
+/// already-computed amounts: it cannot perturb a simulation.
+class CostLedger {
+ public:
+  /// The pseudo-query that absorbs cost attributable to no query.
+  static constexpr int64_t kOverheadQueryId = -1;
+
+  struct Row {
+    std::vector<double> dollars;  // per category
+    std::vector<double> usage;    // per category, attribution weight
+
+    double Total() const {
+      double t = 0.0;
+      for (double d : dollars) t += d;
+      return t;
+    }
+  };
+
+  CostLedger() = default;
+
+  /// Sets the category names on first call; CHECKs they match on reuse (so
+  /// an externally provided ledger and the engine agree on the schema).
+  void EnsureCategories(const std::vector<std::string>& names);
+
+  size_t num_categories() const { return category_names_.size(); }
+  const std::vector<std::string>& category_names() const {
+    return category_names_;
+  }
+
+  /// Adds `dollars` of category `category` to `query_id`'s row, plus an
+  /// optional attribution weight for residual distribution.
+  void Attribute(int64_t query_id, size_t category, double dollars,
+                 double usage = 0.0);
+
+  /// Records an attribution weight without dollars.
+  void AddUsage(int64_t query_id, size_t category, double usage);
+
+  /// Sum attributed to `category` so far, accumulated in attribution order.
+  double CategoryAttributed(size_t category) const;
+
+  /// Distributes each category's residual (billed - attributed) as
+  /// described above. Call exactly once, after the final bill is known.
+  void FinalizeAgainst(const std::vector<double>& billed_per_category);
+  bool finalized() const { return finalized_; }
+
+  /// Rows ordered by query id; the overhead row (-1) sorts first.
+  const std::map<int64_t, Row>& rows() const { return rows_; }
+
+  double QueryDollars(int64_t query_id) const;
+  double TotalDollars() const;
+
+  /// {"categories": [...], "rows": [{"query_id", "total", "by_category",
+  /// "usage"}...], "total": ...}
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  Row& RowFor(int64_t query_id);
+
+  std::vector<std::string> category_names_;
+  std::map<int64_t, Row> rows_;
+  std::vector<double> attributed_;  // per category, attribution order
+  bool finalized_ = false;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_COST_LEDGER_H_

@@ -1,0 +1,145 @@
+#include "common/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+std::string JsonDoubleToString(double value) {
+  // JSON has no NaN/Inf literals; clamp them to null-adjacent sentinels so a
+  // stray non-finite metric cannot produce an unparseable artifact.
+  if (std::isnan(value)) return "null";
+  if (std::isinf(value)) return value > 0 ? "1e308" : "-1e308";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  CACKLE_CHECK(ec == std::errc());
+  std::string s(buf, static_cast<size_t>(ptr - buf));
+  // Bare integers are valid JSON numbers, but keep them distinguishable from
+  // int fields for schema consumers? No — shortest form is fine as-is.
+  return s;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    CACKLE_CHECK(!wrote_top_level_) << "multiple top-level JSON values";
+    wrote_top_level_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    CACKLE_CHECK(key_pending_) << "JSON object value without a key";
+    key_pending_ = false;
+    return;
+  }
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  CACKLE_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JSON key outside an object";
+  CACKLE_CHECK(!key_pending_) << "JSON key after key";
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  os_ << '"';
+  WriteEscaped(key);
+  os_ << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  CACKLE_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  CACKLE_CHECK(!key_pending_) << "JSON object closed with dangling key";
+  stack_.pop_back();
+  first_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  CACKLE_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  first_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << '"';
+  WriteEscaped(value);
+  os_ << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  os_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  os_ << JsonDoubleToString(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace cackle

@@ -1,0 +1,72 @@
+#ifndef CACKLE_COMMON_JSON_WRITER_H_
+#define CACKLE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cackle {
+
+/// \brief Minimal streaming JSON writer for metrics/trace snapshots.
+///
+/// Emits deterministic output: doubles are printed with the shortest
+/// round-trip representation (std::to_chars), so two runs that produce
+/// bit-identical values produce byte-identical JSON — the property the
+/// observability determinism tests assert on.
+///
+/// Commas and nesting are managed by an internal state stack; misuse (e.g.
+/// a value without a pending key inside an object) aborts.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key(k) + value.
+  void Field(std::string_view key, std::string_view value) {
+    Key(key).String(value);
+  }
+  void Field(std::string_view key, int64_t value) { Key(key).Int(value); }
+  void Field(std::string_view key, int value) {
+    Key(key).Int(static_cast<int64_t>(value));
+  }
+  void Field(std::string_view key, double value) { Key(key).Double(value); }
+  void Field(std::string_view key, bool value) { Key(key).Bool(value); }
+
+  /// All containers must be closed before the writer is destroyed.
+  bool Done() const { return stack_.empty() && wrote_top_level_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void WriteEscaped(std::string_view s);
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;  // parallel to stack_: no comma needed yet
+  bool key_pending_ = false;
+  bool wrote_top_level_ = false;
+};
+
+/// Formats a double with the shortest round-trip representation.
+std::string JsonDoubleToString(double value);
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_JSON_WRITER_H_

@@ -1,0 +1,76 @@
+#include "common/metrics.h"
+
+#include "common/json_writer.h"
+
+namespace cackle {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name,
+                                      int64_t fallback) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? fallback : c->value();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Field(name, counter->value());
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Field(name, gauge->value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const SampleSet& s = histogram->samples();
+    json.Key(name).BeginObject();
+    json.Field("count", static_cast<int64_t>(s.size()));
+    json.Field("mean", s.Mean());
+    json.Field("min", s.Min());
+    json.Field("max", s.Max());
+    json.Field("p50", s.Percentile(50));
+    json.Field("p90", s.Percentile(90));
+    json.Field("p99", s.Percentile(99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+}  // namespace cackle

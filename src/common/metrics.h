@@ -1,0 +1,116 @@
+#ifndef CACKLE_COMMON_METRICS_H_
+#define CACKLE_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+
+namespace cackle {
+
+class JsonWriter;
+
+/// \brief A monotonically growing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  void Set(int64_t value) { value_ = value; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// \brief A point-in-time value (last write wins).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Max(double value) { value_ = value_ > value ? value_ : value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// \brief A distribution of observations backed by SampleSet, so the full
+/// percentile/CDF machinery used for the paper's latency figures applies to
+/// any registered metric.
+class Histogram {
+ public:
+  void Observe(double value) { samples_.Add(value); }
+  const SampleSet& samples() const { return samples_; }
+
+ private:
+  SampleSet samples_;
+};
+
+/// \brief A named registry of counters, gauges, and histograms.
+///
+/// This is the spine of the observability layer: the engine and the cloud
+/// substrate register their event counts here instead of growing one-off
+/// struct fields, and the JSON snapshot exporter walks the registry to emit
+/// machine-readable bench artifacts. Names are hierarchical by convention
+/// ("engine.tasks_on_vms", "vm_fleet.launch_failures").
+///
+/// Determinism: the registry is pure bookkeeping — it never consumes
+/// randomness or schedules simulation events, so recording (or not
+/// recording) metrics cannot perturb an engine run. Iteration order is the
+/// lexicographic name order (std::map), so exports are deterministic.
+/// Handles returned by Counter()/Gauge()/Histogram() are stable for the
+/// registry's lifetime (hot paths cache the pointer).
+class MetricsRegistry {
+ public:
+  class Counter* GetCounter(const std::string& name);
+  class Gauge* GetGauge(const std::string& name);
+  class Histogram* GetHistogram(const std::string& name);
+
+  /// Convenience one-shot writers.
+  void AddCounter(const std::string& name, int64_t delta) {
+    GetCounter(name)->Increment(delta);
+  }
+  void SetCounter(const std::string& name, int64_t value) {
+    GetCounter(name)->Set(value);
+  }
+  void SetGauge(const std::string& name, double value) {
+    GetGauge(name)->Set(value);
+  }
+  void Observe(const std::string& name, double value) {
+    GetHistogram(name)->Observe(value);
+  }
+
+  /// Lookup without creation; nullptr when absent.
+  const class Counter* FindCounter(const std::string& name) const;
+  const class Gauge* FindGauge(const std::string& name) const;
+  const class Histogram* FindHistogram(const std::string& name) const;
+
+  /// Value of a counter, or `fallback` when the counter was never touched.
+  int64_t CounterValue(const std::string& name, int64_t fallback = 0) const;
+
+  const std::map<std::string, std::unique_ptr<class Counter>>& counters()
+      const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<class Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<class Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// histograms summarized as count/mean/min/max/p50/p90/p99.
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<class Counter>> counters_;
+  std::map<std::string, std::unique_ptr<class Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<class Histogram>> histograms_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_METRICS_H_

@@ -23,15 +23,18 @@ void RunningStats::Add(double x) {
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
+  // Catastrophic cancellation can drive m2_ a hair below zero for
+  // near-constant inputs; clamping keeps stddev() NaN-free.
+  return std::max(0.0, m2_) / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double PercentileSorted(const std::vector<double>& sorted, double p) {
+  // Validate p before the empty-input early-out so an out-of-range (or NaN)
+  // percentile is caught regardless of the data; NaN fails both comparisons.
+  CACKLE_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
   if (sorted.empty()) return 0.0;
-  CACKLE_CHECK_GE(p, 0.0);
-  CACKLE_CHECK_LE(p, 100.0);
   if (sorted.size() == 1) return sorted[0];
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);

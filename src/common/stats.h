@@ -18,6 +18,7 @@ class RunningStats {
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double sum() const { return sum_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  /// Clamped at 0 so stddev() never returns NaN from rounding residue.
   double variance() const;
   double stddev() const;
 
@@ -32,7 +33,9 @@ class RunningStats {
 
 /// \brief Returns the p-th percentile (p in [0, 100]) of `values` using
 /// linear interpolation between closest ranks. `values` need not be sorted;
-/// a sorted copy is made. Returns 0 for an empty input.
+/// a sorted copy is made. Returns 0 for an empty input. An out-of-range or
+/// NaN `p` aborts (even on empty input); for finite samples the result is
+/// NaN-free, with p=0 / p=100 returning the exact min / max.
 double Percentile(std::vector<double> values, double p);
 
 /// \brief Percentile for data that is already sorted ascending (no copy).

@@ -1,0 +1,72 @@
+#include "common/tracer.h"
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace cackle {
+
+Span* Tracer::Find(SpanId id) {
+  if (id == kInvalidSpan) return nullptr;
+  CACKLE_CHECK_GE(id, 1);
+  CACKLE_CHECK_LE(static_cast<size_t>(id), spans_.size());
+  return &spans_[static_cast<size_t>(id - 1)];
+}
+
+SpanId Tracer::Begin(std::string_view name, int64_t start_ms, SpanId parent,
+                     int64_t query_id) {
+  if (!enabled_) return kInvalidSpan;
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent;
+  span.name.assign(name);
+  span.query_id = query_id;
+  span.start_ms = start_ms;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::End(SpanId id, int64_t end_ms) {
+  Span* span = Find(id);
+  if (span == nullptr) return;
+  CACKLE_CHECK(!span->closed()) << "span ended twice: " << span->name;
+  CACKLE_CHECK_GE(end_ms, span->start_ms) << span->name;
+  span->end_ms = end_ms;
+}
+
+void Tracer::Tag(SpanId id, std::string_view key, std::string_view value) {
+  Span* span = Find(id);
+  if (span == nullptr) return;
+  span->tags.emplace_back(std::string(key), std::string(value));
+}
+
+SpanId Tracer::Instant(std::string_view name, int64_t at_ms, SpanId parent,
+                       int64_t query_id) {
+  const SpanId id = Begin(name, at_ms, parent, query_id);
+  End(id, at_ms);
+  return id;
+}
+
+void Tracer::WriteJson(JsonWriter& json, size_t max_spans) const {
+  const size_t n = max_spans == 0 ? spans_.size()
+                                  : std::min(max_spans, spans_.size());
+  json.BeginArray();
+  for (size_t i = 0; i < n; ++i) {
+    const Span& s = spans_[i];
+    json.BeginObject();
+    json.Field("id", s.id);
+    if (s.parent != kInvalidSpan) json.Field("parent", s.parent);
+    json.Field("name", s.name);
+    if (s.query_id >= 0) json.Field("query_id", s.query_id);
+    json.Field("start_ms", s.start_ms);
+    json.Field("end_ms", s.end_ms);
+    if (!s.tags.empty()) {
+      json.Key("tags").BeginObject();
+      for (const auto& [k, v] : s.tags) json.Field(k, v);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+}  // namespace cackle

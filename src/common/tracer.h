@@ -1,0 +1,84 @@
+#ifndef CACKLE_COMMON_TRACER_H_
+#define CACKLE_COMMON_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cackle {
+
+class JsonWriter;
+
+/// Identifies a span within one Tracer; 0 = "no span" (the id a disabled
+/// tracer hands out, accepted as a no-op by every other call).
+using SpanId = int64_t;
+constexpr SpanId kInvalidSpan = 0;
+
+/// \brief One timed interval keyed on *simulated* time.
+///
+/// Spans form a forest: a query span owns stage spans, which own task
+/// spans. `end_ms` is -1 while the span is open. Instant events are spans
+/// with end == start.
+struct Span {
+  SpanId id = kInvalidSpan;
+  SpanId parent = kInvalidSpan;
+  std::string name;
+  /// The query this span belongs to; -1 for infrastructure spans.
+  int64_t query_id = -1;
+  int64_t start_ms = 0;
+  int64_t end_ms = -1;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  bool closed() const { return end_ms >= 0; }
+};
+
+/// \brief Lightweight span recorder for per-query execution traces.
+///
+/// Like the metrics registry this is pure bookkeeping on simulated
+/// timestamps: recording never consumes randomness or schedules events, so
+/// tracing on/off cannot change an engine run's results. A disabled tracer
+/// (the default-constructed state used when no observability sink is
+/// attached) returns kInvalidSpan from Begin() and ignores every other
+/// call — the zero-cost guard mirrors the fault injector's all-rates-zero
+/// contract.
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Opens a span; returns kInvalidSpan when disabled.
+  SpanId Begin(std::string_view name, int64_t start_ms,
+               SpanId parent = kInvalidSpan, int64_t query_id = -1);
+
+  /// Closes a span at `end_ms` (ignored for kInvalidSpan).
+  void End(SpanId id, int64_t end_ms);
+
+  /// Attaches a key/value tag (ignored for kInvalidSpan).
+  void Tag(SpanId id, std::string_view key, std::string_view value);
+
+  /// Records a zero-duration event.
+  SpanId Instant(std::string_view name, int64_t at_ms,
+                 SpanId parent = kInvalidSpan, int64_t query_id = -1);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+  /// Emits an array of span objects, at most `max_spans` (0 = all), in
+  /// recording order.
+  void WriteJson(JsonWriter& json, size_t max_spans = 0) const;
+
+ private:
+  Span* Find(SpanId id);
+
+  bool enabled_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_TRACER_H_

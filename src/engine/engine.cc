@@ -14,11 +14,30 @@ struct CackleEngine::QueryState {
   std::vector<int> tasks_remaining;
   int stages_remaining = 0;
   bool done = false;
+  SpanId span = kInvalidSpan;
+  std::vector<SpanId> stage_spans;
 };
 
 CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
     : cost_(cost), options_(std::move(options)),
       chaos_rng_(options_.seed ^ 0xbac0ffULL) {
+  obs_ = options_.observability;
+  metrics_ = obs_ != nullptr ? &obs_->metrics : &own_metrics_;
+  tracer_ = obs_ != nullptr ? &obs_->tracer : &disabled_tracer_;
+  tasks_on_vms_ = metrics_->GetCounter("engine.tasks_on_vms");
+  tasks_on_elastic_ = metrics_->GetCounter("engine.tasks_on_elastic");
+  tasks_retried_ = metrics_->GetCounter("engine.tasks_retried");
+  tasks_speculated_ = metrics_->GetCounter("engine.tasks_speculated");
+  batch_tasks_delayed_ = metrics_->GetCounter("engine.batch_tasks_delayed");
+  batch_tasks_escalated_ =
+      metrics_->GetCounter("engine.batch_tasks_escalated");
+  elastic_failures_ = metrics_->GetCounter("engine.elastic_failures");
+  stages_reexecuted_ = metrics_->GetCounter("engine.stages_reexecuted");
+  shuffle_partitions_lost_ =
+      metrics_->GetCounter("engine.shuffle_partitions_lost");
+  queries_completed_ = metrics_->GetCounter("engine.queries_completed");
+  query_latency_s_ = metrics_->GetHistogram("engine.query_latency_s");
+  batch_latency_s_ = metrics_->GetHistogram("engine.batch_latency_s");
   injector_ = std::make_unique<FaultInjector>(options_.faults,
                                               options_.seed ^ 0xfa017ULL);
   elastic_retry_policy_ =
@@ -33,6 +52,18 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   pool_->SetFaultInjector(injector_.get());
   object_store_->SetFaultInjector(injector_.get());
   shuffle_->SetFaultInjector(injector_.get());
+  if (obs_ != nullptr) {
+    // The ledger schema mirrors the BillingMeter categories one-to-one so
+    // FinalizeAgainst can close the books against the real bill.
+    std::vector<std::string> category_names;
+    for (int c = 0; c < static_cast<int>(CostCategory::kNumCategories); ++c) {
+      category_names.emplace_back(
+          CostCategoryName(static_cast<CostCategory>(c)));
+    }
+    obs_->ledger.EnsureCategories(category_names);
+    ledger_ = &obs_->ledger;
+    shuffle_->SetCostLedger(ledger_);
+  }
   shuffle_->SetOnPartitionsLost(
       [this](int64_t query_id, int stage_id, int64_t lost_bytes,
              int64_t lost_partitions) {
@@ -46,6 +77,7 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   } else {
     strategy_ = std::make_unique<FixedStrategy>(options_.fixed_target);
   }
+  strategy_->SetObservability(metrics_, tracer_);
   if (options_.spot_mean_lifetime_hours > 0.0) {
     fleet_->EnableInterruptions(options_.seed ^ 0xdead,
                                 options_.spot_mean_lifetime_hours);
@@ -84,6 +116,9 @@ void CackleEngine::CoordinatorTick() {
 
 void CackleEngine::OnQueryArrival(int64_t query_id) {
   QueryState& state = queries_[static_cast<size_t>(query_id)];
+  state.span = tracer_->Begin("query", sim_.NowMs(), kInvalidSpan, query_id);
+  tracer_->Tag(state.span, "type", state.batch ? "batch" : "interactive");
+  state.stage_spans.assign(state.profile->stages.size(), kInvalidSpan);
   for (size_t s = 0; s < state.profile->stages.size(); ++s) {
     if (state.deps_remaining[s] == 0) {
       ScheduleStage(query_id, static_cast<int>(s));
@@ -95,12 +130,19 @@ void CackleEngine::ScheduleStage(int64_t query_id, int stage_id) {
   QueryState& state = queries_[static_cast<size_t>(query_id)];
   const StageProfile& stage =
       state.profile->stages[static_cast<size_t>(stage_id)];
+  const SpanId stage_span =
+      tracer_->Begin("stage", sim_.NowMs(), state.span, query_id);
+  tracer_->Tag(stage_span, "stage", std::to_string(stage_id));
+  state.stage_spans[static_cast<size_t>(stage_id)] = stage_span;
   // Consumer side of the shuffle: read upstream stage outputs.
   if (options_.enable_shuffle) {
     for (int dep : stage.dependencies) {
       const StageProfile& upstream =
           state.profile->stages[static_cast<size_t>(dep)];
       shuffle_->Read(query_id, dep, upstream.object_store_gets);
+      const SpanId read_ev =
+          tracer_->Instant("shuffle.read", sim_.NowMs(), stage_span, query_id);
+      tracer_->Tag(read_ev, "from_stage", std::to_string(dep));
     }
   }
   for (int t = 0; t < stage.num_tasks; ++t) {
@@ -119,8 +161,10 @@ void CackleEngine::RunTask(TaskRef ref, SimTimeMs duration_ms) {
       ++running_tasks_;
       second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
     } else {
-      ++result_.batch_tasks_delayed;
-      batch_queue_.push_back(BatchTask{ref, duration_ms, sim_.NowMs()});
+      batch_tasks_delayed_->Increment();
+      const SpanId queued = tracer_->Begin("queued", sim_.NowMs(),
+                                           TaskParentSpan(ref), ref.query_id);
+      batch_queue_.push_back(BatchTask{ref, duration_ms, sim_.NowMs(), queued});
     }
     return;
   }
@@ -132,18 +176,58 @@ void CackleEngine::RunTask(TaskRef ref, SimTimeMs duration_ms) {
 bool CackleEngine::TryPlaceOnVm(TaskRef ref, SimTimeMs duration_ms) {
   const auto vm = fleet_->TryAcquire();
   if (!vm.has_value()) return false;
-  ++result_.tasks_on_vms;
+  tasks_on_vms_->Increment();
   const SimTimeMs dur = std::max<SimTimeMs>(
       1, static_cast<SimTimeMs>(static_cast<double>(duration_ms) /
                                 options_.vm_speedup));
+  const SpanId span = BeginTaskSpan(ref, "vm", /*speculative=*/false);
   const uint64_t event =
-      sim_.ScheduleAfter(dur, [this, ref, vm_id = *vm] {
+      sim_.ScheduleAfter(dur, [this, ref, vm_id = *vm, dur, span] {
         vm_tasks_.erase(vm_id);
         fleet_->Release(vm_id);
+        if (ledger_ != nullptr) {
+          // Marginal attribution at the hourly rate for the task's runtime;
+          // idle capacity, startup, and minimum-billing rounding stay in
+          // the category residual and are distributed by task-milliseconds
+          // at finalization.
+          ledger_->Attribute(ref.query_id,
+                             static_cast<size_t>(CostCategory::kVm),
+                             cost_->vm_cost_per_hour *
+                                 static_cast<double>(dur) /
+                                 static_cast<double>(kMillisPerHour),
+                             static_cast<double>(dur));
+        }
+        tracer_->End(span, sim_.NowMs());
         OnTaskDone(ref);
       });
-  vm_tasks_[*vm] = VmTask{ref, duration_ms, event};
+  vm_tasks_[*vm] = VmTask{ref, duration_ms, event, span};
   return true;
+}
+
+SpanId CackleEngine::TaskParentSpan(const TaskRef& ref) const {
+  if (ref.recovery) return kInvalidSpan;
+  const QueryState& state = queries_[static_cast<size_t>(ref.query_id)];
+  if (state.stage_spans.empty()) return kInvalidSpan;
+  return state.stage_spans[static_cast<size_t>(ref.stage_id)];
+}
+
+SpanId CackleEngine::BeginTaskSpan(const TaskRef& ref, const char* placement,
+                                   bool speculative) {
+  const SpanId span =
+      tracer_->Begin("task", sim_.NowMs(), TaskParentSpan(ref), ref.query_id);
+  tracer_->Tag(span, "placement", placement);
+  if (ref.recovery) tracer_->Tag(span, "recovery", "true");
+  if (speculative) tracer_->Tag(span, "speculative", "true");
+  return span;
+}
+
+void CackleEngine::AttributeElastic(int64_t query_id, SimTimeMs held_ms) {
+  if (ledger_ == nullptr) return;
+  // The exact expression ElasticPool::Release bills for the same slot, so
+  // direct elastic attribution matches the meter bit for bit.
+  ledger_->Attribute(query_id, static_cast<size_t>(CostCategory::kElasticPool),
+                     cost_->ElasticCost(held_ms),
+                     static_cast<double>(held_ms));
 }
 
 void CackleEngine::PlaceTask(TaskRef ref, SimTimeMs duration_ms,
@@ -168,7 +252,7 @@ void CackleEngine::PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms,
     });
     return;
   }
-  ++result_.tasks_on_elastic;
+  tasks_on_elastic_->Increment();
   ElasticRun& run = elastic_runs_[run_id];
   run.ref = ref;
   run.duration_ms = duration_ms;
@@ -179,7 +263,9 @@ void CackleEngine::OnElasticGranted(int64_t run_id, ElasticSlotId slot) {
   auto it = elastic_runs_.find(run_id);
   if (it == elastic_runs_.end()) {
     // The task completed (or failed over) while this speculative copy was
-    // still starting; give the slot straight back.
+    // still starting; give the slot straight back. The (zero-duration)
+    // charge belongs to no live query — it lands on the overhead row.
+    AttributeElastic(CostLedger::kOverheadQueryId, 0);
     pool_->Release(slot);
     return;
   }
@@ -204,7 +290,9 @@ void CackleEngine::OnElasticGranted(int64_t run_id, ElasticSlotId slot) {
     });
   }
   const bool first_attempt = run.live.empty() && !run.speculated;
-  run.live.emplace_back(slot, event);
+  const SpanId span =
+      BeginTaskSpan(run.ref, "elastic", /*speculative=*/!first_attempt);
+  run.live.push_back(ElasticAttempt{slot, event, sim_.NowMs(), span});
   if (first_attempt && SpeculationEnabled()) {
     // Straggler timeout: if the task is still running well past its
     // expected duration (allowing for startup jitter), launch a copy.
@@ -223,11 +311,17 @@ void CackleEngine::OnElasticAttemptDone(int64_t run_id, ElasticSlotId slot) {
   CACKLE_CHECK(it != elastic_runs_.end());
   ElasticRun& run = it->second;
   pool_->Release(slot);
-  // First finisher wins: cancel and release the speculation loser.
-  for (auto& [other_slot, other_event] : run.live) {
-    if (other_slot == slot) continue;
-    sim_.Cancel(other_event);
-    pool_->Release(other_slot);
+  // First finisher wins: cancel and release the speculation loser. Both
+  // attempts' slot-time is attributed to the query — the loser's bill is
+  // real money the query's straggler mitigation spent.
+  for (ElasticAttempt& attempt : run.live) {
+    if (attempt.slot != slot) {
+      sim_.Cancel(attempt.event);
+      pool_->Release(attempt.slot);
+      tracer_->Tag(attempt.span, "cancelled", "true");
+    }
+    AttributeElastic(run.ref.query_id, sim_.NowMs() - attempt.grant_ms);
+    tracer_->End(attempt.span, sim_.NowMs());
   }
   const TaskRef ref = run.ref;
   elastic_runs_.erase(it);
@@ -240,11 +334,14 @@ void CackleEngine::OnElasticAttemptFailed(int64_t run_id, ElasticSlotId slot) {
   ElasticRun& run = it->second;
   // The invocation died mid-run; its runtime until failure is still billed.
   pool_->Release(slot);
-  ++result_.elastic_failures;
-  run.live.erase(std::find_if(run.live.begin(), run.live.end(),
-                              [slot](const auto& p) {
-                                return p.first == slot;
-                              }));
+  elastic_failures_->Increment();
+  const auto attempt = std::find_if(
+      run.live.begin(), run.live.end(),
+      [slot](const ElasticAttempt& a) { return a.slot == slot; });
+  AttributeElastic(run.ref.query_id, sim_.NowMs() - attempt->grant_ms);
+  tracer_->Tag(attempt->span, "failed", "true");
+  tracer_->End(attempt->span, sim_.NowMs());
+  run.live.erase(attempt);
   if (!run.live.empty() || run.starting > 0) {
     // A speculative sibling is still running (or starting); it carries the
     // task to completion.
@@ -270,8 +367,8 @@ void CackleEngine::MaybeSpeculate(int64_t run_id) {
   // still running and speculation is best-effort.
   if (!admitted.ok()) return;
   ++run.starting;
-  ++result_.tasks_speculated;
-  ++result_.tasks_on_elastic;
+  tasks_speculated_->Increment();
+  tasks_on_elastic_->Increment();
 }
 
 void CackleEngine::DrainBatchQueue() {
@@ -279,11 +376,14 @@ void CackleEngine::DrainBatchQueue() {
     const BatchTask task = batch_queue_.front();
     if (TryPlaceOnVm(task.ref, task.duration_ms)) {
       batch_queue_.pop_front();
+      tracer_->End(task.queued_span, sim_.NowMs());
     } else if (sim_.NowMs() - task.enqueued_ms >=
                options_.max_batch_delay_ms) {
       // SLA escalation: overdue batch work runs on the elastic pool.
       batch_queue_.pop_front();
-      ++result_.batch_tasks_escalated;
+      batch_tasks_escalated_->Increment();
+      tracer_->Tag(task.queued_span, "escalated", "true");
+      tracer_->End(task.queued_span, sim_.NowMs());
       PlaceTask(task.ref, task.duration_ms);
     } else {
       break;
@@ -299,12 +399,17 @@ void CackleEngine::OnVmInterrupted(VmId vm) {
   const VmTask task = it->second;
   vm_tasks_.erase(it);
   sim_.Cancel(task.completion_event);
-  ++result_.tasks_retried;
+  tasks_retried_->Increment();
+  tracer_->Tag(task.span, "interrupted", "true");
+  tracer_->End(task.span, sim_.NowMs());
   if (queries_[static_cast<size_t>(task.ref.query_id)].batch) {
     // Batch work goes back to waiting for spare capacity.
     --running_tasks_;
+    const SpanId queued =
+        tracer_->Begin("queued", sim_.NowMs(), TaskParentSpan(task.ref),
+                       task.ref.query_id);
     batch_queue_.push_front(
-        BatchTask{task.ref, task.duration_ms, sim_.NowMs()});
+        BatchTask{task.ref, task.duration_ms, sim_.NowMs(), queued});
     return;
   }
   // Retry from scratch; the fleet has already retired the VM, so this
@@ -315,7 +420,7 @@ void CackleEngine::OnVmInterrupted(VmId vm) {
 void CackleEngine::OnShufflePartitionsLost(int64_t query_id, int stage_id,
                                            int64_t lost_bytes,
                                            int64_t lost_partitions) {
-  result_.shuffle_partitions_lost += lost_partitions;
+  shuffle_partitions_lost_->Increment(lost_partitions);
   QueryState& state = queries_[static_cast<size_t>(query_id)];
   if (state.done) return;  // released queries hold no shuffle state
   Recovery& rec = recoveries_[{query_id, stage_id}];
@@ -323,7 +428,7 @@ void CackleEngine::OnShufflePartitionsLost(int64_t query_id, int stage_id,
   rec.lost_bytes += lost_bytes;
   rec.lost_partitions += lost_partitions;
   if (already_running) return;  // fold further losses into the in-flight run
-  ++result_.stages_reexecuted;
+  stages_reexecuted_->Increment();
   const StageProfile& stage =
       state.profile->stages[static_cast<size_t>(stage_id)];
   rec.tasks_remaining = stage.num_tasks;
@@ -355,6 +460,11 @@ void CackleEngine::OnRecoveryTaskDone(TaskRef ref) {
              std::max<int64_t>(1, stage.shuffle_bytes_out));
   shuffle_->Write(ref.query_id, ref.stage_id, rec.lost_bytes,
                   std::max<int64_t>(1, rec.lost_partitions), puts);
+  // Root-level instant: the owning stage span closed when the stage first
+  // finished, long before this recovery rewrite.
+  const SpanId rewrite_ev = tracer_->Instant("shuffle.rewrite", sim_.NowMs(),
+                                             kInvalidSpan, ref.query_id);
+  tracer_->Tag(rewrite_ev, "bytes", std::to_string(rec.lost_bytes));
 }
 
 void CackleEngine::OnTaskDone(TaskRef ref) {
@@ -386,7 +496,13 @@ void CackleEngine::OnStageDone(int64_t query_id, int stage_id) {
     shuffle_->Write(query_id, stage_id, stage.shuffle_bytes_out,
                     std::max<int64_t>(1, consumer_tasks),
                     stage.object_store_puts);
+    const SpanId write_ev = tracer_->Instant(
+        "shuffle.write", sim_.NowMs(),
+        state.stage_spans[static_cast<size_t>(stage_id)], query_id);
+    tracer_->Tag(write_ev, "bytes", std::to_string(stage.shuffle_bytes_out));
   }
+  tracer_->End(state.stage_spans[static_cast<size_t>(stage_id)],
+               sim_.NowMs());
   if (--state.stages_remaining == 0) {
     OnQueryDone(query_id);
     return;
@@ -404,14 +520,17 @@ void CackleEngine::OnQueryDone(int64_t query_id) {
   QueryState& state = queries_[static_cast<size_t>(query_id)];
   CACKLE_CHECK(!state.done);
   state.done = true;
+  const double latency_s = MsToSeconds(sim_.NowMs() - state.arrival_ms);
   if (state.batch) {
-    result_.batch_latencies_s.Add(
-        MsToSeconds(sim_.NowMs() - state.arrival_ms));
+    result_.batch_latencies_s.Add(latency_s);
+    batch_latency_s_->Observe(latency_s);
   } else {
-    result_.latencies_s.Add(MsToSeconds(sim_.NowMs() - state.arrival_ms));
+    result_.latencies_s.Add(latency_s);
+    query_latency_s_->Observe(latency_s);
   }
+  tracer_->End(state.span, sim_.NowMs());
   result_.makespan_ms = std::max(result_.makespan_ms, sim_.NowMs());
-  ++result_.queries_completed;
+  queries_completed_->Increment();
   if (options_.enable_shuffle) shuffle_->ReleaseQuery(query_id);
   if (--queries_remaining_ == 0) {
     workload_done_ = true;
@@ -455,7 +574,7 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   // The coordinator ticks from t=0 until the workload drains.
   sim_.ScheduleAt(0, [this] { CoordinatorTick(); });
   sim_.RunToCompletion();
-  CACKLE_CHECK_EQ(result_.queries_completed,
+  CACKLE_CHECK_EQ(queries_completed_->value(),
                   static_cast<int64_t>(arrivals.size()));
   CACKLE_CHECK_EQ(running_tasks_, 0);
   CACKLE_CHECK(batch_queue_.empty());
@@ -475,14 +594,53 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   meter_.Charge(CostCategory::kCoordinator,
                 cost_->coordinator_cost_per_hour *
                     MsToSeconds(result_.makespan_ms) / 3600.0);
-  result_.shuffle_fallback_bytes = shuffle_->total_fallback_bytes();
-  result_.shuffle_written_bytes = shuffle_->total_written_bytes();
-  result_.vms_interrupted = fleet_->total_vms_interrupted();
-  result_.elastic_throttled = pool_->total_throttled();
-  result_.store_retries = object_store_->num_retries();
+
+  // Fold every component's lifetime totals into the registry, then fill the
+  // result struct from it — the registry is the single source of truth for
+  // event counts (EngineResult keeps its fields for callers and plots).
+  fleet_->ExportMetrics(metrics_, "vm_fleet");
+  pool_->ExportMetrics(metrics_, "elastic_pool");
+  object_store_->ExportMetrics(metrics_, "object_store");
+  if (options_.enable_shuffle) shuffle_->ExportMetrics(metrics_, "shuffle");
+  metrics_->SetCounter("engine.makespan_ms", result_.makespan_ms);
+  metrics_->SetGauge("engine.peak_concurrent_tasks",
+                     static_cast<double>(result_.peak_concurrent_tasks));
+
+  result_.tasks_on_vms = tasks_on_vms_->value();
+  result_.tasks_on_elastic = tasks_on_elastic_->value();
+  result_.tasks_retried = tasks_retried_->value();
+  result_.tasks_speculated = tasks_speculated_->value();
+  result_.batch_tasks_delayed = batch_tasks_delayed_->value();
+  result_.batch_tasks_escalated = batch_tasks_escalated_->value();
+  result_.elastic_failures = elastic_failures_->value();
+  result_.stages_reexecuted = stages_reexecuted_->value();
+  result_.shuffle_partitions_lost = shuffle_partitions_lost_->value();
+  result_.queries_completed = queries_completed_->value();
+  result_.shuffle_fallback_bytes =
+      metrics_->CounterValue("shuffle.fallback_bytes");
+  result_.shuffle_written_bytes =
+      metrics_->CounterValue("shuffle.written_bytes");
+  result_.shuffle_nodes_crashed =
+      metrics_->CounterValue("shuffle.nodes_crashed");
+  result_.vms_interrupted = metrics_->CounterValue("vm_fleet.vms_interrupted");
+  result_.elastic_throttled = metrics_->CounterValue("elastic_pool.throttled");
+  result_.store_retries = metrics_->CounterValue("object_store.retries");
   result_.vm_launch_failures =
-      fleet_->total_launch_failures() + shuffle_->node_launch_failures();
-  result_.shuffle_nodes_crashed = shuffle_->total_nodes_crashed();
+      metrics_->CounterValue("vm_fleet.launch_failures") +
+      metrics_->CounterValue("shuffle.fleet.launch_failures");
+
+  if (ledger_ != nullptr) {
+    // Close the attribution books against the final bill. Directly
+    // unattributable spend (VM idle/startup/rounding, the shuffle-node
+    // fleet, interrupted partial runs) distributes over per-query usage
+    // weights; the coordinator rental, with no usage, falls to overhead.
+    std::vector<double> billed(
+        static_cast<size_t>(CostCategory::kNumCategories));
+    for (size_t c = 0; c < billed.size(); ++c) {
+      billed[c] = meter_.CategoryDollars(static_cast<CostCategory>(c));
+    }
+    ledger_->FinalizeAgainst(billed);
+  }
   result_.billing = meter_;
   return result_;
 }

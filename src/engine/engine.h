@@ -16,6 +16,7 @@
 #include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/vm_fleet.h"
+#include "common/observability.h"
 #include "common/retry_policy.h"
 #include "common/stats.h"
 #include "engine/shuffle_layer.h"
@@ -82,6 +83,13 @@ struct EngineOptions {
   /// starts with differentiated expert weights instead of fluctuating
   /// through the first minutes. Empty = cold start.
   std::vector<int64_t> primed_history;
+
+  /// Observability sink (not owned; must outlive the engine). When set, the
+  /// engine records metrics, per-query spans, and per-query cost
+  /// attribution into it; null disables recording. Either way the run is
+  /// bit-identical — every sink is pure bookkeeping (no randomness, no
+  /// scheduled events), the same zero-cost contract as the fault injector.
+  Observability* observability = nullptr;
 
   uint64_t seed = 1234;
 };
@@ -192,6 +200,16 @@ class CackleEngine {
   }
   /// Starts queued batch tasks on idle VMs (escalating overdue ones).
   void DrainBatchQueue();
+  /// Parent span for a task of `ref`: its stage span, except recovery
+  /// re-executions, which can outlive the query span and therefore trace
+  /// as roots (tagged with their query).
+  SpanId TaskParentSpan(const TaskRef& ref) const;
+  /// Opens a "task" span tagged with its placement; no-op when disabled.
+  SpanId BeginTaskSpan(const TaskRef& ref, const char* placement,
+                       bool speculative);
+  /// Attributes one elastic slot's bill (the exact ElasticCost the pool
+  /// charges for `held_ms`) to `query_id`.
+  void AttributeElastic(int64_t query_id, SimTimeMs held_ms);
   void OnVmInterrupted(VmId vm);
   void OnShufflePartitionsLost(int64_t query_id, int stage_id,
                                int64_t lost_bytes, int64_t lost_partitions);
@@ -219,12 +237,22 @@ class CackleEngine {
     TaskRef ref;
     SimTimeMs duration_ms;
     uint64_t completion_event;
+    SpanId span = kInvalidSpan;
   };
 
   struct BatchTask {
     TaskRef ref;
     SimTimeMs duration_ms;
     SimTimeMs enqueued_ms;
+    SpanId queued_span = kInvalidSpan;
+  };
+
+  /// One granted elastic slot executing (one attempt of) a task.
+  struct ElasticAttempt {
+    ElasticSlotId slot = 0;
+    uint64_t event = 0;       // completion/failure event, cancellable
+    SimTimeMs grant_ms = 0;   // when the slot started (and began billing)
+    SpanId span = kInvalidSpan;
   };
 
   /// One logical elastic task: its primary attempt plus (at most) one
@@ -235,7 +263,7 @@ class CackleEngine {
     SimTimeMs duration_ms = 0;
     int starting = 0;
     bool speculated = false;
-    std::vector<std::pair<ElasticSlotId, uint64_t>> live;  // slot, event
+    std::vector<ElasticAttempt> live;
   };
 
   /// Re-execution of a producing stage after a shuffle-node crash.
@@ -244,6 +272,33 @@ class CackleEngine {
     int64_t lost_bytes = 0;
     int64_t lost_partitions = 0;
   };
+
+  /// Observability plumbing. `metrics_` always points at a live registry —
+  /// the external sink's when one is attached, otherwise `own_metrics_` —
+  /// so the hot-path counters below are unconditional. `tracer_` likewise
+  /// points at a disabled tracer when no sink is attached (Begin() then
+  /// returns kInvalidSpan and every other call no-ops). `ledger_` is null
+  /// when disabled.
+  Observability* obs_ = nullptr;
+  MetricsRegistry own_metrics_;
+  Tracer disabled_tracer_;
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  CostLedger* ledger_ = nullptr;
+  /// Cached handles into `metrics_` (the registry is the source of truth
+  /// for these counts; EngineResult is filled from it at the end of Run).
+  Counter* tasks_on_vms_ = nullptr;
+  Counter* tasks_on_elastic_ = nullptr;
+  Counter* tasks_retried_ = nullptr;
+  Counter* tasks_speculated_ = nullptr;
+  Counter* batch_tasks_delayed_ = nullptr;
+  Counter* batch_tasks_escalated_ = nullptr;
+  Counter* elastic_failures_ = nullptr;
+  Counter* stages_reexecuted_ = nullptr;
+  Counter* shuffle_partitions_lost_ = nullptr;
+  Counter* queries_completed_ = nullptr;
+  Histogram* query_latency_s_ = nullptr;
+  Histogram* batch_latency_s_ = nullptr;
 
   std::vector<QueryState> queries_;
   std::deque<BatchTask> batch_queue_;

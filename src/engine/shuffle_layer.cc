@@ -119,6 +119,13 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
     fallback_fraction = static_cast<double>(written_to_store) /
                         static_cast<double>(total_bytes);
   }
+  if (written_to_nodes > 0 && ledger_ != nullptr) {
+    // Usage weight for splitting the shared shuffle-node bill: bytes this
+    // query parked on provisioned node memory.
+    ledger_->AddUsage(query_id,
+                      static_cast<size_t>(CostCategory::kShuffleNode),
+                      static_cast<double>(written_to_nodes));
+  }
   if (written_to_store > 0) {
     // Bill the object-store PUTs proportional to the spilled share.
     const int64_t puts = std::max<int64_t>(
@@ -129,12 +136,23 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
                             std::to_string(stage_id) + "/t" +
                             std::to_string(sim_->NowMs()) + "/n" +
                             std::to_string(state.store_keys.size());
+    const double put_dollars_before =
+        meter_->CategoryDollars(CostCategory::kObjectStorePut);
     object_store_->Put(key, written_to_store);
     state.store_keys.push_back(key);
     // The single tracked object stands in for `puts` request charges.
     for (int64_t i = 1; i < puts; ++i) {
       meter_->Charge(CostCategory::kObjectStorePut,
                      cost_->object_store_put_cost);
+    }
+    if (ledger_ != nullptr) {
+      // The meter delta captures retried attempts inside Put() too, so the
+      // attribution matches the bill cent for cent.
+      ledger_->Attribute(
+          query_id, static_cast<size_t>(CostCategory::kObjectStorePut),
+          meter_->CategoryDollars(CostCategory::kObjectStorePut) -
+              put_dollars_before,
+          static_cast<double>(puts));
     }
   }
   return fallback_fraction;
@@ -158,6 +176,13 @@ void ShuffleLayer::Read(int64_t query_id, int stage_id,
   for (int64_t i = 0; i < gets; ++i) {
     meter_->Charge(CostCategory::kObjectStoreGet,
                    cost_->object_store_get_cost);
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Attribute(query_id,
+                       static_cast<size_t>(CostCategory::kObjectStoreGet),
+                       static_cast<double>(gets) *
+                           cost_->object_store_get_cost,
+                       static_cast<double>(gets));
   }
 }
 
@@ -189,6 +214,17 @@ void ShuffleLayer::Shutdown() {
   // Remaining terminations happen as the simulation drains; TerminateAll
   // flushes billing for nodes past their minimum billing window.
   fleet_.TerminateAll();
+}
+
+void ShuffleLayer::ExportMetrics(MetricsRegistry* metrics,
+                                 const std::string& prefix) const {
+  metrics->SetCounter(prefix + ".written_bytes", total_written_bytes_);
+  metrics->SetCounter(prefix + ".fallback_bytes", total_fallback_bytes_);
+  metrics->SetCounter(prefix + ".nodes_crashed", total_nodes_crashed_);
+  metrics->SetCounter(prefix + ".partitions_lost", total_partitions_lost_);
+  metrics->SetGauge(prefix + ".resident_bytes",
+                    static_cast<double>(resident_bytes_));
+  fleet_.ExportMetrics(metrics, prefix + ".fleet");
 }
 
 }  // namespace cackle

@@ -12,6 +12,8 @@
 #include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
 #include "cloud/vm_fleet.h"
+#include "common/cost_ledger.h"
+#include "common/metrics.h"
 #include "sim/simulation.h"
 #include "strategy/shuffle_provisioner.h"
 
@@ -52,6 +54,16 @@ class ShuffleLayer {
   void SetOnPartitionsLost(PartitionLossCallback cb) {
     on_partitions_lost_ = std::move(cb);
   }
+
+  /// Attaches a cost-attribution ledger (may be null = disabled). The layer
+  /// attributes the exact object-store dollars each Write/Read bills to the
+  /// owning query, and records node-resident bytes as the usage weight for
+  /// splitting the shared shuffle-node bill at finalization.
+  void SetCostLedger(CostLedger* ledger) { ledger_ = ledger; }
+
+  /// Exports lifetime totals (layer + node fleet) under `prefix`.
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
   /// Called once per second by the coordinator with current resident bytes;
   /// adjusts the shuffle-node fleet target and samples node crashes.
@@ -108,6 +120,7 @@ class ShuffleLayer {
   VmFleet fleet_;
   ShuffleProvisioner provisioner_;
   FaultInjector* injector_ = nullptr;
+  CostLedger* ledger_ = nullptr;
   PartitionLossCallback on_partitions_lost_;
   /// Bytes currently stored on shuffle nodes (aggregate; individual node
   /// occupancy is modelled as a shared pool with per-node capacity checks

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/tracer.h"
 
 namespace cackle {
 
@@ -31,6 +33,12 @@ const std::string& DynamicStrategy::chosen_expert_name() const {
 double DynamicStrategy::ExpertCost(size_t i) const {
   CACKLE_CHECK_LT(i, models_.size());
   return models_[i].total_cost();
+}
+
+void DynamicStrategy::SetObservability(MetricsRegistry* metrics,
+                                       Tracer* tracer) {
+  metrics_sink_ = metrics;
+  tracer_sink_ = tracer;
 }
 
 int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
@@ -75,6 +83,25 @@ int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
     // paper); the executed target is re-computed here and held in between,
     // which keeps the fleet from churning on per-second percentile noise.
     last_target_ = experts_[chosen_]->Target(history);
+    // Decision snapshot (pure bookkeeping; must not affect the target).
+    if (metrics_sink_ != nullptr) {
+      metrics_sink_->AddCounter("strategy.updates", 1);
+      metrics_sink_->SetCounter("strategy.expert_switches", switches_);
+      metrics_sink_->SetGauge("strategy.chosen_expert",
+                              static_cast<double>(chosen_));
+      metrics_sink_->SetGauge("strategy.chosen_probability",
+                              mw_->Probability(chosen_));
+      metrics_sink_->Observe("strategy.target",
+                             static_cast<double>(last_target_));
+    }
+    if (tracer_sink_ != nullptr && tracer_sink_->enabled()) {
+      const SpanId decision = tracer_sink_->Instant(
+          "strategy.decision", seconds_seen_ * 1000);
+      tracer_sink_->Tag(decision, "expert", expert_names_[chosen_]);
+      tracer_sink_->Tag(decision, "target", std::to_string(last_target_));
+      tracer_sink_->Tag(decision, "probability",
+                        std::to_string(mw_->Probability(chosen_)));
+    }
   } else if (seconds_seen_ <= 1) {
     last_target_ = experts_[chosen_]->Target(history);
   }

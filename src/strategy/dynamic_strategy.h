@@ -58,6 +58,13 @@ class DynamicStrategy : public ProvisioningStrategy {
   std::string name() const override { return "dynamic"; }
   int64_t Target(const WorkloadHistory& history) override;
 
+  /// Records a decision snapshot at every update round: counters for
+  /// updates and expert switches, the chosen expert and its sampling
+  /// probability, and a "strategy.decision" instant tagged with the expert
+  /// name and played target (timestamped on the strategy's own seconds
+  /// clock, which includes any primed-history replay).
+  void SetObservability(MetricsRegistry* metrics, Tracer* tracer) override;
+
   size_t num_experts() const { return experts_.size(); }
   /// The expert currently driving the system.
   size_t chosen_expert() const { return chosen_; }
@@ -82,6 +89,8 @@ class DynamicStrategy : public ProvisioningStrategy {
   int64_t seconds_seen_ = 0;
   int64_t switches_ = 0;
   int64_t last_target_ = 0;
+  MetricsRegistry* metrics_sink_ = nullptr;
+  Tracer* tracer_sink_ = nullptr;
 };
 
 }  // namespace cackle

@@ -11,6 +11,9 @@
 
 namespace cackle {
 
+class MetricsRegistry;
+class Tracer;
+
 /// \brief A provisioning strategy: maps the observed workload history to a
 /// target number of provisioned VMs (Section 4 of the paper).
 ///
@@ -27,6 +30,14 @@ class ProvisioningStrategy {
 
   /// Target VM count for the next second.
   virtual int64_t Target(const WorkloadHistory& history) = 0;
+
+  /// Attaches observability sinks for decision snapshots (both non-null;
+  /// a disabled tracer no-ops). Recording is pure bookkeeping — it must
+  /// never change what Target() returns. Default: ignore.
+  virtual void SetObservability(MetricsRegistry* metrics, Tracer* tracer) {
+    (void)metrics;
+    (void)tracer;
+  }
 };
 
 /// \brief `fixed_x`: a constant provisioning chosen up front (Section 4.2).

@@ -278,6 +278,59 @@ TEST(RetryPolicyTest, ShouldRetryRespectsBothLimits) {
   EXPECT_FALSE(policy.ShouldRetry(1, 1000));  // deadline exhausted
 }
 
+TEST(SampleSetTest, CdfEmptyAndSingleSample) {
+  SampleSet empty;
+  EXPECT_TRUE(empty.Cdf(20).empty());
+  EXPECT_TRUE(empty.Cdf(0).empty());
+
+  SampleSet one;
+  one.Add(3.5);
+  const auto cdf = one.Cdf(4);
+  ASSERT_EQ(cdf.size(), 4u);
+  for (const auto& [value, frac] : cdf) {
+    EXPECT_DOUBLE_EQ(value, 3.5);
+    EXPECT_FALSE(std::isnan(frac));
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(PercentileTest, ExtremesReturnExactMinMaxNaNFree) {
+  SampleSet s;
+  for (double x : {5.0, -1.0, 7.5, 2.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), -1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.5);
+  EXPECT_FALSE(std::isnan(s.Percentile(0)));
+  EXPECT_FALSE(std::isnan(s.Percentile(100)));
+}
+
+TEST(PercentileTest, OutOfRangePAbortsEvenOnEmptyInput) {
+  EXPECT_DEATH(Percentile({}, -1.0), "percentile out of range");
+  EXPECT_DEATH(Percentile({1.0}, 100.5), "percentile out of range");
+  EXPECT_DEATH(Percentile({}, std::nan("")), "percentile out of range");
+}
+
+TEST(RunningStatsTest, NearConstantInputKeepsStddevNaNFree) {
+  // Welford's m2 can go a hair negative from catastrophic cancellation on
+  // near-constant large values; stddev must stay finite and non-negative.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.Add(1e15 + (i % 2) * 1e-2);
+  EXPECT_FALSE(std::isnan(stats.stddev()));
+  EXPECT_GE(stats.variance(), 0.0);
+
+  RunningStats constant;
+  for (int i = 0; i < 10; ++i) constant.Add(3.141592653589793);
+  EXPECT_GE(constant.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(constant.stddev()));
+}
+
+TEST(FitLineTest, DegenerateXGivesFlatFitThroughMeanY) {
+  // All x identical: var_x == 0 must not divide; the fit is y = mean(y).
+  const LinearFit fit = FitLine({2.0, 2.0, 2.0}, {1.0, 5.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 3.0);
+  EXPECT_FALSE(std::isnan(fit.At(1e9)));
+}
+
 TEST(RetryPolicyTest, ZeroJitterConsumesNoRandomness) {
   RetryPolicyOptions opts;
   opts.jitter = 0.0;
