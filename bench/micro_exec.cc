@@ -6,6 +6,7 @@
 
 #include "exec/datagen.h"
 #include "exec/expr.h"
+#include "exec/flat_hash.h"
 #include "exec/operators.h"
 #include "exec/plan.h"
 #include "exec/logical.h"
@@ -56,6 +57,71 @@ void BM_HashAggregateLineitem(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
 }
 BENCHMARK(BM_HashAggregateLineitem);
+
+void BM_FilterDictStringPredicate(benchmark::State& state) {
+  // String equality over a dictionary-encoded column: the predicate is
+  // evaluated once per dictionary entry, then applied per row via codes.
+  const Catalog& cat = BenchCatalog();
+  const ExprPtr pred = Eq(Col("l_returnflag"), Lit(std::string("R")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Filter(cat.lineitem, pred));
+  }
+  state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
+}
+BENCHMARK(BM_FilterDictStringPredicate);
+
+void BM_FlatMapBuildProbe(benchmark::State& state) {
+  // The flat open-addressing table in isolation: build 64k keys, probe 256k.
+  std::vector<uint64_t> keys;
+  keys.reserve(1 << 16);
+  uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < (1 << 16); ++i) {
+    x = Mix64(x + 0xbf58476d1ce4e5b9ULL);
+    keys.push_back(x);
+  }
+  for (auto _ : state) {
+    FlatMap64 map(static_cast<int64_t>(keys.size()));
+    bool inserted = false;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      map.FindOrInsert(keys[i], static_cast<int64_t>(i), &inserted);
+    }
+    int64_t hits = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (uint64_t k : keys) hits += map.Find(k) >= 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(keys.size()) * 5);
+}
+BENCHMARK(BM_FlatMapBuildProbe);
+
+void BM_GatherRowsLineitem(benchmark::State& state) {
+  // Bulk materialization kernel: copy every other lineitem row.
+  const Catalog& cat = BenchCatalog();
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(cat.lineitem.num_rows() / 2));
+  for (int64_t r = 0; r < cat.lineitem.num_rows(); r += 2) rows.push_back(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cat.lineitem.GatherRows(rows));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_GatherRowsLineitem);
+
+void BM_DictEncodeShipmode(benchmark::State& state) {
+  // Dictionary construction over a low-cardinality string column.
+  const Catalog& cat = BenchCatalog();
+  const int col = cat.lineitem.ColumnIndex("l_shipmode");
+  for (auto _ : state) {
+    Column copy(DataType::kString);
+    copy.strings() = cat.lineitem.column(col).strings();
+    benchmark::DoNotOptimize(copy.DictEncode());
+  }
+  state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
+}
+BENCHMARK(BM_DictEncodeShipmode);
 
 void BM_PartitionByHash(benchmark::State& state) {
   const Catalog& cat = BenchCatalog();

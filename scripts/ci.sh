@@ -46,9 +46,25 @@ run_config build-tsan \
 echo "=== bench smoke (micro_exec) ==="
 ./build-release/bench/micro_exec \
   --benchmark_min_time=0.01 \
-  --benchmark_out=build-release/BENCH_micro_exec.json \
+  --benchmark_out=build-release/BENCH_micro_exec_smoke.json \
   --benchmark_out_format=json
-echo "bench artifact: build-release/BENCH_micro_exec.json"
+echo "bench artifact: build-release/BENCH_micro_exec_smoke.json"
+
+# Kernel benchmarks with repetitions, compared against the committed
+# baseline (bench/results/.baseline_raw.json, captured before the
+# vectorized executor landed). Prints old-vs-new throughput and refreshes
+# the combined bench/results/BENCH_micro_exec.json artifact.
+echo "=== bench kernels (micro_exec, 3 repetitions) ==="
+./build-release/bench/micro_exec \
+  --benchmark_filter='BM_Filter|BM_HashJoin|BM_HashAggregate|BM_PartitionByHash|BM_FlatMap|BM_GatherRows|BM_DictEncode' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  > build-release/BENCH_micro_exec_raw.json
+python3 scripts/bench_compare.py \
+  bench/results/.baseline_raw.json \
+  build-release/BENCH_micro_exec_raw.json \
+  --out bench/results/BENCH_micro_exec.json
 
 echo "CI passed: Release, address;undefined, and thread configurations" \
   "are green."

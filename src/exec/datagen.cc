@@ -407,6 +407,18 @@ Catalog GenerateTpch(double scale_factor, uint64_t seed) {
     cat.orders = std::move(orders);
     cat.lineitem = std::move(lineitem);
   }
+  // Dictionary-encode low-cardinality string columns (flags, statuses,
+  // segments, names) so join/group keys over them are fixed-width codes.
+  // High-cardinality columns (comments, addresses) are left plain by the
+  // profitability rule in Column::DictEncode.
+  cat.region.DictEncodeStringColumns();
+  cat.nation.DictEncodeStringColumns();
+  cat.supplier.DictEncodeStringColumns();
+  cat.part.DictEncodeStringColumns();
+  cat.partsupp.DictEncodeStringColumns();
+  cat.customer.DictEncodeStringColumns();
+  cat.orders.DictEncodeStringColumns();
+  cat.lineitem.DictEncodeStringColumns();
   return cat;
 }
 

@@ -1,0 +1,46 @@
+#include "exec/exec_metrics.h"
+
+#include "common/metrics.h"
+
+namespace cackle::exec {
+
+void ExecKernelMetrics::Reset() {
+  flat_table_builds.store(0, std::memory_order_relaxed);
+  flat_table_resizes.store(0, std::memory_order_relaxed);
+  key_fallback_activations.store(0, std::memory_order_relaxed);
+  key_packed_activations.store(0, std::memory_order_relaxed);
+  dict_columns_encoded.store(0, std::memory_order_relaxed);
+  dict_encodes_abandoned.store(0, std::memory_order_relaxed);
+  dict_total_entries.store(0, std::memory_order_relaxed);
+  gather_rows.store(0, std::memory_order_relaxed);
+  selection_filters.store(0, std::memory_order_relaxed);
+  dict_predicate_evals.store(0, std::memory_order_relaxed);
+}
+
+ExecKernelMetrics& ExecMetrics() {
+  static ExecKernelMetrics* metrics = new ExecKernelMetrics();
+  return *metrics;
+}
+
+void PublishExecMetrics(MetricsRegistry& registry) {
+  const ExecKernelMetrics& m = ExecMetrics();
+  const auto get = [](const std::atomic<int64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  registry.SetCounter("exec.flat_table.builds", get(m.flat_table_builds));
+  registry.SetCounter("exec.flat_table.resizes", get(m.flat_table_resizes));
+  registry.SetCounter("exec.keys.packed", get(m.key_packed_activations));
+  registry.SetCounter("exec.keys.fallback", get(m.key_fallback_activations));
+  registry.SetCounter("exec.dict.columns_encoded",
+                      get(m.dict_columns_encoded));
+  registry.SetCounter("exec.dict.encodes_abandoned",
+                      get(m.dict_encodes_abandoned));
+  registry.SetCounter("exec.dict.total_entries", get(m.dict_total_entries));
+  registry.SetCounter("exec.gather.rows", get(m.gather_rows));
+  registry.SetCounter("exec.filter.selection_vectors",
+                      get(m.selection_filters));
+  registry.SetCounter("exec.filter.dict_predicates",
+                      get(m.dict_predicate_evals));
+}
+
+}  // namespace cackle::exec

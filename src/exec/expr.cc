@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "exec/exec_metrics.h"
 
 namespace cackle::exec {
 namespace {
@@ -22,6 +23,25 @@ double NumAt(const Column& c, int64_t row) {
   return c.doubles()[static_cast<size_t>(row)];
 }
 
+/// Borrows the input column when `e` is a plain column reference; otherwise
+/// evaluates into `storage` and returns that.
+const Column* BorrowOrEval(const Expr& e, const Table& input,
+                           Column* storage) {
+  if (const Column* c = e.TryBorrow(input)) return c;
+  *storage = e.Eval(input);
+  return storage;
+}
+
+/// Keeps sel[i] iff test(sel[i]); in-place compaction.
+template <typename TestFn>
+void CompactSelection(std::vector<int64_t>& sel, TestFn test) {
+  size_t w = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (test(sel[i])) sel[w++] = sel[i];
+  }
+  sel.resize(w);
+}
+
 class ColRef final : public Expr {
  public:
   explicit ColRef(std::string name) : name_(std::move(name)) {}
@@ -30,6 +50,9 @@ class ColRef final : public Expr {
   }
   Column Eval(const Table& input) const override {
     return input.column(name_);  // copy; fine at this scale
+  }
+  const Column* TryBorrow(const Table& input) const override {
+    return &input.column(name_);
   }
   void CollectColumns(std::set<std::string>* out) const override {
     out->insert(name_);
@@ -77,6 +100,7 @@ class StringLit final : public Expr {
  public:
   void CollectColumns(std::set<std::string>*) const override {}
   explicit StringLit(std::string v) : v_(std::move(v)) {}
+  const std::string* TryStringLiteral() const override { return &v_; }
   DataType OutputType(const Table&) const override {
     return DataType::kString;
   }
@@ -190,6 +214,56 @@ class Compare final : public Expr {
     return out;
   }
 
+  void InitSelection(const Table& input,
+                     std::vector<int64_t>& sel) const override {
+    sel.reserve(static_cast<size_t>(input.num_rows()));
+    for (int64_t r = 0; r < input.num_rows(); ++r) sel.push_back(r);
+    Refine(input, sel);
+  }
+
+  void Refine(const Table& input, std::vector<int64_t>& sel) const override {
+    if (sel.empty()) return;
+    Column sa;
+    Column sb;
+    const Column* ca = BorrowOrEval(*a_, input, &sa);
+    if (ca->type() == DataType::kString) {
+      // Dictionary fast path: a dict-encoded column against a string
+      // literal evaluates the comparison once per dictionary entry, then
+      // tests fixed-width codes per row.
+      const std::string* lit = b_->TryStringLiteral();
+      if (lit != nullptr && ca->has_dict()) {
+        const StringDictionary& dict = ca->dict();
+        std::vector<uint8_t> dmatch(static_cast<size_t>(dict.size()));
+        for (size_t d = 0; d < dmatch.size(); ++d) {
+          dmatch[d] = Apply(dict.values()[d].compare(*lit)) != 0;
+        }
+        const std::vector<int32_t>& codes = ca->codes();
+        ExecMetrics().dict_predicate_evals.fetch_add(
+            1, std::memory_order_relaxed);
+        CompactSelection(sel, [&](int64_t r) {
+          return dmatch[static_cast<size_t>(codes[static_cast<size_t>(r)])] !=
+                 0;
+        });
+        return;
+      }
+      const Column* cb = BorrowOrEval(*b_, input, &sb);
+      CACKLE_CHECK(cb->type() == DataType::kString);
+      const auto& xs = ca->strings();
+      const auto& ys = cb->strings();
+      CompactSelection(sel, [&](int64_t r) {
+        const size_t i = static_cast<size_t>(r);
+        return Apply(xs[i].compare(ys[i])) != 0;
+      });
+      return;
+    }
+    const Column* cb = BorrowOrEval(*b_, input, &sb);
+    CompactSelection(sel, [&](int64_t r) {
+      const double x = NumAt(*ca, r);
+      const double y = NumAt(*cb, r);
+      return Apply(x < y ? -1 : (x > y ? 1 : 0)) != 0;
+    });
+  }
+
  private:
   int64_t Apply(int cmp) const {
     switch (op_) {
@@ -243,6 +317,27 @@ class Logical final : public Expr {
     return out;
   }
 
+  void InitSelection(const Table& input,
+                     std::vector<int64_t>& sel) const override {
+    if (op_ == BoolOp::kAnd) {
+      // Each AND leg only inspects rows that survived the previous legs.
+      a_->InitSelection(input, sel);
+      if (!sel.empty()) b_->Refine(input, sel);
+      return;
+    }
+    Expr::InitSelection(input, sel);
+  }
+
+  void Refine(const Table& input, std::vector<int64_t>& sel) const override {
+    if (sel.empty()) return;
+    if (op_ == BoolOp::kAnd) {
+      a_->Refine(input, sel);
+      if (!sel.empty()) b_->Refine(input, sel);
+      return;
+    }
+    Expr::Refine(input, sel);
+  }
+
  private:
   BoolOp op_;
   ExprPtr a_;
@@ -269,6 +364,16 @@ class InIntExpr final : public Expr {
           values_.count(cx.ints()[static_cast<size_t>(r)]) > 0;
     }
     return out;
+  }
+
+  void Refine(const Table& input, std::vector<int64_t>& sel) const override {
+    if (sel.empty()) return;
+    Column storage;
+    const Column* cx = BorrowOrEval(*x_, input, &storage);
+    const auto& xs = cx->ints();
+    CompactSelection(sel, [&](int64_t r) {
+      return values_.count(xs[static_cast<size_t>(r)]) > 0;
+    });
   }
 
  private:
@@ -298,6 +403,30 @@ class InStringExpr final : public Expr {
     return out;
   }
 
+  void Refine(const Table& input, std::vector<int64_t>& sel) const override {
+    if (sel.empty()) return;
+    Column storage;
+    const Column* cx = BorrowOrEval(*x_, input, &storage);
+    if (cx->has_dict()) {
+      const StringDictionary& dict = cx->dict();
+      std::vector<uint8_t> dmatch(static_cast<size_t>(dict.size()));
+      for (size_t d = 0; d < dmatch.size(); ++d) {
+        dmatch[d] = values_.count(dict.values()[d]) > 0;
+      }
+      const std::vector<int32_t>& codes = cx->codes();
+      ExecMetrics().dict_predicate_evals.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      CompactSelection(sel, [&](int64_t r) {
+        return dmatch[static_cast<size_t>(codes[static_cast<size_t>(r)])] != 0;
+      });
+      return;
+    }
+    const auto& xs = cx->strings();
+    CompactSelection(sel, [&](int64_t r) {
+      return values_.count(xs[static_cast<size_t>(r)]) > 0;
+    });
+  }
+
  private:
   ExprPtr x_;
   std::unordered_set<std::string> values_;
@@ -321,32 +450,63 @@ class StringMatch final : public Expr {
     Column out(DataType::kInt64);
     out.ints().resize(static_cast<size_t>(n));
     for (int64_t r = 0; r < n; ++r) {
-      const std::string& s = cx.strings()[static_cast<size_t>(r)];
-      bool match = false;
-      switch (kind_) {
-        case StrMatch::kContains:
-          match = s.find(a_) != std::string::npos;
-          break;
-        case StrMatch::kPrefix:
-          match = s.rfind(a_, 0) == 0;
-          break;
-        case StrMatch::kSuffix:
-          match = s.size() >= a_.size() &&
-                  s.compare(s.size() - a_.size(), a_.size(), a_) == 0;
-          break;
-        case StrMatch::kContainsSeq: {
-          const size_t p = s.find(a_);
-          match = p != std::string::npos &&
-                  s.find(b_, p + a_.size()) != std::string::npos;
-          break;
-        }
-      }
-      out.ints()[static_cast<size_t>(r)] = match;
+      out.ints()[static_cast<size_t>(r)] =
+          MatchOne(cx.strings()[static_cast<size_t>(r)]);
     }
     return out;
   }
 
+  void InitSelection(const Table& input,
+                     std::vector<int64_t>& sel) const override {
+    sel.reserve(static_cast<size_t>(input.num_rows()));
+    for (int64_t r = 0; r < input.num_rows(); ++r) sel.push_back(r);
+    Refine(input, sel);
+  }
+
+  void Refine(const Table& input, std::vector<int64_t>& sel) const override {
+    if (sel.empty()) return;
+    Column storage;
+    const Column* cx = BorrowOrEval(*x_, input, &storage);
+    if (cx->has_dict()) {
+      // LIKE over a dictionary column: run the substring scan once per
+      // dictionary entry, then test codes per row.
+      const StringDictionary& dict = cx->dict();
+      std::vector<uint8_t> dmatch(static_cast<size_t>(dict.size()));
+      for (size_t d = 0; d < dmatch.size(); ++d) {
+        dmatch[d] = MatchOne(dict.values()[d]);
+      }
+      const std::vector<int32_t>& codes = cx->codes();
+      ExecMetrics().dict_predicate_evals.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      CompactSelection(sel, [&](int64_t r) {
+        return dmatch[static_cast<size_t>(codes[static_cast<size_t>(r)])] != 0;
+      });
+      return;
+    }
+    const auto& xs = cx->strings();
+    CompactSelection(
+        sel, [&](int64_t r) { return MatchOne(xs[static_cast<size_t>(r)]); });
+  }
+
  private:
+  bool MatchOne(const std::string& s) const {
+    switch (kind_) {
+      case StrMatch::kContains:
+        return s.find(a_) != std::string::npos;
+      case StrMatch::kPrefix:
+        return s.rfind(a_, 0) == 0;
+      case StrMatch::kSuffix:
+        return s.size() >= a_.size() &&
+               s.compare(s.size() - a_.size(), a_.size(), a_) == 0;
+      case StrMatch::kContainsSeq: {
+        const size_t p = s.find(a_);
+        return p != std::string::npos &&
+               s.find(b_, p + a_.size()) != std::string::npos;
+      }
+    }
+    return false;
+  }
+
   StrMatch kind_;
   ExprPtr x_;
   std::string a_;
@@ -553,6 +713,34 @@ std::set<std::string> ReferencedColumns(const ExprPtr& expr) {
   std::set<std::string> out;
   if (expr != nullptr) expr->CollectColumns(&out);
   return out;
+}
+
+void Expr::InitSelection(const Table& input, std::vector<int64_t>& sel) const {
+  const Column mask = Eval(input);
+  const std::vector<int64_t>& m = mask.ints();
+  size_t hits = 0;
+  for (int64_t v : m) hits += (v != 0);
+  sel.reserve(hits);
+  for (size_t r = 0; r < m.size(); ++r) {
+    if (m[r] != 0) sel.push_back(static_cast<int64_t>(r));
+  }
+}
+
+void Expr::Refine(const Table& input, std::vector<int64_t>& sel) const {
+  if (sel.empty()) return;
+  const Column mask = Eval(input);
+  const std::vector<int64_t>& m = mask.ints();
+  CompactSelection(sel,
+                   [&](int64_t r) { return m[static_cast<size_t>(r)] != 0; });
+}
+
+std::vector<int64_t> EvalPredicateSelection(const ExprPtr& pred,
+                                            const Table& input) {
+  std::vector<int64_t> sel;
+  CACKLE_CHECK(pred != nullptr);
+  pred->InitSelection(input, sel);
+  ExecMetrics().selection_filters.fetch_add(1, std::memory_order_relaxed);
+  return sel;
 }
 
 }  // namespace cackle::exec

@@ -26,9 +26,42 @@ class Expr {
   /// Adds the names of all referenced columns to `out` (used by the
   /// logical optimizer for predicate pushdown and column pruning).
   virtual void CollectColumns(std::set<std::string>* out) const = 0;
+
+  // --- selection-vector kernels (vectorized Filter) -------------------------
+  //
+  // Instead of materializing a 0/1 mask column per predicate node and then
+  // copying survivors, Filter asks the predicate tree for a selection
+  // vector of matching row indices. Conjunctions refine the selection in
+  // place (each AND leg only inspects surviving rows), and leaf predicates
+  // provide typed kernels that read columns directly — including
+  // dictionary-aware paths that evaluate a string predicate once per
+  // dictionary entry and then test fixed-width codes per row.
+
+  /// Appends the indices of rows where this (boolean 0/1 int64) expression
+  /// is non-zero to `sel` (which must be empty). Default implementation
+  /// evaluates the full mask with a counting first pass.
+  virtual void InitSelection(const Table& input,
+                             std::vector<int64_t>& sel) const;
+
+  /// Filters `sel` in place, keeping rows where this predicate is non-zero.
+  virtual void Refine(const Table& input, std::vector<int64_t>& sel) const;
+
+  /// For plain column references: the input column, borrowed without a
+  /// copy. Null for computed expressions.
+  virtual const Column* TryBorrow(const Table& input) const {
+    (void)input;
+    return nullptr;
+  }
+
+  /// For string literals: the literal value. Null otherwise.
+  virtual const std::string* TryStringLiteral() const { return nullptr; }
 };
 
 using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Row indices (ascending) of `input` where `pred` is non-zero.
+std::vector<int64_t> EvalPredicateSelection(const ExprPtr& pred,
+                                            const Table& input);
 
 /// Convenience: referenced columns of a (possibly null) expression.
 std::set<std::string> ReferencedColumns(const ExprPtr& expr);

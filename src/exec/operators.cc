@@ -1,16 +1,30 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <set>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "exec/exec_metrics.h"
+#include "exec/flat_hash.h"
 
 namespace cackle::exec {
 namespace {
 
+/// Canonical bit pattern of a double used as a join/group key: injective
+/// (distinct doubles stay distinct) except that -0.0 is folded into +0.0 so
+/// the two values that compare equal also key equal.
+inline int64_t DoubleKeyBits(double v) {
+  if (v == 0.0) v = 0.0;  // -0.0 -> +0.0
+  return std::bit_cast<int64_t>(v);
+}
+
 /// A hashable/comparable composite key over selected columns of a row.
+/// Fallback representation for keys the packed-uint64 fast path can't
+/// express (see PlanPackedKeys below).
 struct RowKey {
   std::vector<int64_t> ints;
   std::vector<std::string> strings;
@@ -41,9 +55,10 @@ RowKey ExtractKey(const Table& t, const std::vector<int>& cols, int64_t row) {
         key.ints.push_back(col.ints()[static_cast<size_t>(row)]);
         break;
       case DataType::kFloat64:
-        // Group/join on doubles: bit-cast for exact matching.
-        key.ints.push_back(static_cast<int64_t>(
-            std::hash<double>{}(col.doubles()[static_cast<size_t>(row)])));
+        // Exact value identity: the full bit pattern, not a hash of it
+        // (hashing here collapsed distinct doubles into one key).
+        key.ints.push_back(
+            DoubleKeyBits(col.doubles()[static_cast<size_t>(row)]));
         break;
       case DataType::kString:
         key.strings.push_back(col.strings()[static_cast<size_t>(row)]);
@@ -61,16 +76,199 @@ std::vector<int> ResolveColumns(const Table& t,
   return out;
 }
 
+// --- packed composite keys --------------------------------------------------
+//
+// When every key column fits a fixed-width bit field, a whole composite key
+// packs injectively into one uint64_t and the build side becomes a flat
+// open-addressing table (FlatMap64) instead of a node-based unordered_map:
+//   * kInt64  : value - min, sized by the observed [min, max] range
+//               (range taken over BOTH sides of a join);
+//   * kString : the dictionary code (requires the sidecar; for joins the
+//               probe side is re-coded into the build side's dictionary,
+//               with an out-of-range sentinel code for values the build
+//               dictionary does not contain — those can never match);
+//   * kFloat64: all 64 bits of the canonical pattern.
+// Keys that don't fit (no dictionary, > 64 total bits, mismatched types)
+// fall back to the RowKey path above.
+
+struct PackedCol {
+  enum class Src { kIntRange, kDict, kDictRemap, kDouble };
+  Src src = Src::kIntRange;
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<double>* doubles = nullptr;
+  const std::vector<int32_t>* codes = nullptr;
+  std::vector<int32_t> remap;  // kDictRemap: probe code -> build code
+  int64_t base = 0;
+  int bits = 0;
+  int shift = 0;
+};
+
+inline uint64_t PackRow(const std::vector<PackedCol>& plan, int64_t row) {
+  uint64_t key = 0;
+  for (const PackedCol& pc : plan) {
+    uint64_t v = 0;
+    switch (pc.src) {
+      case PackedCol::Src::kIntRange:
+        v = static_cast<uint64_t>((*pc.ints)[static_cast<size_t>(row)]) -
+            static_cast<uint64_t>(pc.base);
+        break;
+      case PackedCol::Src::kDict:
+        v = static_cast<uint64_t>((*pc.codes)[static_cast<size_t>(row)]);
+        break;
+      case PackedCol::Src::kDictRemap:
+        v = static_cast<uint64_t>(pc.remap[static_cast<size_t>(
+            (*pc.codes)[static_cast<size_t>(row)])]);
+        break;
+      case PackedCol::Src::kDouble:
+        v = static_cast<uint64_t>(DoubleKeyBits(
+            (*pc.doubles)[static_cast<size_t>(row)]));
+        break;
+    }
+    if (pc.bits != 0) key |= v << pc.shift;
+  }
+  return key;
+}
+
+/// Assigns bit offsets; returns false when the composite needs > 64 bits.
+bool FinishLayout(std::vector<PackedCol>* a, std::vector<PackedCol>* b) {
+  int shift = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    (*a)[i].shift = shift;
+    if (b != nullptr) (*b)[i].shift = shift;
+    shift += (*a)[i].bits;
+    if (shift > 64) return false;
+  }
+  return true;
+}
+
+int IntRangeBits(const std::vector<int64_t>& xs, bool* any, int64_t* mn,
+                 int64_t* mx) {
+  for (int64_t v : xs) {
+    if (!*any) {
+      *mn = *mx = v;
+      *any = true;
+    } else {
+      *mn = std::min(*mn, v);
+      *mx = std::max(*mx, v);
+    }
+  }
+  const uint64_t span =
+      *any ? static_cast<uint64_t>(*mx) - static_cast<uint64_t>(*mn) : 0;
+  return span == 0 ? 0 : std::bit_width(span);
+}
+
+/// Plans packed layouts for a join's probe (left) and build (right) sides.
+/// The two plans must agree bit-for-bit on equal keys, so integer ranges are
+/// taken over both columns and string codes are expressed in the build
+/// side's dictionary space.
+bool PlanJoinPack(const Table& left, const std::vector<int>& lcols,
+                  const Table& right, const std::vector<int>& rcols,
+                  std::vector<PackedCol>* lplan,
+                  std::vector<PackedCol>* rplan) {
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    const Column& lc = left.column(lcols[i]);
+    const Column& rc = right.column(rcols[i]);
+    if (lc.type() != rc.type()) return false;
+    PackedCol lp, rp;
+    switch (lc.type()) {
+      case DataType::kInt64: {
+        bool any = false;
+        int64_t mn = 0, mx = 0;
+        IntRangeBits(lc.ints(), &any, &mn, &mx);
+        const int bits = IntRangeBits(rc.ints(), &any, &mn, &mx);
+        lp.src = rp.src = PackedCol::Src::kIntRange;
+        lp.base = rp.base = mn;
+        lp.bits = rp.bits = bits;
+        lp.ints = &lc.ints();
+        rp.ints = &rc.ints();
+        break;
+      }
+      case DataType::kString: {
+        if (!lc.has_dict() || !rc.has_dict()) return false;
+        const uint64_t size = static_cast<uint64_t>(rc.dict().size());
+        rp.src = PackedCol::Src::kDict;
+        rp.codes = &rc.codes();
+        // bit_width(size) also covers the sentinel code == size.
+        rp.bits = size == 0 ? 0 : std::bit_width(size);
+        lp.bits = rp.bits;
+        lp.codes = &lc.codes();
+        if (lc.dict_ptr() == rc.dict_ptr()) {
+          lp.src = PackedCol::Src::kDict;
+        } else {
+          lp.src = PackedCol::Src::kDictRemap;
+          lp.remap.reserve(static_cast<size_t>(lc.dict().size()));
+          for (const std::string& s : lc.dict().values()) {
+            const int32_t code = rc.dict().CodeOf(s);
+            lp.remap.push_back(code >= 0 ? code
+                                         : static_cast<int32_t>(size));
+          }
+        }
+        break;
+      }
+      case DataType::kFloat64:
+        lp.src = rp.src = PackedCol::Src::kDouble;
+        lp.bits = rp.bits = 64;
+        lp.doubles = &lc.doubles();
+        rp.doubles = &rc.doubles();
+        break;
+    }
+    lplan->push_back(std::move(lp));
+    rplan->push_back(std::move(rp));
+  }
+  return FinishLayout(lplan, rplan);
+}
+
+/// Plans a packed layout over one table's key columns (group-by keys).
+bool PlanGroupPack(const Table& t, const std::vector<int>& cols,
+                   std::vector<PackedCol>* plan) {
+  for (int c : cols) {
+    const Column& col = t.column(c);
+    PackedCol pc;
+    switch (col.type()) {
+      case DataType::kInt64: {
+        bool any = false;
+        int64_t mn = 0, mx = 0;
+        pc.bits = IntRangeBits(col.ints(), &any, &mn, &mx);
+        pc.src = PackedCol::Src::kIntRange;
+        pc.base = mn;
+        pc.ints = &col.ints();
+        break;
+      }
+      case DataType::kString: {
+        if (!col.has_dict()) return false;
+        const uint64_t size = static_cast<uint64_t>(col.dict().size());
+        pc.src = PackedCol::Src::kDict;
+        pc.codes = &col.codes();
+        pc.bits = size <= 1 ? 0 : std::bit_width(size - 1);
+        break;
+      }
+      case DataType::kFloat64:
+        pc.src = PackedCol::Src::kDouble;
+        pc.bits = 64;
+        pc.doubles = &col.doubles();
+        break;
+    }
+    plan->push_back(std::move(pc));
+  }
+  return FinishLayout(plan, nullptr);
+}
+
+/// Initial FlatMap64 sizing: at most the row count, at most the packed key
+/// space, and never a huge up-front allocation (growth is amortized-cheap,
+/// oversizing a low-cardinality aggregate's table is not).
+int64_t ExpectedKeys(int64_t rows, const std::vector<PackedCol>& plan) {
+  int bits = 0;
+  for (const PackedCol& pc : plan) bits += pc.bits;
+  if (bits < 20) rows = std::min<int64_t>(rows, int64_t{1} << bits);
+  return std::min<int64_t>(rows, int64_t{1} << 20);
+}
+
 }  // namespace
 
 Table Filter(const Table& input, const ExprPtr& predicate) {
   CACKLE_CHECK(predicate != nullptr);
-  const Column mask = predicate->Eval(input);
-  std::vector<int64_t> keep;
-  for (int64_t r = 0; r < input.num_rows(); ++r) {
-    if (mask.ints()[static_cast<size_t>(r)] != 0) keep.push_back(r);
-  }
-  return input.TakeRows(keep);
+  const std::vector<int64_t> keep = EvalPredicateSelection(predicate, input);
+  return input.GatherRows(keep);
 }
 
 Table Project(const Table& input, const ExprPtr& filter,
@@ -110,64 +308,110 @@ Table HashJoin(const Table& left, const std::vector<std::string>& left_keys,
       defs.push_back(def);
     }
   }
-  Table out(defs);
 
-  // Build on the right side.
-  std::unordered_map<RowKey, std::vector<int64_t>, RowKeyHash> build;
-  build.reserve(static_cast<size_t>(right.num_rows()));
-  for (int64_t r = 0; r < right.num_rows(); ++r) {
-    build[ExtractKey(right, rcols, r)].push_back(r);
-  }
+  // Build side: map key -> group id; per group, a chain of build rows in
+  // ascending row order (head/tail/next), matching insertion order of the
+  // old per-key vectors. Probe resolves each left row to a group id.
+  std::vector<int64_t> head;
+  std::vector<int64_t> tail;
+  std::vector<int64_t> next(static_cast<size_t>(right.num_rows()), -1);
+  std::vector<int64_t> probe_gid(static_cast<size_t>(left.num_rows()), -1);
 
-  auto append_joined = [&](int64_t lrow, int64_t rrow) {
-    for (int c = 0; c < left.num_columns(); ++c) {
-      out.column(c).AppendFrom(left.column(c), lrow);
-    }
-    if (emit_right) {
-      for (int c = 0; c < right.num_columns(); ++c) {
-        Column& dst = out.column(left.num_columns() + c);
-        if (rrow >= 0) {
-          dst.AppendFrom(right.column(c), rrow);
-        } else {
-          // Left-outer null padding.
-          switch (dst.type()) {
-            case DataType::kInt64:
-              dst.AppendInt(0);
-              break;
-            case DataType::kFloat64:
-              dst.AppendDouble(0.0);
-              break;
-            case DataType::kString:
-              dst.AppendString("");
-              break;
-          }
-        }
+  std::vector<PackedCol> lplan, rplan;
+  if (PlanJoinPack(left, lcols, right, rcols, &lplan, &rplan)) {
+    ExecMetrics().key_packed_activations.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    FlatMap64 map(ExpectedKeys(right.num_rows(), rplan));
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      bool inserted = false;
+      const int64_t gid = map.FindOrInsert(
+          PackRow(rplan, r), static_cast<int64_t>(head.size()), &inserted);
+      if (inserted) {
+        head.push_back(r);
+        tail.push_back(r);
+      } else {
+        next[static_cast<size_t>(tail[static_cast<size_t>(gid)])] = r;
+        tail[static_cast<size_t>(gid)] = r;
       }
     }
-  };
+    ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
+    ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
+                                               std::memory_order_relaxed);
+    for (int64_t l = 0; l < left.num_rows(); ++l) {
+      probe_gid[static_cast<size_t>(l)] = map.Find(PackRow(lplan, l));
+    }
+  } else {
+    ExecMetrics().key_fallback_activations.fetch_add(
+        1, std::memory_order_relaxed);
+    std::unordered_map<RowKey, int64_t, RowKeyHash> map;
+    map.reserve(static_cast<size_t>(right.num_rows()));
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      auto [it, inserted] = map.try_emplace(ExtractKey(right, rcols, r),
+                                            static_cast<int64_t>(head.size()));
+      if (inserted) {
+        head.push_back(r);
+        tail.push_back(r);
+      } else {
+        next[static_cast<size_t>(tail[static_cast<size_t>(it->second)])] = r;
+        tail[static_cast<size_t>(it->second)] = r;
+      }
+    }
+    for (int64_t l = 0; l < left.num_rows(); ++l) {
+      const auto it = map.find(ExtractKey(left, lcols, l));
+      if (it != map.end()) probe_gid[static_cast<size_t>(l)] = it->second;
+    }
+  }
 
+  // Emit as row-index lists, then materialize with one gather per column.
+  std::vector<int64_t> left_idx;
+  std::vector<int64_t> right_idx;
+  left_idx.reserve(static_cast<size_t>(left.num_rows()));
+  if (emit_right) right_idx.reserve(static_cast<size_t>(left.num_rows()));
   for (int64_t l = 0; l < left.num_rows(); ++l) {
-    const auto it = build.find(ExtractKey(left, lcols, l));
-    const bool matched = it != build.end();
+    const int64_t gid = probe_gid[static_cast<size_t>(l)];
     switch (type) {
       case JoinType::kInner:
-        if (matched) {
-          for (int64_t r : it->second) append_joined(l, r);
+        if (gid >= 0) {
+          for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
+               r = next[static_cast<size_t>(r)]) {
+            left_idx.push_back(l);
+            right_idx.push_back(r);
+          }
         }
         break;
       case JoinType::kLeftOuter:
-        if (matched) {
-          for (int64_t r : it->second) append_joined(l, r);
+        if (gid >= 0) {
+          for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
+               r = next[static_cast<size_t>(r)]) {
+            left_idx.push_back(l);
+            right_idx.push_back(r);
+          }
         } else {
-          append_joined(l, -1);
+          left_idx.push_back(l);
+          right_idx.push_back(-1);  // null-padded below
         }
         break;
       case JoinType::kLeftSemi:
-        if (matched) append_joined(l, -1);
+        if (gid >= 0) left_idx.push_back(l);
         break;
       case JoinType::kLeftAnti:
-        if (!matched) append_joined(l, -1);
+        if (gid < 0) left_idx.push_back(l);
         break;
+    }
+  }
+
+  if (!emit_right) return left.GatherRows(left_idx);
+
+  Table out(defs);
+  for (int c = 0; c < left.num_columns(); ++c) {
+    out.column(c).AppendGather(left.column(c), left_idx);
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    Column& dst = out.column(left.num_columns() + c);
+    if (type == JoinType::kLeftOuter) {
+      dst.AppendGatherPadded(right.column(c), right_idx);
+    } else {
+      dst.AppendGather(right.column(c), right_idx);
     }
   }
   out.FinishBulkAppend();
@@ -178,6 +422,7 @@ Table HashAggregate(const Table& input,
                     const std::vector<std::string>& group_by,
                     const std::vector<AggSpec>& aggregates) {
   const std::vector<int> gcols = ResolveColumns(input, group_by);
+  const int64_t n = input.num_rows();
 
   // Evaluate aggregate inputs once over the whole table.
   std::vector<Column> agg_inputs;
@@ -191,77 +436,106 @@ Table HashAggregate(const Table& input,
     }
   }
 
-  struct GroupState {
-    int64_t first_row = 0;
-    std::vector<double> sum;
-    std::vector<double> min;
-    std::vector<double> max;
-    std::vector<int64_t> count;
-    std::vector<std::set<int64_t>> distinct_i;
-    std::vector<std::set<std::string>> distinct_s;
-  };
-  auto init_state = [&](int64_t row) {
-    GroupState s;
-    s.first_row = row;
-    s.sum.assign(aggregates.size(), 0.0);
-    s.min.assign(aggregates.size(), 0.0);
-    s.max.assign(aggregates.size(), 0.0);
-    s.count.assign(aggregates.size(), 0);
-    s.distinct_i.resize(aggregates.size());
-    s.distinct_s.resize(aggregates.size());
-    return s;
-  };
-
-  std::unordered_map<RowKey, GroupState, RowKeyHash> groups;
-  std::vector<const RowKey*> order;  // first-seen order for determinism
-
-  auto numeric_at = [](const Column& c, int64_t row) {
-    return c.type() == DataType::kInt64
-               ? static_cast<double>(c.ints()[static_cast<size_t>(row)])
-               : c.doubles()[static_cast<size_t>(row)];
-  };
-
-  for (int64_t r = 0; r < input.num_rows(); ++r) {
-    RowKey key = ExtractKey(input, gcols, r);
-    auto [it, inserted] = groups.try_emplace(std::move(key), init_state(r));
-    if (inserted) order.push_back(&it->first);
-    GroupState& state = it->second;
-    for (size_t a = 0; a < aggregates.size(); ++a) {
-      const AggSpec& spec = aggregates[a];
-      if (spec.op == AggOp::kCount && spec.input == nullptr) {
-        ++state.count[a];
-        continue;
-      }
-      const Column& in = agg_inputs[a];
-      if (spec.op == AggOp::kCountDistinct) {
-        if (in.type() == DataType::kString) {
-          state.distinct_s[a].insert(in.strings()[static_cast<size_t>(r)]);
-        } else if (in.type() == DataType::kInt64) {
-          state.distinct_i[a].insert(in.ints()[static_cast<size_t>(r)]);
-        } else {
-          CACKLE_CHECK(false) << "count distinct over doubles unsupported";
-        }
-        continue;
-      }
-      const double v = numeric_at(in, r);
-      if (state.count[a] == 0) {
-        state.min[a] = state.max[a] = v;
-      } else {
-        state.min[a] = std::min(state.min[a], v);
-        state.max[a] = std::max(state.max[a], v);
-      }
-      state.sum[a] += v;
-      ++state.count[a];
+  // Pass 1: group id per row + first-seen row per group (group output order
+  // is first-seen, as before).
+  std::vector<int64_t> gid(static_cast<size_t>(n));
+  std::vector<int64_t> first_rows;
+  std::vector<PackedCol> plan;
+  if (PlanGroupPack(input, gcols, &plan)) {
+    ExecMetrics().key_packed_activations.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    FlatMap64 map(ExpectedKeys(n, plan));
+    for (int64_t r = 0; r < n; ++r) {
+      bool inserted = false;
+      gid[static_cast<size_t>(r)] = map.FindOrInsert(
+          PackRow(plan, r), static_cast<int64_t>(first_rows.size()),
+          &inserted);
+      if (inserted) first_rows.push_back(r);
+    }
+    ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
+    ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
+                                               std::memory_order_relaxed);
+  } else {
+    ExecMetrics().key_fallback_activations.fetch_add(
+        1, std::memory_order_relaxed);
+    std::unordered_map<RowKey, int64_t, RowKeyHash> map;
+    for (int64_t r = 0; r < n; ++r) {
+      auto [it, inserted] =
+          map.try_emplace(ExtractKey(input, gcols, r),
+                          static_cast<int64_t>(first_rows.size()));
+      if (inserted) first_rows.push_back(r);
+      gid[static_cast<size_t>(r)] = it->second;
     }
   }
 
   // Global aggregate over empty input still yields one row of zeros.
   const bool global = group_by.empty();
-  if (global && groups.empty()) {
-    RowKey key;
-    auto [it, inserted] = groups.try_emplace(key, init_state(0));
-    CACKLE_CHECK(inserted);
-    order.push_back(&it->first);
+  const int64_t num_groups =
+      (global && first_rows.empty()) ? 1
+                                     : static_cast<int64_t>(first_rows.size());
+
+  // Pass 2: one typed accumulation loop per aggregate. Each group
+  // accumulates in ascending row order — the same order as the previous
+  // row-at-a-time implementation, so float sums are bit-identical.
+  const size_t na = aggregates.size();
+  std::vector<std::vector<double>> sums(na), mins(na), maxs(na);
+  std::vector<std::vector<int64_t>> counts(na);
+  std::vector<std::vector<std::set<int64_t>>> distinct_i(na);
+  std::vector<std::vector<std::set<std::string>>> distinct_s(na);
+  for (size_t a = 0; a < na; ++a) {
+    const AggSpec& spec = aggregates[a];
+    if (spec.op == AggOp::kCount) {
+      counts[a].assign(static_cast<size_t>(num_groups), 0);
+      for (int64_t r = 0; r < n; ++r) {
+        ++counts[a][static_cast<size_t>(gid[static_cast<size_t>(r)])];
+      }
+      continue;
+    }
+    const Column& in = agg_inputs[a];
+    if (spec.op == AggOp::kCountDistinct) {
+      if (in.type() == DataType::kString) {
+        distinct_s[a].resize(static_cast<size_t>(num_groups));
+        for (int64_t r = 0; r < n; ++r) {
+          distinct_s[a][static_cast<size_t>(gid[static_cast<size_t>(r)])]
+              .insert(in.strings()[static_cast<size_t>(r)]);
+        }
+      } else if (in.type() == DataType::kInt64) {
+        distinct_i[a].resize(static_cast<size_t>(num_groups));
+        for (int64_t r = 0; r < n; ++r) {
+          distinct_i[a][static_cast<size_t>(gid[static_cast<size_t>(r)])]
+              .insert(in.ints()[static_cast<size_t>(r)]);
+        }
+      } else {
+        CACKLE_CHECK(false) << "count distinct over doubles unsupported";
+      }
+      continue;
+    }
+    sums[a].assign(static_cast<size_t>(num_groups), 0.0);
+    mins[a].assign(static_cast<size_t>(num_groups), 0.0);
+    maxs[a].assign(static_cast<size_t>(num_groups), 0.0);
+    counts[a].assign(static_cast<size_t>(num_groups), 0);
+    auto accumulate = [&](auto&& value_at) {
+      for (int64_t r = 0; r < n; ++r) {
+        const size_t g =
+            static_cast<size_t>(gid[static_cast<size_t>(r)]);
+        const double v = value_at(static_cast<size_t>(r));
+        if (counts[a][g] == 0) {
+          mins[a][g] = maxs[a][g] = v;
+        } else {
+          mins[a][g] = std::min(mins[a][g], v);
+          maxs[a][g] = std::max(maxs[a][g], v);
+        }
+        sums[a][g] += v;
+        ++counts[a][g];
+      }
+    };
+    if (in.type() == DataType::kInt64) {
+      const std::vector<int64_t>& xs = in.ints();
+      accumulate([&](size_t r) { return static_cast<double>(xs[r]); });
+    } else {
+      const std::vector<double>& xs = in.doubles();
+      accumulate([&](size_t r) { return xs[r]; });
+    }
   }
 
   // Output schema: group columns (original defs) then aggregates.
@@ -269,7 +543,7 @@ Table HashAggregate(const Table& input,
   for (size_t g = 0; g < gcols.size(); ++g) {
     defs.push_back(input.column_def(gcols[static_cast<size_t>(g)]));
   }
-  for (size_t a = 0; a < aggregates.size(); ++a) {
+  for (size_t a = 0; a < na; ++a) {
     const AggSpec& spec = aggregates[a];
     DataType type = DataType::kFloat64;
     if (spec.op == AggOp::kCount || spec.op == AggOp::kCountDistinct) {
@@ -284,39 +558,44 @@ Table HashAggregate(const Table& input,
   }
   Table out(defs);
 
-  for (const RowKey* key_ptr : order) {
-    const GroupState& state = groups.at(*key_ptr);
-    // Group key values come from the group's first input row.
-    for (size_t g = 0; g < gcols.size(); ++g) {
-      out.column(static_cast<int>(g))
-          .AppendFrom(input.column(gcols[g]), state.first_row);
-    }
-    for (size_t a = 0; a < aggregates.size(); ++a) {
+  // Group key values come from each group's first input row: one gather per
+  // key column (keeps any dictionary sidecar).
+  for (size_t g = 0; g < gcols.size(); ++g) {
+    out.column(static_cast<int>(g))
+        .AppendGather(input.column(gcols[g]), first_rows);
+  }
+  for (int64_t grp = 0; grp < num_groups; ++grp) {
+    const size_t gi = static_cast<size_t>(grp);
+    for (size_t a = 0; a < na; ++a) {
       const AggSpec& spec = aggregates[a];
       Column& dst = out.column(static_cast<int>(gcols.size() + a));
       double value = 0.0;
       switch (spec.op) {
         case AggOp::kSum:
-          value = state.sum[a];
+          value = sums[a][gi];
           break;
         case AggOp::kMin:
-          value = state.min[a];
+          value = mins[a][gi];
           break;
         case AggOp::kMax:
-          value = state.max[a];
+          value = maxs[a][gi];
           break;
         case AggOp::kAvg:
-          value = state.count[a] > 0
-                      ? state.sum[a] / static_cast<double>(state.count[a])
+          value = counts[a][gi] > 0
+                      ? sums[a][gi] / static_cast<double>(counts[a][gi])
                       : 0.0;
           break;
         case AggOp::kCount:
-          dst.AppendInt(state.count[a]);
+          dst.AppendInt(counts[a][gi]);
           continue;
-        case AggOp::kCountDistinct:
-          dst.AppendInt(static_cast<int64_t>(state.distinct_i[a].size() +
-                                             state.distinct_s[a].size()));
+        case AggOp::kCountDistinct: {
+          const size_t di =
+              distinct_i[a].empty() ? 0 : distinct_i[a][gi].size();
+          const size_t ds =
+              distinct_s[a].empty() ? 0 : distinct_s[a][gi].size();
+          dst.AppendInt(static_cast<int64_t>(di + ds));
           continue;
+        }
       }
       if (dst.type() == DataType::kInt64) {
         dst.AppendInt(static_cast<int64_t>(value));
@@ -373,13 +652,67 @@ std::vector<Table> PartitionByHash(const Table& input,
                                    int64_t num_partitions) {
   CACKLE_CHECK_GT(num_partitions, 0);
   const std::vector<int> cols = ResolveColumns(input, key_columns);
+
+  // The partition id must stay identical to RowKeyHash(ExtractKey(...)) —
+  // shuffle placement feeds row order downstream — so this streams the same
+  // mix (numeric columns first, then string columns) without materializing
+  // RowKeys. String columns with a dictionary hash each distinct value once.
+  std::vector<const Column*> num_cols;
+  struct StrCol {
+    const Column* col;
+    std::vector<size_t> code_hash;  // per-dictionary-entry hash, if dict
+  };
+  std::vector<StrCol> str_cols;
+  for (int c : cols) {
+    const Column& col = input.column(c);
+    if (col.type() == DataType::kString) {
+      StrCol sc{&col, {}};
+      if (col.has_dict()) {
+        sc.code_hash.reserve(static_cast<size_t>(col.dict().size()));
+        for (const std::string& s : col.dict().values()) {
+          sc.code_hash.push_back(std::hash<std::string>{}(s));
+        }
+      }
+      str_cols.push_back(std::move(sc));
+    } else {
+      num_cols.push_back(&col);
+    }
+  }
+
+  std::vector<std::vector<int64_t>> part_rows(
+      static_cast<size_t>(num_partitions));
+  const size_t reserve_hint =
+      static_cast<size_t>(input.num_rows() / num_partitions + 1);
+  for (auto& rows : part_rows) rows.reserve(reserve_hint);
+
+  for (int64_t r = 0; r < input.num_rows(); ++r) {
+    size_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](size_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    for (const Column* col : num_cols) {
+      const int64_t v =
+          col->type() == DataType::kInt64
+              ? col->ints()[static_cast<size_t>(r)]
+              : DoubleKeyBits(col->doubles()[static_cast<size_t>(r)]);
+      mix(std::hash<int64_t>{}(v));
+    }
+    for (const StrCol& sc : str_cols) {
+      if (!sc.code_hash.empty()) {
+        mix(sc.code_hash[static_cast<size_t>(
+            sc.col->codes()[static_cast<size_t>(r)])]);
+      } else {
+        mix(std::hash<std::string>{}(
+            sc.col->strings()[static_cast<size_t>(r)]));
+      }
+    }
+    part_rows[h % static_cast<size_t>(num_partitions)].push_back(r);
+  }
+
   std::vector<Table> parts;
   parts.reserve(static_cast<size_t>(num_partitions));
-  for (int64_t p = 0; p < num_partitions; ++p) parts.emplace_back(input.schema());
-  RowKeyHash hasher;
-  for (int64_t r = 0; r < input.num_rows(); ++r) {
-    const size_t h = hasher(ExtractKey(input, cols, r));
-    parts[h % static_cast<size_t>(num_partitions)].AppendRowFrom(input, r);
+  for (int64_t p = 0; p < num_partitions; ++p) {
+    parts.push_back(input.GatherRows(part_rows[static_cast<size_t>(p)]));
   }
   return parts;
 }

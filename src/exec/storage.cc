@@ -260,6 +260,53 @@ void EncodeStringChunk(const std::vector<std::string>& values, int64_t begin,
   out->append(payload);
 }
 
+/// Fast path for columns carrying a dictionary sidecar: per-chunk distinct
+/// sets and first-occurrence codes come from the global codes (no string
+/// hashing). Produces bytes identical to the string-based path above.
+void EncodeStringChunkFromCodes(const Column& col, int64_t begin, int64_t end,
+                                std::string* out) {
+  const int64_t n = end - begin;
+  const StringDictionary& dict = col.dict();
+  const std::vector<int32_t>& codes = col.codes();
+  // Global code -> chunk-local code, in first-occurrence order.
+  std::vector<int32_t> local(static_cast<size_t>(dict.size()), -1);
+  std::vector<int32_t> entries;  // local -> global
+  for (int64_t i = begin; i < end; ++i) {
+    const int32_t g = codes[static_cast<size_t>(i)];
+    if (local[static_cast<size_t>(g)] < 0) {
+      local[static_cast<size_t>(g)] = static_cast<int32_t>(entries.size());
+      entries.push_back(g);
+    }
+  }
+  const std::string* mn = &dict.value(entries[0]);
+  const std::string* mx = mn;
+  for (int32_t g : entries) {
+    const std::string& s = dict.value(g);
+    if (s < *mn) mn = &s;
+    if (s > *mx) mx = &s;
+  }
+  const bool use_dict = entries.size() * 2 <= static_cast<size_t>(n);
+  std::string payload;
+  if (use_dict) {
+    PutVarint(&payload, entries.size());
+    for (int32_t g : entries) PutString(&payload, dict.value(g));
+    for (int64_t i = begin; i < end; ++i) {
+      PutVarint(&payload, static_cast<uint64_t>(local[static_cast<size_t>(
+                              codes[static_cast<size_t>(i)])]));
+    }
+    PutU8(out, static_cast<uint8_t>(Encoding::kStringDict));
+  } else {
+    for (int64_t i = begin; i < end; ++i) {
+      PutString(&payload, dict.value(codes[static_cast<size_t>(i)]));
+    }
+    PutU8(out, static_cast<uint8_t>(Encoding::kStringPlain));
+  }
+  PutString(out, *mn);
+  PutString(out, *mx);
+  PutU64(out, payload.size());
+  out->append(payload);
+}
+
 // --- chunk decoding --------------------------------------------------------
 
 struct ChunkStats {
@@ -330,13 +377,25 @@ Column DecodeChunk(ByteReader* reader, DataType type, Encoding enc,
       std::vector<std::string> dict;
       dict.reserve(dict_size);
       for (uint64_t i = 0; i < dict_size; ++i) dict.push_back(reader->GetString());
+      std::vector<int32_t> codes;
+      codes.reserve(static_cast<size_t>(rows));
+      bool codes_valid = true;
       for (int64_t i = 0; i < rows; ++i) {
         const uint64_t code = reader->GetVarint();
         if (code < dict.size()) {
           col.AppendString(dict[code]);
+          codes.push_back(static_cast<int32_t>(code));
         } else {
           col.AppendString("");
+          codes_valid = false;  // corrupt chunk: no sidecar
         }
+      }
+      // Keep the on-disk dictionary as the column's sidecar so downstream
+      // joins/aggregates get fixed-width codes for free.
+      if (codes_valid && !dict.empty()) {
+        col.AttachDictionary(
+            std::make_shared<StringDictionary>(std::move(dict)),
+            std::move(codes));
       }
       break;
     }
@@ -426,7 +485,11 @@ std::string WriteTableFile(const Table& table,
           EncodeFloat64Chunk(col.doubles(), begin, end, &out);
           break;
         case DataType::kString:
-          EncodeStringChunk(col.strings(), begin, end, &out);
+          if (col.has_dict()) {
+            EncodeStringChunkFromCodes(col, begin, end, &out);
+          } else {
+            EncodeStringChunk(col.strings(), begin, end, &out);
+          }
           break;
       }
     }

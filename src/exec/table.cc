@@ -3,8 +3,26 @@
 #include <sstream>
 
 #include "common/table_printer.h"
+#include "exec/exec_metrics.h"
 
 namespace cackle::exec {
+
+// --- StringDictionary -------------------------------------------------------
+
+StringDictionary::StringDictionary(std::vector<std::string> values)
+    : values_(std::move(values)) {
+  index_.reserve(values_.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    index_.try_emplace(values_[i], static_cast<int32_t>(i));
+  }
+}
+
+int32_t StringDictionary::CodeOf(const std::string& s) const {
+  const auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+// --- Column -----------------------------------------------------------------
 
 int64_t Column::size() const {
   switch (type_) {
@@ -28,8 +46,55 @@ void Column::Reserve(int64_t n) {
       break;
     case DataType::kString:
       strings_.reserve(static_cast<size_t>(n));
+      if (dict_ != nullptr) codes_.reserve(static_cast<size_t>(n));
       break;
   }
+}
+
+bool Column::DictEncode(int64_t max_dict_size) {
+  CACKLE_CHECK(type_ == DataType::kString);
+  if (dict_ != nullptr) return true;
+  const int64_t rows = static_cast<int64_t>(strings_.size());
+  // Profitability rule: a dictionary pays when values repeat. The +64 slack
+  // lets tiny tables (nation, region) encode even at distinct == rows, so
+  // their keys stay packable after joins.
+  std::unordered_map<std::string, int32_t> index;
+  std::vector<int32_t> codes;
+  codes.reserve(strings_.size());
+  std::vector<std::string> values;
+  for (const std::string& s : strings_) {
+    auto [it, inserted] =
+        index.try_emplace(s, static_cast<int32_t>(values.size()));
+    if (inserted) {
+      values.push_back(s);
+      const int64_t distinct = static_cast<int64_t>(values.size());
+      if (distinct > max_dict_size || distinct * 2 > rows + 64) {
+        ExecMetrics().dict_encodes_abandoned.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    codes.push_back(it->second);
+  }
+  dict_ = std::make_shared<StringDictionary>(std::move(values));
+  codes_ = std::move(codes);
+  ExecMetrics().dict_columns_encoded.fetch_add(1, std::memory_order_relaxed);
+  ExecMetrics().dict_total_entries.fetch_add(dict_->size(),
+                                             std::memory_order_relaxed);
+  return true;
+}
+
+void Column::AttachDictionary(DictPtr dict, std::vector<int32_t> codes) {
+  CACKLE_CHECK(type_ == DataType::kString);
+  CACKLE_CHECK(dict != nullptr);
+  CACKLE_CHECK_EQ(codes.size(), strings_.size());
+  if (!codes.empty()) {
+    // Spot-check the invariant on the first and last rows.
+    CACKLE_CHECK(dict->value(codes.front()) == strings_.front());
+    CACKLE_CHECK(dict->value(codes.back()) == strings_.back());
+  }
+  dict_ = std::move(dict);
+  codes_ = std::move(codes);
 }
 
 void Column::AppendFrom(const Column& other, int64_t row) {
@@ -42,9 +107,143 @@ void Column::AppendFrom(const Column& other, int64_t row) {
     case DataType::kFloat64:
       doubles_.push_back(other.doubles_[r]);
       break;
-    case DataType::kString:
+    case DataType::kString: {
+      if (strings_.empty() && dict_ == nullptr && other.dict_ != nullptr) {
+        dict_ = other.dict_;  // adopt on first append into an empty column
+      }
+      if (dict_ != nullptr) {
+        if (dict_ == other.dict_) {
+          codes_.push_back(other.codes_[r]);
+        } else {
+          DropDictionary();
+        }
+      }
       strings_.push_back(other.strings_[r]);
       break;
+    }
+  }
+}
+
+void Column::AppendRange(const Column& src, int64_t begin, int64_t end) {
+  CACKLE_CHECK(type_ == src.type_);
+  const size_t b = static_cast<size_t>(begin);
+  const size_t e = static_cast<size_t>(end);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.insert(ints_.end(), src.ints_.begin() + b, src.ints_.begin() + e);
+      break;
+    case DataType::kFloat64:
+      doubles_.insert(doubles_.end(), src.doubles_.begin() + b,
+                      src.doubles_.begin() + e);
+      break;
+    case DataType::kString: {
+      if (strings_.empty() && dict_ == nullptr && src.dict_ != nullptr) {
+        dict_ = src.dict_;
+      }
+      if (dict_ != nullptr) {
+        if (dict_ == src.dict_) {
+          codes_.insert(codes_.end(), src.codes_.begin() + b,
+                        src.codes_.begin() + e);
+        } else {
+          DropDictionary();
+        }
+      }
+      strings_.insert(strings_.end(), src.strings_.begin() + b,
+                      src.strings_.begin() + e);
+      break;
+    }
+  }
+}
+
+void Column::AppendGather(const Column& src, const std::vector<int64_t>& rows) {
+  CACKLE_CHECK(type_ == src.type_);
+  ExecMetrics().gather_rows.fetch_add(static_cast<int64_t>(rows.size()),
+                                      std::memory_order_relaxed);
+  switch (type_) {
+    case DataType::kInt64: {
+      const size_t base = ints_.size();
+      ints_.resize(base + rows.size());
+      int64_t* out = ints_.data() + base;
+      const int64_t* in = src.ints_.data();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = in[static_cast<size_t>(rows[i])];
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const size_t base = doubles_.size();
+      doubles_.resize(base + rows.size());
+      double* out = doubles_.data() + base;
+      const double* in = src.doubles_.data();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = in[static_cast<size_t>(rows[i])];
+      }
+      break;
+    }
+    case DataType::kString: {
+      if (strings_.empty() && dict_ == nullptr && src.dict_ != nullptr) {
+        dict_ = src.dict_;
+      }
+      if (dict_ != nullptr) {
+        if (dict_ == src.dict_) {
+          const size_t base = codes_.size();
+          codes_.resize(base + rows.size());
+          int32_t* out = codes_.data() + base;
+          const int32_t* in = src.codes_.data();
+          for (size_t i = 0; i < rows.size(); ++i) {
+            out[i] = in[static_cast<size_t>(rows[i])];
+          }
+        } else {
+          DropDictionary();
+        }
+      }
+      strings_.reserve(strings_.size() + rows.size());
+      for (const int64_t r : rows) {
+        strings_.push_back(src.strings_[static_cast<size_t>(r)]);
+      }
+      break;
+    }
+  }
+}
+
+void Column::AppendGatherPadded(const Column& src,
+                                const std::vector<int64_t>& rows) {
+  CACKLE_CHECK(type_ == src.type_);
+  ExecMetrics().gather_rows.fetch_add(static_cast<int64_t>(rows.size()),
+                                      std::memory_order_relaxed);
+  switch (type_) {
+    case DataType::kInt64: {
+      const size_t base = ints_.size();
+      ints_.resize(base + rows.size());
+      int64_t* out = ints_.data() + base;
+      const int64_t* in = src.ints_.data();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = rows[i] >= 0 ? in[static_cast<size_t>(rows[i])] : 0;
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const size_t base = doubles_.size();
+      doubles_.resize(base + rows.size());
+      double* out = doubles_.data() + base;
+      const double* in = src.doubles_.data();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = rows[i] >= 0 ? in[static_cast<size_t>(rows[i])] : 0.0;
+      }
+      break;
+    }
+    case DataType::kString: {
+      DropDictionary();  // pad values may be absent from any dictionary
+      strings_.reserve(strings_.size() + rows.size());
+      for (const int64_t r : rows) {
+        if (r >= 0) {
+          strings_.push_back(src.strings_[static_cast<size_t>(r)]);
+        } else {
+          strings_.emplace_back();
+        }
+      }
+      break;
+    }
   }
 }
 
@@ -77,6 +276,8 @@ std::string Column::ValueToString(int64_t row) const {
   }
   return "";
 }
+
+// --- Table ------------------------------------------------------------------
 
 Table::Table(std::vector<ColumnDef> defs) : defs_(std::move(defs)) {
   columns_.reserve(defs_.size());
@@ -126,14 +327,30 @@ Table Table::Slice(int64_t begin, int64_t end) const {
   CACKLE_CHECK_LE(begin, end);
   CACKLE_CHECK_LE(end, num_rows_);
   Table out(defs_);
-  for (int64_t r = begin; r < end; ++r) out.AppendRowFrom(*this, r);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].AppendRange(columns_[c], begin, end);
+  }
+  out.num_rows_ = end - begin;
+  return out;
+}
+
+Table Table::GatherRows(const std::vector<int64_t>& rows) const {
+  Table out(defs_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].AppendGather(columns_[c], rows);
+  }
+  out.num_rows_ = static_cast<int64_t>(rows.size());
   return out;
 }
 
 Table Table::TakeRows(const std::vector<int64_t>& rows) const {
-  Table out(defs_);
-  for (int64_t r : rows) out.AppendRowFrom(*this, r);
-  return out;
+  return GatherRows(rows);
+}
+
+void Table::DictEncodeStringColumns(int64_t max_dict_size) {
+  for (Column& c : columns_) {
+    if (c.type() == DataType::kString) c.DictEncode(max_dict_size);
+  }
 }
 
 int64_t Table::EstimateBytes() const {
@@ -158,13 +375,113 @@ std::string Table::ToString(int64_t max_rows) const {
   return os.str();
 }
 
+// --- Concat -----------------------------------------------------------------
+
+namespace {
+
+/// Concatenates string column `c` of `tables` into `out`, unioning
+/// dictionaries when every non-empty chunk has one. The union keeps
+/// first-occurrence order across inputs, so equal strings from different
+/// chunks share one code.
+void ConcatStringColumn(const std::vector<Table>& tables, int c, int64_t rows,
+                        Column* out) {
+  bool all_dict = true;
+  const DictPtr* shared = nullptr;
+  bool same_ptr = true;
+  for (const Table& t : tables) {
+    if (t.num_rows() == 0) continue;
+    const Column& col = t.column(c);
+    if (!col.has_dict()) {
+      all_dict = false;
+      break;
+    }
+    if (shared == nullptr) {
+      shared = &col.dict_ptr();
+    } else if (*shared != col.dict_ptr()) {
+      same_ptr = false;
+    }
+  }
+  if (!all_dict || shared == nullptr) {
+    // Plain concatenation (also the empty-input case).
+    std::vector<std::string>& outs = out->strings();
+    outs.reserve(static_cast<size_t>(rows));
+    for (const Table& t : tables) {
+      const auto& src = t.column(c).strings();
+      outs.insert(outs.end(), src.begin(), src.end());
+    }
+    return;
+  }
+
+  std::vector<int32_t> codes;
+  codes.reserve(static_cast<size_t>(rows));
+  DictPtr dict;
+  if (same_ptr) {
+    dict = *shared;
+    for (const Table& t : tables) {
+      if (t.num_rows() == 0) continue;
+      const auto& src = t.column(c).codes();
+      codes.insert(codes.end(), src.begin(), src.end());
+    }
+  } else {
+    // Union the input dictionaries in first-occurrence order.
+    std::vector<std::string> values;
+    std::unordered_map<std::string, int32_t> index;
+    for (const Table& t : tables) {
+      if (t.num_rows() == 0) continue;
+      const Column& col = t.column(c);
+      std::vector<int32_t> remap;
+      remap.reserve(static_cast<size_t>(col.dict().size()));
+      for (const std::string& v : col.dict().values()) {
+        auto [it, inserted] =
+            index.try_emplace(v, static_cast<int32_t>(values.size()));
+        if (inserted) values.push_back(v);
+        remap.push_back(it->second);
+      }
+      for (const int32_t code : col.codes()) {
+        codes.push_back(remap[static_cast<size_t>(code)]);
+      }
+    }
+    dict = std::make_shared<StringDictionary>(std::move(values));
+  }
+  {
+    std::vector<std::string>& outs = out->strings();
+    outs.reserve(static_cast<size_t>(rows));
+    for (const Table& t : tables) {
+      const auto& src = t.column(c).strings();
+      outs.insert(outs.end(), src.begin(), src.end());
+    }
+  }
+  out->AttachDictionary(std::move(dict), std::move(codes));
+}
+
+}  // namespace
+
 Table Concat(const std::vector<Table>& tables) {
   if (tables.empty()) return Table();
-  Table out(tables[0].schema());
+  int64_t rows = 0;
   for (const Table& t : tables) {
-    CACKLE_CHECK_EQ(t.num_columns(), out.num_columns());
-    for (int64_t r = 0; r < t.num_rows(); ++r) out.AppendRowFrom(t, r);
+    CACKLE_CHECK_EQ(t.num_columns(), tables[0].num_columns());
+    rows += t.num_rows();
   }
+  Table out(tables[0].schema());
+  if (out.num_columns() == 0) {
+    for (const Table& t : tables) {
+      for (int64_t r = 0; r < t.num_rows(); ++r) out.AppendRowFrom(t, r);
+    }
+    return out;
+  }
+  for (int c = 0; c < out.num_columns(); ++c) {
+    Column& dst = out.column(c);
+    if (dst.type() == DataType::kString) {
+      ConcatStringColumn(tables, c, rows, &dst);
+      continue;
+    }
+    dst.Reserve(rows);
+    for (const Table& t : tables) {
+      dst.AppendRange(t.column(c), 0, t.num_rows());
+    }
+  }
+  if (out.num_columns() > 0) out.FinishBulkAppend();
   return out;
 }
 

@@ -2,7 +2,9 @@
 #define CACKLE_EXEC_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -10,8 +12,40 @@
 
 namespace cackle::exec {
 
+/// \brief An immutable, shared dictionary of distinct strings.
+///
+/// String columns may carry a dictionary sidecar: per-row `int32_t` codes
+/// into a shared dictionary, alongside the materialized strings. Codes give
+/// the executor fixed-width join/group keys (see operators.cc) without
+/// changing what `strings()` returns. Code order is first-occurrence order,
+/// so encoding is deterministic for a given value sequence.
+class StringDictionary {
+ public:
+  explicit StringDictionary(std::vector<std::string> values);
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::string& value(int32_t code) const {
+    return values_[static_cast<size_t>(code)];
+  }
+  const std::vector<std::string>& values() const { return values_; }
+  /// Code of `s`, or -1 when absent.
+  int32_t CodeOf(const std::string& s) const;
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+using DictPtr = std::shared_ptr<const StringDictionary>;
+
 /// \brief A typed column of values. Only the vector matching `type` is
 /// populated.
+///
+/// String columns may additionally carry a dictionary sidecar (`dict()` +
+/// `codes()`); the invariant is `strings()[i] == dict().value(codes()[i])`
+/// for every row. Mutable access to `strings()` (including AppendString)
+/// drops the sidecar to keep the invariant trivially true; the bulk append
+/// paths (AppendFrom / AppendRange / AppendGather) propagate it.
 class Column {
  public:
   Column() : type_(DataType::kInt64) {}
@@ -41,6 +75,7 @@ class Column {
   }
   std::vector<std::string>& strings() {
     CACKLE_CHECK(type_ == DataType::kString);
+    DropDictionary();  // mutable access may desync codes
     return strings_;
   }
   const std::vector<std::string>& strings() const {
@@ -52,10 +87,54 @@ class Column {
   void AppendDouble(double v) { doubles().push_back(v); }
   void AppendString(std::string v) { strings().push_back(std::move(v)); }
 
+  // --- dictionary sidecar ---------------------------------------------------
+
+  bool has_dict() const { return dict_ != nullptr; }
+  const StringDictionary& dict() const {
+    CACKLE_CHECK(dict_ != nullptr);
+    return *dict_;
+  }
+  const DictPtr& dict_ptr() const { return dict_; }
+  const std::vector<int32_t>& codes() const {
+    CACKLE_CHECK(dict_ != nullptr);
+    return codes_;
+  }
+
+  /// Builds a dictionary over the current strings when the distinct count is
+  /// small enough (`distinct <= max_dict_size` and `distinct*2 <= rows+64`).
+  /// Returns true when a dictionary was attached.
+  bool DictEncode(int64_t max_dict_size = 65535);
+
+  /// Attaches an externally built dictionary (e.g. from the storage reader).
+  /// `codes` must decode to the current strings (checked on size; spot-
+  /// checked on content).
+  void AttachDictionary(DictPtr dict, std::vector<int32_t> codes);
+
+  void DropDictionary() {
+    dict_.reset();
+    codes_.clear();
+  }
+
+  // --- bulk append kernels --------------------------------------------------
+
   /// Appends row `row` of `other` (same type) to this column.
   void AppendFrom(const Column& other, int64_t row);
 
+  /// Appends rows [begin, end) of `src` in one pass.
+  void AppendRange(const Column& src, int64_t begin, int64_t end);
+
+  /// Appends `src[rows[i]]` for each i, column-major in one pass. Adopts
+  /// `src`'s dictionary when this column is empty.
+  void AppendGather(const Column& src, const std::vector<int64_t>& rows);
+
+  /// Like AppendGather but a row index of -1 appends the type's default
+  /// (0 / 0.0 / ""). Used for left-outer null padding; never adopts a
+  /// dictionary.
+  void AppendGatherPadded(const Column& src, const std::vector<int64_t>& rows);
+
   /// Approximate in-memory/serialized size, used for shuffle accounting.
+  /// (The dictionary sidecar is deliberately not counted, so attaching one
+  /// never perturbs shuffle byte accounting.)
   int64_t EstimateBytes() const;
 
   /// Renders row `row` for result printing / test comparison.
@@ -66,6 +145,9 @@ class Column {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
+  // Dictionary sidecar (kString only): codes_[i] indexes dict_.
+  DictPtr dict_;
+  std::vector<int32_t> codes_;
 };
 
 /// \brief Column name + type.
@@ -113,8 +195,16 @@ class Table {
   /// Rows [begin, end).
   Table Slice(int64_t begin, int64_t end) const;
 
-  /// Keeps the rows whose index is listed (in order).
+  /// New table with rows `rows[0]`, `rows[1]`, ... copied column-major in
+  /// one pass per column (the executor's materialization kernel).
+  Table GatherRows(const std::vector<int64_t>& rows) const;
+
+  /// Keeps the rows whose index is listed (in order). Alias of GatherRows.
   Table TakeRows(const std::vector<int64_t>& rows) const;
+
+  /// Attempts to dictionary-encode every string column (see
+  /// Column::DictEncode); used at datagen/load time.
+  void DictEncodeStringColumns(int64_t max_dict_size = 65535);
 
   int64_t EstimateBytes() const;
 
@@ -129,6 +219,9 @@ class Table {
 };
 
 /// Concatenates tables with identical schemas (empty input -> empty table).
+/// String columns keep their dictionary when every input chunk carries one
+/// (identical dictionaries are shared; differing ones are unioned in
+/// first-occurrence order, re-coding rows as needed).
 Table Concat(const std::vector<Table>& tables);
 
 }  // namespace cackle::exec
