@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "exec/datagen.h"
 #include "exec/expr.h"
 #include "exec/flat_hash.h"
@@ -143,6 +146,183 @@ void BM_TpchQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TpchQuery)->Arg(1)->Arg(3)->Arg(6)->Arg(9)->Arg(18)->Arg(21);
+
+// ---------------------------------------------------------------------------
+// End-to-end multi-stage plan execution: persistent work-stealing pool vs
+// the previous per-stage thread-spawn design. The plan is wide and deep with
+// deliberately small tasks, so scheduling overhead — not operator work —
+// dominates, which is exactly the regime where spawning fresh threads for
+// every stage hurts.
+// ---------------------------------------------------------------------------
+
+/// Replica of the pre-pool executor: fresh std::threads per stage pulling
+/// task indices from a shared counter, then a serial shuffle. Kept here as
+/// the benchmark baseline the pool is measured against.
+Table ExecuteSpawnPerStage(const StagePlan& plan, int num_threads) {
+  std::vector<StageOutput> outputs(plan.stages.size());
+  for (size_t i = 0; i < plan.stages.size(); ++i) {
+    const PlanStage& stage = plan.stages[i];
+    std::vector<Table> task_outputs(static_cast<size_t>(stage.num_tasks));
+    auto run_one_task = [&](int t) {
+      TaskInput input;
+      input.tables.reserve(stage.deps.size());
+      for (size_t d = 0; d < stage.deps.size(); ++d) {
+        const StageOutput& up = outputs[static_cast<size_t>(stage.deps[d])];
+        const size_t part = stage.broadcast[d] ? 0 : static_cast<size_t>(t);
+        input.tables.push_back(&up.partitions[part]);
+      }
+      task_outputs[static_cast<size_t>(t)] = stage.run(t, input);
+    };
+    if (num_threads <= 1 || stage.num_tasks == 1) {
+      for (int t = 0; t < stage.num_tasks; ++t) run_one_task(t);
+    } else {
+      std::atomic<int> next_task{0};
+      const int workers = std::min(num_threads, stage.num_tasks);
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const int t = next_task.fetch_add(1);
+            if (t >= stage.num_tasks) break;
+            run_one_task(t);
+          }
+        });
+      }
+      for (std::thread& worker : pool) worker.join();
+    }
+    StageOutput& out = outputs[i];
+    if (stage.output_partitions == 1) {
+      out.partitions.push_back(Concat(task_outputs));
+    } else {
+      std::vector<std::vector<Table>> per_partition(
+          static_cast<size_t>(stage.output_partitions));
+      for (const Table& to : task_outputs) {
+        std::vector<Table> parts =
+            PartitionByHash(to, stage.output_keys, stage.output_partitions);
+        for (size_t p = 0; p < parts.size(); ++p) {
+          per_partition[p].push_back(std::move(parts[p]));
+        }
+      }
+      for (auto& group : per_partition) {
+        out.partitions.push_back(Concat(group));
+      }
+    }
+  }
+  return std::move(outputs.back().partitions[0]);
+}
+
+const Table& BenchPlanBase() {
+  static const Table* base = [] {
+    Table* t = new Table({{"k", DataType::kInt64}, {"v", DataType::kFloat64}});
+    uint64_t x = 0x243f6a8885a308d3ULL;
+    for (int64_t i = 0; i < 2000; ++i) {
+      x = Mix64(x + 0x9e3779b97f4a7c15ULL);
+      t->column(0).AppendInt(static_cast<int64_t>(x % 64));
+      t->column(1).AppendDouble(static_cast<double>(x % 10007) / 97.0);
+    }
+    t->FinishBulkAppend();
+    return t;
+  }();
+  return *base;
+}
+
+/// `width` independent chains of `depth` small aggregate stages feeding one
+/// final combiner: width*depth + 1 stages, each inner stage `tasks`-way.
+StagePlan MakeBenchPlan(int width, int depth, int tasks) {
+  const Table& base = BenchPlanBase();
+  StagePlan plan;
+  plan.name = "bench_multistage";
+  std::vector<int> chain_ends;
+  for (int c = 0; c < width; ++c) {
+    int prev = -1;
+    for (int l = 0; l < depth; ++l) {
+      PlanStage stage;
+      stage.label = "c" + std::to_string(c) + "_l" + std::to_string(l);
+      stage.num_tasks = tasks;
+      const bool last_in_chain = (l + 1 == depth);
+      stage.output_keys = last_in_chain ? std::vector<std::string>{}
+                                        : std::vector<std::string>{"k"};
+      stage.output_partitions = last_in_chain ? 1 : tasks;
+      if (l == 0) {
+        stage.run = [&base, tasks](int t, const TaskInput&) {
+          const Table slice =
+              base.Slice(base.num_rows() * t / tasks,
+                         base.num_rows() * (t + 1) / tasks);
+          return HashAggregate(slice, {"k"}, {{AggOp::kSum, Col("v"), "v"}});
+        };
+      } else {
+        stage.deps = {prev};
+        stage.broadcast = {false};
+        stage.run = [](int, const TaskInput& in) {
+          return HashAggregate(*in.tables[0], {"k"},
+                               {{AggOp::kSum, Col("v"), "v"}});
+        };
+      }
+      prev = static_cast<int>(plan.stages.size());
+      plan.stages.push_back(std::move(stage));
+    }
+    chain_ends.push_back(prev);
+  }
+  PlanStage combine;
+  combine.label = "combine";
+  combine.deps = chain_ends;
+  combine.broadcast.assign(chain_ends.size(), true);
+  combine.num_tasks = 1;
+  combine.output_partitions = 1;
+  combine.run = [](int, const TaskInput& in) {
+    std::vector<Table> all;
+    all.reserve(in.tables.size());
+    for (const Table* t : in.tables) all.push_back(*t);
+    return HashAggregate(Concat(all), {"k"},
+                         {{AggOp::kSum, Col("v"), "total"}});
+  };
+  plan.stages.push_back(std::move(combine));
+  return plan;
+}
+
+void BM_MultiStagePlanSpawn(benchmark::State& state) {
+  const StagePlan plan = MakeBenchPlan(4, 6, 4);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteSpawnPerStage(plan, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.stages.size()));
+}
+BENCHMARK(BM_MultiStagePlanSpawn)->Arg(4);
+
+void BM_MultiStagePlanPool(benchmark::State& state) {
+  // Persistent pool, per-stage barriers (pipeline off): isolates what
+  // reusing workers buys over spawning them.
+  const StagePlan plan = MakeBenchPlan(4, 6, 4);
+  ExecutorOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.pipeline = false;
+  PlanExecutor executor(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(plan));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.stages.size()));
+}
+BENCHMARK(BM_MultiStagePlanPool)->Arg(4);
+
+void BM_MultiStagePlanPipelined(benchmark::State& state) {
+  // Full DAG pipelining: independent chains overlap, shuffle steps run as
+  // pool tasks too.
+  const StagePlan plan = MakeBenchPlan(4, 6, 4);
+  ExecutorOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.pipeline = true;
+  PlanExecutor executor(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Execute(plan));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.stages.size()));
+}
+BENCHMARK(BM_MultiStagePlanPipelined)->Arg(4);
 
 void BM_StorageEncodeLineitem(benchmark::State& state) {
   const Catalog& cat = BenchCatalog();

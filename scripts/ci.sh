@@ -34,11 +34,12 @@ run_config() {
 run_config build-release - -DCMAKE_BUILD_TYPE=Release
 run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DCACKLE_SANITIZE=address;undefined"
-# TSan covers the only genuinely multithreaded code (the PlanExecutor
-# thread pool and everything running on it); the DES engine is
-# single-threaded by construction, so rerunning it under TSan buys nothing.
+# TSan covers the only genuinely multithreaded code (the work-stealing
+# ThreadPool and the PlanExecutor running on it, including the vectorized
+# kernels pooled tasks call into); the DES engine is single-threaded by
+# construction, so rerunning it under TSan buys nothing.
 run_config build-tsan \
-  "exec|golden|operators|logical|storage" \
+  "thread_pool|exec|golden|operators|logical|storage|vectorized" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
 
 # Bench smoke: a short microbenchmark pass that both exercises the bench
@@ -56,7 +57,7 @@ echo "bench artifact: build-release/BENCH_micro_exec_smoke.json"
 # the combined bench/results/BENCH_micro_exec.json artifact.
 echo "=== bench kernels (micro_exec, 3 repetitions) ==="
 ./build-release/bench/micro_exec \
-  --benchmark_filter='BM_Filter|BM_HashJoin|BM_HashAggregate|BM_PartitionByHash|BM_FlatMap|BM_GatherRows|BM_DictEncode' \
+  --benchmark_filter='BM_Filter|BM_HashJoin|BM_HashAggregate|BM_PartitionByHash|BM_FlatMap|BM_GatherRows|BM_DictEncode|BM_MultiStagePlan' \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \

@@ -23,15 +23,20 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+thread_local std::string g_log_context;
+
 }  // namespace
 
 LogLevel GetLogLevel() { return g_log_level; }
 void SetLogLevel(LogLevel level) { g_log_level = level; }
 
+const std::string& ThreadLogContext() { return g_log_context; }
+
 LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
     : level_(level), fatal_(fatal), enabled_(fatal || level >= g_log_level) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+    if (!g_log_context.empty()) stream_ << "(" << g_log_context << ") ";
   }
 }
 
@@ -44,4 +49,14 @@ LogMessage::~LogMessage() {
 }
 
 }  // namespace internal
+
+ScopedLogContext::ScopedLogContext(std::string context) {
+  saved_ = std::move(internal::g_log_context);
+  internal::g_log_context = std::move(context);
+}
+
+ScopedLogContext::~ScopedLogContext() {
+  internal::g_log_context = std::move(saved_);
+}
+
 }  // namespace cackle

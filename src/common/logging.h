@@ -12,7 +12,30 @@ namespace cackle {
 /// \brief Severity levels for the logging macros below.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// \brief Installs a thread-local context string that every log line (and,
+/// critically, every fatal CACKLE_CHECK message) emitted by this thread is
+/// tagged with while the scope is alive. Scopes nest: the previous context
+/// is restored on destruction.
+///
+/// The thread pool installs the owning task group's context around each
+/// task, so a check failure deep inside a pooled task still reports which
+/// plan/stage it was executing ("(q8/join_ps) Check failed: ...").
+class ScopedLogContext {
+ public:
+  explicit ScopedLogContext(std::string context);
+  ~ScopedLogContext();
+
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+ private:
+  std::string saved_;
+};
+
 namespace internal {
+
+/// Current thread's log context ("" when none is installed).
+const std::string& ThreadLogContext();
 
 /// Minimum level actually emitted; default kInfo. Not thread-safe to change
 /// while logging concurrently (set it once at startup).

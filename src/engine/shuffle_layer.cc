@@ -161,9 +161,18 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
 void ShuffleLayer::Read(int64_t query_id, int stage_id,
                         int64_t object_store_gets) {
   auto qit = queries_.find(query_id);
-  if (qit == queries_.end()) return;
+  if (qit == queries_.end()) {
+    // A read for state this layer never saw written is an engine
+    // bookkeeping bug in the making; count it instead of hiding it so
+    // tests (and dashboards) can assert the counter stays zero.
+    ++total_unmatched_reads_;
+    return;
+  }
   auto sit = qit->second.find(stage_id);
-  if (sit == qit->second.end()) return;
+  if (sit == qit->second.end()) {
+    ++total_unmatched_reads_;
+    return;
+  }
   const StageState& state = sit->second;
   const int64_t total = state.node_bytes + state.store_bytes;
   if (total == 0 || state.store_bytes == 0) return;
@@ -222,6 +231,7 @@ void ShuffleLayer::ExportMetrics(MetricsRegistry* metrics,
   metrics->SetCounter(prefix + ".fallback_bytes", total_fallback_bytes_);
   metrics->SetCounter(prefix + ".nodes_crashed", total_nodes_crashed_);
   metrics->SetCounter(prefix + ".partitions_lost", total_partitions_lost_);
+  metrics->SetCounter(prefix + ".unmatched_reads", total_unmatched_reads_);
   metrics->SetGauge(prefix + ".resident_bytes",
                     static_cast<double>(resident_bytes_));
   fleet_.ExportMetrics(metrics, prefix + ".fleet");

@@ -98,6 +98,9 @@ class ShuffleLayer {
   int64_t total_written_bytes() const { return total_written_bytes_; }
   int64_t total_nodes_crashed() const { return total_nodes_crashed_; }
   int64_t total_partitions_lost() const { return total_partitions_lost_; }
+  /// Reads for (query, stage) state this layer never saw written — an
+  /// engine bookkeeping bug when nonzero (see shuffle.unmatched_reads).
+  int64_t total_unmatched_reads() const { return total_unmatched_reads_; }
   int64_t node_launch_failures() const {
     return fleet_.total_launch_failures();
   }
@@ -131,6 +134,7 @@ class ShuffleLayer {
   int64_t total_written_bytes_ = 0;
   int64_t total_nodes_crashed_ = 0;
   int64_t total_partitions_lost_ = 0;
+  int64_t total_unmatched_reads_ = 0;
   std::unordered_map<int64_t, std::unordered_map<int, StageState>> queries_;
 };
 

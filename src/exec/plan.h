@@ -3,10 +3,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/table.h"
+
+namespace cackle {
+class MetricsRegistry;
+class ThreadPool;
+}  // namespace cackle
 
 namespace cackle::exec {
 
@@ -62,27 +68,71 @@ struct StageStats {
 struct PlanRunStats {
   std::vector<StageStats> stages;
   int64_t total_micros = 0;
+  /// Peak bytes of live stage shuffle outputs during the run. With input
+  /// release enabled (the default) a stage's partitions are freed after its
+  /// last consumer finishes reading them, so on deep plans this is well
+  /// below the sum of all stage output bytes.
+  int64_t peak_resident_bytes = 0;
 };
 
-/// \brief Executes a StagePlan stage by stage, measuring each task's wall
-/// time and each stage's shuffled output size.
+/// \brief Execution knobs for PlanExecutor.
+struct ExecutorOptions {
+  /// Total executor threads. 1 = serial in index order. With N >= 2 the
+  /// executor keeps a persistent work-stealing pool of N-1 workers and the
+  /// calling thread helps while waiting, so N threads execute tasks.
+  int num_threads = 1;
+  /// When pooled: schedule stages along the plan's dependency DAG so
+  /// independent stages overlap (no per-stage join barrier). When false,
+  /// stages still run their tasks and shuffle steps on the pool but
+  /// barrier between phases in stage index order.
+  bool pipeline = true;
+  /// Free a stage's shuffle partitions once every consumer stage has
+  /// finished its task phase (the final stage's result is always kept).
+  bool release_stage_outputs = true;
+};
+
+/// \brief Executes a StagePlan, measuring each task's wall time and each
+/// stage's shuffled output size.
 ///
-/// With `num_threads` == 1 (default) tasks run serially in index order;
-/// with more threads, each stage's tasks run concurrently on a pool (tasks
-/// of one stage are independent by construction — they read disjoint or
-/// broadcast partitions). Results are identical either way: task outputs
-/// are collected by task index before the shuffle step.
+/// With `num_threads` == 1 (default) everything runs serially in index
+/// order. With more threads the executor runs stage tasks, per-task hash
+/// partitioning, and per-partition concatenation as tasks on a persistent
+/// work-stealing ThreadPool, and (with `pipeline`) overlaps independent
+/// stages by scheduling along the dependency DAG. Results are bit-identical
+/// in every configuration: task outputs land in per-index slots and every
+/// merge (partition collection, concatenation) walks fixed index order, so
+/// even floating-point summation order matches serial execution.
+///
+/// The pool persists across Execute() calls for the executor's lifetime.
+/// One executor must not be used from several threads at once.
 class PlanExecutor {
  public:
   explicit PlanExecutor(int num_threads = 1);
+  explicit PlanExecutor(const ExecutorOptions& options);
+  ~PlanExecutor();
+
+  PlanExecutor(const PlanExecutor&) = delete;
+  PlanExecutor& operator=(const PlanExecutor&) = delete;
 
   /// Runs the plan; returns the result table. `stats` may be null.
   Table Execute(const StagePlan& plan, PlanRunStats* stats = nullptr);
 
-  int num_threads() const { return num_threads_; }
+  int num_threads() const { return options_.num_threads; }
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Exports pool counters (tasks run, steals, queue depth, busy time) and
+  /// executor totals under `prefix`, conventionally "exec.pool".
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix) const;
 
  private:
-  int num_threads_;
+  /// Lazily creates the persistent pool (num_threads - 1 workers).
+  ThreadPool* EnsurePool();
+
+  ExecutorOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  int64_t plans_run_ = 0;
+  int64_t stages_run_ = 0;
 };
 
 /// Validates stage ids/deps/partition contracts; aborts on violation.

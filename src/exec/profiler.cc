@@ -10,11 +10,22 @@ namespace cackle::exec {
 
 std::vector<QueryProfile> ProfileQuery(int query_id, const Catalog& catalog,
                                        const ProfilerOptions& options) {
+  PlanExecutor executor(options.exec_threads);
+  std::vector<QueryProfile> profiles =
+      ProfileQueryOn(query_id, catalog, options, &executor);
+  if (options.metrics != nullptr) {
+    executor.ExportMetrics(options.metrics, "exec.pool");
+  }
+  return profiles;
+}
+
+std::vector<QueryProfile> ProfileQueryOn(int query_id, const Catalog& catalog,
+                                         const ProfilerOptions& options,
+                                         PlanExecutor* executor) {
   const StagePlan plan =
       BuildTpchPlan(query_id, catalog, options.plan_config);
-  PlanExecutor executor;
   PlanRunStats stats;
-  executor.Execute(plan, &stats);
+  executor->Execute(plan, &stats);
   CACKLE_CHECK_EQ(stats.stages.size(), plan.stages.size());
 
   std::vector<QueryProfile> profiles;
@@ -84,10 +95,17 @@ std::vector<QueryProfile> ProfileQuery(int query_id, const Catalog& catalog,
 
 std::vector<QueryProfile> ProfileAllQueries(const Catalog& catalog,
                                             const ProfilerOptions& options) {
+  // One executor for the whole sweep: the work-stealing pool spins up once
+  // and every plan's stages reuse the same workers.
+  PlanExecutor executor(options.exec_threads);
   std::vector<QueryProfile> all;
   for (int q : AllTpchQueryIds()) {
-    std::vector<QueryProfile> profiles = ProfileQuery(q, catalog, options);
+    std::vector<QueryProfile> profiles =
+        ProfileQueryOn(q, catalog, options, &executor);
     for (auto& p : profiles) all.push_back(std::move(p));
+  }
+  if (options.metrics != nullptr) {
+    executor.ExportMetrics(options.metrics, "exec.pool");
   }
   return all;
 }

@@ -8,12 +8,27 @@
 #include "exec/tpch_queries.h"
 #include "workload/query_profile.h"
 
+namespace cackle {
+class MetricsRegistry;
+}
+
 namespace cackle::exec {
+
+class PlanExecutor;
 
 /// \brief Options for profile extraction.
 struct ProfilerOptions {
   /// Scale factor of the catalog the plans execute on.
   double measured_scale_factor = 0.01;
+  /// Executor threads for the measurement runs. 1 (the default) keeps
+  /// per-task durations free of same-host contention, which is what the
+  /// checked-in profile library is derived with; larger values run the 25
+  /// plans on the shared work-stealing pool (faster wall clock, e.g. for
+  /// interactive re-profiling).
+  int exec_threads = 1;
+  /// When set, pool/executor counters are exported here under "exec.pool"
+  /// after profiling.
+  MetricsRegistry* metrics = nullptr;
   /// Scale factors to emit profiles for (task counts and shuffle volumes
   /// are extrapolated; per-task durations are held constant because tasks
   /// are sized for fixed containers).
@@ -45,6 +60,12 @@ std::vector<QueryProfile> ProfileAllQueries(const Catalog& catalog,
 /// Profiles a single query (exposed for tests).
 std::vector<QueryProfile> ProfileQuery(int query_id, const Catalog& catalog,
                                        const ProfilerOptions& options);
+
+/// Profiles a single query on a caller-provided executor. ProfileAllQueries
+/// uses this to reuse one persistent thread pool across all 25 plans.
+std::vector<QueryProfile> ProfileQueryOn(int query_id, const Catalog& catalog,
+                                         const ProfilerOptions& options,
+                                         PlanExecutor* executor);
 
 }  // namespace cackle::exec
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
 #include "exec/datagen.h"
 #include "exec/plan.h"
 #include "exec/profiler.h"
@@ -417,6 +418,56 @@ TEST(ProfilerTest, EmitsValidScaledProfiles) {
   // Larger scale factors mean more tasks and bytes.
   EXPECT_LE(profiles[0].TotalTasks(), profiles[2].TotalTasks());
   EXPECT_LT(profiles[0].TotalShuffleBytes(), profiles[2].TotalShuffleBytes());
+}
+
+TEST(ProfilerTest, PooledProfilingMatchesSerialAndExportsPoolMetrics) {
+  const Catalog& cat = TestCatalog();
+  ProfilerOptions serial_opts;
+  serial_opts.plan_config.tasks = 3;
+  serial_opts.target_scale_factors = {100};
+  ProfilerOptions pooled_opts = serial_opts;
+  pooled_opts.exec_threads = 4;
+  MetricsRegistry metrics;
+  pooled_opts.metrics = &metrics;
+
+  const auto serial = ProfileQuery(8, cat, serial_opts);
+  const auto pooled = ProfileQuery(8, cat, pooled_opts);
+  ASSERT_EQ(serial.size(), 1u);
+  ASSERT_EQ(pooled.size(), 1u);
+  // The DAG shape and data volumes are duration-independent, so they must
+  // be identical however the measurement run was threaded.
+  ASSERT_EQ(pooled[0].stages.size(), serial[0].stages.size());
+  for (size_t i = 0; i < serial[0].stages.size(); ++i) {
+    EXPECT_EQ(pooled[0].stages[i].num_tasks, serial[0].stages[i].num_tasks);
+    EXPECT_EQ(pooled[0].stages[i].dependencies,
+              serial[0].stages[i].dependencies);
+    EXPECT_EQ(pooled[0].stages[i].shuffle_bytes_out,
+              serial[0].stages[i].shuffle_bytes_out);
+  }
+  // The measurement run executed on the pool and exported its counters.
+  EXPECT_GT(metrics.CounterValue("exec.pool.tasks_run"), 0);
+  EXPECT_GT(metrics.CounterValue("exec.pool.plans_run"), 0);
+}
+
+TEST(PlanExecutorTest, ReleasingStageOutputsLowersPeakResidency) {
+  // Q8 is the deepest TPC-H plan in the suite; with release enabled the
+  // executor frees each stage's shuffle partitions after the last consumer
+  // reads them, so peak resident bytes must drop versus keep-everything.
+  const Catalog& cat = TestCatalog();
+  ExecutorOptions keep;
+  keep.release_stage_outputs = false;
+  ExecutorOptions release;
+  release.release_stage_outputs = true;
+  PlanExecutor keeper(keep);
+  PlanExecutor releaser(release);
+  PlanRunStats keep_stats, release_stats;
+  const Table a =
+      keeper.Execute(BuildTpchPlan(8, cat, PlanConfig{4}), &keep_stats);
+  const Table b =
+      releaser.Execute(BuildTpchPlan(8, cat, PlanConfig{4}), &release_stats);
+  ExpectTablesNear(a, b, 0.0);  // same serial execution, exact equality
+  EXPECT_GT(release_stats.peak_resident_bytes, 0);
+  EXPECT_LT(release_stats.peak_resident_bytes, keep_stats.peak_resident_bytes);
 }
 
 TEST(ProfilerTest, RoundTripsThroughSerialization) {

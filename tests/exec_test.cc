@@ -399,6 +399,133 @@ TEST(PlanExecutorTest, TwoStagePlanWithShuffle) {
   EXPECT_GT(stats.stages[0].output_bytes, 0);
 }
 
+namespace {
+
+/// A diamond DAG: two independent scans feed a partitioned join stage whose
+/// output is gathered by a final merge — enough structure to exercise stage
+/// overlap, multi-dep inputs, and the partition/concat shuffle steps.
+StagePlan DiamondPlan(const Table& left, const Table& right) {
+  StagePlan plan;
+  plan.name = "diamond";
+  PlanStage lscan;
+  lscan.label = "left_scan";
+  lscan.num_tasks = 3;
+  lscan.output_keys = {"k"};
+  lscan.output_partitions = 2;
+  lscan.run = [&left](int t, const TaskInput&) {
+    return left.Slice(left.num_rows() * t / 3, left.num_rows() * (t + 1) / 3);
+  };
+  plan.stages.push_back(std::move(lscan));
+  PlanStage rscan;
+  rscan.label = "right_scan";
+  rscan.num_tasks = 2;
+  rscan.output_keys = {"k"};
+  rscan.output_partitions = 2;
+  rscan.run = [&right](int t, const TaskInput&) {
+    return right.Slice(right.num_rows() * t / 2,
+                       right.num_rows() * (t + 1) / 2);
+  };
+  plan.stages.push_back(std::move(rscan));
+  PlanStage join;
+  join.label = "join";
+  join.deps = {0, 1};
+  join.broadcast = {false, false};
+  join.num_tasks = 2;
+  join.output_keys = {"k"};
+  join.output_partitions = 2;
+  join.run = [](int, const TaskInput& in) {
+    return HashAggregate(*in.tables[0], {"k"},
+                         {{AggOp::kSum, Col("v"), "lsum"},
+                          {AggOp::kCount, Col("v"), "cnt"}});
+  };
+  plan.stages.push_back(std::move(join));
+  PlanStage merge;
+  merge.label = "merge";
+  merge.deps = {2};
+  merge.broadcast = {false};
+  merge.num_tasks = 2;
+  merge.output_partitions = 1;
+  merge.run = [](int, const TaskInput& in) {
+    return HashAggregate(*in.tables[0], {"k"},
+                         {{AggOp::kSum, Col("lsum"), "total"}});
+  };
+  plan.stages.push_back(std::move(merge));
+  return plan;
+}
+
+/// Exact (bit-identical) table equality — the executor's determinism
+/// contract says even float summation order matches serial execution.
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int c = 0; c < a.num_columns(); ++c) {
+    ASSERT_EQ(a.column_def(c).type, b.column_def(c).type);
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      const size_t i = static_cast<size_t>(r);
+      switch (a.column_def(c).type) {
+        case DataType::kInt64:
+          ASSERT_EQ(a.column(c).ints()[i], b.column(c).ints()[i]);
+          break;
+        case DataType::kFloat64:
+          // EXPECT_EQ, not NEAR: identical merge order => identical bits.
+          ASSERT_EQ(a.column(c).doubles()[i], b.column(c).doubles()[i]);
+          break;
+        case DataType::kString:
+          ASSERT_EQ(a.column(c).strings()[i], b.column(c).strings()[i]);
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TEST(PlanExecutorTest, SerialBarrierAndPipelinedConfigsAgree) {
+  Rng rng(17);
+  const Table left = RandomTable(&rng, 2000, 40, "k", "v");
+  const Table right = RandomTable(&rng, 800, 40, "k", "v");
+  const StagePlan plan = DiamondPlan(left, right);
+
+  ExecutorOptions serial_opts;  // num_threads = 1
+  ExecutorOptions barrier_opts;
+  barrier_opts.num_threads = 4;
+  barrier_opts.pipeline = false;
+  ExecutorOptions pipelined_opts;
+  pipelined_opts.num_threads = 4;
+  pipelined_opts.pipeline = true;
+
+  PlanExecutor serial(serial_opts);
+  PlanExecutor barrier(barrier_opts);
+  PlanExecutor pipelined(pipelined_opts);
+
+  PlanRunStats serial_stats, barrier_stats, pipelined_stats;
+  const Table a = serial.Execute(plan, &serial_stats);
+  const Table b = barrier.Execute(plan, &barrier_stats);
+  const Table c = pipelined.Execute(plan, &pipelined_stats);
+
+  ExpectTablesIdentical(a, b);
+  ExpectTablesIdentical(a, c);
+
+  // Stats invariants: every config accounts for every task exactly once
+  // (no double-counted and no lost slots) and sees identical data volumes.
+  const PlanRunStats* const runs[] = {&serial_stats, &barrier_stats,
+                                      &pipelined_stats};
+  for (const PlanRunStats* run : runs) {
+    ASSERT_EQ(run->stages.size(), plan.stages.size());
+    for (size_t i = 0; i < plan.stages.size(); ++i) {
+      const StageStats& s = run->stages[i];
+      EXPECT_EQ(s.label, plan.stages[i].label);
+      EXPECT_EQ(s.num_tasks, plan.stages[i].num_tasks);
+      ASSERT_EQ(static_cast<int>(s.task_micros.size()), s.num_tasks);
+      for (const int64_t us : s.task_micros) EXPECT_GE(us, 0);
+      EXPECT_EQ(s.output_bytes, serial_stats.stages[i].output_bytes);
+      EXPECT_EQ(s.output_rows, serial_stats.stages[i].output_rows);
+    }
+    EXPECT_GT(run->peak_resident_bytes, 0);
+    EXPECT_GE(run->total_micros, 0);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Data generator
 // ---------------------------------------------------------------------------

@@ -294,6 +294,45 @@ TEST(TpchGoldenResultsTest, AllQueriesMatchCommittedChecksums) {
 }
 
 // ---------------------------------------------------------------------------
+// Determinism: pooled execution (with and without DAG pipelining) promises
+// BIT-identical results to serial — task outputs land in per-index slots and
+// merges walk fixed index order, so even double summation order matches.
+// Checksums are therefore compared with EXPECT_EQ, no epsilon.
+// ---------------------------------------------------------------------------
+
+void ExpectChecksumsBitIdentical(const QueryChecksum& a,
+                                 const QueryChecksum& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    SCOPED_TRACE(testing::Message() << "column " << a.columns[c].name);
+    EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+    EXPECT_EQ(a.columns[c].type, b.columns[c].type);
+    EXPECT_EQ(a.columns[c].hash, b.columns[c].hash);
+    EXPECT_EQ(a.columns[c].sum, b.columns[c].sum);  // exact, not NEAR
+  }
+}
+
+TEST(TpchGoldenResultsTest, PooledExecutionIsBitIdenticalToSerial) {
+  PlanExecutor serial;  // 1 thread, index order
+  ExecutorOptions barrier_opts;
+  barrier_opts.num_threads = 4;
+  barrier_opts.pipeline = false;
+  PlanExecutor barrier(barrier_opts);
+  ExecutorOptions pipelined_opts;
+  pipelined_opts.num_threads = 4;
+  pipelined_opts.pipeline = true;
+  PlanExecutor pipelined(pipelined_opts);
+  for (const int id : AllTpchQueryIds()) {
+    SCOPED_TRACE(testing::Message() << "query " << id);
+    const StagePlan plan = BuildTpchPlan(id, TestCatalog(), PlanConfig{3});
+    const QueryChecksum want = Checksum(id, serial.Execute(plan));
+    ExpectChecksumsBitIdentical(want, Checksum(id, barrier.Execute(plan)));
+    ExpectChecksumsBitIdentical(want, Checksum(id, pipelined.Execute(plan)));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Differential: thread-pool execution must be equivalent to serial for every
 // query. Rows are compared as sorted multisets so the check pins content,
 // not an accidental row order.
@@ -326,16 +365,8 @@ std::vector<std::vector<Cell>> SortedRows(const Table& table) {
 
 class TpchThreadDifferentialTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(TpchThreadDifferentialTest, OneThreadEqualsFourThreads) {
-  const Catalog& cat = TestCatalog();
-  PlanExecutor serial(1);
-  PlanExecutor pooled(4);
-  const Table a =
-      serial.Execute(BuildTpchPlan(GetParam(), cat, PlanConfig{6}));
-  const Table b =
-      pooled.Execute(BuildTpchPlan(GetParam(), cat, PlanConfig{6}));
-  const auto rows_a = SortedRows(a);
-  const auto rows_b = SortedRows(b);
+void ExpectSortedRowsNear(const std::vector<std::vector<Cell>>& rows_a,
+                          const std::vector<std::vector<Cell>>& rows_b) {
   ASSERT_EQ(rows_a.size(), rows_b.size());
   for (size_t r = 0; r < rows_a.size(); ++r) {
     ASSERT_EQ(rows_a[r].size(), rows_b[r].size());
@@ -351,6 +382,20 @@ TEST_P(TpchThreadDifferentialTest, OneThreadEqualsFourThreads) {
       }
     }
   }
+}
+
+TEST_P(TpchThreadDifferentialTest, SerialPoolAndPipelinedAgree) {
+  const Catalog& cat = TestCatalog();
+  PlanExecutor serial(1);
+  ExecutorOptions barrier_opts;
+  barrier_opts.num_threads = 4;
+  barrier_opts.pipeline = false;
+  PlanExecutor barrier(barrier_opts);
+  PlanExecutor pipelined(4);  // pipeline defaults on
+  const StagePlan plan = BuildTpchPlan(GetParam(), cat, PlanConfig{6});
+  const auto rows_serial = SortedRows(serial.Execute(plan));
+  ExpectSortedRowsNear(rows_serial, SortedRows(barrier.Execute(plan)));
+  ExpectSortedRowsNear(rows_serial, SortedRows(pipelined.Execute(plan)));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchThreadDifferentialTest,

@@ -45,6 +45,7 @@ TEST_F(ShuffleLayerTest, WritesWithinCapacityStayOnNodes) {
   layer_.Read(1, 0, /*object_store_gets=*/10'000);
   EXPECT_DOUBLE_EQ(meter_.CategoryDollars(CostCategory::kObjectStoreGet),
                    0.0);
+  EXPECT_EQ(layer_.total_unmatched_reads(), 0);
 }
 
 TEST_F(ShuffleLayerTest, OverflowFallsBackToObjectStore) {
@@ -60,6 +61,7 @@ TEST_F(ShuffleLayerTest, OverflowFallsBackToObjectStore) {
   layer_.Read(2, 0, 1000);
   EXPECT_GT(meter_.CategoryDollars(CostCategory::kObjectStoreGet), 0.0);
   EXPECT_EQ(layer_.total_fallback_bytes(), store_.bytes_stored());
+  EXPECT_EQ(layer_.total_unmatched_reads(), 0);
 }
 
 TEST_F(ShuffleLayerTest, ReleaseQueryFreesNodeMemoryAndStoreObjects) {
@@ -95,6 +97,25 @@ TEST_F(ShuffleLayerTest, ReleaseUnknownQueryIsNoop) {
   layer_.ReleaseQuery(12345);
   layer_.Read(12345, 0, 100);
   EXPECT_DOUBLE_EQ(meter_.TotalDollars(), 0.0);
+}
+
+TEST_F(ShuffleLayerTest, UnmatchedReadsAreCounted) {
+  ProvisionNodes();
+  EXPECT_EQ(layer_.total_unmatched_reads(), 0);
+  // Unknown query.
+  layer_.Read(12345, 0, 100);
+  EXPECT_EQ(layer_.total_unmatched_reads(), 1);
+  // Known query, unknown stage.
+  layer_.Write(6, 0, 1 << 20, 4, 8);
+  layer_.Read(6, 99, 100);
+  EXPECT_EQ(layer_.total_unmatched_reads(), 2);
+  // A matched read does not move the counter.
+  layer_.Read(6, 0, 100);
+  EXPECT_EQ(layer_.total_unmatched_reads(), 2);
+
+  MetricsRegistry metrics;
+  layer_.ExportMetrics(&metrics, "shuffle");
+  EXPECT_EQ(metrics.CounterValue("shuffle.unmatched_reads"), 2);
 }
 
 }  // namespace
