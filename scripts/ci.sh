@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests three configurations — Release,
-# AddressSanitizer+UBSan, and ThreadSanitizer — and smoke-runs the executor
-# microbenchmarks to produce a BENCH_micro_exec.json artifact. Any test
+# CI entry point. Stage zero is static analysis — the project-invariant lint
+# engine (tools/lint/) runs before anything is compiled and fails the script
+# on any non-baselined violation. Then three build/test configurations —
+# Release (with -Werror), AddressSanitizer+UBSan, and ThreadSanitizer — and
+# a microbenchmark smoke pass that produces BENCH_micro_exec.json. Any test
 # failure or sanitizer report (sanitizers run with
 # -fno-sanitize-recover=all) fails the script.
 #
@@ -10,6 +12,40 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+# ---------------------------------------------------------------- stage zero
+# Project-invariant lint: determinism, layering, Status discipline, raw
+# threads, unordered-iteration output, metric-name registry. Gating.
+echo "=== lint (stage 0) ==="
+./scripts/lint.sh
+python3 tools/lint/selftest.py
+
+# Format-diff check on files changed by the latest commit: warning-only for
+# pre-existing code (the tree predates .clang-format), gating for anything
+# under tools/lint/. Skipped with a notice when clang-format is absent.
+echo "=== format check ==="
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t changed < <(git diff --name-only HEAD~1 -- '*.cc' '*.h' \
+    2>/dev/null || true)
+  format_bad=0
+  for f in "${changed[@]}"; do
+    [[ -f "$f" ]] || continue
+    if ! clang-format --dry-run --Werror "$f" >/dev/null 2>&1; then
+      case "$f" in
+        tools/lint/*)
+          echo "format ERROR (gating): $f"
+          format_bad=1
+          ;;
+        *)
+          echo "format warning (non-gating): $f"
+          ;;
+      esac
+    fi
+  done
+  [[ "${format_bad}" -eq 0 ]] || exit 1
+else
+  echo "clang-format not installed; skipping format check"
+fi
 
 # run_config <dir> <ctest-regex|-> [cmake args...]
 # "-" runs the whole suite; anything else is passed to ctest -R.
@@ -29,9 +65,7 @@ run_config() {
   ctest "${ctest_args[@]}"
 }
 
-# (No -DCACKLE_WERROR=ON: GCC 12's -O3 -Wrestrict false-positive on
-# std::string operator+ in strategy.cc would fail the build.)
-run_config build-release - -DCMAKE_BUILD_TYPE=Release
+run_config build-release - -DCMAKE_BUILD_TYPE=Release -DCACKLE_WERROR=ON
 run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DCACKLE_SANITIZE=address;undefined"
 # TSan covers the only genuinely multithreaded code (the work-stealing
@@ -41,6 +75,17 @@ run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run_config build-tsan \
   "thread_pool|exec|golden|operators|logical|storage|vectorized" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
+
+# Non-gating clang-tidy report over src/common (bugprone/performance/
+# concurrency families, config in .clang-tidy), using the compilation
+# database the Release configure just exported. Skipped with a notice when
+# clang-tidy is absent.
+echo "=== clang-tidy report (non-gating) ==="
+if command -v clang-tidy >/dev/null 2>&1; then
+  clang-tidy -p build-release src/common/*.cc || true
+else
+  echo "clang-tidy not installed; skipping report"
+fi
 
 # Bench smoke: a short microbenchmark pass that both exercises the bench
 # binaries and leaves a machine-readable artifact for trend tracking.
@@ -67,5 +112,5 @@ python3 scripts/bench_compare.py \
   build-release/BENCH_micro_exec_raw.json \
   --out bench/results/BENCH_micro_exec.json
 
-echo "CI passed: Release, address;undefined, and thread configurations" \
-  "are green."
+echo "CI passed: lint, Release (-Werror), address;undefined, and thread" \
+  "configurations are green."

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs the project-invariant lint engine over src/ exactly as CI does
+# (scripts/ci.sh stage zero). Exits non-zero on any non-baselined violation.
+#
+# Usage: scripts/lint.sh [extra cackle_lint.py args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+exec python3 tools/lint/cackle_lint.py \
+  --root . \
+  --baseline tools/lint/baseline.txt \
+  "$@"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace cackle {
 
@@ -62,10 +63,12 @@ void ElasticPool::Release(ElasticSlotId id) {
 
 void ElasticPool::ExportMetrics(MetricsRegistry* metrics,
                                 const std::string& prefix) const {
-  metrics->SetCounter(prefix + ".invocations", total_invocations_);
-  metrics->SetCounter(prefix + ".throttled", total_throttled_);
-  metrics->SetCounter(prefix + ".billed_ms", total_billed_ms_);
-  metrics->SetGauge(prefix + ".peak_active", static_cast<double>(peak_active_));
+  namespace mn = metric_names;
+  metrics->SetCounter(prefix + mn::kSuffixInvocations, total_invocations_);
+  metrics->SetCounter(prefix + mn::kSuffixThrottled, total_throttled_);
+  metrics->SetCounter(prefix + mn::kSuffixBilledMs, total_billed_ms_);
+  metrics->SetGauge(prefix + mn::kSuffixPeakActive,
+                    static_cast<double>(peak_active_));
 }
 
 void ElasticPool::Invoke(SimTimeMs duration_ms, std::function<void()> done) {

@@ -40,7 +40,7 @@ class ElasticPool {
   /// the slot id. The caller must eventually Release() the slot. Returns
   /// ResourceExhausted (and does not run `granted`) when the request is
   /// throttled by the concurrency limit.
-  Status TryAcquire(std::function<void(ElasticSlotId)> granted);
+  [[nodiscard]] Status TryAcquire(std::function<void(ElasticSlotId)> granted);
 
   /// Like TryAcquire but aborts on throttling; for callers that have not
   /// configured a concurrency limit.

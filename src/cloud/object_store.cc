@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace cackle {
 
@@ -77,13 +78,14 @@ bool ObjectStore::Delete(const std::string& key) {
 
 void ObjectStore::ExportMetrics(MetricsRegistry* metrics,
                                 const std::string& prefix) const {
-  metrics->SetCounter(prefix + ".puts", num_puts_);
-  metrics->SetCounter(prefix + ".gets", num_gets_);
-  metrics->SetCounter(prefix + ".retries", num_retries_);
-  metrics->SetCounter(prefix + ".objects", num_objects());
-  metrics->SetGauge(prefix + ".bytes_stored",
+  namespace mn = metric_names;
+  metrics->SetCounter(prefix + mn::kSuffixPuts, num_puts_);
+  metrics->SetCounter(prefix + mn::kSuffixGets, num_gets_);
+  metrics->SetCounter(prefix + mn::kSuffixRetries, num_retries_);
+  metrics->SetCounter(prefix + mn::kSuffixObjects, num_objects());
+  metrics->SetGauge(prefix + mn::kSuffixBytesStored,
                     static_cast<double>(bytes_stored_));
-  metrics->SetGauge(prefix + ".peak_bytes_stored",
+  metrics->SetGauge(prefix + mn::kSuffixPeakBytesStored,
                     static_cast<double>(peak_bytes_stored_));
 }
 

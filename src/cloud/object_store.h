@@ -38,11 +38,11 @@ class ObjectStore {
 
   /// Single attempt to store (or overwrite) an object of `bytes` bytes.
   /// Bills one PUT even on injected failure.
-  Status TryPut(const std::string& key, int64_t bytes);
+  [[nodiscard]] Status TryPut(const std::string& key, int64_t bytes);
 
   /// Single attempt to fetch an object's size. Bills one GET even on
   /// injected failure or 404 (S3 charges for 404s). NotFound when absent.
-  StatusOr<int64_t> TryGet(const std::string& key);
+  [[nodiscard]] StatusOr<int64_t> TryGet(const std::string& key);
 
   /// Stores (or overwrites) an object, retrying transient errors. Every
   /// attempt bills one PUT.

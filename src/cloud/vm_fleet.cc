@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace cackle {
 
@@ -233,13 +234,17 @@ void VmFleet::TerminateAll() {
 
 void VmFleet::ExportMetrics(MetricsRegistry* metrics,
                             const std::string& prefix) const {
-  metrics->SetCounter(prefix + ".vms_started", total_started_);
-  metrics->SetCounter(prefix + ".vms_terminated", total_terminated_);
-  metrics->SetCounter(prefix + ".vms_interrupted", total_interrupted_);
-  metrics->SetCounter(prefix + ".launch_failures", total_launch_failures_);
-  metrics->SetCounter(prefix + ".runtime_ms", total_runtime_ms_);
-  metrics->SetGauge(prefix + ".target", static_cast<double>(target_));
-  metrics->SetGauge(prefix + ".ready", static_cast<double>(num_ready()));
+  namespace mn = metric_names;
+  metrics->SetCounter(prefix + mn::kSuffixVmsStarted, total_started_);
+  metrics->SetCounter(prefix + mn::kSuffixVmsTerminated, total_terminated_);
+  metrics->SetCounter(prefix + mn::kSuffixVmsInterrupted,
+                      total_interrupted_);
+  metrics->SetCounter(prefix + mn::kSuffixLaunchFailures,
+                      total_launch_failures_);
+  metrics->SetCounter(prefix + mn::kSuffixRuntimeMs, total_runtime_ms_);
+  metrics->SetGauge(prefix + mn::kSuffixTarget, static_cast<double>(target_));
+  metrics->SetGauge(prefix + mn::kSuffixReady,
+                    static_cast<double>(num_ready()));
 }
 
 }  // namespace cackle

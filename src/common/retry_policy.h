@@ -54,7 +54,7 @@ class RetryPolicy {
   /// Runs `op` until it returns OK, attempts run out, or the deadline is
   /// exceeded; returns the final status. `attempts_out` (optional) receives
   /// the number of attempts made.
-  Status Execute(const std::function<Status()>& op,
+  [[nodiscard]] Status Execute(const std::function<Status()>& op,
                  int* attempts_out = nullptr);
 
  private:

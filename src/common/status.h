@@ -34,7 +34,13 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message. Status is cheap to copy and move.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile error
+/// (-Werror=unused-result), which is what makes the Status-returning idiom
+/// trustworthy — a dropped error cannot silently disappear. Intentionally
+/// discarded results must be spelled `(void)expr;` with a comment, or routed
+/// through a logging helper.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -103,7 +109,7 @@ class Status {
 /// Accessing the value of an errored StatusOr aborts the process (programming
 /// error); check ok() or status() first on fallible paths.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. Must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT

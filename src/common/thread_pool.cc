@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "common/metrics.h"
 
 namespace cackle {
@@ -185,15 +186,16 @@ ThreadPool::Stats ThreadPool::stats() const {
 
 void ThreadPool::ExportMetrics(MetricsRegistry* metrics,
                                const std::string& prefix) const {
+  namespace mn = metric_names;
   const Stats s = stats();
-  metrics->SetCounter(prefix + ".workers", num_threads());
-  metrics->SetCounter(prefix + ".tasks_submitted", s.tasks_submitted);
-  metrics->SetCounter(prefix + ".tasks_run", s.tasks_run);
-  metrics->SetCounter(prefix + ".steals", s.steals);
-  metrics->SetCounter(prefix + ".tasks_stolen", s.tasks_stolen);
-  metrics->SetCounter(prefix + ".helper_runs", s.helper_runs);
-  metrics->SetCounter(prefix + ".busy_micros", s.busy_micros);
-  metrics->SetCounter(prefix + ".max_queue_depth", s.max_queue_depth);
+  metrics->SetCounter(prefix + mn::kSuffixWorkers, num_threads());
+  metrics->SetCounter(prefix + mn::kSuffixTasksSubmitted, s.tasks_submitted);
+  metrics->SetCounter(prefix + mn::kSuffixTasksRun, s.tasks_run);
+  metrics->SetCounter(prefix + mn::kSuffixSteals, s.steals);
+  metrics->SetCounter(prefix + mn::kSuffixTasksStolen, s.tasks_stolen);
+  metrics->SetCounter(prefix + mn::kSuffixHelperRuns, s.helper_runs);
+  metrics->SetCounter(prefix + mn::kSuffixBusyMicros, s.busy_micros);
+  metrics->SetCounter(prefix + mn::kSuffixMaxQueueDepth, s.max_queue_depth);
 }
 
 TaskGroup::TaskGroup(ThreadPool* pool, std::string context)

@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace cackle {
+
+namespace mn = metric_names;
 
 struct CackleEngine::QueryState {
   const QueryProfile* profile = nullptr;
@@ -24,20 +27,20 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   obs_ = options_.observability;
   metrics_ = obs_ != nullptr ? &obs_->metrics : &own_metrics_;
   tracer_ = obs_ != nullptr ? &obs_->tracer : &disabled_tracer_;
-  tasks_on_vms_ = metrics_->GetCounter("engine.tasks_on_vms");
-  tasks_on_elastic_ = metrics_->GetCounter("engine.tasks_on_elastic");
-  tasks_retried_ = metrics_->GetCounter("engine.tasks_retried");
-  tasks_speculated_ = metrics_->GetCounter("engine.tasks_speculated");
-  batch_tasks_delayed_ = metrics_->GetCounter("engine.batch_tasks_delayed");
+  tasks_on_vms_ = metrics_->GetCounter(mn::kEngineTasksOnVms);
+  tasks_on_elastic_ = metrics_->GetCounter(mn::kEngineTasksOnElastic);
+  tasks_retried_ = metrics_->GetCounter(mn::kEngineTasksRetried);
+  tasks_speculated_ = metrics_->GetCounter(mn::kEngineTasksSpeculated);
+  batch_tasks_delayed_ = metrics_->GetCounter(mn::kEngineBatchTasksDelayed);
   batch_tasks_escalated_ =
-      metrics_->GetCounter("engine.batch_tasks_escalated");
-  elastic_failures_ = metrics_->GetCounter("engine.elastic_failures");
-  stages_reexecuted_ = metrics_->GetCounter("engine.stages_reexecuted");
+      metrics_->GetCounter(mn::kEngineBatchTasksEscalated);
+  elastic_failures_ = metrics_->GetCounter(mn::kEngineElasticFailures);
+  stages_reexecuted_ = metrics_->GetCounter(mn::kEngineStagesReexecuted);
   shuffle_partitions_lost_ =
-      metrics_->GetCounter("engine.shuffle_partitions_lost");
-  queries_completed_ = metrics_->GetCounter("engine.queries_completed");
-  query_latency_s_ = metrics_->GetHistogram("engine.query_latency_s");
-  batch_latency_s_ = metrics_->GetHistogram("engine.batch_latency_s");
+      metrics_->GetCounter(mn::kEngineShufflePartitionsLost);
+  queries_completed_ = metrics_->GetCounter(mn::kEngineQueriesCompleted);
+  query_latency_s_ = metrics_->GetHistogram(mn::kEngineQueryLatencyS);
+  batch_latency_s_ = metrics_->GetHistogram(mn::kEngineBatchLatencyS);
   injector_ = std::make_unique<FaultInjector>(options_.faults,
                                               options_.seed ^ 0xfa017ULL);
   elastic_retry_policy_ =
@@ -598,12 +601,14 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   // Fold every component's lifetime totals into the registry, then fill the
   // result struct from it — the registry is the single source of truth for
   // event counts (EngineResult keeps its fields for callers and plots).
-  fleet_->ExportMetrics(metrics_, "vm_fleet");
-  pool_->ExportMetrics(metrics_, "elastic_pool");
-  object_store_->ExportMetrics(metrics_, "object_store");
-  if (options_.enable_shuffle) shuffle_->ExportMetrics(metrics_, "shuffle");
-  metrics_->SetCounter("engine.makespan_ms", result_.makespan_ms);
-  metrics_->SetGauge("engine.peak_concurrent_tasks",
+  fleet_->ExportMetrics(metrics_, mn::kPrefixVmFleet);
+  pool_->ExportMetrics(metrics_, mn::kPrefixElasticPool);
+  object_store_->ExportMetrics(metrics_, mn::kPrefixObjectStore);
+  if (options_.enable_shuffle) {
+    shuffle_->ExportMetrics(metrics_, mn::kPrefixShuffle);
+  }
+  metrics_->SetCounter(mn::kEngineMakespanMs, result_.makespan_ms);
+  metrics_->SetGauge(mn::kEnginePeakConcurrentTasks,
                      static_cast<double>(result_.peak_concurrent_tasks));
 
   result_.tasks_on_vms = tasks_on_vms_->value();
@@ -616,18 +621,24 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   result_.stages_reexecuted = stages_reexecuted_->value();
   result_.shuffle_partitions_lost = shuffle_partitions_lost_->value();
   result_.queries_completed = queries_completed_->value();
-  result_.shuffle_fallback_bytes =
-      metrics_->CounterValue("shuffle.fallback_bytes");
-  result_.shuffle_written_bytes =
-      metrics_->CounterValue("shuffle.written_bytes");
-  result_.shuffle_nodes_crashed =
-      metrics_->CounterValue("shuffle.nodes_crashed");
-  result_.vms_interrupted = metrics_->CounterValue("vm_fleet.vms_interrupted");
-  result_.elastic_throttled = metrics_->CounterValue("elastic_pool.throttled");
-  result_.store_retries = metrics_->CounterValue("object_store.retries");
+  result_.shuffle_fallback_bytes = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixShuffle, mn::kSuffixFallbackBytes));
+  result_.shuffle_written_bytes = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixShuffle, mn::kSuffixWrittenBytes));
+  result_.shuffle_nodes_crashed = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixShuffle, mn::kSuffixNodesCrashed));
+  result_.vms_interrupted = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixVmFleet, mn::kSuffixVmsInterrupted));
+  result_.elastic_throttled = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixElasticPool, mn::kSuffixThrottled));
+  result_.store_retries = metrics_->CounterValue(
+      JoinMetricName(mn::kPrefixObjectStore, mn::kSuffixRetries));
   result_.vm_launch_failures =
-      metrics_->CounterValue("vm_fleet.launch_failures") +
-      metrics_->CounterValue("shuffle.fleet.launch_failures");
+      metrics_->CounterValue(
+          JoinMetricName(mn::kPrefixVmFleet, mn::kSuffixLaunchFailures)) +
+      metrics_->CounterValue(
+          JoinMetricName(mn::kPrefixShuffle, mn::kSuffixFleet) +
+          mn::kSuffixLaunchFailures);
 
   if (ledger_ != nullptr) {
     // Close the attribution books against the final bill. Directly

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 
 namespace cackle {
 
@@ -227,14 +228,18 @@ void ShuffleLayer::Shutdown() {
 
 void ShuffleLayer::ExportMetrics(MetricsRegistry* metrics,
                                  const std::string& prefix) const {
-  metrics->SetCounter(prefix + ".written_bytes", total_written_bytes_);
-  metrics->SetCounter(prefix + ".fallback_bytes", total_fallback_bytes_);
-  metrics->SetCounter(prefix + ".nodes_crashed", total_nodes_crashed_);
-  metrics->SetCounter(prefix + ".partitions_lost", total_partitions_lost_);
-  metrics->SetCounter(prefix + ".unmatched_reads", total_unmatched_reads_);
-  metrics->SetGauge(prefix + ".resident_bytes",
+  namespace mn = metric_names;
+  metrics->SetCounter(prefix + mn::kSuffixWrittenBytes, total_written_bytes_);
+  metrics->SetCounter(prefix + mn::kSuffixFallbackBytes,
+                      total_fallback_bytes_);
+  metrics->SetCounter(prefix + mn::kSuffixNodesCrashed, total_nodes_crashed_);
+  metrics->SetCounter(prefix + mn::kSuffixPartitionsLost,
+                      total_partitions_lost_);
+  metrics->SetCounter(prefix + mn::kSuffixUnmatchedReads,
+                      total_unmatched_reads_);
+  metrics->SetGauge(prefix + mn::kSuffixResidentBytes,
                     static_cast<double>(resident_bytes_));
-  fleet_.ExportMetrics(metrics, prefix + ".fleet");
+  fleet_.ExportMetrics(metrics, prefix + mn::kSuffixFleet);
 }
 
 }  // namespace cackle

@@ -1,5 +1,6 @@
 #include "exec/exec_metrics.h"
 
+#include "common/metric_names.h"
 #include "common/metrics.h"
 
 namespace cackle::exec {
@@ -23,23 +24,24 @@ ExecKernelMetrics& ExecMetrics() {
 }
 
 void PublishExecMetrics(MetricsRegistry& registry) {
+  namespace mn = metric_names;
   const ExecKernelMetrics& m = ExecMetrics();
   const auto get = [](const std::atomic<int64_t>& v) {
     return v.load(std::memory_order_relaxed);
   };
-  registry.SetCounter("exec.flat_table.builds", get(m.flat_table_builds));
-  registry.SetCounter("exec.flat_table.resizes", get(m.flat_table_resizes));
-  registry.SetCounter("exec.keys.packed", get(m.key_packed_activations));
-  registry.SetCounter("exec.keys.fallback", get(m.key_fallback_activations));
-  registry.SetCounter("exec.dict.columns_encoded",
+  registry.SetCounter(mn::kExecFlatTableBuilds, get(m.flat_table_builds));
+  registry.SetCounter(mn::kExecFlatTableResizes, get(m.flat_table_resizes));
+  registry.SetCounter(mn::kExecKeysPacked, get(m.key_packed_activations));
+  registry.SetCounter(mn::kExecKeysFallback, get(m.key_fallback_activations));
+  registry.SetCounter(mn::kExecDictColumnsEncoded,
                       get(m.dict_columns_encoded));
-  registry.SetCounter("exec.dict.encodes_abandoned",
+  registry.SetCounter(mn::kExecDictEncodesAbandoned,
                       get(m.dict_encodes_abandoned));
-  registry.SetCounter("exec.dict.total_entries", get(m.dict_total_entries));
-  registry.SetCounter("exec.gather.rows", get(m.gather_rows));
-  registry.SetCounter("exec.filter.selection_vectors",
+  registry.SetCounter(mn::kExecDictTotalEntries, get(m.dict_total_entries));
+  registry.SetCounter(mn::kExecGatherRows, get(m.gather_rows));
+  registry.SetCounter(mn::kExecFilterSelectionVectors,
                       get(m.selection_filters));
-  registry.SetCounter("exec.filter.dict_predicates",
+  registry.SetCounter(mn::kExecFilterDictPredicates,
                       get(m.dict_predicate_evals));
 }
 

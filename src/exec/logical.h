@@ -100,7 +100,7 @@ class TableResolver {
 
 /// \brief Output schema of a logical node (used by validation, pruning and
 /// lowering). Fails on unknown tables/columns or malformed nodes.
-StatusOr<std::vector<ColumnDef>> OutputSchema(const LogicalNodePtr& node,
+[[nodiscard]] StatusOr<std::vector<ColumnDef>> OutputSchema(const LogicalNodePtr& node,
                                               const TableResolver& resolver);
 
 /// Renders the tree one node per line with indentation — the optimizer

@@ -20,7 +20,7 @@ namespace cackle::exec {
 /// The resulting plan runs on PlanExecutor exactly like the hand-built
 /// TPC-H plans, and obeys the same partition-invariance property: results
 /// are identical for any `config.tasks`.
-StatusOr<StagePlan> LowerToStagePlan(const LogicalNodePtr& plan,
+[[nodiscard]] StatusOr<StagePlan> LowerToStagePlan(const LogicalNodePtr& plan,
                                      const TableResolver& resolver,
                                      const PlanConfig& config = PlanConfig(),
                                      std::string name = "logical_plan");

@@ -33,7 +33,7 @@ struct OptimizerOptions {
 ///
 /// The input tree is consumed; the returned tree produces identical results
 /// (tested against unoptimized execution) with less work.
-StatusOr<LogicalNodePtr> Optimize(LogicalNodePtr plan,
+[[nodiscard]] StatusOr<LogicalNodePtr> Optimize(LogicalNodePtr plan,
                                   const TableResolver& resolver,
                                   const OptimizerOptions& options = {});
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "exec/operators.h"
@@ -35,8 +36,8 @@ ThreadPool* PlanExecutor::EnsurePool() {
 
 void PlanExecutor::ExportMetrics(MetricsRegistry* metrics,
                                  const std::string& prefix) const {
-  metrics->SetCounter(prefix + ".plans_run", plans_run_);
-  metrics->SetCounter(prefix + ".stages_run", stages_run_);
+  metrics->SetCounter(prefix + metric_names::kSuffixPlansRun, plans_run_);
+  metrics->SetCounter(prefix + metric_names::kSuffixStagesRun, stages_run_);
   if (pool_ != nullptr) pool_->ExportMetrics(metrics, prefix);
 }
 
@@ -164,10 +165,14 @@ class PlanRun {
       CACKLE_CHECK_LT(part, up.partitions.size());
       input.tables.push_back(&up.partitions[part]);
     }
+    // Per-task wall time feeds profiling stats only, never query
+    // results or billing.
+    // NOLINTNEXTLINE(cackle-determinism): profiling-only timing.
     const auto t0 = std::chrono::steady_clock::now();
     state.task_outputs[static_cast<size_t>(t)] = stage.run(t, input);
     state.task_micros[static_cast<size_t>(t)] =
         std::chrono::duration_cast<std::chrono::microseconds>(
+            // NOLINTNEXTLINE(cackle-determinism): profiling-only timing.
             std::chrono::steady_clock::now() - t0)
             .count();
   }
@@ -404,6 +409,9 @@ class PlanRun {
 
 Table PlanExecutor::Execute(const StagePlan& plan, PlanRunStats* stats) {
   ValidatePlan(plan);
+  // Plan wall time feeds PlanRunStats for benchmarks only; results and
+  // metrics stay deterministic.
+  // NOLINTNEXTLINE(cackle-determinism): profiling-only timing.
   const auto t0 = std::chrono::steady_clock::now();
   const bool pooled =
       options_.num_threads > 1 &&
@@ -414,6 +422,7 @@ Table PlanExecutor::Execute(const StagePlan& plan, PlanRunStats* stats) {
   stages_run_ += static_cast<int64_t>(plan.stages.size());
   if (stats != nullptr) {
     stats->total_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              // NOLINTNEXTLINE(cackle-determinism): ditto.
                               std::chrono::steady_clock::now() - t0)
                               .count();
   }

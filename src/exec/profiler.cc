@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metric_names.h"
 #include "exec/plan.h"
 
 namespace cackle::exec {
@@ -14,7 +15,7 @@ std::vector<QueryProfile> ProfileQuery(int query_id, const Catalog& catalog,
   std::vector<QueryProfile> profiles =
       ProfileQueryOn(query_id, catalog, options, &executor);
   if (options.metrics != nullptr) {
-    executor.ExportMetrics(options.metrics, "exec.pool");
+    executor.ExportMetrics(options.metrics, metric_names::kPrefixExecPool);
   }
   return profiles;
 }
@@ -105,7 +106,7 @@ std::vector<QueryProfile> ProfileAllQueries(const Catalog& catalog,
     for (auto& p : profiles) all.push_back(std::move(p));
   }
   if (options.metrics != nullptr) {
-    executor.ExportMetrics(options.metrics, "exec.pool");
+    executor.ExportMetrics(options.metrics, metric_names::kPrefixExecPool);
   }
   return all;
 }

@@ -43,7 +43,7 @@ std::string WriteTableFile(const Table& table,
                            const StorageWriteOptions& options = {});
 
 /// Reads back the full table.
-StatusOr<Table> ReadTableFile(const std::string& bytes);
+[[nodiscard]] StatusOr<Table> ReadTableFile(const std::string& bytes);
 
 /// \brief A simple conjunctive range predicate on one column, usable for
 /// stripe skipping. For int64/float64 columns: value in [lo, hi]; for
@@ -71,7 +71,7 @@ struct ScanFileResult {
 /// stripes provably outside any range are skipped via statistics. Rows in
 /// surviving stripes are still filtered exactly, and `residual` (nullable)
 /// is applied afterwards, so results match a full-table Filter.
-StatusOr<ScanFileResult> ScanTableFile(const std::string& bytes,
+[[nodiscard]] StatusOr<ScanFileResult> ScanTableFile(const std::string& bytes,
                                        const std::vector<std::string>& columns,
                                        const std::vector<ColumnRange>& ranges,
                                        const ExprPtr& residual = nullptr);
@@ -83,7 +83,7 @@ struct TableFileInfo {
   std::vector<ColumnDef> schema;
   int64_t file_bytes = 0;
 };
-StatusOr<TableFileInfo> InspectTableFile(const std::string& bytes);
+[[nodiscard]] StatusOr<TableFileInfo> InspectTableFile(const std::string& bytes);
 
 /// \brief A TPC-H catalog serialized to table files — the at-rest form the
 /// paper keeps in cloud storage.
@@ -108,7 +108,7 @@ struct StoredCatalog {
 /// Serializes / deserializes all eight base tables.
 StoredCatalog EncodeCatalog(const Catalog& catalog,
                             const StorageWriteOptions& options = {});
-StatusOr<Catalog> DecodeCatalog(const StoredCatalog& stored);
+[[nodiscard]] StatusOr<Catalog> DecodeCatalog(const StoredCatalog& stored);
 
 }  // namespace cackle::exec
 

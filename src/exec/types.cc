@@ -42,7 +42,9 @@ int64_t AddMonths(int64_t date, int64_t months) {
 
 std::string FormatDate(int64_t date) {
   const CivilDate c = CivilFromDate(date);
-  char buf[24];
+  // Wide enough for the full %lld range (sign + 19 digits) plus
+  // "-MM-DD" and the terminator; 24 drew -Wformat-truncation under -O3.
+  char buf[32];
   std::snprintf(buf, sizeof(buf), "%04lld-%02u-%02u",
                 static_cast<long long>(c.year), c.month, c.day);
   return buf;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/metric_names.h"
 #include "common/tracer.h"
 
 namespace cackle {
@@ -85,13 +86,14 @@ int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
     last_target_ = experts_[chosen_]->Target(history);
     // Decision snapshot (pure bookkeeping; must not affect the target).
     if (metrics_sink_ != nullptr) {
-      metrics_sink_->AddCounter("strategy.updates", 1);
-      metrics_sink_->SetCounter("strategy.expert_switches", switches_);
-      metrics_sink_->SetGauge("strategy.chosen_expert",
+      metrics_sink_->AddCounter(metric_names::kStrategyUpdates, 1);
+      metrics_sink_->SetCounter(metric_names::kStrategyExpertSwitches,
+                                switches_);
+      metrics_sink_->SetGauge(metric_names::kStrategyChosenExpert,
                               static_cast<double>(chosen_));
-      metrics_sink_->SetGauge("strategy.chosen_probability",
+      metrics_sink_->SetGauge(metric_names::kStrategyChosenProbability,
                               mw_->Probability(chosen_));
-      metrics_sink_->Observe("strategy.target",
+      metrics_sink_->Observe(metric_names::kStrategyTarget,
                              static_cast<double>(last_target_));
     }
     if (tracer_sink_ != nullptr && tracer_sink_->enabled()) {

@@ -10,9 +10,14 @@
 namespace cackle {
 
 std::string MeanStrategy::name() const {
-  std::string n = "mean_" + FormatDouble(multiplier_, 1);
-  if (n.size() >= 2 && n.substr(n.size() - 2) == ".0") {
-    n = n.substr(0, n.size() - 2);
+  // Built with append() rather than operator+ chains: GCC 12's -O3
+  // -Wrestrict false-positives on the temporary produced by
+  // `"literal" + std::string`, and the append form sidesteps it (and a
+  // temporary) entirely.
+  std::string n = "mean_";
+  n += FormatDouble(multiplier_, 1);
+  if (n.size() >= 2 && n.compare(n.size() - 2, 2, ".0") == 0) {
+    n.resize(n.size() - 2);
   }
   return n;
 }
@@ -45,9 +50,15 @@ int64_t PredictiveStrategy::Target(const WorkloadHistory& history) {
 }
 
 std::string PercentileStrategy::name() const {
-  std::string n = "p" + std::to_string(static_cast<int>(percentile_));
-  if (multiplier_ != 1.0) n += "_x" + FormatDouble(multiplier_, 2);
-  n += "_lb" + std::to_string(lookback_s_);
+  // Append form for the same -Wrestrict reason as MeanStrategy::name().
+  std::string n = "p";
+  n += std::to_string(static_cast<int>(percentile_));
+  if (multiplier_ != 1.0) {
+    n += "_x";
+    n += FormatDouble(multiplier_, 2);
+  }
+  n += "_lb";
+  n += std::to_string(lookback_s_);
   return n;
 }
 

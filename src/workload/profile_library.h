@@ -36,7 +36,7 @@ class ProfileLibrary {
   void Add(QueryProfile profile);
 
   /// Parses profiles in the SerializeProfiles() format and adds them.
-  Status LoadText(const std::string& text);
+  [[nodiscard]] Status LoadText(const std::string& text);
 
   size_t size() const { return profiles_.size(); }
   const QueryProfile& at(size_t i) const { return profiles_[i]; }

@@ -76,13 +76,13 @@ struct QueryProfile {
   std::vector<SimTimeMs> StageStartTimes() const;
 
   /// Validates stage ids, topological ordering and field ranges.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// \brief Serializes profiles to/from a line-oriented text format so the
 /// exec-engine profiler can regenerate the library shipped with the repo.
 std::string SerializeProfiles(const std::vector<QueryProfile>& profiles);
-StatusOr<std::vector<QueryProfile>> ParseProfiles(const std::string& text);
+[[nodiscard]] StatusOr<std::vector<QueryProfile>> ParseProfiles(const std::string& text);
 
 }  // namespace cackle
 

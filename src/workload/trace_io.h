@@ -23,18 +23,18 @@ struct TraceCsvOptions {
 };
 
 /// Parses CSV text into a per-second demand series.
-StatusOr<std::vector<int64_t>> ParseDemandCsv(
+[[nodiscard]] StatusOr<std::vector<int64_t>> ParseDemandCsv(
     const std::string& text, const TraceCsvOptions& options = {});
 
 /// Loads from a file path.
-StatusOr<std::vector<int64_t>> LoadDemandCsv(
+[[nodiscard]] StatusOr<std::vector<int64_t>> LoadDemandCsv(
     const std::string& path, const TraceCsvOptions& options = {});
 
 /// Renders a series as `second,demand` CSV text (with header).
 std::string FormatDemandCsv(const std::vector<int64_t>& series);
 
 /// Writes a series to a file.
-Status SaveDemandCsv(const std::string& path,
+[[nodiscard]] Status SaveDemandCsv(const std::string& path,
                      const std::vector<int64_t>& series);
 
 }  // namespace cackle

@@ -6,8 +6,9 @@
 // being brittle about row order.
 //
 // To regenerate after an intentional semantics change:
-//   CACKLE_REGEN_GOLDEN=1 ./golden_results_test \
+//   CACKLE_REGEN_GOLDEN=1 ./golden_results_test
 //       --gtest_filter=TpchGoldenResultsTest.AllQueriesMatchCommittedChecksums
+// (one command line; split here only for width)
 // and paste the printed block over the GoldenResults() literal below.
 
 #include <gtest/gtest.h>

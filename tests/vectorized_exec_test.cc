@@ -176,7 +176,10 @@ TEST(DictionaryTest, WriterFastPathIsByteIdentical) {
   Table plain({{"s", DataType::kString}});
   Table dicted({{"s", DataType::kString}});
   for (int i = 0; i < 100; ++i) {
-    const std::string v = "v" + std::to_string(i % 7);
+    // Append form: GCC 12 -O3 -Wrestrict false-positives on the
+    // `"literal" + std::to_string(...)` operator+ chain.
+    std::string v = "v";
+    v += std::to_string(i % 7);
     plain.column(0).AppendString(v);
     dicted.column(0).AppendString(v);
   }

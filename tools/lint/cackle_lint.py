@@ -1,0 +1,715 @@
+#!/usr/bin/env python3
+"""Cackle project-invariant lint engine.
+
+Enforces source-level invariants that sanitizers and tests cannot see:
+
+  cackle-determinism        no wall-clock / ambient randomness outside the
+                            seeded RNG and the thread-pool park/unpark path
+  cackle-unordered-iter     no unordered_map/unordered_set iteration whose
+                            body emits output (metrics, JSON, streams)
+  cackle-layering           #include edges must follow the link DAG derived
+                            from src/*/CMakeLists.txt (no back-edges)
+  cackle-status-discipline  Status/StatusOr must be [[nodiscard]] classes and
+                            every Status-returning header signature must be
+                            [[nodiscard]]
+  cackle-raw-thread         no std::thread/std::jthread/std::async outside
+                            src/common/thread_pool.{h,cc}
+  cackle-metric-name        MetricsRegistry calls must take names from
+                            src/common/metric_names.h, never inline literals
+
+Suppression: append `// NOLINT(cackle-<check>): <reason>` to the offending
+line, or put `// NOLINTNEXTLINE(cackle-<check>): <reason>` on the line above.
+A non-empty reason is mandatory; a bare NOLINT is itself a violation.
+
+Baseline: `--baseline FILE` filters known violations (see --write-baseline).
+The baseline is a ratchet: it may only shrink. This repo's committed baseline
+(tools/lint/baseline.txt) is empty and should stay that way.
+
+Implementation notes: checks run on a shared token stream from a small C++
+lexer, driven by the file set in compile_commands.json when present (falling
+back to a glob of --src-dir). Token-level analysis is deliberate: every
+invariant here is lexically decidable, which keeps the engine dependency-free.
+When the libclang Python bindings (clang.cindex) are installed, --ast=auto
+announces them and future AST-backed checks can hook into Engine.run; the
+current six checks do not need an AST.
+
+Diagnostics go to stdout as `path:line: [check-id] message` (paths relative
+to --root); the summary goes to stderr. Exit 0 clean, 1 violations, 2 config
+error.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+
+CHECK_IDS = (
+    "cackle-determinism",
+    "cackle-unordered-iter",
+    "cackle-layering",
+    "cackle-status-discipline",
+    "cackle-raw-thread",
+    "cackle-metric-name",
+)
+
+# Files (relative to the src dir) allowed to touch clocks / randomness: the
+# seeded RNG wraps all randomness, and the thread pool's park/unpark path
+# needs a real monotonic clock for its idle-wait bookkeeping.
+DETERMINISM_ALLOWLIST = {
+    "common/rng.h",
+    "common/rng.cc",
+    "common/thread_pool.cc",
+}
+
+# Files allowed to spawn raw threads: the pool itself.
+RAW_THREAD_ALLOWLIST = {
+    "common/thread_pool.h",
+    "common/thread_pool.cc",
+}
+
+# The registry header itself and the central name registry are the only
+# places metric-name string literals may live.
+METRIC_NAME_ALLOWLIST = {
+    "common/metric_names.h",
+}
+
+METRIC_CALL_METHODS = {
+    "GetCounter", "GetGauge", "GetHistogram",
+    "AddCounter", "SetCounter", "SetGauge", "Observe",
+    "CounterValue", "FindCounter", "FindGauge", "FindHistogram",
+}
+
+# Tokens inside an unordered-container loop body that indicate the body is
+# emitting output whose order the container does not pin down.
+OUTPUT_SINK_IDENTS = {
+    # metrics
+    "SetCounter", "AddCounter", "SetGauge", "Observe",
+    "GetCounter", "GetGauge", "GetHistogram",
+    # JSON snapshot writer
+    "WriteJson", "BeginObject", "EndObject", "BeginArray", "EndArray",
+    "Key", "String", "Double", "Int", "Bool",
+    # table printer / stdio
+    "AddRow", "AddCell", "printf", "fprintf", "sprintf", "snprintf", "puts",
+    # billing / cost attribution
+    "Charge", "Attribute", "AddCost",
+}
+OUTPUT_SINK_PUNCT = {"<<"}
+
+WALL_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
+AMBIENT_RANDOM = {"random_device", "gettimeofday", "clock_gettime",
+                  "timespec_get", "localtime", "gmtime", "strftime"}
+STD_BANNED = {"time", "rand", "srand"}
+
+DECL_SPECIFIERS = {"virtual", "static", "inline", "constexpr", "explicit",
+                   "friend", "extern"}
+DECL_BOUNDARIES = {";", "{", "}", ":"}
+
+MULTI_CHAR_PUNCT = ("<<=", ">>=", "->*", "::", "<<", ">>", "->", "==", "!=",
+                    "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+                    "&=", "|=", "^=", "++", "--")
+
+NOLINT_RE = re.compile(
+    r"//\s*(NOLINTNEXTLINE|NOLINT)\(([a-z\-,\s]+)\)\s*(:\s*(\S.*))?")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind  # "ident" | "number" | "string" | "char" | "punct"
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def tokenize(source):
+    """A pragmatic C++ lexer: identifiers, numbers, string/char literals,
+    and punctuation, with comments dropped. Enough for lexically decidable
+    invariants; not a conforming preprocessor."""
+    tokens = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            line += source.count("\n", i, j)
+            i = j
+            continue
+        if source.startswith('R"', i):  # raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]*)\(', source[i:])
+            if m:
+                end = source.find(")" + m.group(1) + '"', i + m.end())
+                end = n if end < 0 else end + len(m.group(1)) + 2
+                tokens.append(Token("string", source[i:end], line))
+                line += source.count("\n", i, end)
+                i = end
+                continue
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n and source[j] != c:
+                j += 2 if source[j] == "\\" else 1
+            j = min(j + 1, n)
+            tokens.append(Token("string" if c == '"' else "char",
+                                source[i:j], line))
+            line += source.count("\n", i, j)
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            tokens.append(Token("ident", source[i:j], line))
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "._'+-" and
+                             (source[j] not in "+-" or
+                              source[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        for p in MULTI_CHAR_PUNCT:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return tokens
+
+
+class Suppressions:
+    """Per-line NOLINT(cackle-*) directives, with mandatory reasons."""
+
+    def __init__(self, lines):
+        self.by_line = {}  # line number -> set of check ids
+        self.bare = []  # (line, directive) for reason-less NOLINTs
+        for lineno, text in enumerate(lines, start=1):
+            m = NOLINT_RE.search(text)
+            if not m:
+                continue
+            directive, checks, reason = m.group(1), m.group(2), m.group(4)
+            target = lineno + 1 if directive == "NOLINTNEXTLINE" else lineno
+            ids = {c.strip() for c in checks.split(",") if c.strip()}
+            known = {c for c in ids if c in CHECK_IDS}
+            if not known:
+                continue  # foreign NOLINT (e.g. clang-tidy's); none of ours
+            if not reason:
+                self.bare.append((lineno, directive))
+                continue  # a reason-less suppression does not suppress
+            self.by_line.setdefault(target, set()).update(known)
+
+    def active(self, line, check):
+        return check in self.by_line.get(line, ())
+
+
+class SourceFile:
+    def __init__(self, root, relpath):
+        self.relpath = relpath
+        with open(os.path.join(root, relpath), encoding="utf-8") as f:
+            self.text = f.read()
+        self.lines = self.text.splitlines()
+        self.tokens = tokenize(self.text)
+        self.suppressions = Suppressions(self.lines)
+
+
+class Violation:
+    def __init__(self, relpath, line, check, message, line_text):
+        self.relpath = relpath
+        self.line = line
+        self.check = check
+        self.message = message
+        self.line_text = line_text
+
+    def fingerprint(self):
+        norm = " ".join(self.line_text.split())
+        digest = hashlib.sha1(
+            f"{self.check}|{self.relpath}|{norm}".encode()).hexdigest()
+        return digest[:16]
+
+    def render(self):
+        return f"{self.relpath}:{self.line}: [{self.check}] {self.message}"
+
+
+def match_balanced(tokens, i, open_tok, close_tok):
+    """Index just past the token closing the group opened at tokens[i]."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == open_tok:
+            depth += 1
+        elif t == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return i
+
+
+def match_template(tokens, i):
+    """Index just past the `>` closing the `<` at tokens[i], treating `>>`
+    as two closes (C++11 semantics)."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        i += 1
+    return i
+
+
+# --------------------------------------------------------------------------
+# Checks. Each takes (engine, file) and yields Violation.
+# --------------------------------------------------------------------------
+
+def check_determinism(engine, f):
+    check = "cackle-determinism"
+    if f.relpath_in_src in DETERMINISM_ALLOWLIST:
+        return
+    toks = f.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident":
+            continue
+        hit = None
+        if t.text in WALL_CLOCKS:
+            if (i + 2 < len(toks) and toks[i + 1].text == "::"
+                    and toks[i + 2].text == "now"):
+                hit = f"std::chrono::{t.text}::now() reads the wall clock"
+        elif t.text in AMBIENT_RANDOM:
+            hit = f"'{t.text}' is a nondeterministic source"
+        elif t.text in STD_BANNED:
+            prev = toks[i - 1] if i > 0 else None
+            prev2 = toks[i - 2] if i > 1 else None
+            qualified_std = (prev is not None and prev.text == "::"
+                             and prev2 is not None and prev2.text == "std")
+            bare_call = (t.text in ("rand", "srand")
+                         and i + 1 < len(toks) and toks[i + 1].text == "("
+                         and (prev is None
+                              or prev.text not in (".", "->", "::")))
+            if qualified_std or bare_call:
+                hit = f"'{t.text}()' is banned; use common/rng.h"
+        if hit:
+            yield engine.violation(
+                f, t.line, check,
+                hit + " (allowlist: common/rng.*, common/thread_pool.cc)")
+
+
+def check_raw_thread(engine, f):
+    check = "cackle-raw-thread"
+    if f.relpath_in_src in RAW_THREAD_ALLOWLIST:
+        return
+    toks = f.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.text not in ("thread", "jthread", "async"):
+            continue
+        prev = toks[i - 1] if i > 0 else None
+        prev2 = toks[i - 2] if i > 1 else None
+        if (prev is not None and prev.text == "::" and prev2 is not None
+                and prev2.text == "std"):
+            yield engine.violation(
+                f, t.line, check,
+                f"std::{t.text} outside common/thread_pool.cc; "
+                "submit work to the shared ThreadPool instead")
+
+
+def check_metric_name(engine, f):
+    check = "cackle-metric-name"
+    if f.relpath_in_src in METRIC_NAME_ALLOWLIST:
+        return
+    toks = f.tokens
+    for i, t in enumerate(toks):
+        if (t.kind != "ident" or t.text not in METRIC_CALL_METHODS
+                or i + 1 >= len(toks) or toks[i + 1].text != "("):
+            continue
+        end = match_balanced(toks, i + 1, "(", ")")
+        for j in range(i + 2, end - 1):
+            if toks[j].kind == "string":
+                yield engine.violation(
+                    f, toks[j].line, check,
+                    f"string literal {toks[j].text} passed to {t.text}(); "
+                    "use a constant from common/metric_names.h")
+                break
+
+
+def _unordered_decl_names(toks):
+    names = set()
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.text not in ("unordered_map",
+                                               "unordered_set"):
+            continue
+        j = i + 1
+        if j < len(toks) and toks[j].text == "<":
+            j = match_template(toks, j)
+        while j < len(toks) and toks[j].text in ("&", "*", "const"):
+            j += 1
+        if j < len(toks) and toks[j].kind == "ident":
+            names.add(toks[j].text)
+    return names
+
+
+def check_unordered_iter(engine, f):
+    check = "cackle-unordered-iter"
+    toks = f.tokens
+    unordered = _unordered_decl_names(toks)
+    if not unordered:
+        return
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.text != "for":
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        close = match_balanced(toks, i + 1, "(", ")")
+        # Find the range-for ':' at paren depth 1 (skip '::').
+        colon = None
+        depth = 0
+        for j in range(i + 1, close):
+            tj = toks[j].text
+            if tj in "([{":
+                depth += 1
+            elif tj in ")]}":
+                depth -= 1
+            elif tj == ":" and depth == 1:
+                colon = j
+                break
+        if colon is None:
+            continue
+        range_idents = [x.text for x in toks[colon + 1:close - 1]
+                        if x.kind == "ident"]
+        if not range_idents or range_idents[-1] not in unordered:
+            continue
+        container = range_idents[-1]
+        # Loop body: balanced braces or a single statement.
+        body_start = close
+        if body_start < len(toks) and toks[body_start].text == "{":
+            body_end = match_balanced(toks, body_start, "{", "}")
+        else:
+            body_end = body_start
+            while body_end < len(toks) and toks[body_end].text != ";":
+                body_end += 1
+        for j in range(body_start, body_end):
+            tj = toks[j]
+            if ((tj.kind == "ident" and tj.text in OUTPUT_SINK_IDENTS)
+                    or (tj.kind == "punct"
+                        and tj.text in OUTPUT_SINK_PUNCT)):
+                yield engine.violation(
+                    f, t.line, check,
+                    f"iteration over unordered container '{container}' "
+                    f"emits output ('{tj.text}' in body); iterate a sorted "
+                    "copy or justify with NOLINT")
+                break
+
+
+def check_status_discipline(engine, f):
+    check = "cackle-status-discipline"
+    if not f.relpath.endswith(".h"):
+        return
+    toks = f.tokens
+    # status.h declares the classes; require the class-level attribute there
+    # instead of per-signature markers (factories are covered by the class).
+    if f.relpath_in_src == "common/status.h":
+        for cls in ("Status", "StatusOr"):
+            pattern = re.compile(
+                r"class\s*\[\[\s*nodiscard\s*\]\]\s*" + cls + r"\b")
+            if not pattern.search(f.text):
+                yield engine.violation(
+                    f, 1, check,
+                    f"class {cls} must be declared [[nodiscard]]")
+        return
+    for i, t in enumerate(toks):
+        if t.kind != "ident" or t.text not in ("Status", "StatusOr"):
+            continue
+        # Forward: the return type must be followed by a function name and
+        # an opening paren (value return only; refs/pointers are accessors).
+        j = i + 1
+        if t.text == "StatusOr":
+            if j >= len(toks) or toks[j].text != "<":
+                continue
+            j = match_template(toks, j)
+        if j + 1 >= len(toks) or toks[j].kind != "ident" \
+                or toks[j + 1].text != "(":
+            continue
+        func_name = toks[j].text
+        # Backward: skip decl specifiers and the cackle:: qualifier; a
+        # declaration context begins after ; { } : or at file start.
+        k = i - 1
+        while k >= 0 and ((toks[k].kind == "ident"
+                           and toks[k].text in DECL_SPECIFIERS)
+                          or toks[k].text == "::"
+                          or (toks[k].kind == "ident"
+                              and toks[k].text == "cackle")):
+            k -= 1
+        if k >= 0 and toks[k].text == "]":
+            continue  # attribute present ([[nodiscard]] tokenizes to ]])
+        if k >= 0 and toks[k].text == "]]":
+            continue
+        if k < 0 or toks[k].text in DECL_BOUNDARIES:
+            yield engine.violation(
+                f, t.line, check,
+                f"{t.text}-returning '{func_name}' lacks [[nodiscard]]")
+
+
+def check_layering(engine, f):
+    check = "cackle-layering"
+    own_dir = f.relpath_in_src.split("/", 1)[0]
+    allowed = engine.layer_closure.get(own_dir)
+    if allowed is None:
+        return  # directory not part of the link DAG (no add_library)
+    for lineno, text in enumerate(f.lines, start=1):
+        m = INCLUDE_RE.match(text)
+        if not m:
+            continue
+        inc = m.group(1)
+        inc_dir = inc.split("/", 1)[0]
+        if inc_dir == own_dir or inc_dir not in engine.layer_dirs:
+            continue
+        if inc_dir not in allowed:
+            yield engine.violation(
+                f, lineno, check,
+                f'"{inc}" is a layering back-edge: {own_dir} does not link '
+                f"against {inc_dir} (allowed: "
+                f"{', '.join(sorted(allowed)) or 'none'})")
+
+
+CHECKS = (
+    check_determinism,
+    check_unordered_iter,
+    check_layering,
+    check_status_discipline,
+    check_raw_thread,
+    check_metric_name,
+)
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+class Engine:
+    def __init__(self, root, src_dir, compile_commands=None):
+        self.root = root
+        self.src_dir = src_dir
+        self.violations = []
+        self.layer_dirs, self.layer_closure, cycle = self._link_dag()
+        if cycle:
+            raise SystemExit(f"error: link DAG has a cycle: {cycle}")
+        self.files = self._file_set(compile_commands)
+
+    def _link_dag(self):
+        """Derives the allowed include DAG from src/*/CMakeLists.txt."""
+        src_root = os.path.join(self.root, self.src_dir)
+        target_dir = {}  # cackle_x -> dir name
+        deps = {}  # dir -> set of dep dirs (direct)
+        lib_re = re.compile(r"add_library\s*\(\s*(\w+)")
+        link_re = re.compile(
+            r"target_link_libraries\s*\(\s*(\w+)\s+(?:PUBLIC|PRIVATE|"
+            r"INTERFACE)?([^)]*)\)", re.S)
+        if not os.path.isdir(src_root):
+            return set(), {}, None
+        for d in sorted(os.listdir(src_root)):
+            cml = os.path.join(src_root, d, "CMakeLists.txt")
+            if not os.path.isfile(cml):
+                continue
+            text = open(cml, encoding="utf-8").read()
+            for m in lib_re.finditer(text):
+                target_dir[m.group(1)] = d
+        dir_of = lambda tgt: target_dir.get(tgt)
+        for d in sorted(set(target_dir.values())):
+            deps[d] = set()
+        for d in list(deps):
+            cml = os.path.join(src_root, d, "CMakeLists.txt")
+            text = open(cml, encoding="utf-8").read()
+            for m in link_re.finditer(text):
+                src_d = dir_of(m.group(1))
+                if src_d is None:
+                    continue
+                for word in re.findall(r"[\w:]+", m.group(2)):
+                    dep_d = dir_of(word)
+                    if dep_d is not None and dep_d != src_d:
+                        deps[src_d].add(dep_d)
+        # Transitive closure + cycle detection (DFS).
+        closure = {}
+        state = {}  # 0 visiting, 1 done
+
+        def visit(d, stack):
+            if d in closure and state.get(d) == 1:
+                return closure[d], None
+            if state.get(d) == 0:
+                return set(), " -> ".join(stack + [d])
+            state[d] = 0
+            acc = set(deps[d])
+            for dep in sorted(deps[d]):
+                sub, cyc = visit(dep, stack + [d])
+                if cyc:
+                    return set(), cyc
+                acc |= sub
+            state[d] = 1
+            closure[d] = acc
+            return acc, None
+
+        for d in sorted(deps):
+            _, cyc = visit(d, [])
+            if cyc:
+                return set(deps), {}, cyc
+        return set(deps), closure, None
+
+    def _file_set(self, compile_commands):
+        src_prefix = os.path.join(self.root, self.src_dir) + os.sep
+        rels = set()
+        if compile_commands and os.path.isfile(compile_commands):
+            with open(compile_commands, encoding="utf-8") as fh:
+                for entry in json.load(fh):
+                    path = os.path.normpath(
+                        os.path.join(entry.get("directory", ""),
+                                     entry["file"]))
+                    if path.startswith(src_prefix):
+                        rels.add(os.path.relpath(path, self.root))
+        # Headers never appear in the compilation database, and a stale DB
+        # must not hide new sources, so always union with the glob.
+        for dirpath, _, filenames in os.walk(
+                os.path.join(self.root, self.src_dir)):
+            for name in filenames:
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    rels.add(os.path.relpath(os.path.join(dirpath, name),
+                                             self.root))
+        return sorted(rels)
+
+    def violation(self, f, line, check, message):
+        text = f.lines[line - 1] if 0 < line <= len(f.lines) else ""
+        return Violation(f.relpath, line, check, message, text)
+
+    def run(self):
+        for rel in self.files:
+            f = SourceFile(self.root, rel)
+            f.relpath_in_src = os.path.relpath(
+                rel, self.src_dir).replace(os.sep, "/")
+            f.relpath = rel.replace(os.sep, "/")
+            for lineno, directive in f.suppressions.bare:
+                self.violations.append(Violation(
+                    f.relpath, lineno, "cackle-nolint",
+                    f"{directive}(cackle-*) without a ': <reason>' — "
+                    "suppressions must be justified",
+                    f.lines[lineno - 1]))
+            for check in CHECKS:
+                for v in check(self, f):
+                    if not f.suppressions.active(v.line, v.check):
+                        self.violations.append(v)
+        self.violations.sort(key=lambda v: (v.relpath, v.line, v.check))
+        return self.violations
+
+
+def load_baseline(path):
+    entries = set()
+    if not path or not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) >= 3:
+                entries.add((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--src-dir", default="src",
+                    help="source tree to lint, relative to --root")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline file of known violations to filter")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write current violations to --baseline and exit 0")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json to derive the file set from")
+    ap.add_argument("--ast", choices=("auto", "off"), default="off",
+                    help="announce libclang availability for AST-backed "
+                         "checks (the six built-in checks are token-level)")
+    args = ap.parse_args(argv)
+
+    if args.ast == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+            print("note: clang.cindex available; AST-backed checks may "
+                  "register here", file=sys.stderr)
+        except ImportError:
+            print("note: clang.cindex not installed; running token-level "
+                  "checks only", file=sys.stderr)
+
+    root = os.path.abspath(args.root)
+    cc = args.compile_commands
+    if cc is None:
+        for candidate in ("build", "build-release", "build-rel",
+                          "build-asan", "build-tsan"):
+            p = os.path.join(root, candidate, "compile_commands.json")
+            if os.path.isfile(p):
+                cc = p
+                break
+
+    engine = Engine(root, args.src_dir, compile_commands=cc)
+    violations = engine.run()
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write("# cackle_lint baseline — ratchet only downward.\n"
+                     "# format: <check-id> <path> <fingerprint>\n")
+            for v in violations:
+                fh.write(f"{v.check} {v.relpath} {v.fingerprint()}\n")
+        print(f"wrote {len(violations)} baseline entries to {args.baseline}",
+              file=sys.stderr)
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    fresh, known = [], []
+    for v in violations:
+        if (v.check, v.relpath, v.fingerprint()) in baseline:
+            known.append(v)
+        else:
+            fresh.append(v)
+
+    for v in fresh:
+        print(v.render())
+    print(f"cackle_lint: {len(engine.files)} files, "
+          f"{len(fresh)} violation(s), {len(known)} baselined",
+          file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

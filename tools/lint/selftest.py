@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/cackle_lint.py.
+
+Runs the engine against the seeded-violation fixture tree and asserts the
+exact diagnostic output (file:line:check-id), so any behavior change in a
+check — a missed violation, a dishonored suppression, a reworded or
+re-anchored diagnostic — fails like any other test. Also proves the baseline
+mechanism: with every fixture violation baselined the engine must exit 0,
+and the --write-baseline output must be byte-stable.
+
+Run from the repository root: python3 tools/lint/selftest.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ENGINE = os.path.join(HERE, "cackle_lint.py")
+TESTDATA = os.path.join(HERE, "testdata")
+
+
+def run(*extra):
+    return subprocess.run(
+        [sys.executable, ENGINE, "--root", TESTDATA, *extra],
+        capture_output=True, text=True)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    expected = open(os.path.join(TESTDATA, "expected.txt"),
+                    encoding="utf-8").read()
+    baseline_all = os.path.join(TESTDATA, "baseline_all.txt")
+
+    # 1. Every seeded violation fires, every suppression is honored, and
+    #    diagnostics match byte-for-byte.
+    r = run()
+    if r.returncode != 1:
+        fail(f"expected exit 1 on seeded fixtures, got {r.returncode}\n"
+             f"stderr: {r.stderr}")
+    if r.stdout != expected:
+        fail("fixture diagnostics diverged from expected.txt\n"
+             f"--- expected ---\n{expected}--- actual ---\n{r.stdout}")
+
+    # 2. With all violations baselined, the engine is clean and silent.
+    r = run("--baseline", baseline_all)
+    if r.returncode != 0:
+        fail(f"expected exit 0 with full baseline, got {r.returncode}\n"
+             f"stdout: {r.stdout}")
+    if r.stdout:
+        fail(f"expected no diagnostics with full baseline, got:\n{r.stdout}")
+
+    # 3. The baseline writer is stable: regenerating reproduces the
+    #    committed baseline exactly.
+    with tempfile.NamedTemporaryFile("r", suffix=".txt") as tmp:
+        r = run("--baseline", tmp.name, "--write-baseline")
+        if r.returncode != 0:
+            fail(f"--write-baseline exited {r.returncode}: {r.stderr}")
+        regenerated = open(tmp.name, encoding="utf-8").read()
+    committed = open(baseline_all, encoding="utf-8").read()
+    if regenerated != committed:
+        fail("regenerated baseline differs from committed baseline_all.txt\n"
+             f"--- committed ---\n{committed}--- regenerated ---\n"
+             f"{regenerated}")
+
+    # 4. A partial baseline keeps the remaining violations fatal.
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as tmp:
+        tmp.write("".join(committed.splitlines(keepends=True)[:3]))
+        partial = tmp.name
+    try:
+        r = run("--baseline", partial)
+        if r.returncode != 1:
+            fail(f"expected exit 1 with partial baseline, got "
+                 f"{r.returncode}")
+        if not r.stdout:
+            fail("expected residual diagnostics with partial baseline")
+    finally:
+        os.unlink(partial)
+
+    print("lint selftest: all checks fire, suppressions honored, "
+          "baseline ratchet works")
+
+
+if __name__ == "__main__":
+    main()

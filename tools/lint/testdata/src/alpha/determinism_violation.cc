@@ -1,0 +1,22 @@
+// Lint fixture: seeded cackle-determinism violations plus one justified
+// suppression and one reason-less (therefore rejected) suppression.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+int SuppressedRand() {
+  return std::rand();  // NOLINT(cackle-determinism): fixture exercises a justified suppression.
+}
+
+int BareSuppression() {
+  return std::rand();  // NOLINT(cackle-determinism)
+}
+
+}  // namespace fixture

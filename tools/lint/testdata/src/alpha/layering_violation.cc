@@ -1,0 +1,10 @@
+// Lint fixture: seeded cackle-layering back-edge (alpha does not link
+// against beta) plus a suppressed variant.
+#include "beta/beta.h"
+#include "beta/util.h"  // NOLINT(cackle-layering): fixture demonstrates a justified back-edge.
+
+namespace fixture {
+
+int UseBeta() { return beta::Value(); }
+
+}  // namespace fixture

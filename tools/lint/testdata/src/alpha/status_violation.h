@@ -1,0 +1,19 @@
+#ifndef LINT_FIXTURE_ALPHA_STATUS_VIOLATION_H_
+#define LINT_FIXTURE_ALPHA_STATUS_VIOLATION_H_
+
+// Lint fixture: seeded cackle-status-discipline violation (a Status-returning
+// signature without [[nodiscard]]) plus a compliant and a suppressed one.
+
+namespace fixture {
+
+class Status;
+
+Status Open(const char* path);
+
+[[nodiscard]] Status Close(int fd);
+
+Status Flush(int fd);  // NOLINT(cackle-status-discipline): fixture legacy API kept as-is.
+
+}  // namespace fixture
+
+#endif  // LINT_FIXTURE_ALPHA_STATUS_VIOLATION_H_

@@ -1,0 +1,27 @@
+// Lint fixture: seeded cackle-unordered-iter violation (an unordered_map
+// iteration whose body writes metrics) plus a suppressed variant.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Registry {
+  void SetCounter(const std::string& name, long value);
+};
+
+void DumpCounts(const std::unordered_map<std::string, long>& counts,
+                Registry* registry) {
+  for (const auto& entry : counts) {
+    registry->SetCounter(entry.first, entry.second);
+  }
+}
+
+void DumpJustified(const std::unordered_map<std::string, long>& counts) {
+  // NOLINTNEXTLINE(cackle-unordered-iter): fixture-only; order is irrelevant here.
+  for (const auto& entry : counts) {
+    std::cout << entry.first;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#ifndef LINT_FIXTURE_BETA_BETA_H_
+#define LINT_FIXTURE_BETA_BETA_H_
+
+// Target of the seeded layering back-edge in alpha/layering_violation.cc.
+namespace fixture::beta {
+
+int Value();
+
+}  // namespace fixture::beta
+
+#endif  // LINT_FIXTURE_BETA_BETA_H_

@@ -1,0 +1,17 @@
+// Lint fixture: seeded cackle-metric-name violation (an inline metric name
+// literal) plus a suppressed one.
+#include <string>
+
+namespace fixture {
+
+struct MetricsRegistry {
+  void AddCounter(const std::string& name, long delta);
+};
+
+void Record(MetricsRegistry& registry) {
+  registry.AddCounter("beta.events", 1);
+  // NOLINTNEXTLINE(cackle-metric-name): fixture-local name; no registry header here.
+  registry.AddCounter("beta.suppressed", 1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: seeded cackle-raw-thread violation plus a suppressed one.
+#include <thread>
+
+namespace fixture {
+
+void Spawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void SpawnJustified() {
+  std::thread io([] {});  // NOLINT(cackle-raw-thread): fixture demonstrates a justified escape hatch.
+  io.join();
+}
+
+}  // namespace fixture
