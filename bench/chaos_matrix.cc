@@ -1,23 +1,141 @@
-// Chaos matrix: fault level x provisioning strategy. The paper's stability
-// claim (latency independent of provisioning) is evaluated on a well-behaved
-// substrate; this bench stresses it by sweeping injected fault profiles
-// (elastic failures + stragglers, a Lambda-style concurrency cap, object
-// store transient errors, VM launch failures, shuffle-node crashes) across
-// the strategy line-up. The invariant under every cell: all queries
-// complete. The output shows how cost and p99 degrade per strategy — the
-// dynamic strategy's hedge (spare provisioned capacity) also buys fault
-// headroom relative to pure-elastic execution.
+// Chaos matrix: fault level x provisioning strategy, plus the named chaos
+// scenario suite. The paper's stability claim (latency independent of
+// provisioning) is evaluated on a well-behaved substrate; this bench
+// stresses it two ways:
+//
+//  1. The matrix sweeps memoryless fault profiles (elastic failures +
+//     stragglers, a Lambda-style concurrency cap, object store transient
+//     errors, VM launch failures, shuffle-node crashes) across the strategy
+//     line-up. The invariant in every cell: all queries complete.
+//  2. The scenario suite loads the named, seeded scenarios from
+//     bench/scenarios/ — correlated temporal fault processes (outage
+//     windows, reclamation storms, store brownouts, price shocks) against
+//     the engine's graceful-degradation machinery (admission control, retry
+//     budgets, circuit breaker, hedged reads). Each scenario runs against
+//     its matched fault-free baseline; the emitted BENCH_chaos.json records
+//     survived/shed counts, p99 degradation and cost overhead. The
+//     invariant in every scenario: completed + shed == arrivals — queries
+//     may finish late or be shed explicitly, never lost silently.
+//
+// Usage: chaos_matrix [--scenario=<name>]. With --scenario, only that one
+// scenario (plus its baseline) runs and no artifact is written — the CI
+// chaos-smoke mode.
+
+#include <cstring>
 
 #include "bench/bench_common.h"
+#include "common/json_writer.h"
 #include "engine/engine.h"
+#include "engine/scenario.h"
 
-int main() {
-  using namespace cackle;
-  using namespace cackle::bench;
-  PrintHeader("Chaos matrix: fault level x provisioning strategy",
-              "Escalating fault injection across provisioning strategies; "
-              "queries_completed must equal arrivals in every cell.");
+namespace {
 
+using namespace cackle;
+using namespace cackle::bench;
+
+const char* const kScenarioNames[] = {
+    "diurnal_flash_crowd", "reclamation_storm", "store_brownout",
+    "price_shock", "full_chaos"};
+
+struct ScenarioOutcome {
+  ChaosScenario scenario;
+  int64_t arrivals = 0;
+  EngineResult chaos;
+  EngineResult fault_free;
+  bool accounted = false;  // completed + shed == arrivals
+};
+
+ScenarioOutcome RunScenario(const ChaosScenario& scenario,
+                            const CostModel& cost) {
+  ScenarioOutcome outcome;
+  outcome.scenario = scenario;
+  WorkloadGenerator gen(&Library());
+  const auto arrivals = gen.Generate(scenario.workload);
+  outcome.arrivals = static_cast<int64_t>(arrivals.size());
+
+  EngineOptions base_opts = scenario.ToFaultFreeEngineOptions();
+  base_opts.dynamic = DefaultDynamicOptions();
+  CackleEngine baseline(&cost, base_opts);
+  outcome.fault_free = baseline.Run(arrivals, Library());
+
+  EngineOptions chaos_opts = scenario.ToEngineOptions();
+  chaos_opts.dynamic = DefaultDynamicOptions();
+  CackleEngine engine(&cost, chaos_opts);
+  outcome.chaos = engine.Run(arrivals, Library());
+
+  outcome.accounted =
+      outcome.chaos.queries_completed + outcome.chaos.queries_shed ==
+          outcome.arrivals &&
+      outcome.fault_free.queries_completed == outcome.arrivals;
+  return outcome;
+}
+
+double Ratio(double value, double base) {
+  return base > 0.0 ? value / base : 0.0;
+}
+
+void WriteChaosArtifact(const std::vector<ScenarioOutcome>& outcomes) {
+  std::string path = "BENCH_chaos.json";
+  if (const char* dir = std::getenv("CACKLE_BENCH_OUT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Field("schema_version", static_cast<int64_t>(1));
+  w.Field("bench", "chaos");
+  w.Field("fast_mode", FastMode());
+  w.Key("scenarios");
+  w.BeginArray();
+  for (const ScenarioOutcome& o : outcomes) {
+    const double p99 = o.chaos.latencies_s.Percentile(99);
+    const double p99_base = o.fault_free.latencies_s.Percentile(99);
+    w.BeginObject();
+    w.Field("name", o.scenario.name);
+    w.Field("description", o.scenario.description);
+    w.Key("seed").Uint(o.scenario.seed);
+    w.Field("arrivals", o.arrivals);
+    w.Field("survived", o.chaos.queries_completed);
+    w.Field("shed", o.chaos.queries_shed);
+    w.Field("deferred", o.chaos.queries_deferred);
+    w.Field("accounted", o.accounted);
+    w.Field("p99_s", p99);
+    w.Field("p99_fault_free_s", p99_base);
+    w.Field("p99_degradation", Ratio(p99, p99_base));
+    w.Field("total_cost", o.chaos.total_cost());
+    w.Field("fault_free_cost", o.fault_free.total_cost());
+    w.Field("cost_overhead",
+            Ratio(o.chaos.total_cost(), o.fault_free.total_cost()));
+    w.Key("counters");
+    w.BeginObject();
+    w.Field("elastic_throttled", o.chaos.elastic_throttled);
+    w.Field("elastic_failures", o.chaos.elastic_failures);
+    w.Field("store_retries", o.chaos.store_retries);
+    w.Field("vm_launch_failures", o.chaos.vm_launch_failures);
+    w.Field("vms_interrupted", o.chaos.vms_interrupted);
+    w.Field("storm_reclaims", o.chaos.storm_reclaims);
+    w.Field("tasks_retried", o.chaos.tasks_retried);
+    w.Field("retry_budget_exhausted", o.chaos.retry_budget_exhausted);
+    w.Field("admission_queue_peak", o.chaos.admission_queue_peak);
+    w.Field("hedged_reads", o.chaos.hedged_reads);
+    w.Field("hedged_wins", o.chaos.hedged_wins);
+    w.Field("store_circuit_trips", o.chaos.store_circuit_trips);
+    w.Field("store_circuit_rejections", o.chaos.store_circuit_rejections);
+    w.Field("shuffle_nodes_crashed", o.chaos.shuffle_nodes_crashed);
+    w.Field("stages_reexecuted", o.chaos.stages_reexecuted);
+    w.Field("shuffle_written_bytes", o.chaos.shuffle_written_bytes);
+    w.Field("shuffle_fallback_bytes", o.chaos.shuffle_fallback_bytes);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+  std::cout << "artifact: " << path << "\n";
+}
+
+int RunMatrix() {
   WorkloadOptions opts = DefaultWorkload();
   opts.num_queries = FastMode() ? 200 : 600;
   opts.duration_ms = kMillisPerHour;
@@ -109,4 +227,80 @@ int main() {
   std::cout << "\nall queries completed under every fault profile: "
             << (all_complete ? "yes" : "NO — WORK WAS LOST") << "\n";
   return all_complete ? 0 : 1;
+}
+
+int RunScenarioSuite(const char* only_scenario) {
+  CostModel cost;
+  TablePrinter table({"scenario", "arrivals", "survived", "shed", "deferred",
+                      "reclaims", "hedged", "trips", "p99_s", "p99_base_s",
+                      "p99_x", "cost_x"});
+  std::vector<ScenarioOutcome> outcomes;
+  bool all_accounted = true;
+  for (const char* name : kScenarioNames) {
+    if (only_scenario != nullptr && std::strcmp(name, only_scenario) != 0) {
+      continue;
+    }
+    auto loaded = LoadNamedScenario(name);
+    if (!loaded.ok()) {
+      std::cout << "FAILED to load scenario '" << name
+                << "': " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    const ScenarioOutcome o = RunScenario(*loaded, cost);
+    all_accounted &= o.accounted;
+    const double p99 = o.chaos.latencies_s.Percentile(99);
+    const double p99_base = o.fault_free.latencies_s.Percentile(99);
+    table.BeginRow();
+    table.AddCell(o.scenario.name);
+    table.AddCell(o.arrivals);
+    table.AddCell(o.chaos.queries_completed);
+    table.AddCell(o.chaos.queries_shed);
+    table.AddCell(o.chaos.queries_deferred);
+    table.AddCell(o.chaos.storm_reclaims);
+    table.AddCell(o.chaos.hedged_reads);
+    table.AddCell(o.chaos.store_circuit_trips);
+    table.AddCell(p99, 2);
+    table.AddCell(p99_base, 2);
+    table.AddCell(Ratio(p99, p99_base), 2);
+    table.AddCell(Ratio(o.chaos.total_cost(), o.fault_free.total_cost()), 2);
+    outcomes.push_back(o);
+  }
+  if (outcomes.empty()) {
+    std::cout << "no scenario matched '"
+              << (only_scenario != nullptr ? only_scenario : "") << "'\n";
+    return 1;
+  }
+  table.PrintText(std::cout);
+  std::cout << "\nevery arrival accounted for (completed + shed): "
+            << (all_accounted ? "yes" : "NO — WORK WAS LOST SILENTLY")
+            << "\n";
+  if (only_scenario == nullptr) WriteChaosArtifact(outcomes);
+  return all_accounted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* only_scenario = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      only_scenario = argv[i] + 11;
+    } else {
+      std::cout << "usage: chaos_matrix [--scenario=<name>]\n";
+      return 2;
+    }
+  }
+
+  PrintHeader("Chaos matrix: fault level x provisioning strategy",
+              "Escalating fault injection across provisioning strategies "
+              "plus the named temporal chaos scenarios; every arrival must "
+              "be completed or explicitly shed in every cell.");
+
+  int matrix_rc = 0;
+  if (only_scenario == nullptr) {
+    matrix_rc = RunMatrix();
+    std::cout << "\n=== Chaos scenario suite (bench/scenarios/) ===\n\n";
+  }
+  const int suite_rc = RunScenarioSuite(only_scenario);
+  return matrix_rc != 0 ? matrix_rc : suite_rc;
 }

@@ -76,6 +76,16 @@ run_config build-tsan \
   "thread_pool|exec|golden|operators|logical|storage|vectorized" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
 
+# ------------------------------------------------------------- chaos smoke
+# One correlated-failure storm scenario end to end in the TSan build: the
+# driver exits non-zero unless every arrival is accounted for (completed +
+# shed). Bit-identity of the chaos engine's zero-fault configuration
+# against the 25 seed golden checksums is gated by golden_results_test,
+# which runs in the Release suite and again in the TSan filter above.
+echo "=== chaos smoke (reclamation_storm, TSan build) ==="
+CACKLE_FAST_BENCH=1 ./build-tsan/bench/chaos_matrix \
+  --scenario=reclamation_storm
+
 # Non-gating clang-tidy report over src/common (bugprone/performance/
 # concurrency families, config in .clang-tidy), using the compilation
 # database the Release configure just exported. Skipped with a notice when

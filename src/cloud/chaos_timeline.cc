@@ -1,0 +1,118 @@
+#include "cloud/chaos_timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+ChaosTimeline::ChaosTimeline(const ChaosTimelineOptions& options, uint64_t seed)
+    : options_(options) {
+  CACKLE_CHECK_GE(options_.horizon_ms, 0);
+  CACKLE_CHECK_GE(options_.outage.windows_per_hour, 0.0);
+  CACKLE_CHECK_GE(options_.outage.elastic_failure_fraction, 0.0);
+  CACKLE_CHECK_LE(options_.outage.elastic_failure_fraction, 1.0);
+  CACKLE_CHECK_GE(options_.storm.storms_per_hour, 0.0);
+  CACKLE_CHECK_GE(options_.storm.reclaim_fraction_per_minute, 0.0);
+  CACKLE_CHECK_LE(options_.storm.reclaim_fraction_per_minute, 1.0);
+  CACKLE_CHECK_GE(options_.brownout.windows_per_hour, 0.0);
+  CACKLE_CHECK_GE(options_.brownout.store_error_rate, 0.0);
+  // Transient errors must stay transient, same bound as FaultProfile.
+  CACKLE_CHECK_LE(options_.brownout.store_error_rate, 0.95);
+  CACKLE_CHECK_GE(options_.price_shock.shocks_per_hour, 0.0);
+  CACKLE_CHECK_GT(options_.price_shock.price_multiplier, 0.0);
+
+  // One stream per process: enabling one process never shifts the windows
+  // another process generates from the same seed.
+  Rng outage_rng(seed ^ 0x0007a9e0ULL);
+  Rng storm_rng(seed ^ 0x57072137ULL);
+  Rng brownout_rng(seed ^ 0xb7070a07ULL);
+  Rng price_rng(seed ^ 0x971ce5b0ULL);
+  if (options_.outage.enabled()) {
+    outage_windows_ =
+        GenerateWindows(options_.outage.windows_per_hour,
+                        options_.outage.mean_window_ms, options_.horizon_ms,
+                        &outage_rng);
+  }
+  if (options_.storm.enabled()) {
+    storm_windows_ =
+        GenerateWindows(options_.storm.storms_per_hour,
+                        options_.storm.mean_storm_ms, options_.horizon_ms,
+                        &storm_rng);
+  }
+  if (options_.brownout.enabled()) {
+    brownout_windows_ =
+        GenerateWindows(options_.brownout.windows_per_hour,
+                        options_.brownout.mean_window_ms, options_.horizon_ms,
+                        &brownout_rng);
+  }
+  if (options_.price_shock.enabled()) {
+    price_shock_windows_ =
+        GenerateWindows(options_.price_shock.shocks_per_hour,
+                        options_.price_shock.mean_shock_ms, options_.horizon_ms,
+                        &price_rng);
+  }
+}
+
+std::vector<ChaosWindow> ChaosTimeline::GenerateWindows(double per_hour,
+                                                        SimTimeMs mean_ms,
+                                                        SimTimeMs horizon_ms,
+                                                        Rng* rng) {
+  CACKLE_CHECK_GT(per_hour, 0.0);
+  CACKLE_CHECK_GT(mean_ms, 0);
+  std::vector<ChaosWindow> windows;
+  const double gap_rate_per_ms =
+      per_hour / static_cast<double>(kMillisPerHour);
+  const double duration_rate_per_ms = 1.0 / static_cast<double>(mean_ms);
+  SimTimeMs t = 0;
+  while (true) {
+    t += std::max<SimTimeMs>(
+        1, static_cast<SimTimeMs>(rng->NextExponential(gap_rate_per_ms)));
+    if (t >= horizon_ms) break;
+    const SimTimeMs duration = std::max<SimTimeMs>(
+        1, static_cast<SimTimeMs>(rng->NextExponential(duration_rate_per_ms)));
+    ChaosWindow window;
+    window.start_ms = t;
+    window.end_ms = std::min(horizon_ms, t + duration);
+    windows.push_back(window);
+    t = window.end_ms;
+  }
+  return windows;
+}
+
+bool ChaosTimeline::Contains(const std::vector<ChaosWindow>& windows,
+                             SimTimeMs now) {
+  // Windows are sorted and disjoint: find the first window starting after
+  // `now`; its predecessor is the only candidate.
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), now,
+      [](SimTimeMs t, const ChaosWindow& w) { return t < w.start_ms; });
+  if (it == windows.begin()) return false;
+  return std::prev(it)->Contains(now);
+}
+
+double ChaosTimeline::PriceMultiplierAt(SimTimeMs now) const {
+  return Contains(price_shock_windows_, now)
+             ? options_.price_shock.price_multiplier
+             : 1.0;
+}
+
+SimTimeMs ChaosTimeline::TotalMs(const std::vector<ChaosWindow>& windows) {
+  SimTimeMs total = 0;
+  for (const ChaosWindow& w : windows) total += w.duration_ms();
+  return total;
+}
+
+std::vector<std::pair<SimTimeMs, double>> ChaosTimeline::PriceBreakpoints(
+    double base_price_per_hour) const {
+  std::vector<std::pair<SimTimeMs, double>> breakpoints;
+  breakpoints.emplace_back(0, base_price_per_hour);
+  for (const ChaosWindow& w : price_shock_windows_) {
+    breakpoints.emplace_back(
+        w.start_ms, base_price_per_hour * options_.price_shock.price_multiplier);
+    breakpoints.emplace_back(w.end_ms, base_price_per_hour);
+  }
+  return breakpoints;
+}
+
+}  // namespace cackle

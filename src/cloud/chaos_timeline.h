@@ -1,0 +1,174 @@
+#ifndef CACKLE_CLOUD_CHAOS_TIMELINE_H_
+#define CACKLE_CLOUD_CHAOS_TIMELINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace cackle {
+
+/// \brief A closed-open interval of simulated time during which one fault
+/// process is active.
+struct ChaosWindow {
+  SimTimeMs start_ms = 0;
+  SimTimeMs end_ms = 0;
+
+  SimTimeMs duration_ms() const { return end_ms - start_ms; }
+  bool Contains(SimTimeMs t) const { return t >= start_ms && t < end_ms; }
+};
+
+/// \brief AZ-wide outage windows: every VM launch fails while a window is
+/// active, and a configurable fraction of elastic invocations die mid-run.
+struct OutageProcessOptions {
+  /// Poisson arrival rate of outage windows; 0 disables the process.
+  double windows_per_hour = 0.0;
+  /// Mean window length (exponentially distributed).
+  SimTimeMs mean_window_ms = 2 * kMillisPerMinute;
+  /// Fraction of elastic invocations failing while a window is active.
+  double elastic_failure_fraction = 0.5;
+
+  bool enabled() const { return windows_per_hour > 0.0; }
+};
+
+/// \brief Spot-reclamation storms: a two-state Markov-modulated process
+/// (calm / storm, exponential sojourn times in both states). While a storm
+/// is active the provider reclaims a fraction of the ready fleet per minute
+/// — busy VMs included — in bursts the per-VM exponential-lifetime model
+/// cannot produce.
+struct StormProcessOptions {
+  /// Calm -> storm transition rate; 0 disables the process.
+  double storms_per_hour = 0.0;
+  /// Mean storm length (exponential sojourn in the storm state).
+  SimTimeMs mean_storm_ms = 5 * kMillisPerMinute;
+  /// Expected fraction of the ready fleet reclaimed per storm minute.
+  double reclaim_fraction_per_minute = 0.25;
+
+  bool enabled() const {
+    return storms_per_hour > 0.0 && reclaim_fraction_per_minute > 0.0;
+  }
+};
+
+/// \brief Object-store brownouts: windows of elevated transient-error rate
+/// and inflated read latency (the S3 "elevated error rates" incident shape).
+struct BrownoutProcessOptions {
+  /// Poisson arrival rate of brownout windows; 0 disables the process.
+  double windows_per_hour = 0.0;
+  /// Mean window length (exponentially distributed).
+  SimTimeMs mean_window_ms = 3 * kMillisPerMinute;
+  /// Transient-error rate while a window is active (replaces the base rate
+  /// when higher).
+  double store_error_rate = 0.25;
+  /// Nominal store read latency during a brownout, before inflation: the
+  /// fault-free model treats store reads as instantaneous, so this is the
+  /// first moment latency becomes visible at all.
+  SimTimeMs base_read_latency_ms = 200;
+  /// Multiplier on the nominal latency while a window is active.
+  double latency_inflation = 5.0;
+  /// Probability a read lands in the heavy tail (on top of inflation).
+  double tail_probability = 0.1;
+  /// Multiplier applied to tail reads.
+  double tail_multiplier = 10.0;
+
+  bool enabled() const { return windows_per_hour > 0.0; }
+};
+
+/// \brief Spot price shocks: windows during which the spot price is
+/// multiplied (Section 5.3 of the paper observes the c5a.large spot price
+/// nearly doubling while the Lambda price stayed fixed).
+struct PriceShockProcessOptions {
+  /// Poisson arrival rate of shock windows; 0 disables the process.
+  double shocks_per_hour = 0.0;
+  /// Mean shock length (exponentially distributed).
+  SimTimeMs mean_shock_ms = 30 * kMillisPerMinute;
+  /// Price multiplier while a shock is active.
+  double price_multiplier = 2.0;
+
+  bool enabled() const { return shocks_per_hour > 0.0 && price_multiplier != 1.0; }
+};
+
+/// \brief Configuration of the temporal fault processes. All processes
+/// default to disabled; a default-constructed options struct produces no
+/// timeline at all and is bit-identical to the memoryless-only injector.
+struct ChaosTimelineOptions {
+  /// Horizon over which windows are generated. 0 disables every process
+  /// regardless of their rates (the engine defaults it to cover the
+  /// workload when a scenario enables a process without setting it).
+  SimTimeMs horizon_ms = 0;
+  OutageProcessOptions outage;
+  StormProcessOptions storm;
+  BrownoutProcessOptions brownout;
+  PriceShockProcessOptions price_shock;
+
+  bool any() const {
+    return horizon_ms > 0 &&
+           (outage.enabled() || storm.enabled() || brownout.enabled() ||
+            price_shock.enabled());
+  }
+};
+
+/// \brief Deterministic, precomputed schedule of correlated fault windows.
+///
+/// All windows are generated at construction from per-process RNG streams
+/// derived from one seed, so the timeline never interacts with the event
+/// queue: querying it at any simulated time consumes no randomness and two
+/// runs with the same seed see exactly the same storms. Processes are
+/// renewal processes — exponential gaps between windows, exponential window
+/// lengths — which for the storm process is precisely a two-state
+/// Markov-modulated intensity (calm/storm sojourns).
+class ChaosTimeline {
+ public:
+  ChaosTimeline(const ChaosTimelineOptions& options, uint64_t seed);
+
+  const ChaosTimelineOptions& options() const { return options_; }
+
+  bool InOutage(SimTimeMs now) const { return Contains(outage_windows_, now); }
+  bool InStorm(SimTimeMs now) const { return Contains(storm_windows_, now); }
+  bool InBrownout(SimTimeMs now) const {
+    return Contains(brownout_windows_, now);
+  }
+
+  /// Spot-price multiplier in effect at `now` (1.0 outside shocks).
+  double PriceMultiplierAt(SimTimeMs now) const;
+
+  const std::vector<ChaosWindow>& outage_windows() const {
+    return outage_windows_;
+  }
+  const std::vector<ChaosWindow>& storm_windows() const {
+    return storm_windows_;
+  }
+  const std::vector<ChaosWindow>& brownout_windows() const {
+    return brownout_windows_;
+  }
+  const std::vector<ChaosWindow>& price_shock_windows() const {
+    return price_shock_windows_;
+  }
+
+  static SimTimeMs TotalMs(const std::vector<ChaosWindow>& windows);
+
+  /// Piecewise-constant spot price breakpoints for a SpotMarket: the base
+  /// price, multiplied during each shock window.
+  std::vector<std::pair<SimTimeMs, double>> PriceBreakpoints(
+      double base_price_per_hour) const;
+
+ private:
+  /// Renewal-process window generation: exponential gaps at `per_hour`,
+  /// exponential lengths with mean `mean_ms`, clipped to [0, horizon).
+  static std::vector<ChaosWindow> GenerateWindows(double per_hour,
+                                                  SimTimeMs mean_ms,
+                                                  SimTimeMs horizon_ms,
+                                                  Rng* rng);
+  static bool Contains(const std::vector<ChaosWindow>& windows, SimTimeMs now);
+
+  ChaosTimelineOptions options_;
+  std::vector<ChaosWindow> outage_windows_;
+  std::vector<ChaosWindow> storm_windows_;
+  std::vector<ChaosWindow> brownout_windows_;
+  std::vector<ChaosWindow> price_shock_windows_;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_CLOUD_CHAOS_TIMELINE_H_

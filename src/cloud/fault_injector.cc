@@ -37,11 +37,18 @@ FaultProfile FaultProfile::Heavy() {
 }
 
 FaultInjector::FaultInjector(const FaultProfile& profile, uint64_t seed)
+    : FaultInjector(profile, ChaosTimelineOptions{}, seed) {}
+
+FaultInjector::FaultInjector(const FaultProfile& profile,
+                             const ChaosTimelineOptions& chaos, uint64_t seed)
     : profile_(profile),
       elastic_rng_(seed ^ 0xe1a5711cULL),
       store_rng_(seed ^ 0x5707e000ULL),
       vm_rng_(seed ^ 0x00ff1ee7ULL),
-      shuffle_rng_(seed ^ 0x5a0ff1e5ULL) {
+      shuffle_rng_(seed ^ 0x5a0ff1e5ULL),
+      outage_rng_(seed ^ 0x007a9e00ULL),
+      brownout_rng_(seed ^ 0xb70a0077ULL),
+      storm_rng_(seed ^ 0x57079997ULL) {
   CACKLE_CHECK_GE(profile_.elastic_failure_rate, 0.0);
   CACKLE_CHECK_GE(profile_.elastic_concurrency_limit, 0);
   CACKLE_CHECK_GE(profile_.elastic_straggler_rate, 0.0);
@@ -54,10 +61,22 @@ FaultInjector::FaultInjector(const FaultProfile& profile, uint64_t seed)
   CACKLE_CHECK_LE(profile_.store_error_rate, 0.95);
   CACKLE_CHECK_LE(profile_.elastic_failure_rate, 0.95);
   CACKLE_CHECK_LE(profile_.vm_launch_failure_rate, 0.95);
+  if (chaos.any()) {
+    timeline_ = std::make_unique<ChaosTimeline>(chaos, seed ^ 0xca05a11eULL);
+  }
 }
 
 std::optional<SimTimeMs> FaultInjector::SampleElasticFailure(
-    SimTimeMs duration_ms) {
+    SimTimeMs now, SimTimeMs duration_ms) {
+  // Correlated outage deaths first, from the outage stream, so the base
+  // stream stays aligned with a timeline-free run.
+  if (timeline_ != nullptr && timeline_->InOutage(now) &&
+      timeline_->options().outage.elastic_failure_fraction > 0.0) {
+    if (outage_rng_.NextBernoulli(
+            timeline_->options().outage.elastic_failure_fraction)) {
+      return outage_rng_.NextInt(1, std::max<SimTimeMs>(1, duration_ms));
+    }
+  }
   if (profile_.elastic_failure_rate <= 0.0) return std::nullopt;
   if (!elastic_rng_.NextBernoulli(profile_.elastic_failure_rate)) {
     return std::nullopt;
@@ -70,12 +89,22 @@ bool FaultInjector::SampleElasticStraggler() {
   return elastic_rng_.NextBernoulli(profile_.elastic_straggler_rate);
 }
 
-bool FaultInjector::SampleStoreError() {
+bool FaultInjector::SampleStoreError(SimTimeMs now) {
+  // During a brownout the elevated rate replaces the base rate when higher;
+  // the brownout stream owns the draw so the base stream stays aligned.
+  if (timeline_ != nullptr && timeline_->InBrownout(now)) {
+    const double brownout_rate = timeline_->options().brownout.store_error_rate;
+    if (brownout_rate > profile_.store_error_rate) {
+      return brownout_rng_.NextBernoulli(brownout_rate);
+    }
+  }
   if (profile_.store_error_rate <= 0.0) return false;
   return store_rng_.NextBernoulli(profile_.store_error_rate);
 }
 
-bool FaultInjector::SampleVmLaunchFailure() {
+bool FaultInjector::SampleVmLaunchFailure(SimTimeMs now) {
+  // An outage window kills every launch: deterministic, no draw.
+  if (timeline_ != nullptr && timeline_->InOutage(now)) return true;
   if (profile_.vm_launch_failure_rate <= 0.0) return false;
   return vm_rng_.NextBernoulli(profile_.vm_launch_failure_rate);
 }
@@ -91,6 +120,37 @@ int64_t FaultInjector::SampleShuffleCrashes(int64_t num_nodes,
     if (shuffle_rng_.NextBernoulli(p)) ++crashes;
   }
   return crashes;
+}
+
+bool FaultInjector::HasStorms() const {
+  return timeline_ != nullptr && timeline_->options().storm.enabled();
+}
+
+int64_t FaultInjector::SampleStormReclaims(int64_t num_ready, SimTimeMs now,
+                                           SimTimeMs window_ms) {
+  if (!HasStorms() || num_ready <= 0) return 0;
+  if (!timeline_->InStorm(now)) return 0;
+  const double p =
+      std::min(1.0, timeline_->options().storm.reclaim_fraction_per_minute *
+                        static_cast<double>(window_ms) /
+                        static_cast<double>(kMillisPerMinute));
+  int64_t reclaims = 0;
+  for (int64_t i = 0; i < num_ready; ++i) {
+    if (storm_rng_.NextBernoulli(p)) ++reclaims;
+  }
+  return reclaims;
+}
+
+SimTimeMs FaultInjector::SampleBrownoutReadLatency(SimTimeMs now) {
+  if (timeline_ == nullptr || !timeline_->InBrownout(now)) return 0;
+  const BrownoutProcessOptions& b = timeline_->options().brownout;
+  double latency = static_cast<double>(b.base_read_latency_ms) *
+                   b.latency_inflation * brownout_rng_.NextDouble(0.75, 1.25);
+  if (b.tail_probability > 0.0 &&
+      brownout_rng_.NextBernoulli(b.tail_probability)) {
+    latency *= b.tail_multiplier;
+  }
+  return std::max<SimTimeMs>(1, static_cast<SimTimeMs>(latency));
 }
 
 }  // namespace cackle

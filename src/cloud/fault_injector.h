@@ -2,8 +2,10 @@
 #define CACKLE_CLOUD_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
+#include "cloud/chaos_timeline.h"
 #include "common/rng.h"
 #include "sim/simulation.h"
 
@@ -25,6 +27,20 @@ namespace cackle {
 ///  - Shuffle nodes crash, destroying their share of resident partitions.
 ///  - A fraction of elastic invocations straggle (run `straggler_slowdown`
 ///    times slower), motivating speculative re-execution.
+///
+/// Zero-consumption audit (which fields burn randomness when nonzero):
+///  - `elastic_failure_rate`, `elastic_straggler_rate`, `store_error_rate`,
+///    `vm_launch_failure_rate`, `shuffle_crash_rate_per_hour`: randomized —
+///    a nonzero value draws from the owning stream per request/window.
+///  - `elastic_concurrency_limit`: deterministic throttling only. The pool
+///    compares active+starting slots against the limit and rejects the
+///    overflow; no stream is ever consumed. It perturbs results purely by
+///    forcing backoff/retry scheduling.
+///  - `elastic_straggler_slowdown`: a multiplier, inert unless
+///    `elastic_straggler_rate` is nonzero; alone it changes nothing.
+/// `randomized()` captures the first group; `any()` additionally includes
+/// the deterministic throttle because either kind of field makes a run
+/// diverge from the fault-free baseline.
 struct FaultProfile {
   /// Probability an elastic invocation fails partway through its run.
   double elastic_failure_rate = 0.0;
@@ -41,11 +57,19 @@ struct FaultProfile {
   /// Crash intensity per shuffle node per hour of uptime.
   double shuffle_crash_rate_per_hour = 0.0;
 
-  bool any() const {
-    return elastic_failure_rate > 0.0 || elastic_concurrency_limit > 0 ||
-           elastic_straggler_rate > 0.0 || store_error_rate > 0.0 ||
-           vm_launch_failure_rate > 0.0 || shuffle_crash_rate_per_hour > 0.0;
+  /// True when any randomness-consuming fault rate is nonzero. The
+  /// concurrency limit is deliberately excluded: it is a deterministic
+  /// throttle that consumes no randomness (see the audit above).
+  bool randomized() const {
+    return elastic_failure_rate > 0.0 || elastic_straggler_rate > 0.0 ||
+           store_error_rate > 0.0 || vm_launch_failure_rate > 0.0 ||
+           shuffle_crash_rate_per_hour > 0.0;
   }
+
+  /// True when any field can make the run diverge from the fault-free
+  /// baseline, whether by randomness (`randomized()`) or by deterministic
+  /// throttling (`elastic_concurrency_limit`).
+  bool any() const { return randomized() || elastic_concurrency_limit > 0; }
 
   /// Presets for the chaos_matrix bench: escalating fault levels. The
   /// concurrency limit stays unbounded in the presets (it depends on the
@@ -63,28 +87,62 @@ struct FaultProfile {
 /// when the corresponding rate is zero it returns the no-fault answer
 /// without consuming randomness, so a zero profile is bit-identical to no
 /// injector at all.
+///
+/// On top of the memoryless per-request rates, an optional ChaosTimeline
+/// adds *correlated* temporal fault processes (outage windows, reclamation
+/// storms, store brownouts, price shocks). Timeline windows are precomputed
+/// at construction; the time-dependent samplers consult them before the
+/// memoryless rates. Window draws come from dedicated streams, so enabling
+/// a timeline process never shifts the base-rate streams, and a disabled
+/// timeline (the default) adds no draws anywhere.
 class FaultInjector {
  public:
   FaultInjector(const FaultProfile& profile, uint64_t seed);
+  FaultInjector(const FaultProfile& profile, const ChaosTimelineOptions& chaos,
+                uint64_t seed);
 
   const FaultProfile& profile() const { return profile_; }
 
-  /// If this elastic invocation fails mid-run, the simulated time (uniform
-  /// in [1, duration_ms]) at which it dies; nullopt when it survives.
-  std::optional<SimTimeMs> SampleElasticFailure(SimTimeMs duration_ms);
+  /// Non-null when a chaos timeline is configured.
+  const ChaosTimeline* timeline() const { return timeline_.get(); }
+
+  /// If this elastic invocation (granted at `now`) fails mid-run, the
+  /// simulated time offset (uniform in [1, duration_ms]) at which it dies;
+  /// nullopt when it survives. During an outage window an additional
+  /// `elastic_failure_fraction` of invocations die.
+  std::optional<SimTimeMs> SampleElasticFailure(SimTimeMs now,
+                                                SimTimeMs duration_ms);
 
   /// Whether this elastic invocation straggles.
   bool SampleElasticStraggler();
 
-  /// Whether this object-store request fails transiently.
-  bool SampleStoreError();
+  /// Whether this object-store request issued at `now` fails transiently.
+  /// During a brownout window the elevated brownout error rate replaces the
+  /// base rate when higher.
+  bool SampleStoreError(SimTimeMs now);
 
-  /// Whether this VM launch fails.
-  bool SampleVmLaunchFailure();
+  /// Whether this VM launch completing at `now` fails. During an outage
+  /// window every launch fails, deterministically and without a draw.
+  bool SampleVmLaunchFailure(SimTimeMs now);
 
   /// Number of shuffle nodes (out of `num_nodes`) crashing within a window
   /// of `window_ms` simulated milliseconds.
   int64_t SampleShuffleCrashes(int64_t num_nodes, SimTimeMs window_ms);
+
+  /// True when the timeline has a reclamation-storm process, i.e.
+  /// SampleStormReclaims can ever return nonzero.
+  bool HasStorms() const;
+
+  /// Number of ready VMs (out of `num_ready`) the provider reclaims in the
+  /// `window_ms` ending at `now`. Zero — with no draws — outside storm
+  /// windows.
+  int64_t SampleStormReclaims(int64_t num_ready, SimTimeMs now,
+                              SimTimeMs window_ms);
+
+  /// Extra object-store read latency for a stage reading shuffle data at
+  /// `now`. Zero — with no draws — outside brownout windows; inside one, the
+  /// inflated nominal latency with a heavy tail.
+  SimTimeMs SampleBrownoutReadLatency(SimTimeMs now);
 
  private:
   FaultProfile profile_;
@@ -92,6 +150,11 @@ class FaultInjector {
   Rng store_rng_;
   Rng vm_rng_;
   Rng shuffle_rng_;
+  // Streams for timeline-window draws, separate from the base-rate streams.
+  Rng outage_rng_;
+  Rng brownout_rng_;
+  Rng storm_rng_;
+  std::unique_ptr<ChaosTimeline> timeline_;
 };
 
 }  // namespace cackle

@@ -11,7 +11,7 @@ Status ObjectStore::TryPut(const std::string& key, int64_t bytes) {
   CACKLE_CHECK_GE(bytes, 0);
   ++num_puts_;
   meter_->Charge(CostCategory::kObjectStorePut, cost_->object_store_put_cost);
-  if (injector_ != nullptr && injector_->SampleStoreError()) {
+  if (injector_ != nullptr && injector_->SampleStoreError(NowMs())) {
     return Status::IoError("transient object store PUT failure");
   }
   auto [it, inserted] = objects_.try_emplace(key, bytes);
@@ -27,7 +27,7 @@ Status ObjectStore::TryPut(const std::string& key, int64_t bytes) {
 StatusOr<int64_t> ObjectStore::TryGet(const std::string& key) {
   ++num_gets_;
   meter_->Charge(CostCategory::kObjectStoreGet, cost_->object_store_get_cost);
-  if (injector_ != nullptr && injector_->SampleStoreError()) {
+  if (injector_ != nullptr && injector_->SampleStoreError(NowMs())) {
     return Status::IoError("transient object store GET failure");
   }
   auto it = objects_.find(key);
@@ -37,10 +37,50 @@ StatusOr<int64_t> ObjectStore::TryGet(const std::string& key) {
   return it->second;
 }
 
+void ObjectStore::EnableCircuitBreaker(const CircuitBreakerOptions& options) {
+  if (options.failure_threshold <= 0) return;
+  breaker_ = std::make_unique<CircuitBreaker>(options);
+}
+
+Status ObjectStore::ExecuteWithBreaker(const std::function<Status()>& op,
+                                       int* attempts_out) {
+  // Same backoff ladder and attempt bound as RetryPolicy::Execute; the
+  // breaker adds a gate before each attempt. Rejected attempts are neither
+  // issued nor billed — the loop fast-forwards its virtual clock to the
+  // cooldown expiry, where the breaker half-opens and admits a probe.
+  int64_t now = NowMs();
+  int attempt = 0;
+  int64_t elapsed_ms = 0;
+  Status status;
+  while (true) {
+    if (!breaker_->AllowRequest(now)) {
+      const int64_t wait = std::max<int64_t>(1, breaker_->RetryAtMs() - now);
+      now += wait;
+      elapsed_ms += wait;
+      continue;
+    }
+    ++attempt;
+    status = op();
+    if (status.ok()) {
+      breaker_->RecordSuccess(now);
+      break;
+    }
+    breaker_->RecordFailure(now);
+    const int64_t backoff = retry_policy_.BackoffMs(attempt);
+    now += backoff;
+    elapsed_ms += backoff;
+    if (!retry_policy_.ShouldRetry(attempt, elapsed_ms)) break;
+  }
+  if (attempts_out != nullptr) *attempts_out = attempt;
+  return status;
+}
+
 void ObjectStore::Put(const std::string& key, int64_t bytes) {
   int attempts = 0;
-  const Status status = retry_policy_.Execute(
-      [&] { return TryPut(key, bytes); }, &attempts);
+  const auto op = [&] { return TryPut(key, bytes); };
+  const Status status = breaker_ != nullptr
+                            ? ExecuteWithBreaker(op, &attempts)
+                            : retry_policy_.Execute(op, &attempts);
   num_retries_ += attempts - 1;
   CACKLE_CHECK(status.ok()) << "object store PUT failed after " << attempts
                             << " attempts: " << status.ToString();
@@ -49,19 +89,20 @@ void ObjectStore::Put(const std::string& key, int64_t bytes) {
 std::optional<int64_t> ObjectStore::Get(const std::string& key) {
   std::optional<int64_t> result;
   int attempts = 0;
-  const Status status = retry_policy_.Execute(
-      [&]() -> Status {
-        StatusOr<int64_t> got = TryGet(key);
-        if (got.ok()) {
-          result = got.value();
-          return Status::OK();
-        }
-        // A 404 is a definitive answer, not a transient error; billed but
-        // not retried.
-        if (got.status().code() == StatusCode::kNotFound) return Status::OK();
-        return got.status();
-      },
-      &attempts);
+  const auto op = [&]() -> Status {
+    StatusOr<int64_t> got = TryGet(key);
+    if (got.ok()) {
+      result = got.value();
+      return Status::OK();
+    }
+    // A 404 is a definitive answer, not a transient error; billed but
+    // not retried.
+    if (got.status().code() == StatusCode::kNotFound) return Status::OK();
+    return got.status();
+  };
+  const Status status = breaker_ != nullptr
+                            ? ExecuteWithBreaker(op, &attempts)
+                            : retry_policy_.Execute(op, &attempts);
   num_retries_ += attempts - 1;
   CACKLE_CHECK(status.ok()) << "object store GET failed after " << attempts
                             << " attempts: " << status.ToString();
@@ -87,6 +128,15 @@ void ObjectStore::ExportMetrics(MetricsRegistry* metrics,
                     static_cast<double>(bytes_stored_));
   metrics->SetGauge(prefix + mn::kSuffixPeakBytesStored,
                     static_cast<double>(peak_bytes_stored_));
+  // Breaker metrics only exist when a breaker is configured, keeping the
+  // fault-free registry (and its serialized snapshots) unchanged.
+  if (breaker_ != nullptr) {
+    metrics->SetCounter(prefix + mn::kSuffixCircuitOpen, breaker_->trips());
+    metrics->SetCounter(prefix + mn::kSuffixCircuitRejections,
+                        breaker_->rejections());
+    metrics->SetCounter(prefix + mn::kSuffixCircuitHalfOpens,
+                        breaker_->half_opens());
+  }
 }
 
 }  // namespace cackle

@@ -2,6 +2,8 @@
 #define CACKLE_CLOUD_OBJECT_STORE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -9,9 +11,11 @@
 #include "cloud/billing.h"
 #include "cloud/cost_model.h"
 #include "cloud/fault_injector.h"
+#include "common/circuit_breaker.h"
 #include "common/metrics.h"
 #include "common/retry_policy.h"
 #include "common/status.h"
+#include "sim/simulation.h"
 
 namespace cackle {
 
@@ -35,6 +39,22 @@ class ObjectStore {
 
   /// Attaches a fault injector providing the transient-error rate.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Attaches the simulation clock so time-dependent fault processes
+  /// (brownout windows) and the circuit breaker see simulated time. Without
+  /// it requests are sampled at time 0, which is only correct for tests
+  /// that never enable a timeline.
+  void SetSimulation(const Simulation* sim) { sim_ = sim; }
+
+  /// Enables a circuit breaker on the retrying Put/Get wrappers. While the
+  /// breaker is open, attempts are rejected without being issued or billed;
+  /// the retry loop waits out the cooldown in virtual time and probes again
+  /// when the breaker half-opens. A zero failure_threshold is a no-op.
+  void EnableCircuitBreaker(const CircuitBreakerOptions& options);
+
+  /// Non-null once EnableCircuitBreaker has been called with a nonzero
+  /// threshold.
+  const CircuitBreaker* circuit_breaker() const { return breaker_.get(); }
 
   /// Single attempt to store (or overwrite) an object of `bytes` bytes.
   /// Bills one PUT even on injected failure.
@@ -84,9 +104,19 @@ class ObjectStore {
     return opts;
   }
 
+  /// Breaker-aware retry loop: same backoff schedule as RetryPolicy::Execute
+  /// but consults the breaker before every attempt, clocked on simulated
+  /// time plus virtual backoff.
+  [[nodiscard]] Status ExecuteWithBreaker(const std::function<Status()>& op,
+                                          int* attempts_out);
+
+  SimTimeMs NowMs() const { return sim_ != nullptr ? sim_->NowMs() : 0; }
+
   const CostModel* cost_;
   BillingMeter* meter_;
   FaultInjector* injector_ = nullptr;
+  const Simulation* sim_ = nullptr;
+  std::unique_ptr<CircuitBreaker> breaker_;
   RetryPolicy retry_policy_;
   std::unordered_map<std::string, int64_t> objects_;
   int64_t num_puts_ = 0;

@@ -46,7 +46,7 @@ void VmFleet::OnVmStarted(VmId id) {
   auto it = std::find(pending_.begin(), pending_.end(), id);
   CACKLE_CHECK(it != pending_.end());
   pending_.erase(it);
-  if (injector_ != nullptr && injector_->SampleVmLaunchFailure()) {
+  if (injector_ != nullptr && injector_->SampleVmLaunchFailure(sim_->NowMs())) {
     // Spot capacity error: the launch never completes and is not billed; a
     // maintained target re-requests the capacity (another startup delay).
     vm.state = VmState::kTerminated;
@@ -168,6 +168,31 @@ bool VmFleet::InterruptOneIdle() {
   if (victim < 0) return false;
   Interrupt(victim);
   return true;
+}
+
+int64_t VmFleet::InterruptN(int64_t count) {
+  if (count <= 0) return 0;
+  // Pick victims by ascending id for determinism, then interrupt outside
+  // the scan: rescuing a busy victim's task may acquire an idle VM, and
+  // Interrupt tolerates (skips) victims whose state changed meanwhile.
+  std::vector<VmId> victims;
+  for (VmId id = 0;
+       id < static_cast<VmId>(vms_.size()) &&
+       static_cast<int64_t>(victims.size()) < count;
+       ++id) {
+    const VmState state = vms_[static_cast<size_t>(id)].state;
+    if (state == VmState::kIdle || state == VmState::kBusy) {
+      victims.push_back(id);
+    }
+  }
+  int64_t reclaimed = 0;
+  for (VmId id : victims) {
+    const VmState state = vms_[static_cast<size_t>(id)].state;
+    if (state != VmState::kIdle && state != VmState::kBusy) continue;
+    Interrupt(id);
+    ++reclaimed;
+  }
+  return reclaimed;
 }
 
 void VmFleet::ReconcileDown() {

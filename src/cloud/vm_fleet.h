@@ -82,6 +82,13 @@ class VmFleet {
   /// when no idle VM exists.
   bool InterruptOneIdle();
 
+  /// Force-reclaims up to `count` READY VMs — idle *and* busy — in
+  /// ascending id order (a reclamation-storm burst; the provider does not
+  /// care whether a VM is working). Busy victims fire the interruption
+  /// callback so the scheduler can rescue their tasks. Returns how many
+  /// VMs were actually reclaimed.
+  int64_t InterruptN(int64_t count);
+
   /// Terminates every VM (end of workload) and flushes billing.
   void TerminateAll();
 

@@ -1,0 +1,71 @@
+#include "common/circuit_breaker.h"
+
+#include "common/logging.h"
+
+namespace cackle {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  CACKLE_CHECK_GE(options_.failure_threshold, 0);
+  CACKLE_CHECK_GT(options_.open_ms, 0);
+  CACKLE_CHECK_GE(options_.success_threshold, 1);
+}
+
+bool CircuitBreaker::AllowRequest(int64_t now_ms) {
+  if (options_.failure_threshold == 0) return true;
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now_ms >= open_until_ms_) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        ++half_opens_;
+        return true;
+      }
+      ++rejections_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(int64_t now_ms) {
+  (void)now_ms;
+  if (options_.failure_threshold == 0) return;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= options_.success_threshold) {
+      state_ = State::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_ms) {
+  if (options_.failure_threshold == 0) return;
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TripOpen(now_ms);
+      }
+      break;
+    case State::kHalfOpen:
+      // A failed trial re-opens immediately.
+      TripOpen(now_ms);
+      break;
+    case State::kOpen:
+      // Failures while open can only come from requests admitted before the
+      // trip; they extend nothing.
+      break;
+  }
+}
+
+void CircuitBreaker::TripOpen(int64_t now_ms) {
+  state_ = State::kOpen;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  open_until_ms_ = now_ms + options_.open_ms;
+  ++trips_;
+}
+
+}  // namespace cackle

@@ -1,0 +1,76 @@
+#ifndef CACKLE_COMMON_CIRCUIT_BREAKER_H_
+#define CACKLE_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+namespace cackle {
+
+/// \brief Tunables of a circuit breaker. A zero `failure_threshold`
+/// disables the breaker entirely (it never trips and never rejects).
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open; 0 = disabled.
+  int failure_threshold = 0;
+  /// How long the breaker stays open before half-opening. Interpreted in
+  /// whatever clock the caller passes to the methods (the simulated object
+  /// store passes simulated or virtual-retry milliseconds).
+  int64_t open_ms = 30'000;
+  /// Consecutive half-open successes required to close again.
+  int success_threshold = 1;
+};
+
+/// \brief Deterministic circuit breaker (closed -> open -> half-open).
+///
+/// Entirely clock-driven and free of randomness: the caller passes the
+/// current time to every method, so the breaker behaves identically across
+/// reruns of a seeded simulation. State machine:
+///  - kClosed: requests flow; `failure_threshold` consecutive failures trip
+///    the breaker open (a success resets the streak).
+///  - kOpen: requests are rejected until `open_ms` has elapsed since the
+///    trip, then the next request transitions to half-open and is allowed
+///    through as a trial.
+///  - kHalfOpen: trial requests flow; `success_threshold` consecutive
+///    successes close the breaker, any failure re-opens it for another
+///    `open_ms`.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+  /// Whether a request issued at `now_ms` may proceed. Transitions open ->
+  /// half-open when the cooldown has elapsed.
+  bool AllowRequest(int64_t now_ms);
+
+  /// Earliest time a rejected request could be allowed again (the open
+  /// cooldown expiry). Only meaningful while open.
+  int64_t RetryAtMs() const { return open_until_ms_; }
+
+  void RecordSuccess(int64_t now_ms);
+  void RecordFailure(int64_t now_ms);
+
+  State state() const { return state_; }
+  /// Closed -> open transitions observed so far.
+  int64_t trips() const { return trips_; }
+  /// Open -> half-open transitions observed so far.
+  int64_t half_opens() const { return half_opens_; }
+  /// Requests rejected while open.
+  int64_t rejections() const { return rejections_; }
+
+ private:
+  void TripOpen(int64_t now_ms);
+
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t open_until_ms_ = 0;
+  int64_t trips_ = 0;
+  int64_t half_opens_ = 0;
+  int64_t rejections_ = 0;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_CIRCUIT_BREAKER_H_

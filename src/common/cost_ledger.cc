@@ -34,6 +34,11 @@ void CostLedger::Attribute(int64_t query_id, size_t category, double dollars,
   attributed_[category] += dollars;
 }
 
+void CostLedger::Touch(int64_t query_id) {
+  CACKLE_CHECK(!finalized_) << "attribution after FinalizeAgainst";
+  RowFor(query_id);
+}
+
 void CostLedger::AddUsage(int64_t query_id, size_t category, double usage) {
   CACKLE_CHECK(!finalized_) << "attribution after FinalizeAgainst";
   CACKLE_CHECK_LT(category, num_categories());

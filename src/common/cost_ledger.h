@@ -71,6 +71,11 @@ class CostLedger {
   /// Records an attribution weight without dollars.
   void AddUsage(int64_t query_id, size_t category, double usage);
 
+  /// Materializes `query_id`'s row with zero dollars and zero usage. Shed
+  /// queries call this so the books show them as first-class outcomes — a
+  /// row proving they cost nothing — rather than omitting them entirely.
+  void Touch(int64_t query_id);
+
   /// Sum attributed to `category` so far, accumulated in attribution order.
   double CategoryAttributed(size_t category) const;
 

@@ -41,6 +41,11 @@ class JsonWriter {
   void Field(std::string_view key, std::string_view value) {
     Key(key).String(value);
   }
+  // A string literal would otherwise convert to bool, silently emitting
+  // `true` instead of the string; route const char* to the string overload.
+  void Field(std::string_view key, const char* value) {
+    Key(key).String(value);
+  }
   void Field(std::string_view key, int64_t value) { Key(key).Int(value); }
   void Field(std::string_view key, int value) {
     Key(key).Int(static_cast<int64_t>(value));

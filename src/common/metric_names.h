@@ -50,6 +50,27 @@ inline constexpr char kEngineBatchLatencyS[] = "engine.batch_latency_s";
 inline constexpr char kEngineMakespanMs[] = "engine.makespan_ms";
 inline constexpr char kEnginePeakConcurrentTasks[] =
     "engine.peak_concurrent_tasks";
+inline constexpr char kEngineShedQueries[] = "engine.shed_queries";
+inline constexpr char kEngineDeferredQueries[] = "engine.deferred_queries";
+inline constexpr char kEngineAdmissionQueuePeak[] =
+    "engine.admission_queue_peak";
+inline constexpr char kEngineRetryBudgetExhausted[] =
+    "engine.retry_budget_exhausted";
+inline constexpr char kEngineHedgedReads[] = "engine.hedged_reads";
+inline constexpr char kEngineHedgedWins[] = "engine.hedged_wins";
+inline constexpr char kEngineStormReclaims[] = "engine.storm_reclaims";
+
+// ------------------------------------------------------------- chaos.* names
+// Gauges describing the precomputed fault-process timeline of a run; only
+// registered when a chaos timeline is configured.
+inline constexpr char kChaosOutageWindows[] = "chaos.outage_windows";
+inline constexpr char kChaosOutageMs[] = "chaos.outage_ms";
+inline constexpr char kChaosStormWindows[] = "chaos.storm_windows";
+inline constexpr char kChaosStormMs[] = "chaos.storm_ms";
+inline constexpr char kChaosBrownoutWindows[] = "chaos.brownout_windows";
+inline constexpr char kChaosBrownoutMs[] = "chaos.brownout_ms";
+inline constexpr char kChaosPriceShockWindows[] = "chaos.price_shock_windows";
+inline constexpr char kChaosPriceShockMs[] = "chaos.price_shock_ms";
 
 // ---------------------------------------------------------- strategy.* names
 inline constexpr char kStrategyUpdates[] = "strategy.updates";
@@ -119,6 +140,9 @@ inline constexpr char kSuffixRetries[] = ".retries";
 inline constexpr char kSuffixObjects[] = ".objects";
 inline constexpr char kSuffixBytesStored[] = ".bytes_stored";
 inline constexpr char kSuffixPeakBytesStored[] = ".peak_bytes_stored";
+inline constexpr char kSuffixCircuitOpen[] = ".circuit_open";
+inline constexpr char kSuffixCircuitRejections[] = ".circuit_rejections";
+inline constexpr char kSuffixCircuitHalfOpens[] = ".circuit_half_opens";
 
 }  // namespace metric_names
 

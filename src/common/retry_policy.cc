@@ -16,6 +16,7 @@ RetryPolicy::RetryPolicy(RetryPolicyOptions options, Rng* rng)
   CACKLE_CHECK_GE(options_.jitter, 0.0);
   CACKLE_CHECK_LT(options_.jitter, 1.0);
   CACKLE_CHECK_GE(options_.deadline_ms, 0);
+  CACKLE_CHECK_GE(options_.max_elapsed_ms, 0);
 }
 
 int64_t RetryPolicy::BackoffMs(int attempt) {
@@ -25,6 +26,9 @@ int64_t RetryPolicy::BackoffMs(int attempt) {
   backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
   if (rng_ != nullptr && options_.jitter > 0.0) {
     backoff *= rng_->NextDouble(1.0 - options_.jitter, 1.0 + options_.jitter);
+    // The cap is a hard bound, not a pre-jitter nominal value: positive
+    // jitter must never push a backoff past max_backoff_ms.
+    backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
   }
   return std::max<int64_t>(1, static_cast<int64_t>(backoff));
 }
@@ -34,6 +38,9 @@ bool RetryPolicy::ShouldRetry(int attempt, int64_t elapsed_ms) const {
     return false;
   }
   if (options_.deadline_ms > 0 && elapsed_ms >= options_.deadline_ms) {
+    return false;
+  }
+  if (options_.max_elapsed_ms > 0 && elapsed_ms >= options_.max_elapsed_ms) {
     return false;
   }
   return true;

@@ -25,6 +25,12 @@ struct RetryPolicyOptions {
   /// Overall budget across all backoffs; 0 = none. Once the cumulative
   /// backoff would exceed the deadline, the operation is abandoned.
   int64_t deadline_ms = 0;
+  /// Cumulative max-elapsed budget; 0 = none. Unlike `deadline_ms`, which
+  /// only counts the policy's own backoffs, this caps whatever elapsed time
+  /// the caller reports to `ShouldRetry` — wall time in simulation for the
+  /// engine's elastic placement loop, so an operation stuck behind a
+  /// throttle eventually yields instead of backing off forever.
+  int64_t max_elapsed_ms = 0;
 };
 
 /// \brief Reusable retry/backoff engine returning Status.

@@ -39,16 +39,34 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   shuffle_partitions_lost_ =
       metrics_->GetCounter(mn::kEngineShufflePartitionsLost);
   queries_completed_ = metrics_->GetCounter(mn::kEngineQueriesCompleted);
+  queries_shed_ = metrics_->GetCounter(mn::kEngineShedQueries);
+  queries_deferred_ = metrics_->GetCounter(mn::kEngineDeferredQueries);
+  retry_budget_exhausted_ =
+      metrics_->GetCounter(mn::kEngineRetryBudgetExhausted);
+  hedged_reads_ = metrics_->GetCounter(mn::kEngineHedgedReads);
+  hedged_wins_ = metrics_->GetCounter(mn::kEngineHedgedWins);
+  storm_reclaims_ = metrics_->GetCounter(mn::kEngineStormReclaims);
   query_latency_s_ = metrics_->GetHistogram(mn::kEngineQueryLatencyS);
   batch_latency_s_ = metrics_->GetHistogram(mn::kEngineBatchLatencyS);
-  injector_ = std::make_unique<FaultInjector>(options_.faults,
+  injector_ = std::make_unique<FaultInjector>(options_.faults, options_.chaos,
                                               options_.seed ^ 0xfa017ULL);
   elastic_retry_policy_ =
       std::make_unique<RetryPolicy>(options_.elastic_retry, &chaos_rng_);
-  fleet_ = std::make_unique<VmFleet>(&sim_, cost_, &meter_);
+  if (injector_->timeline() != nullptr &&
+      !injector_->timeline()->price_shock_windows().empty()) {
+    // Price shocks re-price the main fleet through a spot market built from
+    // the precomputed shock windows. Without shocks the market stays null
+    // and the flat CostModel rate applies, exactly as before.
+    spot_market_ = std::make_unique<SpotMarket>(
+        injector_->timeline()->PriceBreakpoints(cost_->vm_cost_per_hour));
+  }
+  fleet_ = std::make_unique<VmFleet>(&sim_, cost_, &meter_,
+                                     spot_market_.get());
   pool_ = std::make_unique<ElasticPool>(&sim_, cost_, &meter_,
                                         Rng(options_.seed));
   object_store_ = std::make_unique<ObjectStore>(cost_, &meter_);
+  object_store_->SetSimulation(&sim_);
+  object_store_->EnableCircuitBreaker(options_.store_breaker);
   shuffle_ = std::make_unique<ShuffleLayer>(&sim_, cost_, &meter_,
                                             object_store_.get());
   fleet_->SetFaultInjector(injector_.get());
@@ -84,8 +102,11 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   if (options_.spot_mean_lifetime_hours > 0.0) {
     fleet_->EnableInterruptions(options_.seed ^ 0xdead,
                                 options_.spot_mean_lifetime_hours);
-    fleet_->SetOnVmInterrupted([this](VmId vm) { OnVmInterrupted(vm); });
   }
+  // Reclamation storms interrupt busy VMs even without the per-VM lifetime
+  // model, so the rescue callback is always installed (installing it is
+  // pure bookkeeping; it only fires on interruptions).
+  fleet_->SetOnVmInterrupted([this](VmId vm) { OnVmInterrupted(vm); });
 }
 
 CackleEngine::~CackleEngine() = default;
@@ -103,7 +124,18 @@ void CackleEngine::CoordinatorTick() {
   // interruptions) the reclaim-replenish loop would run forever.
   const int64_t target = workload_done_ ? 0 : strategy_->Target(history_);
   fleet_->SetTarget(target);
+  if (injector_->HasStorms()) {
+    // Reclamation-storm burst: the provider claws back a fraction of the
+    // ready fleet this second, busy VMs included (their tasks are rescued
+    // through the normal interruption path).
+    const int64_t reclaims = injector_->SampleStormReclaims(
+        fleet_->num_ready(), sim_.NowMs(), kMillisPerSecond);
+    if (reclaims > 0) {
+      storm_reclaims_->Increment(fleet_->InterruptN(reclaims));
+    }
+  }
   if (options_.enable_shuffle) shuffle_->Tick();
+  DrainAdmissionQueue();
   DrainBatchQueue();
 
   if (options_.record_series) {
@@ -118,6 +150,23 @@ void CackleEngine::CoordinatorTick() {
 }
 
 void CackleEngine::OnQueryArrival(int64_t query_id) {
+  if (options_.admission.enabled() &&
+      (running_tasks_ >= options_.admission.max_outstanding_tasks ||
+       !admission_queue_.empty())) {
+    // Over the survivability threshold (or behind queries that were): defer
+    // instead of piling more tasks onto a melting substrate. FIFO order is
+    // preserved — a query never overtakes an earlier deferred one.
+    queries_deferred_->Increment();
+    admission_queue_.push_back(AdmissionEntry{query_id, sim_.NowMs()});
+    admission_queue_peak_ =
+        std::max(admission_queue_peak_,
+                 static_cast<int64_t>(admission_queue_.size()));
+    return;
+  }
+  StartQuery(query_id);
+}
+
+void CackleEngine::StartQuery(int64_t query_id) {
   QueryState& state = queries_[static_cast<size_t>(query_id)];
   state.span = tracer_->Begin("query", sim_.NowMs(), kInvalidSpan, query_id);
   tracer_->Tag(state.span, "type", state.batch ? "batch" : "interactive");
@@ -129,6 +178,62 @@ void CackleEngine::OnQueryArrival(int64_t query_id) {
   }
 }
 
+void CackleEngine::ShedQuery(int64_t query_id) {
+  QueryState& state = queries_[static_cast<size_t>(query_id)];
+  CACKLE_CHECK(!state.done);
+  CACKLE_CHECK(!state.batch) << "batch queries are deferred, never shed";
+  state.done = true;
+  queries_shed_->Increment();
+  const SpanId span =
+      tracer_->Begin("query", sim_.NowMs(), kInvalidSpan, query_id);
+  tracer_->Tag(span, "type", "interactive");
+  tracer_->Tag(span, "outcome", "shed");
+  tracer_->End(span, sim_.NowMs());
+  // A shed query is a first-class outcome in the books: a zero-cost row,
+  // not a missing one.
+  if (ledger_ != nullptr) ledger_->Touch(query_id);
+  result_.makespan_ms = std::max(result_.makespan_ms, sim_.NowMs());
+  if (--queries_remaining_ == 0) {
+    workload_done_ = true;
+    fleet_->SetTarget(0);
+  }
+}
+
+void CackleEngine::DrainAdmissionQueue() {
+  if (admission_queue_.empty()) return;
+  if (options_.admission.shed_after_ms > 0) {
+    // SLO pass first: overdue interactive queries anywhere in the queue are
+    // shed; batch entries just keep waiting (delay-tolerant by contract).
+    for (auto it = admission_queue_.begin(); it != admission_queue_.end();) {
+      const QueryState& state = queries_[static_cast<size_t>(it->query_id)];
+      if (!state.batch &&
+          sim_.NowMs() - it->arrival_ms >= options_.admission.shed_after_ms) {
+        ShedQuery(it->query_id);
+        it = admission_queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  while (!admission_queue_.empty() &&
+         running_tasks_ < options_.admission.max_outstanding_tasks) {
+    const AdmissionEntry entry = admission_queue_.front();
+    admission_queue_.pop_front();
+    StartQuery(entry.query_id);
+  }
+}
+
+void CackleEngine::DrainDeferredTasks() {
+  if (deferred_tasks_.empty()) return;
+  std::deque<DeferredTask> parked;
+  parked.swap(deferred_tasks_);
+  for (const DeferredTask& task : parked) {
+    // Fresh attempt counter and budget: the point of parking was to stop
+    // the exponential ladder, not to drop the task.
+    PlaceTask(task.ref, task.duration_ms);
+  }
+}
+
 void CackleEngine::ScheduleStage(int64_t query_id, int stage_id) {
   QueryState& state = queries_[static_cast<size_t>(query_id)];
   const StageProfile& stage =
@@ -137,17 +242,65 @@ void CackleEngine::ScheduleStage(int64_t query_id, int stage_id) {
       tracer_->Begin("stage", sim_.NowMs(), state.span, query_id);
   tracer_->Tag(stage_span, "stage", std::to_string(stage_id));
   state.stage_spans[static_cast<size_t>(stage_id)] = stage_span;
-  // Consumer side of the shuffle: read upstream stage outputs.
+  // Consumer side of the shuffle: read upstream stage outputs. The
+  // store-resident share determines the stage's exposure to brownouts.
+  double max_store_fraction = 0.0;
   if (options_.enable_shuffle) {
     for (int dep : stage.dependencies) {
       const StageProfile& upstream =
           state.profile->stages[static_cast<size_t>(dep)];
-      shuffle_->Read(query_id, dep, upstream.object_store_gets);
+      max_store_fraction =
+          std::max(max_store_fraction,
+                   shuffle_->Read(query_id, dep, upstream.object_store_gets));
       const SpanId read_ev =
           tracer_->Instant("shuffle.read", sim_.NowMs(), stage_span, query_id);
       tracer_->Tag(read_ev, "from_stage", std::to_string(dep));
     }
   }
+  // Outside brownouts (and always in the fault-free configuration) the
+  // sampled delay is zero and the tasks launch synchronously, preserving
+  // bit-identity with the pre-hedging scheduler.
+  SimTimeMs read_delay_ms = 0;
+  if (max_store_fraction > 0.0) {
+    read_delay_ms = injector_->SampleBrownoutReadLatency(sim_.NowMs());
+    if (read_delay_ms > 0 && options_.hedge_after_ms > 0 &&
+        read_delay_ms > options_.hedge_after_ms) {
+      // Hedge the slow read: after hedge_after_ms, issue a duplicate GET
+      // (real store traffic — billed and attributed) and take the faster.
+      hedged_reads_->Increment();
+      const SimTimeMs duplicate_ms =
+          options_.hedge_after_ms +
+          injector_->SampleBrownoutReadLatency(sim_.NowMs());
+      meter_.Charge(CostCategory::kObjectStoreGet,
+                    cost_->object_store_get_cost);
+      if (ledger_ != nullptr) {
+        ledger_->Attribute(query_id,
+                           static_cast<size_t>(CostCategory::kObjectStoreGet),
+                           cost_->object_store_get_cost, 1.0);
+      }
+      if (duplicate_ms < read_delay_ms) {
+        hedged_wins_->Increment();
+        read_delay_ms = duplicate_ms;
+      }
+      const SpanId hedge_ev = tracer_->Instant("shuffle.hedged_read",
+                                               sim_.NowMs(), stage_span,
+                                               query_id);
+      tracer_->Tag(hedge_ev, "delay_ms", std::to_string(read_delay_ms));
+    }
+  }
+  if (read_delay_ms > 0) {
+    sim_.ScheduleAfter(read_delay_ms, [this, query_id, stage_id] {
+      LaunchStageTasks(query_id, stage_id);
+    });
+  } else {
+    LaunchStageTasks(query_id, stage_id);
+  }
+}
+
+void CackleEngine::LaunchStageTasks(int64_t query_id, int stage_id) {
+  const QueryState& state = queries_[static_cast<size_t>(query_id)];
+  const StageProfile& stage =
+      state.profile->stages[static_cast<size_t>(stage_id)];
   for (int t = 0; t < stage.num_tasks; ++t) {
     RunTask(TaskRef{query_id, stage_id, /*recovery=*/false},
             stage.TaskDuration(t));
@@ -233,26 +386,40 @@ void CackleEngine::AttributeElastic(int64_t query_id, SimTimeMs held_ms) {
                      static_cast<double>(held_ms));
 }
 
-void CackleEngine::PlaceTask(TaskRef ref, SimTimeMs duration_ms,
-                             int attempt) {
+void CackleEngine::PlaceTask(TaskRef ref, SimTimeMs duration_ms, int attempt,
+                             SimTimeMs backoff_elapsed_ms) {
   if (TryPlaceOnVm(ref, duration_ms)) return;
-  PlaceOnElastic(ref, duration_ms, attempt);
+  PlaceOnElastic(ref, duration_ms, attempt, backoff_elapsed_ms);
 }
 
 void CackleEngine::PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms,
-                                  int attempt) {
+                                  int attempt,
+                                  SimTimeMs backoff_elapsed_ms) {
   const int64_t run_id = next_elastic_run_id_++;
   const Status admitted = pool_->TryAcquire(
       [this, run_id](ElasticSlotId slot) { OnElasticGranted(run_id, slot); });
   if (!admitted.ok()) {
-    // Throttled by the concurrency limit: queue behind a deterministic
-    // exponential backoff, then try a full placement again (a VM may have
-    // freed up in the meantime). Attempts are unlimited — graceful
-    // degradation is late work, never lost work.
+    // Throttled by the concurrency limit. With a retry budget configured
+    // (elastic_retry.max_elapsed_ms) a task that has already waited out its
+    // cumulative budget parks in the deferred queue — the coordinator
+    // re-places it a second later with a fresh ladder, so the pool is not
+    // hammered by deep-backoff retries during a long outage. Without a
+    // budget (the default): queue behind a deterministic exponential
+    // backoff, then try a full placement again (a VM may have freed up in
+    // the meantime). Either way work is late, never lost.
+    if (!elastic_retry_policy_->ShouldRetry(attempt + 1, backoff_elapsed_ms)) {
+      retry_budget_exhausted_->Increment();
+      deferred_tasks_.push_back(DeferredTask{ref, duration_ms});
+      sim_.ScheduleAfter(kMillisPerSecond, [this] { DrainDeferredTasks(); });
+      return;
+    }
     const SimTimeMs backoff = elastic_retry_policy_->BackoffMs(attempt + 1);
-    sim_.ScheduleAfter(backoff, [this, ref, duration_ms, attempt] {
-      PlaceTask(ref, duration_ms, attempt + 1);
-    });
+    sim_.ScheduleAfter(
+        backoff, [this, ref, duration_ms, attempt, backoff_elapsed_ms,
+                  backoff] {
+          PlaceTask(ref, duration_ms, attempt + 1,
+                    backoff_elapsed_ms + backoff);
+        });
     return;
   }
   tasks_on_elastic_->Increment();
@@ -281,7 +448,7 @@ void CackleEngine::OnElasticGranted(int64_t run_id, ElasticSlotId slot) {
                static_cast<double>(dur) *
                options_.faults.elastic_straggler_slowdown));
   }
-  const auto fail_at = injector_->SampleElasticFailure(dur);
+  const auto fail_at = injector_->SampleElasticFailure(sim_.NowMs(), dur);
   uint64_t event;
   if (fail_at.has_value()) {
     event = sim_.ScheduleAfter(*fail_at, [this, run_id, slot] {
@@ -577,10 +744,14 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   // The coordinator ticks from t=0 until the workload drains.
   sim_.ScheduleAt(0, [this] { CoordinatorTick(); });
   sim_.RunToCompletion();
-  CACKLE_CHECK_EQ(queries_completed_->value(),
+  // Every arrival is accounted for: completed, or explicitly shed by
+  // admission control. Degradation is late or shed work — never silent loss.
+  CACKLE_CHECK_EQ(queries_completed_->value() + queries_shed_->value(),
                   static_cast<int64_t>(arrivals.size()));
   CACKLE_CHECK_EQ(running_tasks_, 0);
   CACKLE_CHECK(batch_queue_.empty());
+  CACKLE_CHECK(admission_queue_.empty()) << "queries stuck in admission";
+  CACKLE_CHECK(deferred_tasks_.empty()) << "tasks stuck in deferral";
   // End-of-run leak invariants: every resource the engine acquired must
   // have been returned — a leaked slot or in-flight retry is a bug, not a
   // rounding error.
@@ -610,6 +781,33 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   metrics_->SetCounter(mn::kEngineMakespanMs, result_.makespan_ms);
   metrics_->SetGauge(mn::kEnginePeakConcurrentTasks,
                      static_cast<double>(result_.peak_concurrent_tasks));
+  metrics_->SetGauge(mn::kEngineAdmissionQueuePeak,
+                     static_cast<double>(admission_queue_peak_));
+  if (const ChaosTimeline* timeline = injector_->timeline()) {
+    // Timeline shape gauges: how much chaos this run was exposed to.
+    metrics_->SetGauge(mn::kChaosOutageWindows,
+                       static_cast<double>(timeline->outage_windows().size()));
+    metrics_->SetGauge(mn::kChaosOutageMs,
+                       static_cast<double>(
+                           ChaosTimeline::TotalMs(timeline->outage_windows())));
+    metrics_->SetGauge(mn::kChaosStormWindows,
+                       static_cast<double>(timeline->storm_windows().size()));
+    metrics_->SetGauge(mn::kChaosStormMs,
+                       static_cast<double>(
+                           ChaosTimeline::TotalMs(timeline->storm_windows())));
+    metrics_->SetGauge(
+        mn::kChaosBrownoutWindows,
+        static_cast<double>(timeline->brownout_windows().size()));
+    metrics_->SetGauge(mn::kChaosBrownoutMs,
+                       static_cast<double>(ChaosTimeline::TotalMs(
+                           timeline->brownout_windows())));
+    metrics_->SetGauge(
+        mn::kChaosPriceShockWindows,
+        static_cast<double>(timeline->price_shock_windows().size()));
+    metrics_->SetGauge(mn::kChaosPriceShockMs,
+                       static_cast<double>(ChaosTimeline::TotalMs(
+                           timeline->price_shock_windows())));
+  }
 
   result_.tasks_on_vms = tasks_on_vms_->value();
   result_.tasks_on_elastic = tasks_on_elastic_->value();
@@ -621,6 +819,18 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   result_.stages_reexecuted = stages_reexecuted_->value();
   result_.shuffle_partitions_lost = shuffle_partitions_lost_->value();
   result_.queries_completed = queries_completed_->value();
+  result_.queries_shed = queries_shed_->value();
+  result_.queries_deferred = queries_deferred_->value();
+  result_.admission_queue_peak = admission_queue_peak_;
+  result_.retry_budget_exhausted = retry_budget_exhausted_->value();
+  result_.hedged_reads = hedged_reads_->value();
+  result_.hedged_wins = hedged_wins_->value();
+  result_.storm_reclaims = storm_reclaims_->value();
+  if (object_store_->circuit_breaker() != nullptr) {
+    result_.store_circuit_trips = object_store_->circuit_breaker()->trips();
+    result_.store_circuit_rejections =
+        object_store_->circuit_breaker()->rejections();
+  }
   result_.shuffle_fallback_bytes = metrics_->CounterValue(
       JoinMetricName(mn::kPrefixShuffle, mn::kSuffixFallbackBytes));
   result_.shuffle_written_bytes = metrics_->CounterValue(

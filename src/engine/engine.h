@@ -11,11 +11,14 @@
 #include <vector>
 
 #include "cloud/billing.h"
+#include "cloud/chaos_timeline.h"
 #include "cloud/cost_model.h"
 #include "cloud/elastic_pool.h"
 #include "cloud/fault_injector.h"
 #include "cloud/object_store.h"
+#include "cloud/spot_market.h"
 #include "cloud/vm_fleet.h"
+#include "common/circuit_breaker.h"
 #include "common/observability.h"
 #include "common/retry_policy.h"
 #include "common/stats.h"
@@ -27,6 +30,23 @@
 #include "workload/workload_generator.h"
 
 namespace cackle {
+
+/// \brief Admission control for graceful degradation under chaos. Disabled
+/// by default: every arriving query starts immediately, exactly as before.
+struct AdmissionControlOptions {
+  /// Survivability threshold: a query arriving while at least this many
+  /// tasks are running (or while earlier arrivals are already queued) is
+  /// deferred to the admission queue instead of started. 0 disables
+  /// admission control entirely.
+  int64_t max_outstanding_tasks = 0;
+  /// SLO deadline for queued *interactive* queries: one still waiting for
+  /// admission this long after arrival is shed — a first-class outcome, not
+  /// lost work. Batch queries are never shed (they tolerate delay by
+  /// definition). 0 = defer indefinitely, never shed.
+  SimTimeMs shed_after_ms = 0;
+
+  bool enabled() const { return max_outstanding_tasks > 0; }
+};
 
 /// \brief Configuration of an engine run.
 struct EngineOptions {
@@ -62,15 +82,35 @@ struct EngineOptions {
   /// which is bit-identical to a fault-free run).
   FaultProfile faults;
 
+  /// Temporal fault processes (outage windows, reclamation storms, store
+  /// brownouts, price shocks) layered on top of the memoryless rates. The
+  /// default (no processes) adds no timeline and is bit-identical.
+  ChaosTimelineOptions chaos;
+
   /// Backoff policy for elastic placements rejected by the concurrency
   /// limit. Unlimited attempts: a task is never dropped, it keeps backing
-  /// off (capped) until the pool admits it or a VM frees up.
+  /// off (capped) until the pool admits it or a VM frees up. Setting
+  /// `max_elapsed_ms` adds a retry *budget*: a task throttled for that much
+  /// cumulative simulated time stops hammering the pool and parks in a
+  /// deferred queue the coordinator re-admits later (still never lost).
   RetryPolicyOptions elastic_retry{/*max_attempts=*/0,
                                    /*initial_backoff_ms=*/200,
                                    /*multiplier=*/2.0,
                                    /*max_backoff_ms=*/10'000,
                                    /*jitter=*/0.25,
                                    /*deadline_ms=*/0};
+
+  /// Admission control / load shedding (disabled by default).
+  AdmissionControlOptions admission;
+
+  /// Circuit breaker on the object store's retrying Put/Get wrappers
+  /// (disabled by default: zero failure_threshold).
+  CircuitBreakerOptions store_breaker;
+
+  /// Hedged shuffle reads: when a brownout inflates a stage's store-read
+  /// latency beyond this, issue (and bill) a duplicate GET and take the
+  /// faster of the two. 0 disables hedging.
+  SimTimeMs hedge_after_ms = 0;
 
   /// Straggler mitigation: an elastic task still running after
   /// `straggler_timeout_multiplier` times its expected duration gets a
@@ -131,6 +171,29 @@ struct EngineResult {
   int64_t stages_reexecuted = 0;
   /// Speculative copies launched for straggling elastic tasks.
   int64_t tasks_speculated = 0;
+  // --- Graceful-degradation outcomes (all zero without chaos knobs) ---
+  /// Interactive queries shed by admission control after missing their
+  /// queueing SLO. Shed queries are first-class outcomes: they appear in
+  /// the cost ledger (as zero-cost rows) and queries_completed +
+  /// queries_shed always equals the arrival count.
+  int64_t queries_shed = 0;
+  /// Queries that waited in the admission queue before starting.
+  int64_t queries_deferred = 0;
+  /// Peak admission-queue length observed.
+  int64_t admission_queue_peak = 0;
+  /// Elastic placements that exhausted their cumulative retry budget and
+  /// were parked for later re-admission.
+  int64_t retry_budget_exhausted = 0;
+  /// Brownout-delayed shuffle reads that issued a hedged duplicate GET.
+  int64_t hedged_reads = 0;
+  /// Hedged duplicates that beat the original read.
+  int64_t hedged_wins = 0;
+  /// VMs reclaimed by reclamation-storm bursts (also in vms_interrupted).
+  int64_t storm_reclaims = 0;
+  /// Object-store circuit breaker: closed->open trips.
+  int64_t store_circuit_trips = 0;
+  /// Attempts rejected (unbilled) while the breaker was open.
+  int64_t store_circuit_rejections = 0;
   /// Per-second series (when requested).
   std::vector<int64_t> demand_series;
   std::vector<int64_t> target_series;
@@ -178,18 +241,39 @@ class CackleEngine {
   };
 
   void CoordinatorTick();
+  /// Arrival entry point: starts the query immediately, or defers it to the
+  /// admission queue when admission control is on and the engine is over
+  /// its survivability threshold.
   void OnQueryArrival(int64_t query_id);
+  /// Opens the query span and schedules its ready stages.
+  void StartQuery(int64_t query_id);
+  /// Sheds a queued interactive query that missed its queueing SLO: a
+  /// first-class outcome (counted, traced, zero-cost ledger row), never
+  /// silent loss.
+  void ShedQuery(int64_t query_id);
+  /// Sheds overdue queued queries, then admits from the front while below
+  /// the survivability threshold.
+  void DrainAdmissionQueue();
+  /// Re-places tasks parked by an exhausted elastic retry budget.
+  void DrainDeferredTasks();
   void ScheduleStage(int64_t query_id, int stage_id);
+  /// Launches every task of a scheduled stage (split out of ScheduleStage
+  /// so brownout-delayed shuffle reads can defer the launch).
+  void LaunchStageTasks(int64_t query_id, int stage_id);
   void RunTask(TaskRef ref, SimTimeMs duration_ms);
   /// Places a (possibly retried) task on a VM or the elastic pool without
   /// touching the running-task accounting. `attempt` counts elastic
-  /// throttle rejections for backoff growth.
-  void PlaceTask(TaskRef ref, SimTimeMs duration_ms, int attempt = 0);
+  /// throttle rejections for backoff growth; `backoff_elapsed_ms` is the
+  /// cumulative throttle backoff already spent, charged against the elastic
+  /// retry budget when one is configured.
+  void PlaceTask(TaskRef ref, SimTimeMs duration_ms, int attempt = 0,
+                 SimTimeMs backoff_elapsed_ms = 0);
   /// VM-only placement; returns false when no idle VM exists.
   bool TryPlaceOnVm(TaskRef ref, SimTimeMs duration_ms);
   /// Elastic placement with throttle backoff, fault sampling, and
   /// speculative re-execution.
-  void PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms, int attempt);
+  void PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms, int attempt,
+                      SimTimeMs backoff_elapsed_ms);
   void OnElasticGranted(int64_t run_id, ElasticSlotId slot);
   void OnElasticAttemptDone(int64_t run_id, ElasticSlotId slot);
   void OnElasticAttemptFailed(int64_t run_id, ElasticSlotId slot);
@@ -226,6 +310,9 @@ class CackleEngine {
   std::unique_ptr<FaultInjector> injector_;
   Rng chaos_rng_;
   std::unique_ptr<RetryPolicy> elastic_retry_policy_;
+  /// Non-null only when the chaos timeline has price shocks: the main
+  /// fleet's VMs are then priced by this market instead of the flat rate.
+  std::unique_ptr<SpotMarket> spot_market_;
   std::unique_ptr<VmFleet> fleet_;
   std::unique_ptr<ElasticPool> pool_;
   std::unique_ptr<ObjectStore> object_store_;
@@ -245,6 +332,19 @@ class CackleEngine {
     SimTimeMs duration_ms;
     SimTimeMs enqueued_ms;
     SpanId queued_span = kInvalidSpan;
+  };
+
+  /// A query waiting in the admission queue.
+  struct AdmissionEntry {
+    int64_t query_id = 0;
+    SimTimeMs arrival_ms = 0;
+  };
+
+  /// A task parked after exhausting its elastic retry budget; re-placed by
+  /// the next coordinator drain with a fresh budget.
+  struct DeferredTask {
+    TaskRef ref;
+    SimTimeMs duration_ms = 0;
   };
 
   /// One granted elastic slot executing (one attempt of) a task.
@@ -297,11 +397,20 @@ class CackleEngine {
   Counter* stages_reexecuted_ = nullptr;
   Counter* shuffle_partitions_lost_ = nullptr;
   Counter* queries_completed_ = nullptr;
+  Counter* queries_shed_ = nullptr;
+  Counter* queries_deferred_ = nullptr;
+  Counter* retry_budget_exhausted_ = nullptr;
+  Counter* hedged_reads_ = nullptr;
+  Counter* hedged_wins_ = nullptr;
+  Counter* storm_reclaims_ = nullptr;
   Histogram* query_latency_s_ = nullptr;
   Histogram* batch_latency_s_ = nullptr;
 
   std::vector<QueryState> queries_;
   std::deque<BatchTask> batch_queue_;
+  std::deque<AdmissionEntry> admission_queue_;
+  std::deque<DeferredTask> deferred_tasks_;
+  int64_t admission_queue_peak_ = 0;
   std::unordered_map<VmId, VmTask> vm_tasks_;
   std::unordered_map<int64_t, ElasticRun> elastic_runs_;
   int64_t next_elastic_run_id_ = 0;

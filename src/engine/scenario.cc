@@ -1,0 +1,289 @@
+#include "engine/scenario.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cackle {
+
+namespace {
+
+// Source-tree default for the scenario library; targets that consume
+// scenarios compile it in, and the CACKLE_SCENARIO_DIR environment variable
+// overrides it at runtime (e.g. for out-of-tree test harnesses).
+#ifndef CACKLE_SCENARIO_DIR
+#define CACKLE_SCENARIO_DIR "bench/scenarios"
+#endif
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool ParseInt64Value(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* parse_end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &parse_end, 10);
+  if (errno != 0 || parse_end != s.c_str() + s.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUint64Value(const std::string& s, uint64_t* out) {
+  if (s.empty() || s[0] == '-') return false;
+  char* parse_end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &parse_end, 10);
+  if (errno != 0 || parse_end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDoubleValue(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* parse_end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &parse_end);
+  if (errno != 0 || parse_end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// One settable field: dotted key plus a typed destination in the scenario.
+// A table keeps the parser exhaustive and the error message for an unknown
+// key trivially correct.
+struct FieldBinding {
+  const char* key;
+  enum Kind { kInt64, kUint64, kDouble, kString } kind;
+  void* dest;
+};
+
+Status ApplyBinding(const FieldBinding& binding, const std::string& value) {
+  switch (binding.kind) {
+    case FieldBinding::kInt64:
+      if (!ParseInt64Value(value, static_cast<int64_t*>(binding.dest))) {
+        return Status::InvalidArgument("scenario key '" +
+                                       std::string(binding.key) +
+                                       "': bad integer '" + value + "'");
+      }
+      return Status::OK();
+    case FieldBinding::kUint64:
+      if (!ParseUint64Value(value, static_cast<uint64_t*>(binding.dest))) {
+        return Status::InvalidArgument(
+            "scenario key '" + std::string(binding.key) +
+            "': bad unsigned integer '" + value + "'");
+      }
+      return Status::OK();
+    case FieldBinding::kDouble:
+      if (!ParseDoubleValue(value, static_cast<double*>(binding.dest))) {
+        return Status::InvalidArgument("scenario key '" +
+                                       std::string(binding.key) +
+                                       "': bad number '" + value + "'");
+      }
+      return Status::OK();
+    case FieldBinding::kString:
+      *static_cast<std::string*>(binding.dest) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+std::vector<FieldBinding> Bindings(ChaosScenario* s) {
+  return {
+      {"name", FieldBinding::kString, &s->name},
+      {"description", FieldBinding::kString, &s->description},
+      {"seed", FieldBinding::kUint64, &s->seed},
+      {"workload.num_queries", FieldBinding::kInt64,
+       &s->workload.num_queries},
+      {"workload.duration_ms", FieldBinding::kInt64,
+       &s->workload.duration_ms},
+      {"workload.baseline_load", FieldBinding::kDouble,
+       &s->workload.baseline_load},
+      {"workload.arrival_period_ms", FieldBinding::kInt64,
+       &s->workload.arrival_period_ms},
+      {"workload.batch_fraction", FieldBinding::kDouble,
+       &s->workload.batch_fraction},
+      {"workload.seed", FieldBinding::kUint64, &s->workload.seed},
+      {"faults.elastic_failure_rate", FieldBinding::kDouble,
+       &s->faults.elastic_failure_rate},
+      {"faults.elastic_concurrency_limit", FieldBinding::kInt64,
+       &s->faults.elastic_concurrency_limit},
+      {"faults.elastic_straggler_rate", FieldBinding::kDouble,
+       &s->faults.elastic_straggler_rate},
+      {"faults.elastic_straggler_slowdown", FieldBinding::kDouble,
+       &s->faults.elastic_straggler_slowdown},
+      {"faults.store_error_rate", FieldBinding::kDouble,
+       &s->faults.store_error_rate},
+      {"faults.vm_launch_failure_rate", FieldBinding::kDouble,
+       &s->faults.vm_launch_failure_rate},
+      {"faults.shuffle_crash_rate_per_hour", FieldBinding::kDouble,
+       &s->faults.shuffle_crash_rate_per_hour},
+      {"chaos.horizon_ms", FieldBinding::kInt64, &s->chaos.horizon_ms},
+      {"chaos.outage.windows_per_hour", FieldBinding::kDouble,
+       &s->chaos.outage.windows_per_hour},
+      {"chaos.outage.mean_window_ms", FieldBinding::kInt64,
+       &s->chaos.outage.mean_window_ms},
+      {"chaos.outage.elastic_failure_fraction", FieldBinding::kDouble,
+       &s->chaos.outage.elastic_failure_fraction},
+      {"chaos.storm.storms_per_hour", FieldBinding::kDouble,
+       &s->chaos.storm.storms_per_hour},
+      {"chaos.storm.mean_storm_ms", FieldBinding::kInt64,
+       &s->chaos.storm.mean_storm_ms},
+      {"chaos.storm.reclaim_fraction_per_minute", FieldBinding::kDouble,
+       &s->chaos.storm.reclaim_fraction_per_minute},
+      {"chaos.brownout.windows_per_hour", FieldBinding::kDouble,
+       &s->chaos.brownout.windows_per_hour},
+      {"chaos.brownout.mean_window_ms", FieldBinding::kInt64,
+       &s->chaos.brownout.mean_window_ms},
+      {"chaos.brownout.store_error_rate", FieldBinding::kDouble,
+       &s->chaos.brownout.store_error_rate},
+      {"chaos.brownout.base_read_latency_ms", FieldBinding::kInt64,
+       &s->chaos.brownout.base_read_latency_ms},
+      {"chaos.brownout.latency_inflation", FieldBinding::kDouble,
+       &s->chaos.brownout.latency_inflation},
+      {"chaos.brownout.tail_probability", FieldBinding::kDouble,
+       &s->chaos.brownout.tail_probability},
+      {"chaos.brownout.tail_multiplier", FieldBinding::kDouble,
+       &s->chaos.brownout.tail_multiplier},
+      {"chaos.price_shock.shocks_per_hour", FieldBinding::kDouble,
+       &s->chaos.price_shock.shocks_per_hour},
+      {"chaos.price_shock.mean_shock_ms", FieldBinding::kInt64,
+       &s->chaos.price_shock.mean_shock_ms},
+      {"chaos.price_shock.price_multiplier", FieldBinding::kDouble,
+       &s->chaos.price_shock.price_multiplier},
+      {"spot_mean_lifetime_hours", FieldBinding::kDouble,
+       &s->spot_mean_lifetime_hours},
+      {"admission.max_outstanding_tasks", FieldBinding::kInt64,
+       &s->admission.max_outstanding_tasks},
+      {"admission.shed_after_ms", FieldBinding::kInt64,
+       &s->admission.shed_after_ms},
+      {"retry_budget_ms", FieldBinding::kInt64, &s->retry_budget_ms},
+      {"hedge_after_ms", FieldBinding::kInt64, &s->hedge_after_ms},
+      {"breaker.failure_threshold", FieldBinding::kInt64,
+       &s->store_breaker.failure_threshold},
+      {"breaker.open_ms", FieldBinding::kInt64, &s->store_breaker.open_ms},
+      {"breaker.success_threshold", FieldBinding::kInt64,
+       &s->store_breaker.success_threshold},
+  };
+}
+
+bool AnyChaosProcess(const ChaosTimelineOptions& chaos) {
+  return chaos.outage.enabled() || chaos.storm.enabled() ||
+         chaos.brownout.enabled() || chaos.price_shock.enabled();
+}
+
+}  // namespace
+
+EngineOptions ChaosScenario::ToEngineOptions() const {
+  EngineOptions opts;
+  opts.seed = seed;
+  opts.faults = faults;
+  opts.chaos = chaos;
+  if (opts.chaos.horizon_ms == 0 && AnyChaosProcess(chaos)) {
+    // Cover the arrival window plus a short drain tail. The tail is kept
+    // modest on purpose: the renewal processes spread their windows over
+    // the whole horizon, so a horizon much longer than the run would
+    // silently dilute the per-hour rates the scenario asked for.
+    opts.chaos.horizon_ms = workload.duration_ms + kMillisPerHour / 2;
+  }
+  opts.spot_mean_lifetime_hours = spot_mean_lifetime_hours;
+  opts.admission = admission;
+  opts.elastic_retry.max_elapsed_ms = retry_budget_ms;
+  opts.hedge_after_ms = hedge_after_ms;
+  opts.store_breaker = store_breaker;
+  return opts;
+}
+
+EngineOptions ChaosScenario::ToFaultFreeEngineOptions() const {
+  EngineOptions opts = ToEngineOptions();
+  opts.faults = FaultProfile{};
+  opts.chaos = ChaosTimelineOptions{};
+  opts.spot_mean_lifetime_hours = 0.0;
+  // No admission control either: the baseline answers "what would these
+  // queries have cost/taken on a healthy substrate", so nothing is shed.
+  opts.admission = AdmissionControlOptions{};
+  opts.store_breaker = CircuitBreakerOptions{};
+  opts.hedge_after_ms = 0;
+  opts.elastic_retry.max_elapsed_ms = 0;
+  return opts;
+}
+
+StatusOr<ChaosScenario> ParseScenario(const std::string& text) {
+  ChaosScenario scenario;
+  const std::vector<FieldBinding> bindings = Bindings(&scenario);
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_number) +
+                                     ": expected 'key = value', got '" +
+                                     line + "'");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_number) +
+                                     ": empty key");
+    }
+    bool matched = false;
+    for (const FieldBinding& binding : bindings) {
+      if (key == binding.key) {
+        Status status = ApplyBinding(binding, value);
+        if (!status.ok()) return status;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // Unknown keys are hard errors: a typo must not silently weaken the
+      // fault environment a test believes it is running under.
+      return Status::InvalidArgument("scenario line " +
+                                     std::to_string(line_number) +
+                                     ": unknown key '" + key + "'");
+    }
+  }
+  if (scenario.name.empty()) {
+    return Status::InvalidArgument("scenario is missing a 'name'");
+  }
+  return scenario;
+}
+
+StatusOr<ChaosScenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open scenario file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseScenario(buffer.str());
+}
+
+std::string ScenarioDir() {
+  const char* env = std::getenv("CACKLE_SCENARIO_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return CACKLE_SCENARIO_DIR;
+}
+
+StatusOr<ChaosScenario> LoadNamedScenario(const std::string& name) {
+  return LoadScenarioFile(ScenarioDir() + "/" + name + ".scenario");
+}
+
+}  // namespace cackle

@@ -159,24 +159,24 @@ double ShuffleLayer::Write(int64_t query_id, int stage_id,
   return fallback_fraction;
 }
 
-void ShuffleLayer::Read(int64_t query_id, int stage_id,
-                        int64_t object_store_gets) {
+double ShuffleLayer::Read(int64_t query_id, int stage_id,
+                          int64_t object_store_gets) {
   auto qit = queries_.find(query_id);
   if (qit == queries_.end()) {
     // A read for state this layer never saw written is an engine
     // bookkeeping bug in the making; count it instead of hiding it so
     // tests (and dashboards) can assert the counter stays zero.
     ++total_unmatched_reads_;
-    return;
+    return 0.0;
   }
   auto sit = qit->second.find(stage_id);
   if (sit == qit->second.end()) {
     ++total_unmatched_reads_;
-    return;
+    return 0.0;
   }
   const StageState& state = sit->second;
   const int64_t total = state.node_bytes + state.store_bytes;
-  if (total == 0 || state.store_bytes == 0) return;
+  if (total == 0 || state.store_bytes == 0) return 0.0;
   const double store_fraction =
       static_cast<double>(state.store_bytes) / static_cast<double>(total);
   const int64_t gets = std::max<int64_t>(
@@ -194,6 +194,7 @@ void ShuffleLayer::Read(int64_t query_id, int stage_id,
                            cost_->object_store_get_cost,
                        static_cast<double>(gets));
   }
+  return store_fraction;
 }
 
 void ShuffleLayer::ReleaseQuery(int64_t query_id) {

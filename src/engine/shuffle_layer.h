@@ -79,8 +79,10 @@ class ShuffleLayer {
                int64_t num_partitions, int64_t object_store_puts);
 
   /// Reads a stage's shuffle output from the consumer side, billing GETs
-  /// for the fraction resident in cloud storage.
-  void Read(int64_t query_id, int stage_id, int64_t object_store_gets);
+  /// for the fraction resident in cloud storage. Returns that store-resident
+  /// fraction (0.0 when everything is node-resident or nothing was written),
+  /// so the engine knows how exposed the read is to store brownouts.
+  double Read(int64_t query_id, int stage_id, int64_t object_store_gets);
 
   /// Frees all intermediate state of a finished query.
   void ReleaseQuery(int64_t query_id);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/scenario.h"
 
 namespace cackle {
 namespace {
@@ -46,6 +47,15 @@ void ExpectIdenticalResults(const EngineResult& a, const EngineResult& b) {
   EXPECT_EQ(a.shuffle_partitions_lost, b.shuffle_partitions_lost);
   EXPECT_EQ(a.stages_reexecuted, b.stages_reexecuted);
   EXPECT_EQ(a.tasks_speculated, b.tasks_speculated);
+  EXPECT_EQ(a.queries_shed, b.queries_shed);
+  EXPECT_EQ(a.queries_deferred, b.queries_deferred);
+  EXPECT_EQ(a.admission_queue_peak, b.admission_queue_peak);
+  EXPECT_EQ(a.retry_budget_exhausted, b.retry_budget_exhausted);
+  EXPECT_EQ(a.hedged_reads, b.hedged_reads);
+  EXPECT_EQ(a.hedged_wins, b.hedged_wins);
+  EXPECT_EQ(a.storm_reclaims, b.storm_reclaims);
+  EXPECT_EQ(a.store_circuit_trips, b.store_circuit_trips);
+  EXPECT_EQ(a.store_circuit_rejections, b.store_circuit_rejections);
   // Bit-identical per-query latencies, not just identical percentiles.
   ASSERT_EQ(a.latencies_s.samples(), b.latencies_s.samples());
   ASSERT_EQ(a.batch_latencies_s.samples(), b.batch_latencies_s.samples());
@@ -68,6 +78,18 @@ TEST(ChaosTest, ZeroFaultProfileIsBitIdentical) {
   perturbed.elastic_retry.initial_backoff_ms = 1;
   perturbed.elastic_retry.jitter = 0.9;
   perturbed.elastic_retry.max_backoff_ms = 50;
+  // Degradation machinery that must be inert on a healthy substrate: a
+  // retry budget nothing exhausts, a breaker nothing trips, a hedge delay
+  // no read ever exceeds (fault-free store reads are synchronous), and an
+  // admission threshold the workload never reaches.
+  perturbed.elastic_retry.max_elapsed_ms = 5'000;
+  perturbed.store_breaker.failure_threshold = 3;
+  perturbed.store_breaker.open_ms = 10'000;
+  perturbed.hedge_after_ms = 1;
+  perturbed.admission.max_outstanding_tasks = 1'000'000;
+  perturbed.admission.shed_after_ms = 1'000;
+  // A chaos horizon with every process rate at zero builds no timeline.
+  perturbed.chaos.horizon_ms = kMillisPerHour;
 
   CackleEngine e1(&cost, defaults);
   CackleEngine e2(&cost, perturbed);
@@ -83,6 +105,15 @@ TEST(ChaosTest, ZeroFaultProfileIsBitIdentical) {
   EXPECT_EQ(r1.shuffle_partitions_lost, 0);
   EXPECT_EQ(r1.stages_reexecuted, 0);
   EXPECT_EQ(r1.tasks_speculated, 0);
+  EXPECT_EQ(r1.queries_shed, 0);
+  EXPECT_EQ(r1.queries_deferred, 0);
+  EXPECT_EQ(r1.admission_queue_peak, 0);
+  EXPECT_EQ(r1.retry_budget_exhausted, 0);
+  EXPECT_EQ(r1.hedged_reads, 0);
+  EXPECT_EQ(r1.hedged_wins, 0);
+  EXPECT_EQ(r1.storm_reclaims, 0);
+  EXPECT_EQ(r1.store_circuit_trips, 0);
+  EXPECT_EQ(r1.store_circuit_rejections, 0);
 }
 
 TEST(ChaosTest, ThrottledElasticRequestsBackOffAndComplete) {
@@ -283,6 +314,180 @@ TEST(ChaosTest, HeavyChaosCompletesEveryQuery) {
                                  r.batch_latencies_s.size()),
             60);
   EXPECT_GT(r.total_cost(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario library: parser
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioTest, ParsesKeysCommentsAndWhitespace) {
+  const StatusOr<ChaosScenario> parsed = ParseScenario(
+      "# header comment\n"
+      "name = smoke   # trailing comment\n"
+      "  description =  spaces survive trimming \n"
+      "seed = 99\n"
+      "\n"
+      "workload.num_queries = 42\n"
+      "chaos.storm.storms_per_hour = 2.5\n"
+      "breaker.failure_threshold = 4\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ChaosScenario& s = parsed.value();
+  EXPECT_EQ(s.name, "smoke");
+  EXPECT_EQ(s.description, "spaces survive trimming");
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.workload.num_queries, 42);
+  EXPECT_DOUBLE_EQ(s.chaos.storm.storms_per_hour, 2.5);
+  EXPECT_EQ(s.store_breaker.failure_threshold, 4);
+}
+
+TEST(ScenarioTest, UnknownKeyIsRejected) {
+  // A typo must not silently weaken the fault environment.
+  const auto parsed = ParseScenario("name = x\nchaos.strom.storms_per_hour = 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().ToString().find("unknown key"), std::string::npos);
+}
+
+TEST(ScenarioTest, BadNumberIsRejected) {
+  const auto parsed = ParseScenario("name = x\nseed = twelve\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+
+  const auto negative = ParseScenario("name = x\nseed = -1\n");
+  ASSERT_FALSE(negative.ok());
+
+  const auto trailing = ParseScenario("name = x\nretry_budget_ms = 5s\n");
+  ASSERT_FALSE(trailing.ok());
+}
+
+TEST(ScenarioTest, MissingNameOrAssignmentIsRejected) {
+  const auto nameless = ParseScenario("seed = 1\n");
+  ASSERT_FALSE(nameless.ok());
+  EXPECT_NE(nameless.status().ToString().find("name"), std::string::npos);
+
+  const auto bare = ParseScenario("name = x\njust some words\n");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioTest, HorizonDefaultsToRunLengthPlusDrainTail) {
+  ChaosScenario with_process;
+  with_process.workload.duration_ms = kMillisPerHour;
+  with_process.chaos.storm.storms_per_hour = 2.0;
+  // The default horizon covers arrivals plus a short drain tail; a much
+  // longer horizon would dilute the per-hour window rates.
+  EXPECT_EQ(with_process.ToEngineOptions().chaos.horizon_ms,
+            kMillisPerHour + kMillisPerHour / 2);
+
+  ChaosScenario no_process;
+  no_process.workload.duration_ms = kMillisPerHour;
+  EXPECT_EQ(no_process.ToEngineOptions().chaos.horizon_ms, 0);
+
+  ChaosScenario explicit_horizon = with_process;
+  explicit_horizon.chaos.horizon_ms = 7 * kMillisPerMinute;
+  EXPECT_EQ(explicit_horizon.ToEngineOptions().chaos.horizon_ms,
+            7 * kMillisPerMinute);
+}
+
+TEST(ScenarioTest, FaultFreeOptionsDisableEveryDegradationKnob) {
+  auto loaded = LoadNamedScenario("full_chaos");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const EngineOptions base = loaded.value().ToFaultFreeEngineOptions();
+  EXPECT_FALSE(base.faults.randomized());
+  EXPECT_EQ(base.faults.shuffle_crash_rate_per_hour, 0.0);
+  EXPECT_EQ(base.chaos.horizon_ms, 0);
+  EXPECT_EQ(base.spot_mean_lifetime_hours, 0.0);
+  EXPECT_FALSE(base.admission.enabled());
+  EXPECT_EQ(base.store_breaker.failure_threshold, 0);
+  EXPECT_EQ(base.hedge_after_ms, 0);
+  EXPECT_EQ(base.elastic_retry.max_elapsed_ms, 0);
+  // The seed survives, so the baseline is the same run minus the faults.
+  EXPECT_EQ(base.seed, loaded.value().seed);
+}
+
+TEST(ScenarioTest, EveryLibraryScenarioLoadsAndValidates) {
+  for (const char* name :
+       {"diurnal_flash_crowd", "reclamation_storm", "store_brownout",
+        "price_shock", "full_chaos"}) {
+    SCOPED_TRACE(name);
+    const auto loaded = LoadNamedScenario(name);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().name, name);
+    EXPECT_GT(loaded.value().workload.num_queries, 0);
+    EXPECT_FALSE(loaded.value().description.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario library: engine acceptance
+// ---------------------------------------------------------------------------
+
+EngineResult RunScenarioOnce(const ChaosScenario& scenario,
+                             const ProfileLibrary& lib, CostModel* cost) {
+  WorkloadGenerator gen(&lib);
+  const auto arrivals = gen.Generate(scenario.workload);
+  CackleEngine engine(cost, scenario.ToEngineOptions());
+  return engine.Run(arrivals, lib);
+}
+
+// Acceptance: the reclamation-storm scenario, loaded from its file and run
+// twice with the same seed, is bit-identical — including every degradation
+// counter and per-query latency sample.
+TEST(ChaosTest, ReclamationStormScenarioIsBitIdentical) {
+  auto loaded = LoadNamedScenario("reclamation_storm");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ChaosScenario scenario = loaded.value();
+  scenario.workload.num_queries = 150;  // CI-sized; fault processes intact
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  CostModel cost;
+  const EngineResult r1 = RunScenarioOnce(scenario, lib, &cost);
+  const EngineResult r2 = RunScenarioOnce(scenario, lib, &cost);
+  ExpectIdenticalResults(r1, r2);
+  // The storm actually happened: Markov-modulated reclaims hit the fleet.
+  EXPECT_GT(r1.storm_reclaims, 0);
+  EXPECT_GT(r1.vms_interrupted, 0);
+  // Every arrival is accounted for: completed or explicitly shed.
+  EXPECT_EQ(r1.queries_completed + r1.queries_shed, 150);
+}
+
+// Acceptance: under the full-chaos storm the engine sheds and defers
+// instead of queueing unboundedly, and no arrival is silently lost.
+TEST(ChaosTest, FullChaosScenarioShedsInsteadOfQueueingUnboundedly) {
+  auto loaded = LoadNamedScenario("full_chaos");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ChaosScenario& scenario = loaded.value();
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  CostModel cost;
+  const EngineResult r = RunScenarioOnce(scenario, lib, &cost);
+  EXPECT_GT(r.queries_deferred, 0);
+  EXPECT_GT(r.queries_shed, 0);
+  EXPECT_GT(r.admission_queue_peak, 0);
+  // Shed + completed covers every arrival; a shed query is a first-class
+  // outcome, not lost work.
+  EXPECT_EQ(r.queries_completed + r.queries_shed,
+            scenario.workload.num_queries);
+  // Only completed interactive queries contribute latency samples.
+  EXPECT_EQ(static_cast<int64_t>(r.latencies_s.size() +
+                                 r.batch_latencies_s.size()),
+            r.queries_completed);
+}
+
+// The brownout scenario exercises the store-side tail defenses: hedged
+// duplicate GETs during latency inflation and the circuit breaker under
+// elevated error rates. Nothing is lost — brownouts cost time and money,
+// not answers.
+TEST(ChaosTest, BrownoutScenarioHedgesReadsAndTripsBreaker) {
+  auto loaded = LoadNamedScenario("store_brownout");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ChaosScenario& scenario = loaded.value();
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  CostModel cost;
+  const EngineResult r = RunScenarioOnce(scenario, lib, &cost);
+  EXPECT_EQ(r.queries_completed, scenario.workload.num_queries);
+  EXPECT_GT(r.hedged_reads, 0);
+  EXPECT_LE(r.hedged_wins, r.hedged_reads);
+  EXPECT_GT(r.store_circuit_trips, 0);
+  EXPECT_GT(r.store_retries, 0);
 }
 
 }  // namespace

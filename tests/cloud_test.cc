@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "cloud/billing.h"
+#include "cloud/chaos_timeline.h"
 #include "cloud/cost_model.h"
 #include "cloud/elastic_pool.h"
 #include "cloud/fault_injector.h"
@@ -449,11 +450,16 @@ TEST(ObjectStoreTest, TryPutSurfacesInjectedErrorWithoutStoring) {
 TEST(FaultInjectorTest, ZeroProfileConsumesNoRandomnessAndNeverFires) {
   FaultInjector injector(FaultProfile::None(), 99);
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_FALSE(injector.SampleElasticFailure(10'000).has_value());
+    EXPECT_FALSE(injector.SampleElasticFailure(0, 10'000).has_value());
     EXPECT_FALSE(injector.SampleElasticStraggler());
-    EXPECT_FALSE(injector.SampleStoreError());
-    EXPECT_FALSE(injector.SampleVmLaunchFailure());
+    EXPECT_FALSE(injector.SampleStoreError(0));
+    EXPECT_FALSE(injector.SampleVmLaunchFailure(0));
     EXPECT_EQ(injector.SampleShuffleCrashes(100, kMillisPerSecond), 0);
+    // No chaos timeline configured: the temporal samplers are no-ops too.
+    EXPECT_EQ(injector.timeline(), nullptr);
+    EXPECT_FALSE(injector.HasStorms());
+    EXPECT_EQ(injector.SampleStormReclaims(100, 0, kMillisPerSecond), 0);
+    EXPECT_EQ(injector.SampleBrownoutReadLatency(0), 0);
   }
 }
 
@@ -462,9 +468,10 @@ TEST(FaultInjectorTest, DeterministicForSeed) {
   FaultInjector a(profile, 42);
   FaultInjector b(profile, 42);
   for (int i = 0; i < 500; ++i) {
-    EXPECT_EQ(a.SampleElasticFailure(5'000), b.SampleElasticFailure(5'000));
-    EXPECT_EQ(a.SampleStoreError(), b.SampleStoreError());
-    EXPECT_EQ(a.SampleVmLaunchFailure(), b.SampleVmLaunchFailure());
+    EXPECT_EQ(a.SampleElasticFailure(0, 5'000),
+              b.SampleElasticFailure(0, 5'000));
+    EXPECT_EQ(a.SampleStoreError(0), b.SampleStoreError(0));
+    EXPECT_EQ(a.SampleVmLaunchFailure(0), b.SampleVmLaunchFailure(0));
     EXPECT_EQ(a.SampleShuffleCrashes(10, kMillisPerHour),
               b.SampleShuffleCrashes(10, kMillisPerHour));
   }
@@ -476,7 +483,7 @@ TEST(FaultInjectorTest, FailureTimeWithinDuration) {
   FaultInjector injector(profile, 7);
   int failures = 0;
   for (int i = 0; i < 2000; ++i) {
-    const auto at = injector.SampleElasticFailure(10'000);
+    const auto at = injector.SampleElasticFailure(0, 10'000);
     if (at.has_value()) {
       ++failures;
       EXPECT_GE(*at, 1);
@@ -546,6 +553,155 @@ TEST_F(ElasticPoolTest, NoLimitNeverThrottles) {
   EXPECT_EQ(pool.total_throttled(), 0);
   for (ElasticSlotId id : granted) pool.Release(id);
   EXPECT_EQ(pool.num_active(), 0);
+}
+
+ChaosTimelineOptions AllProcessesOptions() {
+  ChaosTimelineOptions chaos;
+  chaos.horizon_ms = 6 * kMillisPerHour;
+  chaos.outage.windows_per_hour = 1.0;
+  chaos.storm.storms_per_hour = 2.0;
+  chaos.brownout.windows_per_hour = 1.5;
+  chaos.price_shock.shocks_per_hour = 0.5;
+  return chaos;
+}
+
+TEST(ChaosTimelineTest, DefaultOptionsProduceNoTimeline) {
+  ChaosTimelineOptions chaos;
+  EXPECT_FALSE(chaos.any());
+  // Rates without a horizon stay disabled too.
+  chaos.outage.windows_per_hour = 5.0;
+  EXPECT_FALSE(chaos.any());
+  chaos.horizon_ms = kMillisPerHour;
+  EXPECT_TRUE(chaos.any());
+}
+
+TEST(ChaosTimelineTest, WindowsAreDeterministicDisjointAndClipped) {
+  const ChaosTimelineOptions chaos = AllProcessesOptions();
+  ChaosTimeline a(chaos, 42);
+  ChaosTimeline b(chaos, 42);
+  const std::vector<const std::vector<ChaosWindow>*> all = {
+      &a.outage_windows(), &a.storm_windows(), &a.brownout_windows(),
+      &a.price_shock_windows()};
+  const std::vector<const std::vector<ChaosWindow>*> all_b = {
+      &b.outage_windows(), &b.storm_windows(), &b.brownout_windows(),
+      &b.price_shock_windows()};
+  for (size_t p = 0; p < all.size(); ++p) {
+    ASSERT_EQ(all[p]->size(), all_b[p]->size());
+    SimTimeMs prev_end = 0;
+    for (size_t i = 0; i < all[p]->size(); ++i) {
+      const ChaosWindow& w = (*all[p])[i];
+      EXPECT_EQ(w.start_ms, (*all_b[p])[i].start_ms);
+      EXPECT_EQ(w.end_ms, (*all_b[p])[i].end_ms);
+      EXPECT_GE(w.start_ms, prev_end);
+      EXPECT_GT(w.end_ms, w.start_ms);
+      EXPECT_LE(w.end_ms, chaos.horizon_ms);
+      prev_end = w.end_ms;
+    }
+  }
+  // Over 6 hours at >= 0.5 windows/hour per process, every process should
+  // have produced at least one window with this seed.
+  for (const auto* windows : all) EXPECT_FALSE(windows->empty());
+}
+
+TEST(ChaosTimelineTest, ProcessStreamsAreIndependent) {
+  // Enabling the storm process must not move the outage windows: each
+  // process draws from its own stream.
+  ChaosTimelineOptions outage_only;
+  outage_only.horizon_ms = 6 * kMillisPerHour;
+  outage_only.outage.windows_per_hour = 1.0;
+  ChaosTimelineOptions both = outage_only;
+  both.storm.storms_per_hour = 4.0;
+  ChaosTimeline a(outage_only, 7);
+  ChaosTimeline b(both, 7);
+  ASSERT_EQ(a.outage_windows().size(), b.outage_windows().size());
+  for (size_t i = 0; i < a.outage_windows().size(); ++i) {
+    EXPECT_EQ(a.outage_windows()[i].start_ms, b.outage_windows()[i].start_ms);
+    EXPECT_EQ(a.outage_windows()[i].end_ms, b.outage_windows()[i].end_ms);
+  }
+  EXPECT_TRUE(a.storm_windows().empty());
+  EXPECT_FALSE(b.storm_windows().empty());
+}
+
+TEST(ChaosTimelineTest, PriceBreakpointsAreAscendingAndRevert) {
+  ChaosTimelineOptions chaos;
+  chaos.horizon_ms = 12 * kMillisPerHour;
+  chaos.price_shock.shocks_per_hour = 1.0;
+  chaos.price_shock.price_multiplier = 3.0;
+  ChaosTimeline timeline(chaos, 11);
+  ASSERT_FALSE(timeline.price_shock_windows().empty());
+  const auto breakpoints = timeline.PriceBreakpoints(0.03);
+  ASSERT_GE(breakpoints.size(), 3u);
+  EXPECT_EQ(breakpoints.front().first, 0);
+  EXPECT_DOUBLE_EQ(breakpoints.front().second, 0.03);
+  for (size_t i = 1; i < breakpoints.size(); ++i) {
+    EXPECT_GT(breakpoints[i].first, breakpoints[i - 1].first);
+  }
+  // The multiplier maps through PriceMultiplierAt inside shocks.
+  const ChaosWindow& w = timeline.price_shock_windows().front();
+  EXPECT_DOUBLE_EQ(timeline.PriceMultiplierAt(w.start_ms), 3.0);
+  EXPECT_DOUBLE_EQ(timeline.PriceMultiplierAt(w.end_ms), 1.0);
+}
+
+TEST(FaultInjectorTest, OutageWindowsKillLaunchesAndElasticWork) {
+  ChaosTimelineOptions chaos;
+  chaos.horizon_ms = 6 * kMillisPerHour;
+  chaos.outage.windows_per_hour = 1.0;
+  chaos.outage.elastic_failure_fraction = 1.0;
+  FaultInjector injector(FaultProfile::None(), chaos, 3);
+  ASSERT_NE(injector.timeline(), nullptr);
+  ASSERT_FALSE(injector.timeline()->outage_windows().empty());
+  const ChaosWindow w = injector.timeline()->outage_windows().front();
+  // Inside the window: every launch fails, every invocation dies.
+  EXPECT_TRUE(injector.SampleVmLaunchFailure(w.start_ms));
+  const auto death = injector.SampleElasticFailure(w.start_ms, 30'000);
+  ASSERT_TRUE(death.has_value());
+  EXPECT_GE(*death, 1);
+  EXPECT_LE(*death, 30'000);
+  // Outside (one past the closed-open end): the zero base rates apply.
+  EXPECT_FALSE(injector.SampleVmLaunchFailure(w.end_ms));
+  EXPECT_FALSE(injector.SampleElasticFailure(w.end_ms, 30'000).has_value());
+}
+
+TEST(FaultInjectorTest, StormReclaimsFireOnlyInsideStormWindows) {
+  ChaosTimelineOptions chaos;
+  chaos.horizon_ms = 6 * kMillisPerHour;
+  chaos.storm.storms_per_hour = 2.0;
+  chaos.storm.reclaim_fraction_per_minute = 1.0;  // reclaim everything
+  FaultInjector injector(FaultProfile::None(), chaos, 9);
+  ASSERT_TRUE(injector.HasStorms());
+  ASSERT_FALSE(injector.timeline()->storm_windows().empty());
+  const ChaosWindow w = injector.timeline()->storm_windows().front();
+  // One full storm-minute at fraction 1.0 reclaims the whole fleet.
+  EXPECT_EQ(injector.SampleStormReclaims(40, w.start_ms, kMillisPerMinute),
+            40);
+  EXPECT_EQ(injector.SampleStormReclaims(40, w.end_ms, kMillisPerMinute), 0);
+}
+
+TEST(FaultInjectorTest, BrownoutLatencyOnlyInsideWindows) {
+  ChaosTimelineOptions chaos;
+  chaos.horizon_ms = 6 * kMillisPerHour;
+  chaos.brownout.windows_per_hour = 1.0;
+  chaos.brownout.base_read_latency_ms = 200;
+  chaos.brownout.latency_inflation = 5.0;
+  FaultInjector injector(FaultProfile::None(), chaos, 17);
+  ASSERT_FALSE(injector.timeline()->brownout_windows().empty());
+  const ChaosWindow w = injector.timeline()->brownout_windows().front();
+  const SimTimeMs inflated = injector.SampleBrownoutReadLatency(w.start_ms);
+  // Inflated nominal is 1000ms +/- 25% jitter, with a possible 10x tail.
+  EXPECT_GE(inflated, 750);
+  EXPECT_LE(inflated, 12'500);
+  EXPECT_EQ(injector.SampleBrownoutReadLatency(w.end_ms), 0);
+  // Brownout error rate replaces a lower base rate inside the window.
+  ChaosTimelineOptions certain = chaos;
+  certain.brownout.store_error_rate = 0.95;
+  FaultInjector noisy(FaultProfile::None(), certain, 17);
+  const ChaosWindow w2 = noisy.timeline()->brownout_windows().front();
+  int errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    errors += noisy.SampleStoreError(w2.start_ms) ? 1 : 0;
+  }
+  EXPECT_GT(errors, 150);
+  EXPECT_EQ(noisy.SampleStoreError(w2.end_ms), false);
 }
 
 TEST(VmFleetFaultTest, LaunchFailuresAreReRequestedUntilTargetMet) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/circuit_breaker.h"
 #include "common/retry_policy.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -276,6 +277,136 @@ TEST(RetryPolicyTest, ShouldRetryRespectsBothLimits) {
   EXPECT_TRUE(policy.ShouldRetry(2, 999));
   EXPECT_FALSE(policy.ShouldRetry(3, 0));     // attempts exhausted
   EXPECT_FALSE(policy.ShouldRetry(1, 1000));  // deadline exhausted
+}
+
+TEST(RetryPolicyTest, MaxElapsedBudgetExhaustsRetries) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 0;  // unlimited attempts: only the budget stops it
+  opts.initial_backoff_ms = 100;
+  opts.multiplier = 1.0;
+  opts.jitter = 0.0;
+  opts.max_elapsed_ms = 350;  // allows 3 backoffs of 100 ms
+  RetryPolicy policy(opts);
+  int calls = 0;
+  const Status s =
+      policy.Execute([&] { ++calls; return Status::IoError("nope"); });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 4);  // initial try + 3 retries inside the budget
+
+  // Unlike deadline_ms, the budget caps whatever elapsed time the caller
+  // reports — simulated wall time in the engine — not just policy backoffs.
+  EXPECT_TRUE(policy.ShouldRetry(1, 349));
+  EXPECT_FALSE(policy.ShouldRetry(1, 350));
+}
+
+TEST(RetryPolicyTest, MaxElapsedBudgetIsDeterministicUnderJitter) {
+  RetryPolicyOptions opts;
+  opts.max_attempts = 0;
+  opts.initial_backoff_ms = 100;
+  opts.multiplier = 2.0;
+  opts.max_backoff_ms = 400;
+  opts.jitter = 0.5;
+  opts.max_elapsed_ms = 2000;
+  Rng rng1(11), rng2(11);
+  RetryPolicy p1(opts, &rng1);
+  RetryPolicy p2(opts, &rng2);
+  int c1 = 0, c2 = 0;
+  const Status s1 = p1.Execute([&] { ++c1; return Status::IoError("x"); });
+  const Status s2 = p2.Execute([&] { ++c2; return Status::IoError("x"); });
+  EXPECT_FALSE(s1.ok());
+  EXPECT_FALSE(s2.ok());
+  EXPECT_EQ(c1, c2);  // same seed => same jittered exhaustion point
+  EXPECT_GT(c1, 1);
+}
+
+TEST(RetryPolicyTest, JitterNeverExceedsBackoffCap) {
+  RetryPolicyOptions opts;
+  opts.initial_backoff_ms = 1000;
+  opts.multiplier = 1.0;
+  opts.max_backoff_ms = 1000;  // nominal == cap: jitter has no headroom up
+  opts.jitter = 0.9;
+  Rng rng(123);
+  RetryPolicy policy(opts, &rng);
+  for (int i = 1; i <= 200; ++i) {
+    const int64_t backoff = policy.BackoffMs(i);
+    EXPECT_LE(backoff, 1000);  // the cap is hard, even post-jitter
+    EXPECT_GE(backoff, 1);
+  }
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTripsOrRejects) {
+  CircuitBreaker breaker(CircuitBreakerOptions{});  // threshold 0 = off
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.AllowRequest(i));
+    breaker.RecordFailure(i);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+  EXPECT_EQ(breaker.rejections(), 0);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndRejectsWhileOpen) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.open_ms = 1000;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(10);
+  breaker.RecordFailure(20);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(30);  // third consecutive failure trips it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.AllowRequest(31));
+  EXPECT_FALSE(breaker.AllowRequest(1029));
+  EXPECT_EQ(breaker.rejections(), 2);
+  EXPECT_EQ(breaker.RetryAtMs(), 1030);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 3;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(1);
+  breaker.RecordFailure(2);
+  breaker.RecordSuccess(3);  // streak broken
+  breaker.RecordFailure(4);
+  breaker.RecordFailure(5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndClosesOnSuccesses) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 1000;
+  opts.success_threshold = 2;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The cooldown expiry is a deterministic function of the trip time: the
+  // first request at or past open_until transitions to half-open.
+  EXPECT_FALSE(breaker.AllowRequest(999));
+  EXPECT_TRUE(breaker.AllowRequest(1000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.half_opens(), 1);
+  breaker.RecordSuccess(1001);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(1002);  // second trial success closes it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensForAnotherCooldown) {
+  CircuitBreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_ms = 1000;
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure(0);
+  EXPECT_TRUE(breaker.AllowRequest(1000));  // half-open trial
+  breaker.RecordFailure(1005);              // trial fails: re-open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_FALSE(breaker.AllowRequest(2004));
+  EXPECT_TRUE(breaker.AllowRequest(2005));  // new cooldown from the re-trip
 }
 
 TEST(SampleSetTest, CdfEmptyAndSingleSample) {

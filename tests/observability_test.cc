@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cost_ledger.h"
@@ -13,6 +14,7 @@
 #include "common/observability.h"
 #include "common/tracer.h"
 #include "engine/engine.h"
+#include "engine/scenario.h"
 
 namespace cackle {
 namespace {
@@ -39,6 +41,17 @@ TEST(JsonWriterTest, WritesEscapedDeterministicDocument) {
   EXPECT_EQ(os.str(),
             "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":-3,\"d\":0.1,\"b\":true,"
             "\"none\":null,\"arr\":[1,2]}");
+}
+
+TEST(JsonWriterTest, CharLiteralFieldIsAStringNotABool) {
+  // Without a const char* overload, a string literal converts to bool and
+  // silently emits `true` — caught once in a real bench artifact.
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("k", "v");
+  json.EndObject();
+  EXPECT_EQ(os.str(), "{\"k\":\"v\"}");
 }
 
 TEST(JsonWriterTest, DoublesUseShortestRoundTrip) {
@@ -288,6 +301,60 @@ TEST(ObservabilityEngineTest, CostsSumToBillAndTraceIsWellFormed) {
                 result.store_retries);
     }
   }
+}
+
+// Satellite property: every billed cent lands on exactly one query (or
+// overhead) across the canonical memoryless profiles AND every scenario in
+// the library — including runs that shed queries. Shed queries get
+// zero-cost rows; the ledger must still close against the bill exactly.
+TEST(ObservabilityEngineTest, LedgerClosesAcrossProfilesAndScenarios) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  CostModel cost;
+
+  const std::pair<const char*, FaultProfile> profiles[] = {
+      {"light", FaultProfile::Light()},
+      {"moderate", FaultProfile::Moderate()},
+      {"heavy", FaultProfile::Heavy()},
+  };
+  for (const auto& [name, profile] : profiles) {
+    SCOPED_TRACE(name);
+    const auto arrivals = MakeWorkload(lib, 40, kMillisPerHour / 6, 601,
+                                       /*batch_fraction=*/0.25);
+    Observability obs;
+    EngineOptions opts;
+    opts.seed = 601;
+    opts.faults = profile;
+    opts.observability = &obs;
+    CackleEngine engine(&cost, opts);
+    const EngineResult result = engine.Run(arrivals, lib);
+    EXPECT_EQ(result.queries_completed,
+              static_cast<int64_t>(arrivals.size()));
+    ExpectLedgerMatchesBill(obs.ledger, result.billing);
+  }
+
+  bool any_shed = false;
+  for (const char* name :
+       {"diurnal_flash_crowd", "reclamation_storm", "store_brownout",
+        "price_shock", "full_chaos"}) {
+    SCOPED_TRACE(name);
+    auto loaded = LoadNamedScenario(name);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const ChaosScenario& scenario = loaded.value();
+    WorkloadGenerator gen(&lib);
+    const auto arrivals = gen.Generate(scenario.workload);
+    Observability obs;
+    EngineOptions opts = scenario.ToEngineOptions();
+    opts.observability = &obs;
+    CackleEngine engine(&cost, opts);
+    const EngineResult result = engine.Run(arrivals, lib);
+    EXPECT_EQ(result.queries_completed + result.queries_shed,
+              static_cast<int64_t>(arrivals.size()));
+    any_shed = any_shed || result.queries_shed > 0;
+    ExpectLedgerMatchesBill(obs.ledger, result.billing);
+  }
+  // The property must have been exercised on at least one shedding run,
+  // or the "shed rows keep the ledger closed" claim went untested.
+  EXPECT_TRUE(any_shed);
 }
 
 TEST(ObservabilityEngineTest, SnapshotJsonIsByteDeterministic) {
