@@ -34,6 +34,17 @@ inline bool FastMode() {
   return env != nullptr && env[0] == '1';
 }
 
+/// Worker-thread count for SweepRunner-parallelized benches, from
+/// CACKLE_SWEEP_THREADS (default 1). Output is byte-identical at any value
+/// (that is the SweepRunner contract); the knob only trades wall-clock
+/// time for cores.
+inline int SweepThreads() {
+  const char* env = std::getenv("CACKLE_SWEEP_THREADS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  const int n = std::atoi(env);
+  return n > 0 ? n : 1;
+}
+
 /// The paper's default workload (Table 1), scaled down in fast mode.
 inline WorkloadOptions DefaultWorkload() {
   WorkloadOptions opts;

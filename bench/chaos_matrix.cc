@@ -27,6 +27,7 @@
 #include "common/json_writer.h"
 #include "engine/engine.h"
 #include "engine/scenario.h"
+#include "sim/sweep_runner.h"
 
 namespace {
 
@@ -175,16 +176,32 @@ int RunMatrix() {
   std::vector<double> base_p99(strategies.size(), 0.0);
   std::vector<double> base_cost(strategies.size(), 0.0);
 
+  // Every (level, strategy) cell is an independent simulation; fan them out
+  // on the sweep pool and merge in cell-index order so the printed table is
+  // byte-identical at any CACKLE_SWEEP_THREADS.
+  SweepRunner runner(SweepThreads());
+  const int num_cells =
+      static_cast<int>(levels.size() * strategies.size());
+  const std::vector<EngineResult> cells =
+      runner.Map<EngineResult>(num_cells, [&](int cell) {
+        const Level& level = levels[static_cast<size_t>(cell) /
+                                    strategies.size()];
+        const Strat& strat = strategies[static_cast<size_t>(cell) %
+                                        strategies.size()];
+        EngineOptions engine_opts;
+        engine_opts.use_dynamic = strat.use_dynamic;
+        engine_opts.fixed_target = strat.fixed_target;
+        engine_opts.dynamic = DefaultDynamicOptions();
+        engine_opts.faults = level.profile;
+        CackleEngine engine(&cost, engine_opts);
+        return engine.Run(arrivals, Library());
+      });
+
   bool all_complete = true;
-  for (const Level& level : levels) {
+  for (size_t l = 0; l < levels.size(); ++l) {
+    const Level& level = levels[l];
     for (size_t s = 0; s < strategies.size(); ++s) {
-      EngineOptions engine_opts;
-      engine_opts.use_dynamic = strategies[s].use_dynamic;
-      engine_opts.fixed_target = strategies[s].fixed_target;
-      engine_opts.dynamic = DefaultDynamicOptions();
-      engine_opts.faults = level.profile;
-      CackleEngine engine(&cost, engine_opts);
-      const EngineResult r = engine.Run(arrivals, Library());
+      const EngineResult& r = cells[l * strategies.size() + s];
       all_complete &=
           r.queries_completed == static_cast<int64_t>(arrivals.size());
       if (level.profile.any() == false) {
@@ -234,8 +251,7 @@ int RunScenarioSuite(const char* only_scenario) {
   TablePrinter table({"scenario", "arrivals", "survived", "shed", "deferred",
                       "reclaims", "hedged", "trips", "p99_s", "p99_base_s",
                       "p99_x", "cost_x"});
-  std::vector<ScenarioOutcome> outcomes;
-  bool all_accounted = true;
+  std::vector<ChaosScenario> scenarios;
   for (const char* name : kScenarioNames) {
     if (only_scenario != nullptr && std::strcmp(name, only_scenario) != 0) {
       continue;
@@ -246,7 +262,17 @@ int RunScenarioSuite(const char* only_scenario) {
                 << "': " << loaded.status().ToString() << "\n";
       return 1;
     }
-    const ScenarioOutcome o = RunScenario(*loaded, cost);
+    scenarios.push_back(std::move(*loaded));
+  }
+
+  // Each scenario (chaos run + its fault-free baseline) is one sweep cell.
+  SweepRunner runner(SweepThreads());
+  const std::vector<ScenarioOutcome> outcomes = runner.Map<ScenarioOutcome>(
+      static_cast<int>(scenarios.size()),
+      [&](int cell) { return RunScenario(scenarios[cell], cost); });
+
+  bool all_accounted = true;
+  for (const ScenarioOutcome& o : outcomes) {
     all_accounted &= o.accounted;
     const double p99 = o.chaos.latencies_s.Percentile(99);
     const double p99_base = o.fault_free.latencies_s.Percentile(99);
@@ -263,7 +289,6 @@ int RunScenarioSuite(const char* only_scenario) {
     table.AddCell(p99_base, 2);
     table.AddCell(Ratio(p99, p99_base), 2);
     table.AddCell(Ratio(o.chaos.total_cost(), o.fault_free.total_cost()), 2);
-    outcomes.push_back(o);
   }
   if (outcomes.empty()) {
     std::cout << "no scenario matched '"

@@ -4,6 +4,7 @@
 // contains a suitable lookback for every periodicity.
 
 #include "bench/bench_common.h"
+#include "sim/sweep_runner.h"
 
 int main() {
   using namespace cackle;
@@ -18,14 +19,20 @@ int main() {
   CostModel cost;
   TablePrinter table({"period_s", "fixed_0", "fixed_500", "mean_2",
                       "predictive", "dynamic", "oracle"});
-  for (int64_t p : periods_s) {
-    WorkloadOptions opts = DefaultWorkload();
-    opts.arrival_period_ms = p * 1000;
-    const DemandCurve demand = BuildDemand(opts);
-    const auto costs = CostAllStrategies(demand, cost);
+  // One sweep cell per arrival period; merged in cell order so the table is
+  // byte-identical at any CACKLE_SWEEP_THREADS.
+  using Row = std::vector<std::pair<std::string, double>>;
+  SweepRunner runner(SweepThreads());
+  const std::vector<Row> rows = runner.Map<Row>(
+      static_cast<int>(periods_s.size()), [&](int cell) {
+        WorkloadOptions opts = DefaultWorkload();
+        opts.arrival_period_ms = periods_s[cell] * 1000;
+        return CostAllStrategies(BuildDemand(opts), cost);
+      });
+  for (size_t i = 0; i < periods_s.size(); ++i) {
     table.BeginRow();
-    table.AddCell(p);
-    for (const auto& [name, dollars] : costs) table.AddCell(dollars, 2);
+    table.AddCell(periods_s[i]);
+    for (const auto& [name, dollars] : rows[i]) table.AddCell(dollars, 2);
   }
   table.PrintText(std::cout);
   return 0;

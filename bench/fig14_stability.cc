@@ -9,6 +9,7 @@
 #include "bench/bench_common.h"
 #include "engine/engine.h"
 #include "model/warehouse_simulator.h"
+#include "sim/sweep_runner.h"
 
 int main() {
   using namespace cackle;
@@ -34,33 +35,53 @@ int main() {
   }
   TablePrinter table(headers);
 
-  for (int64_t n : sweep) {
-    WorkloadOptions opts = DefaultWorkload();
-    opts.num_queries = n;
-    opts.duration_ms = kMillisPerHour;
-    opts.arrival_period_ms = 20 * kMillisPerMinute;
-    WorkloadGenerator gen(&Library());
-    const auto arrivals = gen.Generate(opts);
-    const double q = static_cast<double>(n);
+  // One sweep cell per workload size (Cackle engine + every warehouse
+  // baseline); merged in cell order so the table is byte-identical at any
+  // CACKLE_SWEEP_THREADS. Only the heaviest cell records observability (a
+  // fresh sink per engine: the ledger finalizes once per run) and the
+  // artifact is written after the sweep so stdout ordering stays fixed.
+  Observability obs;
+  struct Row {
+    std::vector<double> values;
+  };
+  SweepRunner runner(SweepThreads());
+  const std::vector<Row> rows = runner.Map<Row>(
+      static_cast<int>(sweep.size()), [&](int cell) {
+        const int64_t n = sweep[cell];
+        WorkloadOptions opts = DefaultWorkload();
+        opts.num_queries = n;
+        opts.duration_ms = kMillisPerHour;
+        opts.arrival_period_ms = 20 * kMillisPerMinute;
+        WorkloadGenerator gen(&Library());
+        const auto arrivals = gen.Generate(opts);
+        const double q = static_cast<double>(n);
 
-    // One observability artifact per sweep, from the heaviest point (a
-    // fresh sink per engine: the ledger finalizes once per run).
-    Observability obs;
-    EngineOptions engine_opts;
-    engine_opts.dynamic = DefaultDynamicOptions();
-    if (n == sweep.back()) engine_opts.observability = &obs;
-    CackleEngine engine(&cost, engine_opts);
-    const EngineResult cackle = engine.Run(arrivals, Library());
-    if (n == sweep.back()) WriteBenchArtifact(obs, "fig14_stability");
+        EngineOptions engine_opts;
+        engine_opts.dynamic = DefaultDynamicOptions();
+        if (n == sweep.back()) engine_opts.observability = &obs;
+        CackleEngine engine(&cost, engine_opts);
+        const EngineResult cackle = engine.Run(arrivals, Library());
 
+        Row row;
+        row.values.push_back(cackle.latencies_s.Percentile(90));
+        row.values.push_back(cackle.total_cost() / q);
+        for (const auto& b : baselines) {
+          const auto r = RunWarehouseSimulation(arrivals, Library(), b);
+          row.values.push_back(r.latencies_s.Percentile(90));
+          row.values.push_back(r.cost / q);
+        }
+        return row;
+      });
+  WriteBenchArtifact(obs, "fig14_stability");
+
+  for (size_t i = 0; i < sweep.size(); ++i) {
     table.BeginRow();
-    table.AddCell(n);
-    table.AddCell(cackle.latencies_s.Percentile(90), 2);
-    table.AddCell(cackle.total_cost() / q, 4);
-    for (const auto& b : baselines) {
-      const auto r = RunWarehouseSimulation(arrivals, Library(), b);
-      table.AddCell(r.latencies_s.Percentile(90), 2);
-      table.AddCell(r.cost / q, 4);
+    table.AddCell(sweep[i]);
+    table.AddCell(rows[i].values[0], 2);
+    table.AddCell(rows[i].values[1], 4);
+    for (size_t v = 2; v < rows[i].values.size(); v += 2) {
+      table.AddCell(rows[i].values[v], 2);
+      table.AddCell(rows[i].values[v + 1], 4);
     }
   }
   table.PrintText(std::cout);

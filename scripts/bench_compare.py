@@ -25,6 +25,8 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 def _throughput(entry):
     """(value, metric-name) for one benchmark entry."""
+    if "events_per_second" in entry:
+        return entry["events_per_second"], "events/s"
     if "items_per_second" in entry:
         return entry["items_per_second"], "items/s"
     if "bytes_per_second" in entry:
@@ -49,19 +51,24 @@ def load(path):
 
 
 def spawn_speedups(run):
-    """{name: speedup} vs the Spawn-scheduling sibling within one run.
+    """{name: speedup} vs the baseline-variant sibling within one run.
 
-    The multi-stage plan benchmarks come in Spawn/Pool/Pipelined variants
-    (same plan, different scheduling); for the pool variants this reports
-    how much faster they run than the per-stage thread-spawn baseline of
-    the same invocation, so the artifact records the pool win even when the
-    committed cross-run baseline predates these benchmarks.
+    Benchmarks come in variant families measured in the same invocation:
+    the multi-stage plan benchmarks as Spawn/Pool/Pipelined (per-stage
+    thread-spawn baseline vs pool scheduling), and the simulation-kernel
+    benchmarks as Heap/Calendar (binary-heap baseline vs calendar-queue
+    scheduler). For each non-baseline variant this reports how much faster
+    it runs than its baseline sibling of the same invocation, so the
+    artifact records the win even when the committed cross-run baseline
+    predates these benchmarks.
     """
+    pairs = (("Pool", "Spawn"), ("Pipelined", "Spawn"),
+             ("Calendar", "Heap"))
     out = {}
     for name, entry in run.items():
-        for variant in ("Pool", "Pipelined"):
+        for variant, baseline in pairs:
             if variant in name:
-                sibling = name.replace(variant, "Spawn")
+                sibling = name.replace(variant, baseline)
                 if sibling in run and sibling != name:
                     value, _ = _throughput(entry)
                     base, _ = _throughput(run[sibling])
@@ -97,7 +104,7 @@ def main(argv):
 
     def annotate(name):
         if name in vs_spawn:
-            return f"  [{vs_spawn[name]:.2f}x vs spawn]"
+            return f"  [{vs_spawn[name]:.2f}x vs baseline]"
         return ""
 
     width = max(len(n) for n in new)

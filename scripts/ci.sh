@@ -68,12 +68,14 @@ run_config() {
 run_config build-release - -DCMAKE_BUILD_TYPE=Release -DCACKLE_WERROR=ON
 run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DCACKLE_SANITIZE=address;undefined"
-# TSan covers the only genuinely multithreaded code (the work-stealing
-# ThreadPool and the PlanExecutor running on it, including the vectorized
-# kernels pooled tasks call into); the DES engine is single-threaded by
-# construction, so rerunning it under TSan buys nothing.
+# TSan covers the genuinely multithreaded code: the work-stealing
+# ThreadPool, the PlanExecutor running on it (including the vectorized
+# kernels pooled tasks call into), and the SweepRunner fan-out. Each
+# Simulation instance is single-threaded by construction, but the sweep
+# harness runs many of them on pool threads, so the simulation and
+# scheduler suites run here too.
 run_config build-tsan \
-  "thread_pool|exec|golden|operators|logical|storage|vectorized" \
+  "thread_pool|exec|golden|operators|logical|storage|vectorized|simulation|sim_scheduler|sim_differential|sweep_runner" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
 
 # ------------------------------------------------------------- chaos smoke
@@ -121,6 +123,18 @@ python3 scripts/bench_compare.py \
   bench/results/.baseline_raw.json \
   build-release/BENCH_micro_exec_raw.json \
   --out bench/results/BENCH_micro_exec.json
+
+# Simulation-kernel smoke: the scheduler microbench in fast mode, compared
+# against the committed full-scale artifact. The committed numbers come
+# from paper-scale populations, so the fast-mode run is a smoke test (does
+# it run, does it emit well-formed JSON, do the Calendar/Heap pairs still
+# resolve), not a regression gate.
+echo "=== bench smoke (sim_core, fast) ==="
+CACKLE_FAST_BENCH=1 CACKLE_BENCH_OUT_DIR=build-release \
+  ./build-release/bench/sim_core
+python3 scripts/bench_compare.py \
+  bench/results/BENCH_sim_core.json \
+  build-release/BENCH_sim_core.json
 
 echo "CI passed: lint, Release (-Werror), address;undefined, and thread" \
   "configurations are green."

@@ -1,0 +1,97 @@
+#ifndef CACKLE_COMMON_ARENA_H_
+#define CACKLE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cackle {
+
+/// \brief Slab allocator handing out stable slots of a single node type.
+///
+/// Nodes are default-constructed once per slab and *recycled in place*: a
+/// freed slot keeps its node alive (so the type can cache capacity, hold a
+/// generation counter, etc.) and goes onto a free list for O(1) reuse. The
+/// caller addresses nodes by dense `uint32_t` slot index — which packs into
+/// external handles far better than a pointer — and slabs are never
+/// deallocated before the pool itself, so `at()` references stay valid
+/// across any interleaving of Alloc/Free.
+///
+/// This is the event-node backing store for the simulation's calendar
+/// scheduler: one Alloc per scheduled event instead of one `new`, one
+/// free-list push per fired/cancelled event instead of one `delete`.
+///
+/// T must be default-constructible. Not thread-safe (one pool per owner,
+/// like every other single-threaded structure in the simulation core).
+template <typename T>
+class SlabPool {
+ public:
+  /// `slab_capacity` is rounded up to a power of two so slot->slab mapping
+  /// is a shift+mask.
+  explicit SlabPool(size_t slab_capacity = 1024) {
+    slab_shift_ = 0;
+    while ((size_t{1} << slab_shift_) < slab_capacity) ++slab_shift_;
+    slab_mask_ = (size_t{1} << slab_shift_) - 1;
+  }
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Returns a slot index whose node is ready for (re)use. O(1) amortized.
+  uint32_t Alloc() {
+    if (free_.empty()) Grow();
+    const uint32_t slot = free_.back();
+    free_.pop_back();
+    ++live_;
+    return slot;
+  }
+
+  /// Recycles a slot. The node is left constructed; the caller is
+  /// responsible for clearing any per-use state it cares about.
+  void Free(uint32_t slot) {
+    CACKLE_CHECK_GT(live_, 0u) << "Free without matching Alloc";
+    free_.push_back(slot);
+    --live_;
+  }
+
+  T& at(uint32_t slot) {
+    return slabs_[slot >> slab_shift_][slot & slab_mask_];
+  }
+  const T& at(uint32_t slot) const {
+    return slabs_[slot >> slab_shift_][slot & slab_mask_];
+  }
+
+  /// Total slots ever created (live + free).
+  size_t size() const { return slabs_.size() << slab_shift_; }
+  size_t live() const { return live_; }
+  size_t slabs() const { return slabs_.size(); }
+
+ private:
+  void Grow() {
+    const size_t cap = slab_mask_ + 1;
+    CACKLE_CHECK_LT((slabs_.size() + 1) * cap, size_t{1} << 32)
+        << "SlabPool slot space exhausted";
+    const uint32_t base = static_cast<uint32_t>(slabs_.size() << slab_shift_);
+    slabs_.push_back(std::make_unique<T[]>(cap));
+    // Push in reverse so slots are handed out in ascending order, which
+    // keeps allocation patterns (and anything keyed on slot numbers)
+    // deterministic and cache-friendly.
+    free_.reserve(free_.size() + cap);
+    for (size_t i = cap; i > 0; --i) {
+      free_.push_back(base + static_cast<uint32_t>(i - 1));
+    }
+  }
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<uint32_t> free_;
+  size_t slab_shift_ = 0;
+  size_t slab_mask_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_ARENA_H_

@@ -1,0 +1,139 @@
+#ifndef CACKLE_COMMON_INLINE_FUNCTION_H_
+#define CACKLE_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cackle {
+
+/// \brief Small-buffer-optimized, move-only `void()` callable.
+///
+/// A drop-in replacement for `std::function<void()>` on hot paths that
+/// allocate one closure per unit of work (the discrete-event simulation
+/// schedules millions of these per run). Callables whose state fits in
+/// `kInlineBytes` and whose move constructor cannot throw are stored
+/// directly inside the wrapper — no heap allocation, no pointer chase on
+/// invocation. Larger or throwing-move callables fall back to a single
+/// heap allocation, so any callable still works.
+///
+/// Differences from std::function, on purpose:
+///  - move-only (a copyable type-erased closure forces every captured
+///    state to be copyable and costs an extra vtable branch);
+///  - no target-type introspection, no allocator support;
+///  - invoking an empty InlineFunction is undefined behavior (callers in
+///    this codebase always install a callback before invoking).
+template <size_t kInlineBytes = 48>
+class InlineFunction {
+  static_assert(kInlineBytes >= sizeof(void*),
+                "inline storage must at least hold a pointer");
+
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (StoredInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *HeapSlot() = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the held callable (freeing its heap block if it spilled).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (test hook).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+  static constexpr size_t inline_capacity() { return kInlineBytes; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the callable from `src` storage into `dst` storage
+    /// and destroys the source (heap spill just moves the pointer).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* storage);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr bool StoredInline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* s) { (*std::launder(static_cast<Fn*>(s)))(); },
+      /*relocate=*/
+      [](void* src, void* dst) {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      /*destroy=*/[](void* s) { std::launder(static_cast<Fn*>(s))->~Fn(); },
+      /*inline_stored=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* s) { (**static_cast<Fn**>(s))(); },
+      /*relocate=*/
+      [](void* src, void* dst) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      /*destroy=*/[](void* s) { delete *static_cast<Fn**>(s); },
+      /*inline_stored=*/false,
+  };
+
+  void** HeapSlot() { return reinterpret_cast<void**>(storage_); }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace cackle
+
+#endif  // CACKLE_COMMON_INLINE_FUNCTION_H_

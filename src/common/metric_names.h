@@ -60,6 +60,21 @@ inline constexpr char kEngineHedgedReads[] = "engine.hedged_reads";
 inline constexpr char kEngineHedgedWins[] = "engine.hedged_wins";
 inline constexpr char kEngineStormReclaims[] = "engine.storm_reclaims";
 
+// --------------------------------------------------------------- sim.* names
+// Simulation-kernel counters exported at the end of every engine run. These
+// describe scheduler internals (not workload outcomes), so they may differ
+// between the kBinaryHeap and kCalendarQueue backends even though the
+// workload results are bit-identical.
+inline constexpr char kSimEventsScheduled[] = "sim.events_scheduled";
+inline constexpr char kSimEventsExecuted[] = "sim.events_executed";
+inline constexpr char kSimEventsCancelled[] = "sim.events_cancelled";
+inline constexpr char kSimCompactions[] = "sim.compactions";
+inline constexpr char kSimTombstonesPurged[] = "sim.tombstones_purged";
+inline constexpr char kSimCalendarResizes[] = "sim.calendar.resizes";
+inline constexpr char kSimOverflowMigrations[] =
+    "sim.calendar.overflow_migrations";
+inline constexpr char kSimPeakQueueEntries[] = "sim.peak_queue_entries";
+
 // ------------------------------------------------------------- chaos.* names
 // Gauges describing the precomputed fault-process timeline of a run; only
 // registered when a chaos timeline is configured.

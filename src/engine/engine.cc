@@ -22,7 +22,7 @@ struct CackleEngine::QueryState {
 };
 
 CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
-    : cost_(cost), options_(std::move(options)),
+    : cost_(cost), options_(std::move(options)), sim_(options_.sim),
       chaos_rng_(options_.seed ^ 0xbac0ffULL) {
   obs_ = options_.observability;
   metrics_ = obs_ != nullptr ? &obs_->metrics : &own_metrics_;
@@ -781,6 +781,20 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   metrics_->SetCounter(mn::kEngineMakespanMs, result_.makespan_ms);
   metrics_->SetGauge(mn::kEnginePeakConcurrentTasks,
                      static_cast<double>(result_.peak_concurrent_tasks));
+  {
+    // Scheduler internals: implementation-dependent (heap vs calendar), so
+    // these are observability only and excluded from golden comparisons.
+    const Simulation::Stats& ss = sim_.stats();
+    metrics_->SetCounter(mn::kSimEventsScheduled, ss.scheduled);
+    metrics_->SetCounter(mn::kSimEventsExecuted, sim_.executed_events());
+    metrics_->SetCounter(mn::kSimEventsCancelled, ss.cancelled);
+    metrics_->SetCounter(mn::kSimCompactions, ss.compactions);
+    metrics_->SetCounter(mn::kSimTombstonesPurged, ss.tombstones_purged);
+    metrics_->SetCounter(mn::kSimCalendarResizes, ss.calendar_resizes);
+    metrics_->SetCounter(mn::kSimOverflowMigrations, ss.overflow_migrations);
+    metrics_->SetGauge(mn::kSimPeakQueueEntries,
+                       static_cast<double>(ss.peak_queue_entries));
+  }
   metrics_->SetGauge(mn::kEngineAdmissionQueuePeak,
                      static_cast<double>(admission_queue_peak_));
   if (const ChaosTimeline* timeline = injector_->timeline()) {

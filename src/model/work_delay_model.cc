@@ -1,6 +1,7 @@
 #include "model/work_delay_model.h"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 
 #include "common/logging.h"

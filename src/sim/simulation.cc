@@ -1,87 +1,619 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace cackle {
+namespace {
 
-Simulation::~Simulation() {
-  // Events still queued (cancelled or simply never reached) are owned here.
-  while (!queue_.empty()) {
-    delete queue_.top();
-    queue_.pop();
+constexpr SimTimeMs kMaxSimTime = std::numeric_limits<SimTimeMs>::max();
+constexpr int kMaxBucketCount = 1 << 18;
+constexpr SimTimeMs kMaxBucketWidthMs = SimTimeMs{1} << 30;
+
+int64_t RoundUpPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+/// Scheduler backend interface. The two implementations must agree on
+/// observable behavior exactly: events pop in (when, seq) order, Cancel
+/// returns true iff the event was still pending, and a cancelled event
+/// never pops. Memory layout and handle encoding may differ.
+class Simulation::QueueImpl {
+ public:
+  explicit QueueImpl(Stats* stats, const SimOptions& options)
+      : stats_(stats), options_(options) {}
+  virtual ~QueueImpl() = default;
+
+  /// Enqueues an event; returns its cancellation handle.
+  virtual uint64_t Schedule(SimTimeMs when, uint64_t seq, Callback cb) = 0;
+  /// Cancels a pending event (true iff it was live). The callback is
+  /// destroyed immediately; a stale handle (already fired, already
+  /// cancelled, or recycled storage) safely returns false.
+  virtual bool Cancel(uint64_t id) = 0;
+  /// Pops the earliest live event if its time is <= `limit`, moving its
+  /// callback into `*cb`. Returns false when no live event qualifies.
+  virtual bool PopNext(SimTimeMs limit, SimTimeMs* when, Callback* cb) = 0;
+  /// Resident entries, including cancelled tombstones.
+  virtual int64_t entries() const = 0;
+
+ protected:
+  Stats* stats_;
+  const SimOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Binary-heap reference scheduler: the original kernel — one heap-allocated
+// event per schedule, a std::priority_queue of pointers, and a flat seq-
+// indexed registry for cancellation. Kept verbatim (plus tombstone
+// compaction) as the differential-testing reference and perf baseline.
+// ---------------------------------------------------------------------------
+
+class Simulation::BinaryHeapQueue : public Simulation::QueueImpl {
+ public:
+  using QueueImpl::QueueImpl;
+
+  ~BinaryHeapQueue() override {
+    while (!queue_.empty()) {
+      delete queue_.top();
+      queue_.pop();
+    }
+  }
+
+  uint64_t Schedule(SimTimeMs when, uint64_t seq, Callback cb) override {
+    Event* ev = new Event{when, seq, std::move(cb), false};
+    queue_.push(ev);
+    pending_.push_back(ev);
+    return seq;
+  }
+
+  bool Cancel(uint64_t id) override {
+    Event* ev = FindPending(id);
+    if (ev == nullptr || ev->cancelled) return false;
+    ev->cancelled = true;
+    ev->cb.reset();
+    ++tombstones_;
+    MaybeCompact();
+    return true;
+  }
+
+  bool PopNext(SimTimeMs limit, SimTimeMs* when, Callback* cb) override {
+    while (!queue_.empty()) {
+      Event* ev = queue_.top();
+      if (!ev->cancelled && ev->when > limit) return false;
+      queue_.pop();
+      ClearRegistrySlot(ev->seq);
+      if (ev->cancelled) {
+        --tombstones_;
+        delete ev;
+        continue;
+      }
+      *when = ev->when;
+      *cb = std::move(ev->cb);
+      delete ev;
+      if ((++pops_ & 0xFFF) == 0) CompactRegistry();
+      return true;
+    }
+    CompactRegistry();
+    return false;
+  }
+
+  int64_t entries() const override {
+    return static_cast<int64_t>(queue_.size());
+  }
+
+ private:
+  struct Event {
+    SimTimeMs when;
+    uint64_t seq;
+    Callback cb;
+    bool cancelled = false;
+  };
+  struct EventOrder {
+    bool operator()(const Event* a, const Event* b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  Event* FindPending(uint64_t seq) {
+    if (seq < base_seq_) return nullptr;
+    const uint64_t slot = seq - base_seq_;
+    if (slot >= pending_.size()) return nullptr;
+    return pending_[slot];
+  }
+
+  void ClearRegistrySlot(uint64_t seq) {
+    const uint64_t slot = seq - base_seq_;
+    CACKLE_CHECK_LT(slot, pending_.size());
+    pending_[slot] = nullptr;
+  }
+
+  void CompactRegistry() {
+    // Drop leading registry slots whose events already executed (marked
+    // nullptr) to keep memory bounded on long simulations.
+    size_t drop = 0;
+    while (drop < pending_.size() && pending_[drop] == nullptr) ++drop;
+    if (drop > 0) {
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<ptrdiff_t>(drop));
+      base_seq_ += drop;
+    }
+  }
+
+  void MaybeCompact() {
+    const int64_t live = entries() - tombstones_;
+    if (tombstones_ <= options_.min_compaction_tombstones ||
+        tombstones_ <= 2 * live) {
+      return;
+    }
+    std::vector<Event*> keep;
+    keep.reserve(static_cast<size_t>(live));
+    while (!queue_.empty()) {
+      Event* ev = queue_.top();
+      queue_.pop();
+      if (ev->cancelled) {
+        ClearRegistrySlot(ev->seq);
+        delete ev;
+        ++stats_->tombstones_purged;
+      } else {
+        keep.push_back(ev);
+      }
+    }
+    for (Event* ev : keep) queue_.push(ev);
+    tombstones_ = 0;
+    ++stats_->compactions;
+    CompactRegistry();
+  }
+
+  std::priority_queue<Event*, std::vector<Event*>, EventOrder> queue_;
+  // Flat cancellation registry, slot = seq - base_seq_. Entries are nulled
+  // as events run; the leading executed prefix is dropped periodically.
+  std::vector<Event*> pending_;
+  uint64_t base_seq_ = 0;
+  int64_t tombstones_ = 0;
+  uint64_t pops_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Calendar-queue scheduler: a bucketed wheel over the near future with a
+// min-heap overflow for far-future events, arena-allocated event nodes, and
+// generation-checked handles.
+//
+// Layout invariants (the determinism argument lives in DESIGN.md):
+//  - `batch_` holds the extracted front run, sorted by (when, seq); every
+//    batch entry orders strictly before every wheel/overflow entry.
+//  - each wheel bucket holds only entries of its *current* window
+//    [window, window + width) — far-future events sit in `overflow_` until
+//    the advancing horizon migrates them, so buckets never mix revolutions.
+//  - within a bucket, entries at equal `when` appear in ascending `seq`
+//    order (appends happen in schedule order; migration pops the overflow
+//    heap in (when, seq) order before any direct append can occur).
+//  - a cancelled event frees its node immediately (generation bump); the
+//    queue entry left behind is a tombstone skipped on pop and removed in
+//    bulk by the lazy compaction sweep.
+// ---------------------------------------------------------------------------
+
+class Simulation::CalendarQueue : public Simulation::QueueImpl {
+ public:
+  CalendarQueue(Stats* stats, const SimOptions& options)
+      : QueueImpl(stats, options) {
+    bucket_count_ = static_cast<int>(RoundUpPow2(
+        std::max(2, options.initial_bucket_count)));
+    width_shift_ = ShiftFor(std::max<SimTimeMs>(1,
+        options.initial_bucket_width_ms));
+    buckets_.resize(static_cast<size_t>(bucket_count_));
+  }
+
+  uint64_t Schedule(SimTimeMs when, uint64_t seq, Callback cb) override {
+    const uint32_t slot = pool_.Alloc();
+    Node& node = pool_.at(slot);
+    node.cb = std::move(cb);
+    node.when = when;
+    node.seq = seq;
+    node.live = true;
+    Insert(Entry{when, seq, slot, node.gen});
+    MaybeResize();
+    return MakeId(slot, node.gen);
+  }
+
+  bool Cancel(uint64_t id) override {
+    const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
+    const uint32_t gen = static_cast<uint32_t>(id >> 32);
+    if (static_cast<size_t>(slot) >= pool_.size()) return false;
+    Node& node = pool_.at(slot);
+    if (!node.live || node.gen != gen) return false;
+    FreeNode(slot, node);
+    ++tombstones_;
+    MaybeCompact();
+    return true;
+  }
+
+  bool PopNext(SimTimeMs limit, SimTimeMs* when, Callback* cb) override {
+    for (;;) {
+      while (!BatchEmpty() && IsStale(batch_[batch_head_])) {
+        BatchPopFront();
+        --tombstones_;
+      }
+      if (BatchEmpty()) {
+        if (!Refill()) return false;
+        continue;
+      }
+      const Entry front = batch_[batch_head_];
+      if (front.when > limit) return false;
+      BatchPopFront();
+      Node& node = pool_.at(front.slot);
+      *when = front.when;
+      *cb = std::move(node.cb);
+      FreeNode(front.slot, node);
+      return true;
+    }
+  }
+
+  int64_t entries() const override {
+    return wheel_entries_ + static_cast<int64_t>(overflow_.size()) +
+           static_cast<int64_t>(batch_.size() - batch_head_);
+  }
+
+ private:
+  struct Node {
+    Callback cb;
+    SimTimeMs when = 0;
+    uint64_t seq = 0;
+    uint32_t gen = 1;
+    bool live = false;
+  };
+  struct Entry {
+    SimTimeMs when;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
+  };
+  struct EntryAfter {
+    // Min-heap order for the overflow: pop earliest (when, seq) first.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  static bool EntryBefore(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  static uint64_t MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(gen) << 32) | slot;
+  }
+
+  static int ShiftFor(SimTimeMs width) {
+    int shift = 0;
+    while ((SimTimeMs{1} << shift) < width) ++shift;
+    return shift;
+  }
+
+  SimTimeMs Width() const { return SimTimeMs{1} << width_shift_; }
+  SimTimeMs Horizon() const {
+    return window_ + (static_cast<SimTimeMs>(bucket_count_) << width_shift_);
+  }
+  size_t BucketIndex(SimTimeMs when) const {
+    return static_cast<size_t>((when >> width_shift_) &
+                               (bucket_count_ - 1));
+  }
+  bool IsStale(const Entry& e) const {
+    const Node& node = pool_.at(e.slot);
+    return !node.live || node.gen != e.gen;
+  }
+
+  bool BatchEmpty() const { return batch_head_ == batch_.size(); }
+  void BatchPopFront() {
+    if (++batch_head_ == batch_.size()) {
+      batch_.clear();
+      batch_head_ = 0;
+    }
+  }
+
+  void FreeNode(uint32_t slot, Node& node) {
+    node.cb.reset();
+    node.live = false;
+    ++node.gen;
+    pool_.Free(slot);
+  }
+
+  int64_t LiveCount() const { return entries() - tombstones_; }
+
+  void Insert(const Entry& e) {
+    if (!BatchEmpty() && e.when < batch_.back().when) {
+      // Precedes part of the already-extracted run: splice it in. Every
+      // batch entry orders before the whole wheel, so this preserves the
+      // batch invariant; the new event's seq is the largest so far, which
+      // upper_bound places after any equal-time batch entries.
+      batch_.insert(std::upper_bound(batch_.begin() +
+                                         static_cast<ptrdiff_t>(batch_head_),
+                                     batch_.end(), e, EntryBefore),
+                    e);
+    } else if (e.when < window_) {
+      // Before every wheel window (the clock has not caught up with the
+      // wheel cursor) but at-or-after the batch tail: extend the run.
+      batch_.push_back(e);
+    } else if (e.when >= Horizon()) {
+      overflow_.push(e);
+    } else {
+      buckets_[BucketIndex(e.when)].push_back(e);
+      ++wheel_entries_;
+    }
+  }
+
+  /// Ensures batch_ is non-empty, walking the wheel cursor forward (and
+  /// migrating overflow entries as the horizon advances). Returns false
+  /// when no live entries remain anywhere.
+  bool Refill() {
+    while (BatchEmpty()) {
+      if (wheel_entries_ == 0) {
+        if (overflow_.empty()) return false;
+        // Fast-forward the wheel straight to the earliest overflow event
+        // instead of stepping through empty buckets.
+        window_ = overflow_.top().when & ~(Width() - 1);
+        Migrate();
+        continue;
+      }
+      std::vector<Entry>& bucket = buckets_[BucketIndex(window_)];
+      if (bucket.empty()) {
+        window_ += Width();
+        Migrate();
+        continue;
+      }
+      // Extract the earliest tie group. Bucket order is append order, so
+      // equal-time entries come out in ascending seq — FIFO for free.
+      // Tombstones ride along deliberately: checking staleness here would
+      // dereference the pool node for every entry (a cold cache line per
+      // event); PopNext already skips stale batch entries while touching
+      // the same line it needs for the callback anyway.
+      SimTimeMs min_when = bucket[0].when;
+      for (const Entry& e : bucket) min_when = std::min(min_when, e.when);
+      size_t w = 0;
+      for (size_t r = 0; r < bucket.size(); ++r) {
+        if (bucket[r].when == min_when) {
+#if defined(__GNUC__) || defined(__clang__)
+          // PopNext touches the pool node (staleness + callback) right
+          // after this; start pulling the line now so the pop doesn't
+          // stall on a cold miss at large populations.
+          __builtin_prefetch(&pool_.at(bucket[r].slot));
+#endif
+          batch_.push_back(bucket[r]);
+          --wheel_entries_;
+        } else {
+          bucket[w++] = bucket[r];
+        }
+      }
+      bucket.resize(w);
+    }
+    return true;
+  }
+
+  /// Moves overflow entries now inside the horizon into their buckets.
+  /// The heap pops in (when, seq) order, so equal-time entries land in a
+  /// bucket in seq order ahead of any later direct appends.
+  void Migrate() {
+    const SimTimeMs horizon = Horizon();
+    while (!overflow_.empty() && overflow_.top().when < horizon) {
+      const Entry e = overflow_.top();
+      overflow_.pop();
+      if (IsStale(e)) {
+        --tombstones_;
+        continue;
+      }
+      buckets_[BucketIndex(e.when)].push_back(e);
+      ++wheel_entries_;
+      ++stats_->overflow_migrations;
+    }
+  }
+
+  /// Grows the wheel (and re-derives the bucket width from the live event
+  /// span) once average occupancy passes 2 events/bucket, keeping
+  /// schedule/pop O(1) amortized as the population grows.
+  void MaybeResize() {
+    if (bucket_count_ >= kMaxBucketCount) return;
+    if (LiveCount() <= 2 * static_cast<int64_t>(bucket_count_)) return;
+
+    std::vector<Entry> all;
+    all.reserve(static_cast<size_t>(wheel_entries_) + overflow_.size());
+    for (std::vector<Entry>& bucket : buckets_) {
+      for (const Entry& e : bucket) {
+        if (IsStale(e)) {
+          --tombstones_;
+          ++stats_->tombstones_purged;
+        } else {
+          all.push_back(e);
+        }
+      }
+      bucket.clear();
+    }
+    while (!overflow_.empty()) {
+      const Entry e = overflow_.top();
+      overflow_.pop();
+      if (IsStale(e)) {
+        --tombstones_;
+        ++stats_->tombstones_purged;
+      } else {
+        all.push_back(e);
+      }
+    }
+    wheel_entries_ = 0;
+    if (all.empty()) return;
+
+    // Sort up front: the width estimate below needs quantiles, and the
+    // redistribution needs (when, seq) order so each bucket's equal-time
+    // runs stay seq-sorted.
+    std::sort(all.begin(), all.end(), EntryBefore);
+    const int64_t n = static_cast<int64_t>(all.size());
+    const SimTimeMs min_when = all.front().when;
+    // Width ~ quantile-span/n targets one event per bucket across the bulk
+    // of the live population. Using the full span here is the classic
+    // calendar-queue skew trap: one far-future outlier (a timeout, a spot
+    // lifetime) would inflate the width until every near-term event lands
+    // in a single bucket and pops degrade to O(n). Events beyond the
+    // quantile simply wait in the overflow heap and migrate in later.
+    const size_t q_idx = static_cast<size_t>((3 * n) / 4);
+    const SimTimeMs q_when = all[std::min(q_idx, all.size() - 1)].when;
+    const int64_t q_n = std::max<int64_t>(static_cast<int64_t>(q_idx), 1);
+    const SimTimeMs span = q_when - min_when + 1;
+    SimTimeMs width = 1;
+    while (width < span / q_n && width < kMaxBucketWidthMs) width <<= 1;
+    width_shift_ = ShiftFor(width);
+    bucket_count_ = static_cast<int>(
+        std::min<int64_t>(RoundUpPow2(2 * n), kMaxBucketCount));
+    buckets_.assign(static_cast<size_t>(bucket_count_), {});
+    window_ = min_when & ~(Width() - 1);
+    const SimTimeMs horizon = Horizon();
+    for (Entry& e : all) {
+      if (e.when >= horizon) {
+        overflow_.push(e);
+      } else {
+        buckets_[BucketIndex(e.when)].push_back(e);
+        ++wheel_entries_;
+      }
+    }
+    ++stats_->calendar_resizes;
+  }
+
+  /// Bulk tombstone sweep, triggered from Cancel once stale entries exceed
+  /// both the configured floor and 2x the live population.
+  void MaybeCompact() {
+    if (tombstones_ <= options_.min_compaction_tombstones ||
+        tombstones_ <= 2 * LiveCount()) {
+      return;
+    }
+    for (std::vector<Entry>& bucket : buckets_) {
+      size_t w = 0;
+      for (size_t r = 0; r < bucket.size(); ++r) {
+        if (IsStale(bucket[r])) {
+          --wheel_entries_;
+          ++stats_->tombstones_purged;
+        } else {
+          bucket[w++] = bucket[r];
+        }
+      }
+      bucket.resize(w);
+    }
+    std::vector<Entry> keep;
+    keep.reserve(overflow_.size());
+    while (!overflow_.empty()) {
+      const Entry e = overflow_.top();
+      overflow_.pop();
+      if (IsStale(e)) {
+        ++stats_->tombstones_purged;
+      } else {
+        keep.push_back(e);
+      }
+    }
+    for (const Entry& e : keep) overflow_.push(e);
+    const auto stale_batch = [this](const Entry& e) {
+      if (!IsStale(e)) return false;
+      ++stats_->tombstones_purged;
+      return true;
+    };
+    batch_.erase(batch_.begin(),
+                 batch_.begin() + static_cast<ptrdiff_t>(batch_head_));
+    batch_head_ = 0;
+    batch_.erase(std::remove_if(batch_.begin(), batch_.end(), stale_batch),
+                 batch_.end());
+    tombstones_ = 0;
+    ++stats_->compactions;
+  }
+
+  SlabPool<Node> pool_{1024};
+  std::vector<std::vector<Entry>> buckets_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryAfter> overflow_;
+  /// Extracted front run, sorted by (when, seq), consumed from
+  /// batch_head_; see class comment. A vector+cursor rather than a deque:
+  /// the pop path is hot and the cursor keeps it branch-cheap and
+  /// contiguous.
+  std::vector<Entry> batch_;
+  size_t batch_head_ = 0;
+  int bucket_count_ = 0;
+  int width_shift_ = 0;
+  /// Start of the current bucket's window (multiple of Width()).
+  SimTimeMs window_ = 0;
+  int64_t wheel_entries_ = 0;
+  int64_t tombstones_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Simulation facade: clock, sequence numbers, live/executed accounting.
+// ---------------------------------------------------------------------------
+
+Simulation::Simulation() : Simulation(SimOptions{}) {}
+
+Simulation::Simulation(const SimOptions& options) : options_(options) {
+  if (options_.scheduler == SimScheduler::kBinaryHeap) {
+    queue_ = std::make_unique<BinaryHeapQueue>(&stats_, options_);
+  } else {
+    queue_ = std::make_unique<CalendarQueue>(&stats_, options_);
   }
 }
+
+Simulation::~Simulation() = default;
 
 uint64_t Simulation::ScheduleAt(SimTimeMs when, Callback cb) {
   CACKLE_CHECK_GE(when, now_) << "cannot schedule in the past";
-  Event* ev = new Event{when, next_seq_++, std::move(cb), false};
-  queue_.push(ev);
-  pending_.push_back(ev);
+  const uint64_t id = queue_->Schedule(when, next_seq_++, std::move(cb));
   ++live_events_;
-  return ev->seq;
-}
-
-Simulation::Event* Simulation::FindPending(uint64_t seq) {
-  if (seq < base_seq_) return nullptr;
-  const uint64_t slot = seq - base_seq_;
-  if (slot >= pending_.size()) return nullptr;
-  return pending_[slot];
+  ++stats_.scheduled;
+  stats_.peak_queue_entries =
+      std::max(stats_.peak_queue_entries, queue_->entries());
+  return id;
 }
 
 bool Simulation::Cancel(uint64_t event_id) {
-  Event* ev = FindPending(event_id);
-  if (ev == nullptr || ev->cancelled) return false;
-  ev->cancelled = true;
+  if (!queue_->Cancel(event_id)) return false;
   --live_events_;
+  ++stats_.cancelled;
   return true;
-}
-
-void Simulation::CompactRegistry() {
-  // Drop leading registry slots whose events have already executed
-  // (marked nullptr) to keep memory bounded on long simulations.
-  size_t drop = 0;
-  while (drop < pending_.size() && pending_[drop] == nullptr) ++drop;
-  if (drop > 0) {
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<ptrdiff_t>(drop));
-    base_seq_ += drop;
-  }
 }
 
 int64_t Simulation::RunUntil(SimTimeMs until) {
   int64_t ran = 0;
-  while (!queue_.empty()) {
-    Event* ev = queue_.top();
-    if (ev->when > until) break;
-    queue_.pop();
-    const uint64_t slot = ev->seq - base_seq_;
-    CACKLE_CHECK_LT(slot, pending_.size());
-    pending_[slot] = nullptr;
-    if (!ev->cancelled) {
-      now_ = ev->when;
-      --live_events_;
-      Callback cb = std::move(ev->cb);
-      delete ev;
-      cb();
-      ++ran;
-      ++executed_;
-    } else {
-      delete ev;
-    }
-    if ((executed_ & 0xFFF) == 0) CompactRegistry();
+  SimTimeMs when = 0;
+  Callback cb;
+  while (queue_->PopNext(until, &when, &cb)) {
+    now_ = when;
+    --live_events_;
+    cb();
+    cb.reset();
+    ++ran;
+    ++executed_;
   }
-  if (queue_.empty()) CompactRegistry();
-  if (until > now_ && queue_.empty()) now_ = until;
+  // With no live events left, the clock owes the caller the full interval.
+  // (Keyed on *live* events: lingering cancelled tombstones must not pin
+  // the clock, one of the accounting guarantees regression-tested in
+  // simulation_test.)
+  if (until > now_ && live_events_ == 0) now_ = until;
   return ran;
 }
 
 int64_t Simulation::RunToCompletion() {
   int64_t ran = 0;
-  while (!queue_.empty()) {
-    ran += RunUntil(queue_.top()->when);
+  SimTimeMs when = 0;
+  Callback cb;
+  while (queue_->PopNext(kMaxSimTime, &when, &cb)) {
+    now_ = when;
+    --live_events_;
+    cb();
+    cb.reset();
+    ++ran;
+    ++executed_;
   }
-  CompactRegistry();
   return ran;
 }
+
+int64_t Simulation::queue_entries() const { return queue_->entries(); }
 
 }  // namespace cackle

@@ -2,9 +2,9 @@
 #define CACKLE_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <memory>
+
+#include "common/inline_function.h"
 
 namespace cackle {
 
@@ -24,17 +24,76 @@ constexpr SimTimeMs SecondsToMs(double seconds) {
   return static_cast<SimTimeMs>(seconds * 1000.0 + 0.5);
 }
 
+/// Which event-queue implementation backs a Simulation.
+///
+/// Both schedulers execute events in exactly the same (time, insertion-
+/// sequence) order — a workload run under one must be bit-identical under
+/// the other (enforced by sim_scheduler_property_test and
+/// sim_differential_test). kBinaryHeap is the original pointer-based
+/// std::priority_queue kernel, kept as the differential-testing reference
+/// and the performance baseline; kCalendarQueue is the O(1)-amortized
+/// bucketed-wheel scheduler with arena-allocated event nodes.
+enum class SimScheduler {
+  kBinaryHeap,
+  kCalendarQueue,
+};
+
+/// Tuning for the simulation kernel. Defaults are right for every workload
+/// in this repo; the knobs exist for tests and benchmarks.
+struct SimOptions {
+  SimScheduler scheduler = SimScheduler::kCalendarQueue;
+
+  /// Calendar-wheel starting geometry. Both are rounded up to powers of
+  /// two; the wheel re-sizes itself (doubling buckets, re-deriving the
+  /// bucket width from the live event-time span) as the event population
+  /// grows, so these only set the floor.
+  int initial_bucket_count = 1024;
+  SimTimeMs initial_bucket_width_ms = 16;
+
+  /// Lazy tombstone compaction: a cancelled event frees its node
+  /// immediately but leaves a stale (slot, generation) entry in the queue
+  /// structure. A sweep removes all stale entries once their count exceeds
+  /// both this floor and 2x the live event count, so mass-cancel workloads
+  /// cannot grow the queue unboundedly.
+  int64_t min_compaction_tombstones = 1024;
+};
+
 /// \brief Discrete-event simulation kernel.
 ///
 /// Events are closures executed in (time, insertion-sequence) order, so
 /// simultaneous events run deterministically in the order they were
 /// scheduled. Components (VM fleet, elastic pool, coordinator, shuffle
 /// layer) share one Simulation and interact only through scheduled events.
+///
+/// Event handles returned by ScheduleAt/ScheduleAfter are generation
+/// checked: Cancel() on a handle whose event already fired (or whose
+/// storage slot has since been recycled) safely returns false.
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  /// Event closures are small-buffer-optimized and move-only; anything
+  /// callable as void() converts implicitly, without a heap allocation for
+  /// captures up to 48 bytes.
+  using Callback = InlineFunction<48>;
 
-  Simulation() = default;
+  /// Lifetime counters for observability and bounded-memory tests. All
+  /// values are cumulative except peak_queue_entries.
+  struct Stats {
+    int64_t scheduled = 0;
+    int64_t cancelled = 0;
+    /// Tombstone sweeps triggered by the lazy-compaction threshold.
+    int64_t compactions = 0;
+    /// Stale (cancelled) queue entries physically removed by sweeps.
+    int64_t tombstones_purged = 0;
+    /// Calendar geometry rebuilds (bucket doubling / width re-derivation).
+    int64_t calendar_resizes = 0;
+    /// Entries migrated from the far-future overflow into the wheel.
+    int64_t overflow_migrations = 0;
+    /// High-water mark of resident queue entries (live + tombstones).
+    int64_t peak_queue_entries = 0;
+  };
+
+  Simulation();
+  explicit Simulation(const SimOptions& options);
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -42,7 +101,7 @@ class Simulation {
   SimTimeMs NowMs() const { return now_; }
 
   /// Schedules `cb` at absolute simulated time `when` (>= NowMs()).
-  /// Returns an event id usable with Cancel().
+  /// Returns an event handle usable with Cancel().
   uint64_t ScheduleAt(SimTimeMs when, Callback cb);
 
   /// Schedules `cb` `delay` milliseconds from now.
@@ -64,32 +123,26 @@ class Simulation {
   bool empty() const { return live_events_ == 0; }
   int64_t executed_events() const { return executed_; }
 
- private:
-  struct Event {
-    SimTimeMs when;
-    uint64_t seq;
-    Callback cb;
-    bool cancelled = false;
-  };
-  struct EventOrder {
-    bool operator()(const Event* a, const Event* b) const {
-      if (a->when != b->when) return a->when > b->when;
-      return a->seq > b->seq;
-    }
-  };
+  SimScheduler scheduler() const { return options_.scheduler; }
+  const Stats& stats() const { return stats_; }
 
+  /// Entries currently resident in the queue structures, including
+  /// cancelled tombstones awaiting lazy compaction. Test hook for the
+  /// bounded-memory guarantee.
+  int64_t queue_entries() const;
+
+ private:
+  class QueueImpl;        // scheduler interface
+  class BinaryHeapQueue;  // reference implementation
+  class CalendarQueue;    // bucketed-wheel implementation
+
+  const SimOptions options_;
   SimTimeMs now_ = 0;
   uint64_t next_seq_ = 0;
   int64_t live_events_ = 0;
   int64_t executed_ = 0;
-  std::priority_queue<Event*, std::vector<Event*>, EventOrder> queue_;
-  // Owned events, indexed by seq for cancellation. Entries are deleted as
-  // they run; the vector of pointers is kept small by the queue draining.
-  std::vector<Event*> pending_;  // flat registry, slot = seq - base_seq_
-  uint64_t base_seq_ = 0;
-
-  Event* FindPending(uint64_t seq);
-  void CompactRegistry();
+  Stats stats_;
+  std::unique_ptr<QueueImpl> queue_;
 };
 
 }  // namespace cackle

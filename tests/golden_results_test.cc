@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <variant>
 #include <vector>
@@ -25,6 +26,11 @@
 #include "exec/datagen.h"
 #include "exec/plan.h"
 #include "exec/tpch_queries.h"
+
+#include "cloud/cost_model.h"
+#include "engine/engine.h"
+#include "workload/profile_library.h"
+#include "workload/workload_generator.h"
 
 namespace cackle::exec {
 namespace {
@@ -401,6 +407,103 @@ TEST_P(TpchThreadDifferentialTest, SerialPoolAndPipelinedAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllQueries, TpchThreadDifferentialTest,
                          ::testing::ValuesIn(AllTpchQueryIds()));
+
+// ---------------------------------------------------------------------------
+// Engine-level scheduler golden fingerprints: a full engine run is hashed
+// (every latency sample's bit pattern plus every counter) into one uint64,
+// and the fingerprint must be identical under the binary-heap and
+// calendar-queue event schedulers for every covered workload. This is the
+// golden-suite form of the scheduler bit-identity contract.
+// ---------------------------------------------------------------------------
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h * 1099511628211ULL;
+}
+
+uint64_t FingerprintResult(const EngineResult& r) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const double s : r.latencies_s.samples()) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(s));
+    std::memcpy(&bits, &s, sizeof(bits));
+    h = HashMix(h, bits);
+  }
+  for (const double s : r.batch_latencies_s.samples()) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &s, sizeof(bits));
+    h = HashMix(h, bits);
+  }
+  uint64_t cost_bits = 0;
+  const double cost = r.total_cost();
+  std::memcpy(&cost_bits, &cost, sizeof(cost_bits));
+  h = HashMix(h, cost_bits);
+  h = HashMix(h, static_cast<uint64_t>(r.makespan_ms));
+  h = HashMix(h, static_cast<uint64_t>(r.queries_completed));
+  h = HashMix(h, static_cast<uint64_t>(r.tasks_on_vms));
+  h = HashMix(h, static_cast<uint64_t>(r.tasks_on_elastic));
+  h = HashMix(h, static_cast<uint64_t>(r.tasks_retried));
+  h = HashMix(h, static_cast<uint64_t>(r.tasks_speculated));
+  h = HashMix(h, static_cast<uint64_t>(r.vms_interrupted));
+  h = HashMix(h, static_cast<uint64_t>(r.stages_reexecuted));
+  h = HashMix(h, static_cast<uint64_t>(r.elastic_failures));
+  h = HashMix(h, static_cast<uint64_t>(r.queries_shed));
+  return h;
+}
+
+uint64_t EngineFingerprint(SimScheduler scheduler,
+                           const WorkloadOptions& wl,
+                           const EngineOptions& base) {
+  static const ProfileLibrary* lib =
+      new ProfileLibrary(ProfileLibrary::BuiltinTpch());
+  static const CostModel* cost = new CostModel();
+  WorkloadGenerator gen(lib);
+  EngineOptions opts = base;
+  opts.sim.scheduler = scheduler;
+  CackleEngine engine(cost, opts);
+  return FingerprintResult(engine.Run(gen.Generate(wl), *lib));
+}
+
+TEST(EngineSchedulerGoldenTest, FingerprintsBitIdenticalAcrossSchedulers) {
+  struct Covered {
+    const char* label;
+    WorkloadOptions workload;
+    EngineOptions engine;
+  };
+  std::vector<Covered> covered;
+  {
+    Covered plain;
+    plain.label = "interactive";
+    plain.workload.num_queries = 60;
+    plain.workload.duration_ms = kMillisPerHour / 6;
+    plain.workload.arrival_period_ms = kMillisPerHour / 18;
+    plain.workload.seed = 4242;
+    covered.push_back(plain);
+  }
+  {
+    Covered faulty;
+    faulty.label = "faulty_mixed";
+    faulty.workload.num_queries = 60;
+    faulty.workload.duration_ms = kMillisPerHour / 6;
+    faulty.workload.arrival_period_ms = kMillisPerHour / 18;
+    faulty.workload.batch_fraction = 0.25;
+    faulty.workload.seed = 777;
+    faulty.engine.spot_mean_lifetime_hours = 0.15;
+    faulty.engine.faults.elastic_failure_rate = 0.01;
+    faulty.engine.faults.elastic_straggler_rate = 0.02;
+    faulty.engine.faults.elastic_straggler_slowdown = 3.0;
+    covered.push_back(faulty);
+  }
+  for (const Covered& c : covered) {
+    SCOPED_TRACE(c.label);
+    const uint64_t heap =
+        EngineFingerprint(SimScheduler::kBinaryHeap, c.workload, c.engine);
+    const uint64_t calendar = EngineFingerprint(SimScheduler::kCalendarQueue,
+                                                c.workload, c.engine);
+    EXPECT_NE(heap, 1469598103934665603ULL) << "empty run fingerprint";
+    EXPECT_EQ(heap, calendar);
+  }
+}
 
 }  // namespace
 }  // namespace cackle::exec

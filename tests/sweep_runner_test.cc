@@ -1,0 +1,144 @@
+// SweepRunner determinism: the merged output of a parallel sweep must be a
+// pure function of the sweep definition — never of the thread count or of
+// which thread happened to run which cell — and per-cell RNG streams must
+// be mutually independent.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/rng.h"
+
+#include "sim/simulation.h"
+#include "sim/sweep_runner.h"
+
+namespace cackle {
+namespace {
+
+constexpr int kGridSide = 8;
+constexpr int kGridCells = kGridSide * kGridSide;
+constexpr uint64_t kBaseSeed = 0xCACC1E5EEDULL;
+
+struct CellResult {
+  int64_t executed = 0;
+  uint64_t checksum = 0;
+  double score = 0.0;
+};
+
+/// A miniature sweep cell: its own Simulation fed from its own forked RNG
+/// stream, like one engine run in a real parameter sweep. `extra_draws`
+/// models a perturbation of the cell's internal randomness consumption.
+CellResult RunCell(int cell, uint64_t base_seed, int extra_draws = 0) {
+  Rng rng(SweepRunner::CellSeed(base_seed, cell));
+  for (int i = 0; i < extra_draws; ++i) rng.NextUint64();
+  Simulation sim;
+  CellResult result;
+  const int events = 200 + static_cast<int>(rng.NextBounded(200));
+  for (int i = 0; i < events; ++i) {
+    const SimTimeMs when = static_cast<SimTimeMs>(rng.NextBounded(10'000));
+    const uint64_t draw = rng.NextUint64();
+    sim.ScheduleAt(when, [&result, draw, &sim] {
+      result.checksum =
+          (result.checksum * 1099511628211ULL) ^ draw ^
+          static_cast<uint64_t>(sim.NowMs());
+      result.score += static_cast<double>(draw % 1000) / 1000.0;
+    });
+  }
+  result.executed = sim.RunToCompletion();
+  return result;
+}
+
+/// Runs the full grid at `num_threads` and renders the merged JSON — the
+/// artifact shape a real sweep bench writes.
+std::string RunGridJson(int num_threads, uint64_t base_seed) {
+  SweepRunner runner(num_threads);
+  const std::vector<CellResult> cells = runner.Map<CellResult>(
+      kGridCells, [base_seed](int cell) { return RunCell(cell, base_seed); });
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Field("grid", kGridSide);
+  w.Key("cells");
+  w.BeginArray();
+  for (const CellResult& c : cells) {
+    w.BeginObject();
+    w.Field("executed", c.executed);
+    w.Key("checksum").Uint(c.checksum);
+    w.Field("score", c.score);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return os.str();
+}
+
+TEST(SweepRunnerTest, MergedJsonIsByteIdenticalAcrossThreadCounts) {
+  const std::string at1 = RunGridJson(1, kBaseSeed);
+  const std::string at4 = RunGridJson(4, kBaseSeed);
+  const std::string at8 = RunGridJson(8, kBaseSeed);
+  EXPECT_FALSE(at1.empty());
+  EXPECT_EQ(at1, at4);
+  EXPECT_EQ(at1, at8);
+  // And re-running at the same thread count reproduces exactly.
+  EXPECT_EQ(at4, RunGridJson(4, kBaseSeed));
+}
+
+TEST(SweepRunnerTest, ResultsArriveInCellIndexOrder) {
+  SweepRunner runner(4);
+  const std::vector<int> cells =
+      runner.Map<int>(100, [](int cell) { return cell * 3 + 1; });
+  ASSERT_EQ(cells.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cells[static_cast<size_t>(i)], i * 3 + 1);
+}
+
+TEST(SweepRunnerTest, CellSeedsAreDistinctAndThreadCountInvariant) {
+  std::set<uint64_t> seeds;
+  for (int cell = 0; cell < 4096; ++cell) {
+    seeds.insert(SweepRunner::CellSeed(kBaseSeed, cell));
+  }
+  // CellSeed is a pure function of (base, cell): no collisions across a
+  // large grid, and nothing about the pool can influence it.
+  EXPECT_EQ(seeds.size(), 4096u);
+}
+
+TEST(SweepRunnerTest, PerturbingOneCellLeavesOthersUnchanged) {
+  SweepRunner runner(4);
+  const int perturbed_cell = 27;
+  const std::vector<CellResult> base = runner.Map<CellResult>(
+      kGridCells, [](int cell) { return RunCell(cell, kBaseSeed); });
+  // Same sweep, but cell 27 consumes extra randomness from its stream (as
+  // if its workload changed shape). Independent streams mean no other
+  // cell may move.
+  const std::vector<CellResult> perturbed = runner.Map<CellResult>(
+      kGridCells, [perturbed_cell](int cell) {
+        return RunCell(cell, kBaseSeed,
+                       cell == perturbed_cell ? 7 : 0);
+      });
+  for (int cell = 0; cell < kGridCells; ++cell) {
+    const auto& a = base[static_cast<size_t>(cell)];
+    const auto& b = perturbed[static_cast<size_t>(cell)];
+    if (cell == perturbed_cell) {
+      EXPECT_NE(a.checksum, b.checksum) << "perturbation had no effect";
+    } else {
+      EXPECT_EQ(a.executed, b.executed) << "cell " << cell;
+      EXPECT_EQ(a.checksum, b.checksum) << "cell " << cell;
+      EXPECT_EQ(a.score, b.score) << "cell " << cell;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, MapWorksFromZeroCellsAndOneThread) {
+  SweepRunner runner(1);
+  EXPECT_TRUE(runner.Map<int>(0, [](int) { return 0; }).empty());
+  const std::vector<int> one = runner.Map<int>(1, [](int c) { return c + 9; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 9);
+}
+
+}  // namespace
+}  // namespace cackle
