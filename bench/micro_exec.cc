@@ -5,11 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
+#include <string>
 #include <thread>
 
+#include "common/thread_pool.h"
 #include "exec/datagen.h"
 #include "exec/expr.h"
 #include "exec/flat_hash.h"
+#include "exec/op_context.h"
 #include "exec/operators.h"
 #include "exec/plan.h"
 #include "exec/logical.h"
@@ -60,6 +64,83 @@ void BM_HashAggregateLineitem(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
 }
 BENCHMARK(BM_HashAggregateLineitem);
+
+// ---------------------------------------------------------------------------
+// Intra-operator knob variants of the join and aggregate kernels. Each
+// variant name maps to its scalar sibling by dropping the suffix
+// (bench_compare.py pairs them), so the artifact records what every knob
+// buys — or costs — against the exact same workload in the same run. On a
+// 1-core CI runner the MorselN variants mostly measure scheduling overhead
+// and determinism, not speedup; the artifact header records available_cores
+// so readers can tell which regime a number came from.
+// ---------------------------------------------------------------------------
+
+void JoinWithKnobs(benchmark::State& state, int pool_threads,
+                   int64_t morsel_rows, int radix_bits, bool bloom) {
+  const Catalog& cat = BenchCatalog();
+  const Table orders = SelectColumns(cat.orders, {"o_orderkey", "o_custkey"});
+  const Table line = SelectColumns(cat.lineitem, {"l_orderkey", "l_quantity"});
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_threads > 1) pool = std::make_unique<ThreadPool>(pool_threads);
+  OpExecContext ctx;
+  ctx.pool = pool.get();
+  ctx.morsel_rows = morsel_rows;
+  ctx.radix_bits = radix_bits;
+  ctx.bloom_pushdown = bloom;
+  const ScopedOpExecContext scope(&ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HashJoin(line, {"l_orderkey"}, orders, {"o_orderkey"}));
+  }
+  state.SetItemsProcessed(state.iterations() * line.num_rows());
+}
+
+void BM_HashJoinOrdersLineitemRadix(benchmark::State& state) {
+  JoinWithKnobs(state, 1, 0, /*radix_bits=*/4, false);
+}
+BENCHMARK(BM_HashJoinOrdersLineitemRadix);
+
+void BM_HashJoinOrdersLineitemBloom(benchmark::State& state) {
+  JoinWithKnobs(state, 1, 0, 0, /*bloom=*/true);
+}
+BENCHMARK(BM_HashJoinOrdersLineitemBloom);
+
+void BM_HashJoinOrdersLineitemMorsel2(benchmark::State& state) {
+  JoinWithKnobs(state, 2, /*morsel_rows=*/4096, 0, false);
+}
+BENCHMARK(BM_HashJoinOrdersLineitemMorsel2);
+
+void BM_HashJoinOrdersLineitemMorsel4(benchmark::State& state) {
+  JoinWithKnobs(state, 4, /*morsel_rows=*/4096, /*radix_bits=*/4, false);
+}
+BENCHMARK(BM_HashJoinOrdersLineitemMorsel4);
+
+void AggregateWithKnobs(benchmark::State& state, int pool_threads,
+                        int64_t morsel_rows) {
+  const Catalog& cat = BenchCatalog();
+  ThreadPool pool(pool_threads);
+  OpExecContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_rows = morsel_rows;
+  const ScopedOpExecContext scope(&ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashAggregate(
+        cat.lineitem, {"l_returnflag", "l_linestatus"},
+        {{AggOp::kSum, Col("l_quantity"), "sum_qty"},
+         {AggOp::kCount, nullptr, "cnt"}}));
+  }
+  state.SetItemsProcessed(state.iterations() * cat.lineitem.num_rows());
+}
+
+void BM_HashAggregateLineitemMorsel2(benchmark::State& state) {
+  AggregateWithKnobs(state, 2, 4096);
+}
+BENCHMARK(BM_HashAggregateLineitemMorsel2);
+
+void BM_HashAggregateLineitemMorsel4(benchmark::State& state) {
+  AggregateWithKnobs(state, 4, 4096);
+}
+BENCHMARK(BM_HashAggregateLineitemMorsel4);
 
 void BM_FilterDictStringPredicate(benchmark::State& state) {
   // String equality over a dictionary-encoded column: the predicate is
@@ -397,4 +478,21 @@ BENCHMARK(BM_GenerateTpch);
 }  // namespace
 }  // namespace cackle::exec
 
-BENCHMARK_MAIN();
+#ifndef CACKLE_BENCH_CXX_FLAGS
+#define CACKLE_BENCH_CXX_FLAGS "(unknown)"
+#endif
+
+int main(int argc, char** argv) {
+  // Surface the execution environment in the JSON context: the committed
+  // artifact must say on its face whether parallel-variant numbers came
+  // from a 1-core CI runner (determinism coverage only) or a real machine.
+  benchmark::AddCustomContext(
+      "available_cores",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("cxx_flags", CACKLE_BENCH_CXX_FLAGS);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

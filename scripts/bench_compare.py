@@ -50,20 +50,52 @@ def load(path):
     return out
 
 
+def environment_header(path):
+    """Execution-environment header for the combined artifact.
+
+    Pulls available_cores / cxx_flags out of google-benchmark's context
+    block (micro_exec registers them via AddCustomContext) so the committed
+    artifact states on its face how many cores the numbers were measured
+    on. On a 1-core runner the morsel variants only prove determinism, not
+    speedup — the caveat spells that out rather than leaving a misleading
+    ~1.0x in the record.
+    """
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    cores = ctx.get("available_cores") or ctx.get("num_cpus")
+    try:
+        cores = int(cores)
+    except (TypeError, ValueError):
+        cores = None
+    header = {
+        "available_cores": cores,
+        "cxx_flags": ctx.get("cxx_flags"),
+        "library_build_type": ctx.get("library_build_type"),
+    }
+    if cores is not None and cores <= 1:
+        header["caveat"] = (
+            "measured on a 1-core runner: MorselN variants exercise "
+            "scheduling determinism, not parallel speedup")
+    return header
+
+
 def spawn_speedups(run):
     """{name: speedup} vs the baseline-variant sibling within one run.
 
     Benchmarks come in variant families measured in the same invocation:
     the multi-stage plan benchmarks as Spawn/Pool/Pipelined (per-stage
-    thread-spawn baseline vs pool scheduling), and the simulation-kernel
+    thread-spawn baseline vs pool scheduling), the simulation-kernel
     benchmarks as Heap/Calendar (binary-heap baseline vs calendar-queue
-    scheduler). For each non-baseline variant this reports how much faster
-    it runs than its baseline sibling of the same invocation, so the
-    artifact records the win even when the committed cross-run baseline
-    predates these benchmarks.
+    scheduler), and the intra-operator knob variants as Radix/Bloom/MorselN
+    suffixes whose scalar sibling is the same name with the suffix dropped.
+    For each non-baseline variant this reports how much faster it runs than
+    its baseline sibling of the same invocation, so the artifact records
+    the win even when the committed cross-run baseline predates these
+    benchmarks.
     """
     pairs = (("Pool", "Spawn"), ("Pipelined", "Spawn"),
-             ("Calendar", "Heap"))
+             ("Calendar", "Heap"),
+             ("Radix", ""), ("Bloom", ""), ("Morsel2", ""), ("Morsel4", ""))
     out = {}
     for name, entry in run.items():
         for variant, baseline in pairs:
@@ -145,6 +177,7 @@ def main(argv):
             json.dump({
                 "baseline_file": args.baseline,
                 "new_file": args.new,
+                "environment": environment_header(args.new),
                 "benchmarks": combined,
             }, f, indent=2)
             f.write("\n")

@@ -70,7 +70,9 @@ run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   "-DCACKLE_SANITIZE=address;undefined"
 # TSan covers the genuinely multithreaded code: the work-stealing
 # ThreadPool, the PlanExecutor running on it (including the vectorized
-# kernels pooled tasks call into), and the SweepRunner fan-out. Each
+# kernels pooled tasks call into, and the morsel-parallel join/aggregate
+# paths — the `exec` pattern pulls in morsel_exec_test and the golden
+# suite runs the 1/4/8-thread knob matrix), and the SweepRunner fan-out. Each
 # Simulation instance is single-threaded by construction, but the sweep
 # harness runs many of them on pool threads, so the simulation and
 # scheduler suites run here too.

@@ -13,8 +13,10 @@ struct CackleEngine::QueryState {
   const QueryProfile* profile = nullptr;
   SimTimeMs arrival_ms = 0;
   bool batch = false;
-  std::vector<int> deps_remaining;
-  std::vector<int> tasks_remaining;
+  // Per-stage deps/tasks countdowns live in the engine-level flat arrays
+  // (deps_remaining_/tasks_remaining_ via stage_offsets_), not here: the
+  // struct-of-arrays layout keeps the per-task hot path off per-query heap
+  // allocations.
   int stages_remaining = 0;
   bool done = false;
   SpanId span = kInvalidSpan;
@@ -172,7 +174,7 @@ void CackleEngine::StartQuery(int64_t query_id) {
   tracer_->Tag(state.span, "type", state.batch ? "batch" : "interactive");
   state.stage_spans.assign(state.profile->stages.size(), kInvalidSpan);
   for (size_t s = 0; s < state.profile->stages.size(); ++s) {
-    if (state.deps_remaining[s] == 0) {
+    if (DepsRemaining(query_id, s) == 0) {
       ScheduleStage(query_id, static_cast<int>(s));
     }
   }
@@ -645,8 +647,8 @@ void CackleEngine::OnTaskDone(TaskRef ref) {
     OnRecoveryTaskDone(ref);
     return;
   }
-  QueryState& state = queries_[static_cast<size_t>(ref.query_id)];
-  if (--state.tasks_remaining[static_cast<size_t>(ref.stage_id)] == 0) {
+  if (--TasksRemaining(ref.query_id, static_cast<size_t>(ref.stage_id)) ==
+      0) {
     OnStageDone(ref.query_id, ref.stage_id);
   }
 }
@@ -679,7 +681,7 @@ void CackleEngine::OnStageDone(int64_t query_id, int stage_id) {
   }
   for (size_t s = 0; s < state.profile->stages.size(); ++s) {
     for (int dep : state.profile->stages[s].dependencies) {
-      if (dep == stage_id && --state.deps_remaining[s] == 0) {
+      if (dep == stage_id && --DepsRemaining(query_id, s) == 0) {
         ScheduleStage(query_id, static_cast<int>(s));
       }
     }
@@ -714,18 +716,28 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
                                const ProfileLibrary& library) {
   queries_.resize(arrivals.size());
   queries_remaining_ = static_cast<int64_t>(arrivals.size());
+  // Two passes: offsets first, then one exact allocation for each flat
+  // countdown array (SoA layout shared by every query's stages).
+  stage_offsets_.resize(arrivals.size());
+  int64_t total_stages = 0;
+  for (size_t q = 0; q < arrivals.size(); ++q) {
+    stage_offsets_[q] = total_stages;
+    total_stages += static_cast<int64_t>(
+        library.at(arrivals[q].profile_index).stages.size());
+  }
+  deps_remaining_.resize(static_cast<size_t>(total_stages));
+  tasks_remaining_.resize(static_cast<size_t>(total_stages));
   for (size_t q = 0; q < arrivals.size(); ++q) {
     QueryState& state = queries_[q];
     state.profile = &library.at(arrivals[q].profile_index);
     state.arrival_ms = arrivals[q].arrival_ms;
     state.batch = arrivals[q].batch;
     state.stages_remaining = static_cast<int>(state.profile->stages.size());
-    state.deps_remaining.resize(state.profile->stages.size());
-    state.tasks_remaining.resize(state.profile->stages.size());
     for (size_t s = 0; s < state.profile->stages.size(); ++s) {
-      state.deps_remaining[s] =
-          static_cast<int>(state.profile->stages[s].dependencies.size());
-      state.tasks_remaining[s] = state.profile->stages[s].num_tasks;
+      DepsRemaining(static_cast<int64_t>(q), s) = static_cast<int32_t>(
+          state.profile->stages[s].dependencies.size());
+      TasksRemaining(static_cast<int64_t>(q), s) =
+          static_cast<int32_t>(state.profile->stages[s].num_tasks);
     }
     sim_.ScheduleAt(state.arrival_ms, [this, q] {
       OnQueryArrival(static_cast<int64_t>(q));

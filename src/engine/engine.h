@@ -412,6 +412,26 @@ class CackleEngine {
   Histogram* batch_latency_s_ = nullptr;
 
   std::vector<QueryState> queries_;
+  /// Stage countdown bookkeeping in struct-of-arrays layout: one flat
+  /// int32 array per counter kind for ALL queries' stages, indexed by
+  /// `stage_offsets_[query] + stage`. OnTaskDone/OnStageDone decrement
+  /// these on every simulated task completion; keeping them contiguous
+  /// (instead of a per-query heap vector inside QueryState) removes a
+  /// pointer chase from the hottest loop in the simulator and keeps
+  /// neighbouring queries' counters on shared cache lines.
+  std::vector<int32_t> deps_remaining_;
+  std::vector<int32_t> tasks_remaining_;
+  std::vector<int64_t> stage_offsets_;
+  int32_t& DepsRemaining(int64_t query_id, size_t stage) {
+    return deps_remaining_[static_cast<size_t>(
+                               stage_offsets_[static_cast<size_t>(query_id)]) +
+                           stage];
+  }
+  int32_t& TasksRemaining(int64_t query_id, size_t stage) {
+    return tasks_remaining_[static_cast<size_t>(stage_offsets_[static_cast<
+                                size_t>(query_id)]) +
+                            stage];
+  }
   std::deque<BatchTask> batch_queue_;
   std::deque<AdmissionEntry> admission_queue_;
   std::deque<DeferredTask> deferred_tasks_;

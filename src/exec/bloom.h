@@ -1,0 +1,78 @@
+#ifndef CACKLE_EXEC_BLOOM_H_
+#define CACKLE_EXEC_BLOOM_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace cackle::exec {
+
+/// \brief Cache-line blocked bloom filter over 64-bit hashes.
+///
+/// Join builds insert Mix64(packed key); probes consult the filter before
+/// touching the (much larger) hash table, so non-matching probe rows cost
+/// one cache line instead of a probe chain. All three probe bits of a key
+/// live in one 64-byte block, chosen by the hash's high bits — the low bits
+/// stay free for FlatMap64's slot index, keeping the two structures'
+/// collision patterns independent.
+///
+/// Semantics are strictly one-sided: MayContain() can return true for an
+/// absent key (false positive, re-checked by the hash table) but never
+/// false for an inserted one, so the filter can only skip work, never
+/// change results.
+class BlockedBloomFilter {
+ public:
+  /// Sizes the filter at ~12 bits per expected key (one 512-bit block per
+  /// ~42 keys), rounded up to a power-of-two block count, minimum one block.
+  explicit BlockedBloomFilter(int64_t expected_keys) {
+    const uint64_t want_bits =
+        12 * static_cast<uint64_t>(expected_keys < 0 ? 0 : expected_keys);
+    uint64_t blocks = (want_bits + kBlockBits - 1) / kBlockBits;
+    blocks = std::bit_ceil(blocks == 0 ? uint64_t{1} : blocks);
+    words_.assign(blocks * kWordsPerBlock, 0);
+    block_mask_ = blocks - 1;
+  }
+
+  void Insert(uint64_t hash) {
+    uint64_t* block = BlockFor(hash);
+    const uint32_t h = static_cast<uint32_t>(hash);
+    SetBit(block, h & 511);
+    SetBit(block, (h >> 9) & 511);
+    SetBit(block, (h >> 18) & 511);
+  }
+
+  bool MayContain(uint64_t hash) const {
+    const uint64_t* block = BlockFor(hash);
+    const uint32_t h = static_cast<uint32_t>(hash);
+    return TestBit(block, h & 511) && TestBit(block, (h >> 9) & 511) &&
+           TestBit(block, (h >> 18) & 511);
+  }
+
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(words_.size() * sizeof(uint64_t));
+  }
+
+ private:
+  static constexpr uint64_t kBlockBits = 512;
+  static constexpr size_t kWordsPerBlock = 8;
+
+  uint64_t* BlockFor(uint64_t hash) {
+    return &words_[((hash >> 32) & block_mask_) * kWordsPerBlock];
+  }
+  const uint64_t* BlockFor(uint64_t hash) const {
+    return &words_[((hash >> 32) & block_mask_) * kWordsPerBlock];
+  }
+  static void SetBit(uint64_t* block, uint32_t pos) {
+    block[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+  static bool TestBit(const uint64_t* block, uint32_t pos) {
+    return (block[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  std::vector<uint64_t> words_;
+  uint64_t block_mask_ = 0;
+};
+
+}  // namespace cackle::exec
+
+#endif  // CACKLE_EXEC_BLOOM_H_

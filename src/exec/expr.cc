@@ -42,6 +42,73 @@ void CompactSelection(std::vector<int64_t>& sel, TestFn test) {
   sel.resize(w);
 }
 
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// --- typed branchless selection kernels -------------------------------------
+//
+// The generic paths above branch per row on the predicate outcome, which
+// costs a misprediction per selectivity flip and blocks vectorization. The
+// kernels below write the candidate row unconditionally and advance the
+// write cursor by the comparison result (`sel[w] = r; w += hit`), so the
+// loop body is branch-free and the typed compare auto-vectorizes. Scalar
+// semantics are preserved exactly: same rows survive, in the same order.
+
+/// Fills `sel` (must be empty) with every row of `xs` matching
+/// `cmp(xs[r], lit)` — the fused iota+filter first pass.
+template <typename T, typename Cmp>
+void SelectAgainstLiteral(std::vector<int64_t>& sel, const std::vector<T>& xs,
+                          T lit, Cmp cmp) {
+  const size_t n = xs.size();
+  sel.resize(n);
+  size_t w = 0;
+  for (size_t r = 0; r < n; ++r) {
+    sel[w] = static_cast<int64_t>(r);
+    w += cmp(xs[r], lit) ? 1 : 0;
+  }
+  sel.resize(w);
+}
+
+/// Branch-free in-place refine of `sel` against a literal.
+template <typename T, typename Cmp>
+void RefineAgainstLiteral(std::vector<int64_t>& sel, const std::vector<T>& xs,
+                          T lit, Cmp cmp) {
+  size_t w = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const int64_t r = sel[i];
+    sel[w] = r;
+    w += cmp(xs[static_cast<size_t>(r)], lit) ? 1 : 0;
+  }
+  sel.resize(w);
+}
+
+/// Branch-free in-place refine of `sel` comparing two same-typed columns.
+template <typename T, typename Cmp>
+void RefineAgainstColumn(std::vector<int64_t>& sel, const std::vector<T>& xs,
+                         const std::vector<T>& ys, Cmp cmp) {
+  size_t w = 0;
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const int64_t r = sel[i];
+    sel[w] = r;
+    w += cmp(xs[static_cast<size_t>(r)], ys[static_cast<size_t>(r)]) ? 1 : 0;
+  }
+  sel.resize(w);
+}
+
+/// Invokes `dispatch` with the comparator lambda for `op`, hoisting the
+/// operator switch out of the row loops so each kernel instantiation is one
+/// tight vectorizable loop.
+template <typename Dispatch>
+void WithComparator(CmpOp op, Dispatch&& dispatch) {
+  switch (op) {
+    case CmpOp::kEq: dispatch([](auto x, auto y) { return x == y; }); break;
+    case CmpOp::kNe: dispatch([](auto x, auto y) { return x != y; }); break;
+    case CmpOp::kLt: dispatch([](auto x, auto y) { return x < y; }); break;
+    case CmpOp::kLe: dispatch([](auto x, auto y) { return x <= y; }); break;
+    case CmpOp::kGt: dispatch([](auto x, auto y) { return x > y; }); break;
+    case CmpOp::kGe: dispatch([](auto x, auto y) { return x >= y; }); break;
+  }
+}
+
 class ColRef final : public Expr {
  public:
   explicit ColRef(std::string name) : name_(std::move(name)) {}
@@ -66,6 +133,7 @@ class IntLit final : public Expr {
  public:
   void CollectColumns(std::set<std::string>*) const override {}
   explicit IntLit(int64_t v) : v_(v) {}
+  const int64_t* TryIntLiteral() const override { return &v_; }
   DataType OutputType(const Table&) const override {
     return DataType::kInt64;
   }
@@ -83,6 +151,7 @@ class DoubleLit final : public Expr {
  public:
   void CollectColumns(std::set<std::string>*) const override {}
   explicit DoubleLit(double v) : v_(v) {}
+  const double* TryDoubleLiteral() const override { return &v_; }
   DataType OutputType(const Table&) const override {
     return DataType::kFloat64;
   }
@@ -177,8 +246,6 @@ class Arith final : public Expr {
   ExprPtr b_;
 };
 
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
-
 class Compare final : public Expr {
  public:
   void CollectColumns(std::set<std::string>* out) const override {
@@ -216,6 +283,25 @@ class Compare final : public Expr {
 
   void InitSelection(const Table& input,
                      std::vector<int64_t>& sel) const override {
+    // Column-vs-literal first pass: fused iota+filter, one branchless sweep
+    // over the column instead of materializing the full iota and refining.
+    if (const Column* ca = a_->TryBorrow(input)) {
+      if (ca->type() == DataType::kInt64) {
+        if (const int64_t* lit = b_->TryIntLiteral()) {
+          WithComparator(op_, [&](auto cmp) {
+            SelectAgainstLiteral(sel, ca->ints(), *lit, cmp);
+          });
+          return;
+        }
+      } else if (ca->type() == DataType::kFloat64) {
+        if (const double* lit = b_->TryDoubleLiteral()) {
+          WithComparator(op_, [&](auto cmp) {
+            SelectAgainstLiteral(sel, ca->doubles(), *lit, cmp);
+          });
+          return;
+        }
+      }
+    }
     sel.reserve(static_cast<size_t>(input.num_rows()));
     for (int64_t r = 0; r < input.num_rows(); ++r) sel.push_back(r);
     Refine(input, sel);
@@ -226,6 +312,25 @@ class Compare final : public Expr {
     Column sa;
     Column sb;
     const Column* ca = BorrowOrEval(*a_, input, &sa);
+    // Same-typed numeric comparisons use the branchless typed kernels;
+    // int64-vs-int64 compares exactly instead of through doubles (identical
+    // for every value below 2^53, which covers all generated data). Mixed
+    // int/double operands keep the promoting scalar path below.
+    if (ca->type() == DataType::kInt64) {
+      if (const int64_t* lit = b_->TryIntLiteral()) {
+        WithComparator(op_, [&](auto cmp) {
+          RefineAgainstLiteral(sel, ca->ints(), *lit, cmp);
+        });
+        return;
+      }
+    } else if (ca->type() == DataType::kFloat64) {
+      if (const double* lit = b_->TryDoubleLiteral()) {
+        WithComparator(op_, [&](auto cmp) {
+          RefineAgainstLiteral(sel, ca->doubles(), *lit, cmp);
+        });
+        return;
+      }
+    }
     if (ca->type() == DataType::kString) {
       // Dictionary fast path: a dict-encoded column against a string
       // literal evaluates the comparison once per dictionary entry, then
@@ -257,6 +362,18 @@ class Compare final : public Expr {
       return;
     }
     const Column* cb = BorrowOrEval(*b_, input, &sb);
+    if (ca->type() == cb->type()) {
+      if (ca->type() == DataType::kInt64) {
+        WithComparator(op_, [&](auto cmp) {
+          RefineAgainstColumn(sel, ca->ints(), cb->ints(), cmp);
+        });
+      } else {
+        WithComparator(op_, [&](auto cmp) {
+          RefineAgainstColumn(sel, ca->doubles(), cb->doubles(), cmp);
+        });
+      }
+      return;
+    }
     CompactSelection(sel, [&](int64_t r) {
       const double x = NumAt(*ca, r);
       const double y = NumAt(*cb, r);

@@ -55,6 +55,13 @@ class Expr {
 
   /// For string literals: the literal value. Null otherwise.
   virtual const std::string* TryStringLiteral() const { return nullptr; }
+
+  /// For int/double literals: the literal value, null otherwise. These let
+  /// the selection kernels lower column-vs-literal comparisons to typed
+  /// branchless loops (no per-row double conversion, no literal-column
+  /// materialization) that the compiler auto-vectorizes.
+  virtual const int64_t* TryIntLiteral() const { return nullptr; }
+  virtual const double* TryDoubleLiteral() const { return nullptr; }
 };
 
 using ExprPtr = std::shared_ptr<const Expr>;

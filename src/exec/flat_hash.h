@@ -46,7 +46,15 @@ class FlatMap64 {
   /// Returns the value slot for `key`, inserting `fresh` when absent;
   /// `*inserted` reports which happened.
   int64_t FindOrInsert(uint64_t key, int64_t fresh, bool* inserted) {
-    size_t idx = Mix64(key) & mask_;
+    return FindOrInsertHashed(key, Mix64(key), fresh, inserted);
+  }
+
+  /// FindOrInsert with the caller-supplied hash (must equal Mix64(key));
+  /// lets batch loops compute each hash once and share it with radix
+  /// partitioning and bloom filters.
+  int64_t FindOrInsertHashed(uint64_t key, uint64_t hash, int64_t fresh,
+                             bool* inserted) {
+    size_t idx = hash & mask_;
     for (;;) {
       if (vals_[idx] == kEmpty) {
         keys_[idx] = key;
@@ -79,13 +87,24 @@ class FlatMap64 {
   }
 
   /// Value for `key`, or -1 when absent.
-  int64_t Find(uint64_t key) const {
-    size_t idx = Mix64(key) & mask_;
+  int64_t Find(uint64_t key) const { return FindHashed(key, Mix64(key)); }
+
+  /// Find with the caller-supplied hash (must equal Mix64(key)).
+  int64_t FindHashed(uint64_t key, uint64_t hash) const {
+    size_t idx = hash & mask_;
     while (vals_[idx] != kEmpty) {
       if (keys_[idx] == key) return vals_[idx];
       idx = (idx + 1) & mask_;
     }
     return kEmpty;
+  }
+
+  /// Prefetches the home slot for `hash`; batch probe loops issue a wave of
+  /// prefetches, then probe, hiding the table's cache misses.
+  void Prefetch(uint64_t hash) const {
+    const size_t idx = hash & mask_;
+    __builtin_prefetch(&keys_[idx]);
+    __builtin_prefetch(&vals_[idx]);
   }
 
  private:

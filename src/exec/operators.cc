@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "exec/bloom.h"
 #include "exec/exec_metrics.h"
 #include "exec/flat_hash.h"
+#include "exec/op_context.h"
 
 namespace cackle::exec {
 namespace {
@@ -263,6 +268,59 @@ int64_t ExpectedKeys(int64_t rows, const std::vector<PackedCol>& plan) {
   return std::min<int64_t>(rows, int64_t{1} << 20);
 }
 
+// --- morsel scheduling ------------------------------------------------------
+
+/// Number of fixed row-range morsels [0, n) splits into under `ctx`.
+int64_t MorselCount(int64_t n, const OpExecContext& ctx) {
+  if (n <= 0) return 0;
+  if (ctx.morsel_rows <= 0 || n <= ctx.morsel_rows) return 1;
+  return (n + ctx.morsel_rows - 1) / ctx.morsel_rows;
+}
+
+/// Runs `fn(begin, end, morsel_index)` over the morsels of [0, n). Morsels
+/// only ever write disjoint per-index state, so ordering inside the wave is
+/// free: with a pool they run as TaskGroup tasks (the caller helps while
+/// waiting), otherwise inline in morsel-index order. Any merge of morsel
+/// partials happens in the caller, in morsel-index order — that rule is
+/// what keeps results bit-identical at every thread count.
+template <typename Fn>
+void ForEachMorsel(int64_t n, const OpExecContext& ctx, const Fn& fn) {
+  const int64_t count = MorselCount(n, ctx);
+  if (count <= 1) {
+    if (count == 1) fn(int64_t{0}, n, int64_t{0});
+    return;
+  }
+  const int64_t step = ctx.morsel_rows;
+  ExecMetrics().morsel_operators.fetch_add(1, std::memory_order_relaxed);
+  ExecMetrics().morsel_tasks.fetch_add(count, std::memory_order_relaxed);
+  if (ctx.pool == nullptr) {
+    for (int64_t m = 0; m < count; ++m) {
+      fn(m * step, std::min(n, (m + 1) * step), m);
+    }
+    return;
+  }
+  TaskGroup group(ctx.pool, "morsel");
+  for (int64_t m = 0; m < count; ++m) {
+    group.Submit(
+        [&fn, n, step, m] { fn(m * step, std::min(n, (m + 1) * step), m); });
+  }
+  group.Wait();
+}
+
+/// True when operators should fan their internal phases onto the pool.
+bool IntraOpParallel(const OpExecContext& ctx) {
+  return ctx.pool != nullptr && ctx.morsel_rows > 0;
+}
+
+/// Raises the process-wide radix max-partition-rows high-water mark.
+void RaiseRadixMaxPartitionRows(int64_t rows) {
+  auto& mx = ExecMetrics().radix_max_partition_rows;
+  int64_t cur = mx.load(std::memory_order_relaxed);
+  while (rows > cur &&
+         !mx.compare_exchange_weak(cur, rows, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 Table Filter(const Table& input, const ExprPtr& predicate) {
@@ -317,29 +375,205 @@ Table HashJoin(const Table& left, const std::vector<std::string>& left_keys,
   std::vector<int64_t> next(static_cast<size_t>(right.num_rows()), -1);
   std::vector<int64_t> probe_gid(static_cast<size_t>(left.num_rows()), -1);
 
+  const OpExecContext& ctx = CurrentOpExecContext();
+  int64_t scratch_bytes = 0;
   std::vector<PackedCol> lplan, rplan;
   if (PlanJoinPack(left, lcols, right, rcols, &lplan, &rplan)) {
     ExecMetrics().key_packed_activations.fetch_add(1,
                                                    std::memory_order_relaxed);
-    FlatMap64 map(ExpectedKeys(right.num_rows(), rplan));
-    for (int64_t r = 0; r < right.num_rows(); ++r) {
-      bool inserted = false;
-      const int64_t gid = map.FindOrInsert(
-          PackRow(rplan, r), static_cast<int64_t>(head.size()), &inserted);
-      if (inserted) {
-        head.push_back(r);
-        tail.push_back(r);
-      } else {
-        next[static_cast<size_t>(tail[static_cast<size_t>(gid)])] = r;
-        tail[static_cast<size_t>(gid)] = r;
+    const int64_t nr = right.num_rows();
+    const int64_t nl = left.num_rows();
+    // Packed build keys and hashes, precomputed morsel-parallel (each
+    // morsel writes a disjoint range). Group-id assignment below stays
+    // ordered, which pins chain contents to ascending build-row order.
+    std::vector<uint64_t> rkeys(static_cast<size_t>(nr));
+    std::vector<uint64_t> rhash(static_cast<size_t>(nr));
+    ForEachMorsel(nr, ctx, [&](int64_t b, int64_t e, int64_t) {
+      for (int64_t r = b; r < e; ++r) {
+        const uint64_t key = PackRow(rplan, r);
+        rkeys[static_cast<size_t>(r)] = key;
+        rhash[static_cast<size_t>(r)] = Mix64(key);
       }
+    });
+    scratch_bytes += nr * 16;
+
+    std::unique_ptr<BlockedBloomFilter> bloom;
+    if (ctx.bloom_pushdown) {
+      bloom = std::make_unique<BlockedBloomFilter>(nr);
+      for (int64_t r = 0; r < nr; ++r) {
+        bloom->Insert(rhash[static_cast<size_t>(r)]);
+      }
+      ExecMetrics().bloom_builds.fetch_add(1, std::memory_order_relaxed);
+      scratch_bytes += bloom->SizeBytes();
     }
-    ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
-    ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
+
+    const int radix_bits = ctx.radix_bits;
+    // Radix state (empty on the single-table path): per-partition hash
+    // tables and the partition-order group-id offsets.
+    std::vector<FlatMap64> part_maps;
+    std::vector<int64_t> gid_base;
+    FlatMap64 map(radix_bits > 0 ? 0 : ExpectedKeys(nr, rplan));
+    if (radix_bits > 0) {
+      // Radix-partitioned build: rows spread by the hash's TOP bits (slot
+      // probing uses the low bits, so within-partition distribution keeps
+      // full hash quality), then each partition's table builds as an
+      // independent task. All rows of a key land in one partition and are
+      // appended in ascending row order, so every group's chain — and the
+      // emitted rows — are identical to the single-table build.
+      ExecMetrics().radix_joins.fetch_add(1, std::memory_order_relaxed);
+      const int num_parts = 1 << radix_bits;
+      const int shift = 64 - radix_bits;
+      std::vector<std::vector<int64_t>> part_rows(
+          static_cast<size_t>(num_parts));
+      for (auto& rows : part_rows) {
+        rows.reserve(static_cast<size_t>(nr / num_parts + 1));
+      }
+      for (int64_t r = 0; r < nr; ++r) {
+        part_rows[rhash[static_cast<size_t>(r)] >> shift].push_back(r);
+      }
+      int64_t max_part = 0;
+      for (const auto& rows : part_rows) {
+        max_part = std::max(max_part, static_cast<int64_t>(rows.size()));
+      }
+      ExecMetrics().radix_partitions.fetch_add(num_parts,
                                                std::memory_order_relaxed);
-    for (int64_t l = 0; l < left.num_rows(); ++l) {
-      probe_gid[static_cast<size_t>(l)] = map.Find(PackRow(lplan, l));
+      RaiseRadixMaxPartitionRows(max_part);
+      scratch_bytes += nr * 8;
+
+      part_maps.resize(static_cast<size_t>(num_parts));
+      std::vector<std::vector<int64_t>> part_heads(
+          static_cast<size_t>(num_parts));
+      std::vector<std::vector<int64_t>> part_tails(
+          static_cast<size_t>(num_parts));
+      auto build_partition = [&](int p) {
+        const auto pi = static_cast<size_t>(p);
+        const std::vector<int64_t>& rows = part_rows[pi];
+        FlatMap64 pmap(static_cast<int64_t>(rows.size()));
+        std::vector<int64_t>& phead = part_heads[pi];
+        std::vector<int64_t>& ptail = part_tails[pi];
+        for (const int64_t r : rows) {
+          bool inserted = false;
+          const int64_t g = pmap.FindOrInsertHashed(
+              rkeys[static_cast<size_t>(r)], rhash[static_cast<size_t>(r)],
+              static_cast<int64_t>(phead.size()), &inserted);
+          if (inserted) {
+            phead.push_back(r);
+            ptail.push_back(r);
+          } else {
+            // Each build row belongs to exactly one partition, so these
+            // writes into the shared chain array are disjoint.
+            next[static_cast<size_t>(ptail[static_cast<size_t>(g)])] = r;
+            ptail[static_cast<size_t>(g)] = r;
+          }
+        }
+        part_maps[pi] = std::move(pmap);
+      };
+      if (ctx.pool != nullptr) {
+        TaskGroup group(ctx.pool, "radix_build");
+        for (int p = 0; p < num_parts; ++p) {
+          group.Submit([&build_partition, p] { build_partition(p); });
+        }
+        group.Wait();
+      } else {
+        for (int p = 0; p < num_parts; ++p) build_partition(p);
+      }
+      // Global group ids: partition-order offsets over concatenated heads.
+      gid_base.assign(static_cast<size_t>(num_parts) + 1, 0);
+      int64_t resizes = 0;
+      for (int p = 0; p < num_parts; ++p) {
+        const auto pi = static_cast<size_t>(p);
+        gid_base[pi + 1] =
+            gid_base[pi] + static_cast<int64_t>(part_heads[pi].size());
+        resizes += part_maps[pi].resizes();
+        scratch_bytes += part_maps[pi].capacity() * 16 +
+                         static_cast<int64_t>(part_heads[pi].size()) * 16;
+      }
+      head.resize(static_cast<size_t>(gid_base[static_cast<size_t>(
+          num_parts)]));
+      for (int p = 0; p < num_parts; ++p) {
+        const auto pi = static_cast<size_t>(p);
+        std::copy(part_heads[pi].begin(), part_heads[pi].end(),
+                  head.begin() + gid_base[pi]);
+      }
+      ExecMetrics().flat_table_builds.fetch_add(num_parts,
+                                                std::memory_order_relaxed);
+      ExecMetrics().flat_table_resizes.fetch_add(resizes,
+                                                 std::memory_order_relaxed);
+    } else {
+      // Single-table build: ordered FindOrInsert over the precomputed keys
+      // — group numbering and chains identical to the pre-morsel code.
+      for (int64_t r = 0; r < nr; ++r) {
+        bool inserted = false;
+        const int64_t gid = map.FindOrInsertHashed(
+            rkeys[static_cast<size_t>(r)], rhash[static_cast<size_t>(r)],
+            static_cast<int64_t>(head.size()), &inserted);
+        if (inserted) {
+          head.push_back(r);
+          tail.push_back(r);
+        } else {
+          next[static_cast<size_t>(tail[static_cast<size_t>(gid)])] = r;
+          tail[static_cast<size_t>(gid)] = r;
+        }
+      }
+      ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
+      ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
+                                                 std::memory_order_relaxed);
+      scratch_bytes += map.capacity() * 16;
     }
+
+    // Probe: morsel-parallel over left rows, each morsel writing its own
+    // probe_gid slots. Keys hash in 8-row batches feeding a prefetch wave
+    // before the dependent table walks; the bloom filter (when built)
+    // screens each probe first — a miss is definitely absent (gid -1 is
+    // exactly what the table would return), a pass is re-checked.
+    ForEachMorsel(nl, ctx, [&](int64_t b, int64_t e, int64_t) {
+      int64_t probes = 0;
+      int64_t bloom_pass = 0;
+      int64_t false_pos = 0;
+      constexpr int64_t kBatch = 8;
+      uint64_t keys[kBatch];
+      uint64_t hashes[kBatch];
+      for (int64_t base = b; base < e; base += kBatch) {
+        const int64_t cnt = std::min(kBatch, e - base);
+        for (int64_t i = 0; i < cnt; ++i) {
+          keys[i] = PackRow(lplan, base + i);
+          hashes[i] = Mix64(keys[i]);
+        }
+        for (int64_t i = 0; i < cnt; ++i) {
+          if (radix_bits > 0) {
+            part_maps[hashes[i] >> (64 - radix_bits)].Prefetch(hashes[i]);
+          } else {
+            map.Prefetch(hashes[i]);
+          }
+        }
+        for (int64_t i = 0; i < cnt; ++i) {
+          const auto l = static_cast<size_t>(base + i);
+          if (bloom != nullptr) {
+            ++probes;
+            if (!bloom->MayContain(hashes[i])) continue;  // gid stays -1
+            ++bloom_pass;
+          }
+          int64_t g;
+          if (radix_bits > 0) {
+            const size_t p = hashes[i] >> (64 - radix_bits);
+            const int64_t local = part_maps[p].FindHashed(keys[i], hashes[i]);
+            g = local < 0 ? -1 : gid_base[p] + local;
+          } else {
+            g = map.FindHashed(keys[i], hashes[i]);
+          }
+          if (bloom != nullptr && g < 0) ++false_pos;
+          probe_gid[l] = g;
+        }
+      }
+      if (bloom != nullptr) {
+        ExecMetrics().bloom_probes.fetch_add(probes,
+                                             std::memory_order_relaxed);
+        ExecMetrics().bloom_hits.fetch_add(bloom_pass,
+                                           std::memory_order_relaxed);
+        ExecMetrics().bloom_false_positives.fetch_add(
+            false_pos, std::memory_order_relaxed);
+      }
+    });
   } else {
     ExecMetrics().key_fallback_activations.fetch_add(
         1, std::memory_order_relaxed);
@@ -362,57 +596,103 @@ Table HashJoin(const Table& left, const std::vector<std::string>& left_keys,
     }
   }
 
-  // Emit as row-index lists, then materialize with one gather per column.
+  // Emit as row-index lists: morsel-parallel into per-morsel chunks, then
+  // concatenated in morsel-index order == ascending left-row order, so the
+  // output rows match the serial single-loop emit exactly.
+  const int64_t emit_rows = left.num_rows();
+  const size_t num_chunks =
+      static_cast<size_t>(std::max<int64_t>(MorselCount(emit_rows, ctx), 1));
+  std::vector<std::vector<int64_t>> chunk_l(num_chunks);
+  std::vector<std::vector<int64_t>> chunk_r(num_chunks);
+  ForEachMorsel(emit_rows, ctx, [&](int64_t b, int64_t e, int64_t m) {
+    std::vector<int64_t>& li = chunk_l[static_cast<size_t>(m)];
+    std::vector<int64_t>& ri = chunk_r[static_cast<size_t>(m)];
+    li.reserve(static_cast<size_t>(e - b));
+    if (emit_right) ri.reserve(static_cast<size_t>(e - b));
+    for (int64_t l = b; l < e; ++l) {
+      const int64_t gid = probe_gid[static_cast<size_t>(l)];
+      switch (type) {
+        case JoinType::kInner:
+          if (gid >= 0) {
+            for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
+                 r = next[static_cast<size_t>(r)]) {
+              li.push_back(l);
+              ri.push_back(r);
+            }
+          }
+          break;
+        case JoinType::kLeftOuter:
+          if (gid >= 0) {
+            for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
+                 r = next[static_cast<size_t>(r)]) {
+              li.push_back(l);
+              ri.push_back(r);
+            }
+          } else {
+            li.push_back(l);
+            ri.push_back(-1);  // null-padded below
+          }
+          break;
+        case JoinType::kLeftSemi:
+          if (gid >= 0) li.push_back(l);
+          break;
+        case JoinType::kLeftAnti:
+          if (gid < 0) li.push_back(l);
+          break;
+      }
+    }
+  });
   std::vector<int64_t> left_idx;
   std::vector<int64_t> right_idx;
-  left_idx.reserve(static_cast<size_t>(left.num_rows()));
-  if (emit_right) right_idx.reserve(static_cast<size_t>(left.num_rows()));
-  for (int64_t l = 0; l < left.num_rows(); ++l) {
-    const int64_t gid = probe_gid[static_cast<size_t>(l)];
-    switch (type) {
-      case JoinType::kInner:
-        if (gid >= 0) {
-          for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
-               r = next[static_cast<size_t>(r)]) {
-            left_idx.push_back(l);
-            right_idx.push_back(r);
-          }
-        }
-        break;
-      case JoinType::kLeftOuter:
-        if (gid >= 0) {
-          for (int64_t r = head[static_cast<size_t>(gid)]; r >= 0;
-               r = next[static_cast<size_t>(r)]) {
-            left_idx.push_back(l);
-            right_idx.push_back(r);
-          }
-        } else {
-          left_idx.push_back(l);
-          right_idx.push_back(-1);  // null-padded below
-        }
-        break;
-      case JoinType::kLeftSemi:
-        if (gid >= 0) left_idx.push_back(l);
-        break;
-      case JoinType::kLeftAnti:
-        if (gid < 0) left_idx.push_back(l);
-        break;
+  if (num_chunks == 1) {
+    left_idx = std::move(chunk_l[0]);
+    right_idx = std::move(chunk_r[0]);
+  } else {
+    int64_t total = 0;
+    for (const auto& c : chunk_l) total += static_cast<int64_t>(c.size());
+    left_idx.reserve(static_cast<size_t>(total));
+    if (emit_right) right_idx.reserve(static_cast<size_t>(total));
+    for (size_t m = 0; m < num_chunks; ++m) {
+      left_idx.insert(left_idx.end(), chunk_l[m].begin(), chunk_l[m].end());
+      if (emit_right) {
+        right_idx.insert(right_idx.end(), chunk_r[m].begin(),
+                         chunk_r[m].end());
+      }
     }
+    scratch_bytes += total * (emit_right ? 16 : 8);  // the transient chunks
+  }
+  if (ctx.report_scratch_bytes != nullptr) {
+    ctx.report_scratch_bytes(scratch_bytes);
   }
 
   if (!emit_right) return left.GatherRows(left_idx);
 
   Table out(defs);
-  for (int c = 0; c < left.num_columns(); ++c) {
-    out.column(c).AppendGather(left.column(c), left_idx);
-  }
-  for (int c = 0; c < right.num_columns(); ++c) {
-    Column& dst = out.column(left.num_columns() + c);
-    if (type == JoinType::kLeftOuter) {
-      dst.AppendGatherPadded(right.column(c), right_idx);
-    } else {
-      dst.AppendGather(right.column(c), right_idx);
+  // Materialize with one gather per column; columns are independent
+  // destinations, so with intra-operator parallelism on they gather as
+  // concurrent pool tasks.
+  const int total_cols = left.num_columns() + right.num_columns();
+  auto gather_column = [&](int c) {
+    if (c < left.num_columns()) {
+      out.column(c).AppendGather(left.column(c), left_idx);
+      return;
     }
+    const int rc = c - left.num_columns();
+    Column& dst = out.column(c);
+    if (type == JoinType::kLeftOuter) {
+      dst.AppendGatherPadded(right.column(rc), right_idx);
+    } else {
+      dst.AppendGather(right.column(rc), right_idx);
+    }
+  };
+  if (IntraOpParallel(ctx) && total_cols > 1) {
+    TaskGroup group(ctx.pool, "join_materialize");
+    for (int c = 0; c < total_cols; ++c) {
+      group.Submit([&gather_column, c] { gather_column(c); });
+    }
+    group.Wait();
+  } else {
+    for (int c = 0; c < total_cols; ++c) gather_column(c);
   }
   out.FinishBulkAppend();
   return out;
@@ -437,24 +717,58 @@ Table HashAggregate(const Table& input,
   }
 
   // Pass 1: group id per row + first-seen row per group (group output order
-  // is first-seen, as before).
+  // is first-seen, as before). Packed keys precompute morsel-parallel; the
+  // group-id assignment itself walks rows in order, which is what pins
+  // first-seen numbering — and therefore output row order — to the serial
+  // result.
+  const OpExecContext& ctx = CurrentOpExecContext();
+  int64_t scratch_bytes = 0;
   std::vector<int64_t> gid(static_cast<size_t>(n));
   std::vector<int64_t> first_rows;
   std::vector<PackedCol> plan;
   if (PlanGroupPack(input, gcols, &plan)) {
     ExecMetrics().key_packed_activations.fetch_add(1,
                                                    std::memory_order_relaxed);
-    FlatMap64 map(ExpectedKeys(n, plan));
-    for (int64_t r = 0; r < n; ++r) {
-      bool inserted = false;
-      gid[static_cast<size_t>(r)] = map.FindOrInsert(
-          PackRow(plan, r), static_cast<int64_t>(first_rows.size()),
-          &inserted);
-      if (inserted) first_rows.push_back(r);
+    std::vector<uint64_t> keys(static_cast<size_t>(n));
+    ForEachMorsel(n, ctx, [&](int64_t b, int64_t e, int64_t) {
+      for (int64_t r = b; r < e; ++r) {
+        keys[static_cast<size_t>(r)] = PackRow(plan, r);
+      }
+    });
+    scratch_bytes += n * 8;
+    int key_bits = 0;
+    for (const PackedCol& pc : plan) key_bits += pc.bits;
+    if (key_bits <= 20) {
+      // Small key space: a direct-address table replaces hashing entirely
+      // (the common TPC-H aggregates group on a handful of dictionary
+      // codes). First-seen numbering in row order — identical to the hash
+      // path.
+      std::vector<int64_t> direct(size_t{1} << key_bits, -1);
+      for (int64_t r = 0; r < n; ++r) {
+        const uint64_t key = keys[static_cast<size_t>(r)];
+        int64_t g = direct[key];
+        if (g < 0) {
+          g = static_cast<int64_t>(first_rows.size());
+          direct[key] = g;
+          first_rows.push_back(r);
+        }
+        gid[static_cast<size_t>(r)] = g;
+      }
+      scratch_bytes += static_cast<int64_t>(direct.size()) * 8;
+    } else {
+      FlatMap64 map(ExpectedKeys(n, plan));
+      for (int64_t r = 0; r < n; ++r) {
+        bool inserted = false;
+        gid[static_cast<size_t>(r)] = map.FindOrInsert(
+            keys[static_cast<size_t>(r)],
+            static_cast<int64_t>(first_rows.size()), &inserted);
+        if (inserted) first_rows.push_back(r);
+      }
+      ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
+      ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
+                                                 std::memory_order_relaxed);
+      scratch_bytes += map.capacity() * 16;
     }
-    ExecMetrics().flat_table_builds.fetch_add(1, std::memory_order_relaxed);
-    ExecMetrics().flat_table_resizes.fetch_add(map.resizes(),
-                                               std::memory_order_relaxed);
   } else {
     ExecMetrics().key_fallback_activations.fetch_add(
         1, std::memory_order_relaxed);
@@ -476,20 +790,24 @@ Table HashAggregate(const Table& input,
 
   // Pass 2: one typed accumulation loop per aggregate. Each group
   // accumulates in ascending row order — the same order as the previous
-  // row-at-a-time implementation, so float sums are bit-identical.
+  // row-at-a-time implementation, so float sums are bit-identical. With
+  // intra-operator parallelism the aggregates run as concurrent tasks:
+  // parallelism comes from splitting ACROSS aggregates (each writes only
+  // its own accumulator vectors), never from splitting a float sum across
+  // row ranges, which would reassociate additions and change low bits.
   const size_t na = aggregates.size();
   std::vector<std::vector<double>> sums(na), mins(na), maxs(na);
   std::vector<std::vector<int64_t>> counts(na);
   std::vector<std::vector<std::set<int64_t>>> distinct_i(na);
   std::vector<std::vector<std::set<std::string>>> distinct_s(na);
-  for (size_t a = 0; a < na; ++a) {
+  auto run_aggregate = [&](size_t a) {
     const AggSpec& spec = aggregates[a];
     if (spec.op == AggOp::kCount) {
       counts[a].assign(static_cast<size_t>(num_groups), 0);
       for (int64_t r = 0; r < n; ++r) {
         ++counts[a][static_cast<size_t>(gid[static_cast<size_t>(r)])];
       }
-      continue;
+      return;
     }
     const Column& in = agg_inputs[a];
     if (spec.op == AggOp::kCountDistinct) {
@@ -508,7 +826,7 @@ Table HashAggregate(const Table& input,
       } else {
         CACKLE_CHECK(false) << "count distinct over doubles unsupported";
       }
-      continue;
+      return;
     }
     sums[a].assign(static_cast<size_t>(num_groups), 0.0);
     mins[a].assign(static_cast<size_t>(num_groups), 0.0);
@@ -536,6 +854,19 @@ Table HashAggregate(const Table& input,
       const std::vector<double>& xs = in.doubles();
       accumulate([&](size_t r) { return xs[r]; });
     }
+  };
+  scratch_bytes += n * 8;  // the gid vector
+  if (ctx.report_scratch_bytes != nullptr) {
+    ctx.report_scratch_bytes(scratch_bytes);
+  }
+  if (IntraOpParallel(ctx) && na > 1) {
+    TaskGroup group(ctx.pool, "aggregate");
+    for (size_t a = 0; a < na; ++a) {
+      group.Submit([&run_aggregate, a] { run_aggregate(a); });
+    }
+    group.Wait();
+  } else {
+    for (size_t a = 0; a < na; ++a) run_aggregate(a);
   }
 
   // Output schema: group columns (original defs) then aggregates.
@@ -685,34 +1016,77 @@ std::vector<Table> PartitionByHash(const Table& input,
       static_cast<size_t>(input.num_rows() / num_partitions + 1);
   for (auto& rows : part_rows) rows.reserve(reserve_hint);
 
-  for (int64_t r = 0; r < input.num_rows(); ++r) {
-    size_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](size_t v) {
+  // Column-at-a-time hashing: each row's hash applies the per-column mixes
+  // in the same order the old row-at-a-time loop did (numeric columns then
+  // string columns), so the hash values — and therefore shuffle placement
+  // and downstream row order — are bit-identical. Iterating rows innermost
+  // turns the per-row column chase into sequential typed scans that
+  // auto-vectorize; morsels split the row ranges (disjoint hash writes).
+  const OpExecContext& ctx = CurrentOpExecContext();
+  const int64_t n = input.num_rows();
+  std::vector<size_t> hash(static_cast<size_t>(n), 0xcbf29ce484222325ULL);
+  ForEachMorsel(n, ctx, [&](int64_t b, int64_t e, int64_t) {
+    const auto mix = [](size_t& h, size_t v) {
       h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     };
     for (const Column* col : num_cols) {
-      const int64_t v =
-          col->type() == DataType::kInt64
-              ? col->ints()[static_cast<size_t>(r)]
-              : DoubleKeyBits(col->doubles()[static_cast<size_t>(r)]);
-      mix(std::hash<int64_t>{}(v));
+      if (col->type() == DataType::kInt64) {
+        const std::vector<int64_t>& xs = col->ints();
+        for (int64_t r = b; r < e; ++r) {
+          mix(hash[static_cast<size_t>(r)],
+              std::hash<int64_t>{}(xs[static_cast<size_t>(r)]));
+        }
+      } else {
+        const std::vector<double>& xs = col->doubles();
+        for (int64_t r = b; r < e; ++r) {
+          mix(hash[static_cast<size_t>(r)],
+              std::hash<int64_t>{}(DoubleKeyBits(xs[static_cast<size_t>(r)])));
+        }
+      }
     }
     for (const StrCol& sc : str_cols) {
       if (!sc.code_hash.empty()) {
-        mix(sc.code_hash[static_cast<size_t>(
-            sc.col->codes()[static_cast<size_t>(r)])]);
+        const std::vector<int32_t>& codes = sc.col->codes();
+        for (int64_t r = b; r < e; ++r) {
+          mix(hash[static_cast<size_t>(r)],
+              sc.code_hash[static_cast<size_t>(codes[static_cast<size_t>(r)])]);
+        }
       } else {
-        mix(std::hash<std::string>{}(
-            sc.col->strings()[static_cast<size_t>(r)]));
+        const std::vector<std::string>& xs = sc.col->strings();
+        for (int64_t r = b; r < e; ++r) {
+          mix(hash[static_cast<size_t>(r)],
+              std::hash<std::string>{}(xs[static_cast<size_t>(r)]));
+        }
       }
     }
-    part_rows[h % static_cast<size_t>(num_partitions)].push_back(r);
+  });
+  for (int64_t r = 0; r < n; ++r) {
+    part_rows[hash[static_cast<size_t>(r)] %
+              static_cast<size_t>(num_partitions)]
+        .push_back(r);
+  }
+  if (ctx.report_scratch_bytes != nullptr) {
+    ctx.report_scratch_bytes(n * 8);
   }
 
-  std::vector<Table> parts;
-  parts.reserve(static_cast<size_t>(num_partitions));
-  for (int64_t p = 0; p < num_partitions; ++p) {
-    parts.push_back(input.GatherRows(part_rows[static_cast<size_t>(p)]));
+  // Partition gathers write independent tables; with intra-operator
+  // parallelism on they run as concurrent pool tasks, landing in per-index
+  // slots.
+  std::vector<Table> parts(static_cast<size_t>(num_partitions));
+  if (IntraOpParallel(ctx) && num_partitions > 1) {
+    TaskGroup group(ctx.pool, "partition_gather");
+    for (int64_t p = 0; p < num_partitions; ++p) {
+      group.Submit([&input, &parts, &part_rows, p] {
+        parts[static_cast<size_t>(p)] =
+            input.GatherRows(part_rows[static_cast<size_t>(p)]);
+      });
+    }
+    group.Wait();
+  } else {
+    for (int64_t p = 0; p < num_partitions; ++p) {
+      parts[static_cast<size_t>(p)] =
+          input.GatherRows(part_rows[static_cast<size_t>(p)]);
+    }
   }
   return parts;
 }

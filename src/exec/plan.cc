@@ -11,6 +11,7 @@
 #include "common/metric_names.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "exec/op_context.h"
 #include "exec/operators.h"
 
 namespace cackle::exec {
@@ -123,6 +124,13 @@ class PlanRun {
   }
 
   Table Run(ThreadPool* pool) {
+    op_context_.pool = pool;
+    op_context_.morsel_rows = options_.morsel_rows;
+    op_context_.radix_bits = options_.radix_bits;
+    op_context_.bloom_pushdown = options_.enable_bloom_pushdown;
+    op_context_.report_scratch_bytes = [this](int64_t bytes) {
+      ReportScratch(bytes);
+    };
     if (pool == nullptr) {
       RunSerial();
     } else if (options_.pipeline) {
@@ -156,6 +164,7 @@ class PlanRun {
   void RunTask(size_t i, int t) {
     const PlanStage& stage = plan_.stages[i];
     const ScopedLogContext ctx(plan_.name + "/" + stage.label);
+    const ScopedOpExecContext op_ctx(&op_context_);
     StageState& state = stages_[i];
     TaskInput input;
     input.tables.reserve(stage.deps.size());
@@ -180,6 +189,7 @@ class PlanRun {
   void PartitionTask(size_t i, int t) {
     const PlanStage& stage = plan_.stages[i];
     const ScopedLogContext ctx(plan_.name + "/" + stage.label);
+    const ScopedOpExecContext op_ctx(&op_context_);
     StageState& state = stages_[i];
     state.parts[static_cast<size_t>(t)] =
         PartitionByHash(state.task_outputs[static_cast<size_t>(t)],
@@ -202,6 +212,16 @@ class PlanRun {
     StageState& state = stages_[i];
     outputs_[i].partitions[0] = Concat(state.task_outputs);
     state.task_outputs.clear();
+  }
+
+  /// Folds one operator's transient scratch high-water (radix partition
+  /// lists, bloom filters, packed-key and emit buffers) into the peak
+  /// residency figure. Concurrent operators each raise the peak against the
+  /// same resident base, which understates overlap but never hides an
+  /// operator's footprint entirely.
+  void ReportScratch(int64_t bytes) {
+    std::lock_guard<std::mutex> lock(residency_mu_);
+    peak_resident_ = std::max(peak_resident_, current_resident_ + bytes);
   }
 
   /// Drops one consumer reference on every dependency of stage `i` (called
@@ -400,6 +420,9 @@ class PlanRun {
   /// so deps_left/consumers_left stay consistent with repeated deps).
   std::map<int, std::vector<int>> consumers_;
   std::unique_ptr<TaskGroup> group_;
+  /// Installed thread-locally around every task body (ScopedOpExecContext)
+  /// so operators see the executor's intra-operator knobs.
+  OpExecContext op_context_;
   std::mutex residency_mu_;
   int64_t current_resident_ = 0;
   int64_t peak_resident_ = 0;

@@ -89,6 +89,20 @@ struct ExecutorOptions {
   /// Free a stage's shuffle partitions once every consumer stage has
   /// finished its task phase (the final stage's result is always kept).
   bool release_stage_outputs = true;
+  /// Intra-operator parallelism: rows per morsel for HashJoin/HashAggregate
+  /// build, probe, and emit loops (chunks scheduled as pool tasks inside one
+  /// stage task; partial states merge in morsel-index order, so results stay
+  /// bit-identical at any thread count). 0 (default) keeps single loops.
+  int64_t morsel_rows = 0;
+  /// Radix-partitioned hash-join build: partition both sides by the key
+  /// hash's top `radix_bits` bits into 2^bits cache-sized partitions and
+  /// build/probe each as an independent task. 0 (default) keeps the single
+  /// flat build table. Results are row-identical either way.
+  int radix_bits = 0;
+  /// Build a blocked bloom filter during join builds and consult it before
+  /// each hash-table probe; false positives are re-checked by the table, so
+  /// results never change. Off by default.
+  bool enable_bloom_pushdown = false;
 };
 
 /// \brief Executes a StagePlan, measuring each task's wall time and each

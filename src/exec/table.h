@@ -132,9 +132,9 @@ class Column {
   /// dictionary.
   void AppendGatherPadded(const Column& src, const std::vector<int64_t>& rows);
 
-  /// Approximate in-memory/serialized size, used for shuffle accounting.
-  /// (The dictionary sidecar is deliberately not counted, so attaching one
-  /// never perturbs shuffle byte accounting.)
+  /// Approximate in-memory size, used for shuffle and residency accounting.
+  /// Includes the dictionary sidecar (codes + dictionary strings) when one
+  /// is attached — the sidecar is resident memory like any other buffer.
   int64_t EstimateBytes() const;
 
   /// Renders row `row` for result printing / test comparison.

@@ -16,6 +16,10 @@ Enforces source-level invariants that sanitizers and tests cannot see:
                             src/common/thread_pool.{h,cc}
   cackle-metric-name        MetricsRegistry calls must take names from
                             src/common/metric_names.h, never inline literals
+  cackle-metric-prefix      the exec.morsel.* / exec.radix.* / exec.bloom.*
+                            metric namespaces are reserved: string literals
+                            with those prefixes may only appear in
+                            src/common/metric_names.h
 
 Suppression: append `// NOLINT(cackle-<check>): <reason>` to the offending
 line, or put `// NOLINTNEXTLINE(cackle-<check>): <reason>` on the line above.
@@ -31,7 +35,7 @@ back to a glob of --src-dir). Token-level analysis is deliberate: every
 invariant here is lexically decidable, which keeps the engine dependency-free.
 When the libclang Python bindings (clang.cindex) are installed, --ast=auto
 announces them and future AST-backed checks can hook into Engine.run; the
-current six checks do not need an AST.
+current seven checks do not need an AST.
 
 Diagnostics go to stdout as `path:line: [check-id] message` (paths relative
 to --root); the summary goes to stderr. Exit 0 clean, 1 violations, 2 config
@@ -52,6 +56,7 @@ CHECK_IDS = (
     "cackle-status-discipline",
     "cackle-raw-thread",
     "cackle-metric-name",
+    "cackle-metric-prefix",
 )
 
 # Files (relative to the src dir) allowed to touch clocks / randomness: the
@@ -74,6 +79,12 @@ RAW_THREAD_ALLOWLIST = {
 METRIC_NAME_ALLOWLIST = {
     "common/metric_names.h",
 }
+
+# Metric namespaces minted by the intra-operator parallelism work. Their
+# spellings live in metric_names.h only; any other file spelling one out as
+# a literal (even outside a registry call, e.g. in a snapshot filter) is a
+# violation of cackle-metric-prefix.
+RESERVED_METRIC_PREFIXES = ("exec.morsel.", "exec.radix.", "exec.bloom.")
 
 METRIC_CALL_METHODS = {
     "GetCounter", "GetGauge", "GetHistogram",
@@ -361,6 +372,24 @@ def check_metric_name(engine, f):
                 break
 
 
+def check_metric_prefix(engine, f):
+    check = "cackle-metric-prefix"
+    if f.relpath_in_src in METRIC_NAME_ALLOWLIST:
+        return
+    for t in f.tokens:
+        if t.kind != "string" or not t.text.startswith('"'):
+            continue  # raw strings never spell metric names here
+        body = t.text[1:]
+        for prefix in RESERVED_METRIC_PREFIXES:
+            if body.startswith(prefix):
+                yield engine.violation(
+                    f, t.line, check,
+                    f"literal {t.text} uses the reserved metric namespace "
+                    f"'{prefix}*'; spell it via a constant in "
+                    "common/metric_names.h")
+                break
+
+
 def _unordered_decl_names(toks):
     names = set()
     for i, t in enumerate(toks):
@@ -507,6 +536,7 @@ CHECKS = (
     check_status_discipline,
     check_raw_thread,
     check_metric_name,
+    check_metric_prefix,
 )
 
 
@@ -656,7 +686,7 @@ def main(argv=None):
                     help="compile_commands.json to derive the file set from")
     ap.add_argument("--ast", choices=("auto", "off"), default="off",
                     help="announce libclang availability for AST-backed "
-                         "checks (the six built-in checks are token-level)")
+                         "checks (the seven built-in checks are token-level)")
     args = ap.parse_args(argv)
 
     if args.ast == "auto":
