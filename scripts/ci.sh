@@ -77,7 +77,7 @@ run_config build-asan - -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # harness runs many of them on pool threads, so the simulation and
 # scheduler suites run here too.
 run_config build-tsan \
-  "thread_pool|exec|golden|operators|logical|storage|vectorized|simulation|sim_scheduler|sim_differential|sweep_runner" \
+  "thread_pool|exec|golden|operators|logical|storage|vectorized|simulation|sim_scheduler|sim_differential|sweep_runner|multitenant" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCACKLE_SANITIZE=thread
 
 # ------------------------------------------------------------- chaos smoke
@@ -89,6 +89,14 @@ run_config build-tsan \
 echo "=== chaos smoke (reclamation_storm, TSan build) ==="
 CACKLE_FAST_BENCH=1 ./build-tsan/bench/chaos_matrix \
   --scenario=reclamation_storm
+
+# Multi-tenant smoke: the tenant-count sweep (fast grid) in the TSan build.
+# Exercises weighted-fair admission, per-tenant invoicing, and the sweep
+# fan-out under the race detector; multitenant_test above gates the exact
+# invoice-closure and thread-count bit-identity properties.
+echo "=== multitenant smoke (fast sweep, TSan build) ==="
+CACKLE_FAST_BENCH=1 CACKLE_BENCH_OUT_DIR=build-tsan \
+  ./build-tsan/bench/multitenant
 
 # Non-gating clang-tidy report over src/common (bugprone/performance/
 # concurrency families, config in .clang-tidy), using the compilation

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
 
 #include "cloud/billing.h"
@@ -42,6 +43,18 @@ class ElasticPool {
   /// throttled by the concurrency limit.
   [[nodiscard]] Status TryAcquire(std::function<void(ElasticSlotId)> granted);
 
+  /// Tenant-aware variant: additionally throttled when `tenant` is at its
+  /// per-tenant concurrency carve-out (SetTenantLimit). With no per-tenant
+  /// limits configured this is exactly TryAcquire above.
+  [[nodiscard]] Status TryAcquire(int32_t tenant,
+                                  std::function<void(ElasticSlotId)> granted);
+
+  /// Shared-vs-dedicated policy: caps `tenant`'s in-flight invocations
+  /// (running + starting) at `limit`; 0 removes the cap. Per-tenant
+  /// bookkeeping is only maintained while at least one cap exists, so the
+  /// default configuration stays bit-identical to the uncapped pool.
+  void SetTenantLimit(int32_t tenant, int64_t limit);
+
   /// Like TryAcquire but aborts on throttling; for callers that have not
   /// configured a concurrency limit.
   void Acquire(std::function<void(ElasticSlotId)> granted);
@@ -57,6 +70,11 @@ class ElasticPool {
   int64_t peak_active() const { return peak_active_; }
   int64_t total_invocations() const { return total_invocations_; }
   int64_t total_throttled() const { return total_throttled_; }
+  /// Requests rejected by a per-tenant carve-out (not the account limit).
+  int64_t total_tenant_throttled() const { return total_tenant_throttled_; }
+  /// In-flight (running + starting) invocations for `tenant`; only tracked
+  /// while per-tenant limits are configured.
+  int64_t TenantInflight(int32_t tenant) const;
   SimTimeMs total_billed_ms() const { return total_billed_ms_; }
 
   /// Samples the invocation startup latency (exposed for tests).
@@ -74,6 +92,11 @@ class ElasticPool {
   FaultInjector* injector_ = nullptr;
 
   std::unordered_map<ElasticSlotId, SimTimeMs> active_;  // id -> grant time
+  /// Owner of each live slot; maintained only while per-tenant limits are
+  /// configured (lookup/erase only — never iterated, so determinism holds).
+  std::unordered_map<ElasticSlotId, int32_t> slot_tenant_;
+  std::map<int32_t, int64_t> tenant_limits_;
+  std::map<int32_t, int64_t> tenant_inflight_;
   ElasticSlotId next_id_ = 0;
   int64_t num_active_ = 0;
   /// Requests granted admission but still inside their startup latency;
@@ -82,6 +105,7 @@ class ElasticPool {
   int64_t peak_active_ = 0;
   int64_t total_invocations_ = 0;
   int64_t total_throttled_ = 0;
+  int64_t total_tenant_throttled_ = 0;
   SimTimeMs total_billed_ms_ = 0;
 };
 

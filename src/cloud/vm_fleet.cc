@@ -76,15 +76,48 @@ void VmFleet::OnVmStarted(VmId id) {
   ReconcileDown();
 }
 
-std::optional<VmId> VmFleet::TryAcquire() {
+void VmFleet::SetTenantReservation(int32_t tenant, int64_t vms) {
+  CACKLE_CHECK_GE(vms, 0);
+  auto it = reserved_.find(tenant);
+  reserved_total_ -= it == reserved_.end() ? 0 : it->second;
+  if (vms == 0) {
+    if (it != reserved_.end()) reserved_.erase(it);
+  } else {
+    reserved_[tenant] = vms;
+  }
+  reserved_total_ += vms;
+}
+
+bool VmFleet::TenantMayAcquire(int32_t tenant) const {
+  // Idle capacity held back for *other* reserved tenants that have not yet
+  // consumed their reservation. A tenant with its own unused reservation is
+  // entitled to that headroom regardless of what is held back for others.
+  int64_t held_back = 0;
+  for (const auto& [t, reserved] : reserved_) {
+    if (t == tenant) continue;
+    const auto busy_it = busy_by_tenant_.find(t);
+    const int64_t busy = busy_it == busy_by_tenant_.end() ? 0
+                                                          : busy_it->second;
+    held_back += std::max<int64_t>(0, reserved - busy);
+  }
+  return num_idle_ - held_back > 0;
+}
+
+std::optional<VmId> VmFleet::TryAcquire(int32_t tenant) {
+  if (!reserved_.empty() && num_idle_ > 0 && !TenantMayAcquire(tenant)) {
+    ++total_reservation_denials_;
+    return std::nullopt;
+  }
   while (!idle_.empty()) {
     const VmId id = idle_.front();
     idle_.pop_front();
     Vm& vm = vms_[static_cast<size_t>(id)];
     if (vm.state != VmState::kIdle) continue;  // stale entry
     vm.state = VmState::kBusy;
+    vm.tenant = tenant;
     --num_idle_;
     ++num_busy_;
+    if (!reserved_.empty()) ++busy_by_tenant_[tenant];
     return id;
   }
   return std::nullopt;
@@ -95,6 +128,12 @@ void VmFleet::Release(VmId id) {
   CACKLE_CHECK(vm.state == VmState::kBusy);
   vm.state = VmState::kIdle;
   --num_busy_;
+  if (!busy_by_tenant_.empty()) {
+    auto it = busy_by_tenant_.find(vm.tenant);
+    if (it != busy_by_tenant_.end() && --it->second == 0) {
+      busy_by_tenant_.erase(it);
+    }
+  }
   ++num_idle_;
   idle_.push_back(id);
   ReconcileDown();
@@ -143,6 +182,12 @@ void VmFleet::Interrupt(VmId id) {
     // Let the scheduler rescue the task before the VM disappears.
     if (on_vm_interrupted_) on_vm_interrupted_(id);
     --num_busy_;
+    if (!busy_by_tenant_.empty()) {
+      auto it = busy_by_tenant_.find(vm.tenant);
+      if (it != busy_by_tenant_.end() && --it->second == 0) {
+        busy_by_tenant_.erase(it);
+      }
+    }
     BillAndRetire(id);
   } else {
     auto it = std::find(idle_.begin(), idle_.end(), id);
@@ -270,6 +315,10 @@ void VmFleet::ExportMetrics(MetricsRegistry* metrics,
   metrics->SetGauge(prefix + mn::kSuffixTarget, static_cast<double>(target_));
   metrics->SetGauge(prefix + mn::kSuffixReady,
                     static_cast<double>(num_ready()));
+  metrics->SetGauge(prefix + mn::kSuffixReserved,
+                    static_cast<double>(reserved_total_));
+  metrics->SetCounter(prefix + mn::kSuffixReservationDenials,
+                      total_reservation_denials_);
 }
 
 }  // namespace cackle

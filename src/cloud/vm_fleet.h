@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -46,8 +47,28 @@ class VmFleet {
   /// delay) or cancel pending / terminate idle ones.
   void SetTarget(int64_t target);
 
-  /// Attempts to take an idle READY VM; returns its id or nullopt.
-  std::optional<VmId> TryAcquire();
+  /// Attempts to take an idle READY VM for `tenant`; returns its id or
+  /// nullopt. With no reservations configured every tenant draws from the
+  /// shared pool exactly as before. With reservations, idle capacity that
+  /// would be needed to honour *other* tenants' unused reservations is held
+  /// back: a tenant can always use up to its own reservation, and anyone
+  /// can use the shared surplus beyond the sum of unused reservations.
+  std::optional<VmId> TryAcquire(int32_t tenant = 0);
+
+  /// Shared-vs-dedicated fleet policy: dedicates `vms` of the fleet to
+  /// `tenant` (0 removes the reservation). Reservations carve the idle pool
+  /// into per-tenant headroom; they do not by themselves raise the target —
+  /// the coordinator floors its target at reserved_total(). The default (no
+  /// reservations) is a fully shared fleet, bit-identical to the previous
+  /// behaviour.
+  void SetTenantReservation(int32_t tenant, int64_t vms);
+  /// Sum of all per-tenant reservations.
+  int64_t reserved_total() const { return reserved_total_; }
+  /// Acquisitions denied because the idle capacity was held back for other
+  /// tenants' reservations.
+  int64_t total_reservation_denials() const {
+    return total_reservation_denials_;
+  }
 
   /// Returns a BUSY VM to IDLE. If the fleet is above target, the VM may be
   /// terminated (subject to the minimum billing rule).
@@ -120,7 +141,11 @@ class VmFleet {
     VmState state = VmState::kPending;
     SimTimeMs ready_time = 0;
     uint64_t pending_event = 0;  // startup event id while kPending
+    int32_t tenant = 0;          // tenant running on it while kBusy
   };
+
+  /// Whether `tenant` may take an idle VM under the reservation policy.
+  bool TenantMayAcquire(int32_t tenant) const;
 
   void OnVmStarted(VmId id);
   void Terminate(VmId id);
@@ -149,6 +174,12 @@ class VmFleet {
   int64_t total_terminated_ = 0;
   int64_t total_interrupted_ = 0;
   int64_t total_launch_failures_ = 0;
+  /// Shared-vs-dedicated policy state: per-tenant reservations and busy
+  /// counts (busy counts are maintained only while reservations exist).
+  std::map<int32_t, int64_t> reserved_;
+  std::map<int32_t, int64_t> busy_by_tenant_;
+  int64_t reserved_total_ = 0;
+  int64_t total_reservation_denials_ = 0;
   FaultInjector* injector_ = nullptr;
   SimTimeMs total_runtime_ms_ = 0;
   std::function<void(VmId)> on_vm_ready_;

@@ -1,5 +1,8 @@
 #include "common/cost_ledger.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/json_writer.h"
 #include "common/logging.h"
 
@@ -45,47 +48,159 @@ void CostLedger::AddUsage(int64_t query_id, size_t category, double usage) {
   RowFor(query_id).usage[category] += usage;
 }
 
+void CostLedger::SetTenant(int64_t query_id, int64_t tenant_id) {
+  CACKLE_CHECK(!finalized_) << "tenant assignment after FinalizeAgainst";
+  CACKLE_CHECK_NE(query_id, kOverheadQueryId)
+      << "the overhead row belongs to the overhead pseudo-tenant";
+  CACKLE_CHECK_GE(tenant_id, 0);
+  if (tenant_id == 0) return;  // the default; keep the map sparse
+  tenant_of_[query_id] = tenant_id;
+}
+
+int64_t CostLedger::TenantOf(int64_t query_id) const {
+  if (query_id == kOverheadQueryId) return kOverheadTenantId;
+  auto it = tenant_of_.find(query_id);
+  return it == tenant_of_.end() ? 0 : it->second;
+}
+
 double CostLedger::CategoryAttributed(size_t category) const {
   CACKLE_CHECK_LT(category, num_categories());
   return attributed_[category];
+}
+
+double CostLedger::CanonicalFold(
+    const std::map<int64_t, std::vector<Row*>>& by_tenant,
+    size_t category) const {
+  // Real tenants fold in ascending id order; the overhead pseudo-tenant
+  // folds LAST. The order matters for exactness forcing: with overhead
+  // last, the fold is fl(S + overhead) for a fixed prefix S, and single-ulp
+  // steps of the overhead slot sweep every representable value near the
+  // target. Were overhead folded first, the nudge would propagate through
+  // one rounded addition per tenant and the fold's image could skip the
+  // billed amount entirely (observed with ~1000 tenants).
+  double total = 0.0;
+  for (const auto& [tenant, tenant_rows] : by_tenant) {
+    if (tenant == kOverheadTenantId) continue;
+    double subtotal = 0.0;
+    for (const Row* row : tenant_rows) subtotal += row->dollars[category];
+    total += subtotal;
+  }
+  auto overhead = by_tenant.find(kOverheadTenantId);
+  if (overhead != by_tenant.end()) {
+    double subtotal = 0.0;
+    for (const Row* row : overhead->second) subtotal += row->dollars[category];
+    total += subtotal;
+  }
+  return total;
 }
 
 void CostLedger::FinalizeAgainst(
     const std::vector<double>& billed_per_category) {
   CACKLE_CHECK(!finalized_) << "FinalizeAgainst called twice";
   CACKLE_CHECK_EQ(billed_per_category.size(), num_categories());
+  // The overhead row is materialized up front: it receives usage-less
+  // residuals and absorbs the exact closure remainder for every category.
+  Row& overhead = RowFor(kOverheadQueryId);
   finalized_ = true;
+
+  // Group rows by tenant once, ascending query id within each tenant (the
+  // row map iterates in ascending order). This grouping defines the
+  // canonical fold the exactness invariant is stated in.
+  std::map<int64_t, std::vector<Row*>> by_tenant;
+  for (auto& [query_id, row] : rows_) {
+    by_tenant[TenantOf(query_id)].push_back(&row);
+  }
+
   for (size_t c = 0; c < num_categories(); ++c) {
-    const double residual = billed_per_category[c] - attributed_[c];
-    if (residual == 0.0) continue;
-    double total_usage = 0.0;
-    int64_t last_user = kOverheadQueryId;
-    for (const auto& [query_id, row] : rows_) {
-      if (row.usage[c] > 0.0) {
-        total_usage += row.usage[c];
-        last_user = query_id;
+    const double target = billed_per_category[c];
+    const double residual = target - attributed_[c];
+    if (residual != 0.0) {
+      // Residual distribution is hierarchical: tenants split the residual
+      // proportionally to their recorded usage, then each tenant's share is
+      // split across its own queries — so one tenant's idle-capacity share
+      // never leaks into another tenant's invoice. The last usage-bearing
+      // tenant (and, within a tenant, its last usage-bearing query) takes
+      // the arithmetic remainder; sub-ulp drift left by that arithmetic is
+      // forced onto the overhead row below.
+      std::map<int64_t, double> tenant_usage;
+      double total_usage = 0.0;
+      for (const auto& [query_id, row] : rows_) {
+        if (row.usage[c] > 0.0) {
+          tenant_usage[TenantOf(query_id)] += row.usage[c];
+          total_usage += row.usage[c];
+        }
       }
-    }
-    if (total_usage <= 0.0) {
-      // Nothing to key the split on: overhead (e.g. coordinator rental).
-      RowFor(kOverheadQueryId).dollars[c] += residual;
-      attributed_[c] += residual;
-      continue;
-    }
-    // Proportional split; the heaviest-indexed user takes the exact
-    // remainder so the category closes to the bill.
-    double distributed = 0.0;
-    for (auto& [query_id, row] : rows_) {
-      if (row.usage[c] <= 0.0) continue;
-      double share;
-      if (query_id == last_user) {
-        share = residual - distributed;
+      if (total_usage <= 0.0) {
+        // Nothing to key the split on: overhead (e.g. coordinator rental).
+        overhead.dollars[c] += residual;
       } else {
-        share = residual * (row.usage[c] / total_usage);
-        distributed += share;
+        const int64_t last_tenant = tenant_usage.rbegin()->first;
+        double distributed_tenants = 0.0;
+        for (const auto& [tenant, usage_t] : tenant_usage) {
+          double tenant_share;
+          if (tenant == last_tenant) {
+            tenant_share = residual - distributed_tenants;
+          } else {
+            tenant_share = residual * (usage_t / total_usage);
+            distributed_tenants += tenant_share;
+          }
+          // Within-tenant split over this tenant's usage-bearing rows.
+          Row* last_user = nullptr;
+          for (Row* row : by_tenant.at(tenant)) {
+            if (row->usage[c] > 0.0) last_user = row;
+          }
+          double distributed_rows = 0.0;
+          for (Row* row : by_tenant.at(tenant)) {
+            if (row->usage[c] <= 0.0) continue;
+            double share;
+            if (row == last_user) {
+              share = tenant_share - distributed_rows;
+            } else {
+              share = tenant_share * (row->usage[c] / usage_t);
+              distributed_rows += share;
+            }
+            row->dollars[c] += share;
+          }
+        }
       }
-      row.dollars[c] += share;
-      attributed_[c] += share;
+    }
+    // Exactness forcing: the canonical fold (per-tenant row folds, then the
+    // tenant folds, all in ascending order) must reproduce the bill bit for
+    // bit. The fold is monotone non-decreasing in the overhead row's value,
+    // so nudging it by the observed defect converges in a few steps; when
+    // the defect underflows the addition, step by single ulps instead.
+    double& slot = overhead.dollars[c];
+    for (int iter = 0; iter < 200; ++iter) {
+      const double fold = CanonicalFold(by_tenant, c);
+      if (fold == target) break;
+      const double delta = target - fold;
+      const double next = slot + delta;
+      slot = next == slot
+                 ? std::nextafter(
+                       slot, delta > 0.0
+                                 ? std::numeric_limits<double>::infinity()
+                                 : -std::numeric_limits<double>::infinity())
+                 : next;
+    }
+    CACKLE_CHECK(CanonicalFold(by_tenant, c) == target)
+        << "category " << category_names_[c]
+        << " failed to close exactly against the bill";
+    attributed_[c] = target;
+  }
+
+  // Materialize the per-tenant invoices from the closed rows. Each invoice
+  // entry is exactly the canonical row fold, so "invoice == sum of the
+  // tenant's rows" holds by construction and "sum of invoices == bill"
+  // holds by the forcing above.
+  tenant_invoices_.clear();
+  for (const auto& [tenant, tenant_rows] : by_tenant) {
+    Invoice& invoice = tenant_invoices_[tenant];
+    invoice.dollars.assign(num_categories(), 0.0);
+    invoice.num_queries = static_cast<int64_t>(tenant_rows.size());
+    for (size_t c = 0; c < num_categories(); ++c) {
+      double subtotal = 0.0;
+      for (const Row* row : tenant_rows) subtotal += row->dollars[c];
+      invoice.dollars[c] = subtotal;
     }
   }
 }
@@ -93,6 +208,11 @@ void CostLedger::FinalizeAgainst(
 double CostLedger::QueryDollars(int64_t query_id) const {
   auto it = rows_.find(query_id);
   return it == rows_.end() ? 0.0 : it->second.Total();
+}
+
+double CostLedger::TenantDollars(int64_t tenant_id) const {
+  auto it = tenant_invoices_.find(tenant_id);
+  return it == tenant_invoices_.end() ? 0.0 : it->second.Total();
 }
 
 double CostLedger::TotalDollars() const {
@@ -114,9 +234,22 @@ void CostLedger::WriteJson(JsonWriter& json) const {
   for (const auto& [query_id, row] : rows_) {
     json.BeginObject();
     json.Field("query_id", query_id);
+    json.Field("tenant", TenantOf(query_id));
     json.Field("total", row.Total());
     json.Key("by_category").BeginArray();
     for (double d : row.dollars) json.Double(d);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("tenant_invoices").BeginArray();
+  for (const auto& [tenant, invoice] : tenant_invoices_) {
+    json.BeginObject();
+    json.Field("tenant", tenant);
+    json.Field("num_queries", invoice.num_queries);
+    json.Field("total", invoice.Total());
+    json.Key("by_category").BeginArray();
+    for (double d : invoice.dollars) json.Double(d);
     json.EndArray();
     json.EndObject();
   }

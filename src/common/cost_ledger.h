@@ -10,7 +10,7 @@ namespace cackle {
 
 class JsonWriter;
 
-/// \brief Per-query cost attribution ledger.
+/// \brief Per-query cost attribution ledger with per-tenant invoices.
 ///
 /// Splits every billed cent across the queries that incurred it. Categories
 /// are small integer indices with display names (the engine uses its
@@ -25,14 +25,31 @@ class JsonWriter;
 ///     the hourly rate).
 ///  2. Code that cannot attribute directly records AddUsage() weights
 ///     (e.g. shuffle bytes a query parked on shared shuffle nodes).
-///  3. FinalizeAgainst(billed) closes the books: for every category the
+///  3. SetTenant() assigns queries to tenants (every query defaults to
+///     tenant 0, so a single-tenant caller never touches the tenant API).
+///  4. FinalizeAgainst(billed) closes the books: for every category the
 ///     residual between the real bill and the directly attributed sum
 ///     (idle VM capacity, startup time, minimum-billing rounding) is
-///     distributed across queries proportionally to their recorded usage —
-///     the last query receives the exact remainder so the per-category
-///     attributed total equals the bill to the last floating-point bit of
-///     the residual. Categories with no recorded usage (e.g. the
-///     coordinator rental) fall to the overhead row, query id -1.
+///     distributed hierarchically — first across tenants proportionally to
+///     each tenant's recorded usage, then within each tenant across its
+///     queries — so an invoice reflects only its own tenant's activity.
+///     Categories with no recorded usage anywhere (e.g. the coordinator
+///     rental) fall to the overhead row, query id -1 (pseudo-tenant -1).
+///
+/// Exactness invariant (no epsilon): after finalization, summing the
+/// per-tenant invoices for a category in canonical order — real tenants in
+/// ascending id order, then the overhead pseudo-tenant (-1) last — yields
+/// the billed amount for that category *bit for bit*, where each invoice is
+/// itself the fold of the tenant's rows in ascending query order. (Overhead
+/// folds last so the closure-forcing nudge lands on the final addition,
+/// where single-ulp steps reach every representable value; folded first,
+/// the nudge would round through every later tenant subtotal.) Naive
+/// last-row-takes-the-remainder arithmetic cannot guarantee this (the fold
+/// of `d` and `fl(S - d)` may differ from `S` by an ulp, and with 10k rows
+/// the attribution-order running sum drifts further); FinalizeAgainst
+/// therefore *forces* the canonical fold onto the bill by nudging the
+/// overhead row until the fold closes, which converges in a couple of
+/// iterations because the fold is monotone in any single row.
 ///
 /// Like the other observability sinks, attribution is pure arithmetic on
 /// already-computed amounts: it cannot perturb a simulation.
@@ -40,10 +57,26 @@ class CostLedger {
  public:
   /// The pseudo-query that absorbs cost attributable to no query.
   static constexpr int64_t kOverheadQueryId = -1;
+  /// The pseudo-tenant owning the overhead row.
+  static constexpr int64_t kOverheadTenantId = -1;
 
   struct Row {
     std::vector<double> dollars;  // per category
     std::vector<double> usage;    // per category, attribution weight
+
+    double Total() const {
+      double t = 0.0;
+      for (double d : dollars) t += d;
+      return t;
+    }
+  };
+
+  /// A tenant's finalized invoice: for each category, the fold of the
+  /// tenant's rows in ascending query order (so the invoice is exactly the
+  /// sum of its own rows by construction).
+  struct Invoice {
+    std::vector<double> dollars;  // per category, canonical row fold
+    int64_t num_queries = 0;      // rows owned by this tenant
 
     double Total() const {
       double t = 0.0;
@@ -76,29 +109,55 @@ class CostLedger {
   /// row proving they cost nothing — rather than omitting them entirely.
   void Touch(int64_t query_id);
 
+  /// Assigns `query_id` to `tenant_id` (>= 0). Unassigned queries belong to
+  /// tenant 0; the overhead row always belongs to pseudo-tenant -1.
+  void SetTenant(int64_t query_id, int64_t tenant_id);
+
+  /// The tenant owning `query_id` (0 unless SetTenant said otherwise; -1
+  /// for the overhead row).
+  int64_t TenantOf(int64_t query_id) const;
+
   /// Sum attributed to `category` so far, accumulated in attribution order.
+  /// After finalization this equals the billed amount exactly.
   double CategoryAttributed(size_t category) const;
 
   /// Distributes each category's residual (billed - attributed) as
-  /// described above. Call exactly once, after the final bill is known.
+  /// described above and forces the exactness invariant. Call exactly once,
+  /// after the final bill is known.
   void FinalizeAgainst(const std::vector<double>& billed_per_category);
   bool finalized() const { return finalized_; }
 
   /// Rows ordered by query id; the overhead row (-1) sorts first.
   const std::map<int64_t, Row>& rows() const { return rows_; }
 
+  /// Per-tenant invoices, keyed ascending (the overhead tenant -1 sorts
+  /// first in the map; the exactness invariant's canonical fold sums real
+  /// tenants ascending, then overhead last). Populated by FinalizeAgainst.
+  const std::map<int64_t, Invoice>& tenant_invoices() const {
+    return tenant_invoices_;
+  }
+
   double QueryDollars(int64_t query_id) const;
+  /// Finalized total for one tenant (fold of its invoice categories).
+  double TenantDollars(int64_t tenant_id) const;
   double TotalDollars() const;
 
-  /// {"categories": [...], "rows": [{"query_id", "total", "by_category",
-  /// "usage"}...], "total": ...}
+  /// {"categories": [...], "rows": [{"query_id", "tenant", "total",
+  /// "by_category"}...], "tenant_invoices": [...], "total": ...}
   void WriteJson(JsonWriter& json) const;
 
  private:
   Row& RowFor(int64_t query_id);
+  /// Canonical closure sum for one category: fold rows within each tenant
+  /// in ascending query order, then fold the tenant subtotals in ascending
+  /// tenant order. This is the exact expression the invariant is stated in.
+  double CanonicalFold(const std::map<int64_t, std::vector<Row*>>& by_tenant,
+                       size_t category) const;
 
   std::vector<std::string> category_names_;
   std::map<int64_t, Row> rows_;
+  std::map<int64_t, int64_t> tenant_of_;  // query -> tenant, sparse
+  std::map<int64_t, Invoice> tenant_invoices_;
   std::vector<double> attributed_;  // per category, attribution order
   bool finalized_ = false;
 };

@@ -59,6 +59,12 @@ inline constexpr char kEngineRetryBudgetExhausted[] =
 inline constexpr char kEngineHedgedReads[] = "engine.hedged_reads";
 inline constexpr char kEngineHedgedWins[] = "engine.hedged_wins";
 inline constexpr char kEngineStormReclaims[] = "engine.storm_reclaims";
+// Multi-tenant scheduling counters (all zero / 1 in single-tenant runs).
+inline constexpr char kEngineTenantCount[] = "engine.tenant.count";
+inline constexpr char kEngineTenantDrrRounds[] = "engine.tenant.drr_rounds";
+inline constexpr char kEngineTenantCapDeferrals[] =
+    "engine.tenant.cap_deferrals";
+inline constexpr char kEngineTenantQueuePeak[] = "engine.tenant.queue_peak";
 
 // --------------------------------------------------------------- sim.* names
 // Simulation-kernel counters exported at the end of every engine run. These
@@ -151,6 +157,7 @@ inline constexpr char kSuffixFleet[] = ".fleet";
 // -------------------------------------------- ElasticPool suffixes (+prefix)
 inline constexpr char kSuffixInvocations[] = ".invocations";
 inline constexpr char kSuffixThrottled[] = ".throttled";
+inline constexpr char kSuffixTenantThrottled[] = ".tenant_throttled";
 inline constexpr char kSuffixBilledMs[] = ".billed_ms";
 inline constexpr char kSuffixPeakActive[] = ".peak_active";
 
@@ -162,6 +169,8 @@ inline constexpr char kSuffixLaunchFailures[] = ".launch_failures";
 inline constexpr char kSuffixRuntimeMs[] = ".runtime_ms";
 inline constexpr char kSuffixTarget[] = ".target";
 inline constexpr char kSuffixReady[] = ".ready";
+inline constexpr char kSuffixReserved[] = ".reserved";
+inline constexpr char kSuffixReservationDenials[] = ".reservation_denials";
 
 // -------------------------------------------- ObjectStore suffixes (+prefix)
 inline constexpr char kSuffixPuts[] = ".puts";

@@ -13,6 +13,7 @@ struct CackleEngine::QueryState {
   const QueryProfile* profile = nullptr;
   SimTimeMs arrival_ms = 0;
   bool batch = false;
+  int32_t tenant = 0;
   // Per-stage deps/tasks countdowns live in the engine-level flat arrays
   // (deps_remaining_/tasks_remaining_ via stage_offsets_), not here: the
   // struct-of-arrays layout keeps the per-task hot path off per-query heap
@@ -71,6 +72,14 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   object_store_->EnableCircuitBreaker(options_.store_breaker);
   shuffle_ = std::make_unique<ShuffleLayer>(&sim_, cost_, &meter_,
                                             object_store_.get());
+  // Dedicated-capacity policy: both maps are empty by default, leaving the
+  // fleet and pool in pure shared mode.
+  for (const auto& [tenant, vms] : options_.tenant_reserved_vms) {
+    fleet_->SetTenantReservation(tenant, vms);
+  }
+  for (const auto& [tenant, limit] : options_.tenant_elastic_limits) {
+    pool_->SetTenantLimit(tenant, limit);
+  }
   fleet_->SetFaultInjector(injector_.get());
   pool_->SetFaultInjector(injector_.get());
   object_store_->SetFaultInjector(injector_.get());
@@ -113,6 +122,59 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
 
 CackleEngine::~CackleEngine() = default;
 
+int32_t CackleEngine::QueryTenant(int64_t query_id) const {
+  return queries_[static_cast<size_t>(query_id)].tenant;
+}
+
+int64_t CackleEngine::TenantWeight(int32_t tenant) const {
+  const auto it = options_.admission.per_tenant.find(tenant);
+  if (it != options_.admission.per_tenant.end() && it->second.weight > 0) {
+    return it->second.weight;
+  }
+  return std::max<int64_t>(1, options_.admission.default_tenant_weight);
+}
+
+SimTimeMs CackleEngine::TenantShedAfter(int32_t tenant) const {
+  const auto it = options_.admission.per_tenant.find(tenant);
+  if (it != options_.admission.per_tenant.end() &&
+      it->second.shed_after_ms >= 0) {
+    return it->second.shed_after_ms;
+  }
+  return options_.admission.shed_after_ms;
+}
+
+int64_t CackleEngine::TenantMaxOutstanding(int32_t tenant) const {
+  const auto it = options_.admission.per_tenant.find(tenant);
+  return it == options_.admission.per_tenant.end()
+             ? 0
+             : it->second.max_outstanding_tasks;
+}
+
+int64_t CackleEngine::RunningOf(int32_t tenant) const {
+  const auto it = running_by_tenant_.find(tenant);
+  return it == running_by_tenant_.end() ? 0 : it->second;
+}
+
+void CackleEngine::TaskStarted(int64_t query_id) {
+  ++running_tasks_;
+  second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+  if (multi_tenant_) {
+    const int32_t tenant = QueryTenant(query_id);
+    const int64_t running = ++running_by_tenant_[tenant];
+    int64_t& peak = second_max_by_tenant_[tenant];
+    peak = std::max(peak, running);
+  }
+}
+
+void CackleEngine::TaskFinished(int64_t query_id) {
+  --running_tasks_;
+  if (multi_tenant_) {
+    const auto it = running_by_tenant_.find(QueryTenant(query_id));
+    CACKLE_CHECK(it != running_by_tenant_.end());
+    if (--it->second == 0) running_by_tenant_.erase(it);
+  }
+}
+
 void CackleEngine::CoordinatorTick() {
   // Record this second's peak concurrent task demand.
   const int64_t demand = std::max(second_max_tasks_, running_tasks_);
@@ -120,11 +182,35 @@ void CackleEngine::CoordinatorTick() {
   history_.Append(demand);
   result_.peak_concurrent_tasks =
       std::max(result_.peak_concurrent_tasks, demand);
+  if (multi_tenant_) {
+    // Per-tenant breakdown of the same demand sample for tenant-aware
+    // strategies (ascending tenant order, zero-demand tenants omitted).
+    // Never fed in single-tenant runs, so those stay bit-identical.
+    std::map<int32_t, int64_t> tenant_demand = second_max_by_tenant_;
+    for (const auto& [tenant, running] : running_by_tenant_) {
+      int64_t& d = tenant_demand[tenant];
+      d = std::max(d, running);
+    }
+    second_max_by_tenant_ = running_by_tenant_;
+    if (!workload_done_) {
+      std::vector<TenantDemand> mix;
+      mix.reserve(tenant_demand.size());
+      for (const auto& [tenant, tenant_peak] : tenant_demand) {
+        if (tenant_peak > 0) mix.push_back(TenantDemand{tenant, tenant_peak});
+      }
+      if (!mix.empty()) strategy_->ObserveTenantDemand(mix);
+    }
+  }
 
   // A tick scheduled before the workload drained may still fire once after
   // completion; it must not re-raise the target or (with spot
   // interruptions) the reclaim-replenish loop would run forever.
-  const int64_t target = workload_done_ ? 0 : strategy_->Target(history_);
+  int64_t target = workload_done_ ? 0 : strategy_->Target(history_);
+  if (!workload_done_ && fleet_->reserved_total() > 0) {
+    // Dedicated carve-outs: while the workload is live, never provision
+    // below the sum of per-tenant reservations.
+    target = std::max(target, fleet_->reserved_total());
+  }
   fleet_->SetTarget(target);
   if (injector_->HasStorms()) {
     // Reclamation-storm burst: the provider claws back a fraction of the
@@ -152,18 +238,36 @@ void CackleEngine::CoordinatorTick() {
 }
 
 void CackleEngine::OnQueryArrival(int64_t query_id) {
-  if (options_.admission.enabled() &&
-      (running_tasks_ >= options_.admission.max_outstanding_tasks ||
-       !admission_queue_.empty())) {
-    // Over the survivability threshold (or behind queries that were): defer
-    // instead of piling more tasks onto a melting substrate. FIFO order is
-    // preserved — a query never overtakes an earlier deferred one.
-    queries_deferred_->Increment();
-    admission_queue_.push_back(AdmissionEntry{query_id, sim_.NowMs()});
-    admission_queue_peak_ =
-        std::max(admission_queue_peak_,
-                 static_cast<int64_t>(admission_queue_.size()));
-    return;
+  if (options_.admission.enabled()) {
+    const int32_t tenant = QueryTenant(query_id);
+    const bool global_full =
+        running_tasks_ >= options_.admission.max_outstanding_tasks;
+    // Map presence == non-empty queue (empty tenant queues are erased).
+    const bool tenant_queued = admission_queues_.count(tenant) > 0;
+    const int64_t cap = TenantMaxOutstanding(tenant);
+    const bool tenant_full = cap > 0 && RunningOf(tenant) >= cap;
+    if (global_full || tenant_queued || tenant_full) {
+      // Over the survivability threshold (or behind earlier deferred
+      // arrivals of the same tenant, or over the tenant's own cap): defer
+      // instead of piling more tasks onto a melting substrate. Per-tenant
+      // FIFO order is preserved — a query never overtakes an earlier
+      // deferred one from its own tenant. A query enters the admission
+      // queue at most once, so this counter is incremented at most once per
+      // query (deferred-then-shed queries count in both tallies).
+      if (tenant_full && !global_full && !tenant_queued) {
+        ++tenant_cap_deferrals_;
+      }
+      queries_deferred_->Increment();
+      ++result_.tenants[tenant].queries_deferred;
+      TenantQueue& tq = admission_queues_[tenant];
+      tq.entries.push_back(AdmissionEntry{query_id, sim_.NowMs()});
+      ++admission_queued_total_;
+      admission_queue_peak_ =
+          std::max(admission_queue_peak_, admission_queued_total_);
+      tenant_queue_peak_ = std::max(
+          tenant_queue_peak_, static_cast<int64_t>(tq.entries.size()));
+      return;
+    }
   }
   StartQuery(query_id);
 }
@@ -186,6 +290,7 @@ void CackleEngine::ShedQuery(int64_t query_id) {
   CACKLE_CHECK(!state.batch) << "batch queries are deferred, never shed";
   state.done = true;
   queries_shed_->Increment();
+  ++result_.tenants[state.tenant].queries_shed;
   const SpanId span =
       tracer_->Begin("query", sim_.NowMs(), kInvalidSpan, query_id);
   tracer_->Tag(span, "type", "interactive");
@@ -202,26 +307,73 @@ void CackleEngine::ShedQuery(int64_t query_id) {
 }
 
 void CackleEngine::DrainAdmissionQueue() {
-  if (admission_queue_.empty()) return;
-  if (options_.admission.shed_after_ms > 0) {
-    // SLO pass first: overdue interactive queries anywhere in the queue are
-    // shed; batch entries just keep waiting (delay-tolerant by contract).
-    for (auto it = admission_queue_.begin(); it != admission_queue_.end();) {
-      const QueryState& state = queries_[static_cast<size_t>(it->query_id)];
-      if (!state.batch &&
-          sim_.NowMs() - it->arrival_ms >= options_.admission.shed_after_ms) {
-        ShedQuery(it->query_id);
-        it = admission_queue_.erase(it);
-      } else {
-        ++it;
+  if (admission_queued_total_ == 0) return;
+  // SLO pass first: overdue interactive queries anywhere in any tenant's
+  // queue are shed (against the tenant's effective SLO); batch entries just
+  // keep waiting (delay-tolerant by contract). Tenants are visited in
+  // ascending id order and entries in FIFO order, so the pass is
+  // deterministic across scheduler backends.
+  for (auto qit = admission_queues_.begin(); qit != admission_queues_.end();) {
+    const SimTimeMs shed_after = TenantShedAfter(qit->first);
+    auto& entries = qit->second.entries;
+    if (shed_after > 0) {
+      for (auto it = entries.begin(); it != entries.end();) {
+        const QueryState& state = queries_[static_cast<size_t>(it->query_id)];
+        if (!state.batch && sim_.NowMs() - it->arrival_ms >= shed_after) {
+          ShedQuery(it->query_id);
+          it = entries.erase(it);
+          --admission_queued_total_;
+        } else {
+          ++it;
+        }
       }
     }
+    qit = entries.empty() ? admission_queues_.erase(qit) : ++qit;
   }
-  while (!admission_queue_.empty() &&
-         running_tasks_ < options_.admission.max_outstanding_tasks) {
-    const AdmissionEntry entry = admission_queue_.front();
-    admission_queue_.pop_front();
-    StartQuery(entry.query_id);
+  // Weighted deficit-round-robin admission across the tenant queues,
+  // resuming at the cursor where the previous drain stopped. Each turn
+  // grants a tenant up to `weight` admissions (unit cost per query); with a
+  // single tenant of weight 1 this serves one query per turn in FIFO order
+  // — exactly the old global drain loop.
+  int64_t fruitless_turns = 0;
+  while (admission_queued_total_ > 0 &&
+         running_tasks_ < options_.admission.max_outstanding_tasks &&
+         fruitless_turns <= static_cast<int64_t>(admission_queues_.size())) {
+    auto it = admission_queues_.lower_bound(drr_cursor_);
+    if (it == admission_queues_.end()) it = admission_queues_.begin();
+    const int32_t tenant = it->first;
+    TenantQueue& tq = it->second;
+    ++drr_rounds_;
+    // A fresh turn refills the quantum; a positive deficit means the last
+    // turn was cut short by the global capacity limit and resumes here.
+    if (tq.deficit <= 0) tq.deficit = TenantWeight(tenant);
+    const int64_t cap = TenantMaxOutstanding(tenant);
+    bool served = false;
+    while (tq.deficit > 0 && !tq.entries.empty() &&
+           running_tasks_ < options_.admission.max_outstanding_tasks &&
+           (cap <= 0 || RunningOf(tenant) < cap)) {
+      const AdmissionEntry entry = tq.entries.front();
+      tq.entries.pop_front();
+      --admission_queued_total_;
+      --tq.deficit;
+      served = true;
+      StartQuery(entry.query_id);
+    }
+    fruitless_turns = served ? 0 : fruitless_turns + 1;
+    if (tq.entries.empty()) {
+      admission_queues_.erase(it);
+      drr_cursor_ = tenant + 1;
+    } else if (running_tasks_ >= options_.admission.max_outstanding_tasks) {
+      // Global capacity ran out mid-turn: keep the remaining deficit and
+      // resume at this tenant on the next drain, the same way the old
+      // global loop resumed at the queue front.
+      drr_cursor_ = tenant;
+    } else {
+      // Quantum spent or per-tenant cap reached: this turn is over; unused
+      // credit does not accumulate across turns.
+      tq.deficit = 0;
+      drr_cursor_ = tenant + 1;
+    }
   }
 }
 
@@ -316,8 +468,7 @@ void CackleEngine::RunTask(TaskRef ref, SimTimeMs duration_ms) {
     // exists, otherwise wait for spare provisioned capacity instead of
     // paying the elastic premium.
     if (TryPlaceOnVm(ref, duration_ms)) {
-      ++running_tasks_;
-      second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+      TaskStarted(ref.query_id);
     } else {
       batch_tasks_delayed_->Increment();
       const SpanId queued = tracer_->Begin("queued", sim_.NowMs(),
@@ -326,13 +477,12 @@ void CackleEngine::RunTask(TaskRef ref, SimTimeMs duration_ms) {
     }
     return;
   }
-  ++running_tasks_;
-  second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+  TaskStarted(ref.query_id);
   PlaceTask(ref, duration_ms);
 }
 
 bool CackleEngine::TryPlaceOnVm(TaskRef ref, SimTimeMs duration_ms) {
-  const auto vm = fleet_->TryAcquire();
+  const auto vm = fleet_->TryAcquire(QueryTenant(ref.query_id));
   if (!vm.has_value()) return false;
   tasks_on_vms_->Increment();
   const SimTimeMs dur = std::max<SimTimeMs>(
@@ -399,6 +549,7 @@ void CackleEngine::PlaceOnElastic(TaskRef ref, SimTimeMs duration_ms,
                                   SimTimeMs backoff_elapsed_ms) {
   const int64_t run_id = next_elastic_run_id_++;
   const Status admitted = pool_->TryAcquire(
+      QueryTenant(ref.query_id),
       [this, run_id](ElasticSlotId slot) { OnElasticGranted(run_id, slot); });
   if (!admitted.ok()) {
     // Throttled by the concurrency limit. With a retry budget configured
@@ -534,6 +685,7 @@ void CackleEngine::MaybeSpeculate(int64_t run_id) {
   if (run.speculated || run.live.size() + run.starting != 1) return;
   run.speculated = true;
   const Status admitted = pool_->TryAcquire(
+      QueryTenant(run.ref.query_id),
       [this, run_id](ElasticSlotId slot) { OnElasticGranted(run_id, slot); });
   // A throttled speculative copy is simply skipped — the primary attempt is
   // still running and speculation is best-effort.
@@ -560,8 +712,7 @@ void CackleEngine::DrainBatchQueue() {
     } else {
       break;
     }
-    ++running_tasks_;
-    second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+    TaskStarted(task.ref.query_id);
   }
 }
 
@@ -576,7 +727,7 @@ void CackleEngine::OnVmInterrupted(VmId vm) {
   tracer_->End(task.span, sim_.NowMs());
   if (queries_[static_cast<size_t>(task.ref.query_id)].batch) {
     // Batch work goes back to waiting for spare capacity.
-    --running_tasks_;
+    TaskFinished(task.ref.query_id);
     const SpanId queued =
         tracer_->Begin("queued", sim_.NowMs(), TaskParentSpan(task.ref),
                        task.ref.query_id);
@@ -605,8 +756,7 @@ void CackleEngine::OnShufflePartitionsLost(int64_t query_id, int stage_id,
       state.profile->stages[static_cast<size_t>(stage_id)];
   rec.tasks_remaining = stage.num_tasks;
   for (int t = 0; t < stage.num_tasks; ++t) {
-    ++running_tasks_;
-    second_max_tasks_ = std::max(second_max_tasks_, running_tasks_);
+    TaskStarted(query_id);
     PlaceTask(TaskRef{query_id, stage_id, /*recovery=*/true},
               stage.TaskDuration(t));
   }
@@ -640,7 +790,7 @@ void CackleEngine::OnRecoveryTaskDone(TaskRef ref) {
 }
 
 void CackleEngine::OnTaskDone(TaskRef ref) {
-  --running_tasks_;
+  TaskFinished(ref.query_id);
   // A slot just freed up; queued batch work can use it.
   if (!batch_queue_.empty()) DrainBatchQueue();
   if (ref.recovery) {
@@ -693,12 +843,15 @@ void CackleEngine::OnQueryDone(int64_t query_id) {
   CACKLE_CHECK(!state.done);
   state.done = true;
   const double latency_s = MsToSeconds(sim_.NowMs() - state.arrival_ms);
+  EngineResult::TenantOutcome& tenant_outcome = result_.tenants[state.tenant];
+  ++tenant_outcome.queries_completed;
   if (state.batch) {
     result_.batch_latencies_s.Add(latency_s);
     batch_latency_s_->Observe(latency_s);
   } else {
     result_.latencies_s.Add(latency_s);
     query_latency_s_->Observe(latency_s);
+    tenant_outcome.latencies_s.Add(latency_s);
   }
   tracer_->End(state.span, sim_.NowMs());
   result_.makespan_ms = std::max(result_.makespan_ms, sim_.NowMs());
@@ -727,11 +880,25 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   }
   deps_remaining_.resize(static_cast<size_t>(total_stages));
   tasks_remaining_.resize(static_cast<size_t>(total_stages));
+  // Multi-tenant bookkeeping is engaged by any nonzero tenant id or any
+  // per-tenant knob; otherwise every per-tenant code path stays dormant and
+  // the run is bit-identical to the single-tenant engine.
+  multi_tenant_ = !options_.admission.per_tenant.empty() ||
+                  !options_.tenant_reserved_vms.empty() ||
+                  !options_.tenant_elastic_limits.empty();
   for (size_t q = 0; q < arrivals.size(); ++q) {
     QueryState& state = queries_[q];
     state.profile = &library.at(arrivals[q].profile_index);
     state.arrival_ms = arrivals[q].arrival_ms;
     state.batch = arrivals[q].batch;
+    state.tenant = arrivals[q].tenant;
+    CACKLE_CHECK_GE(state.tenant, 0) << "negative tenant id";
+    if (state.tenant != 0) {
+      multi_tenant_ = true;
+      if (ledger_ != nullptr) {
+        ledger_->SetTenant(static_cast<int64_t>(q), state.tenant);
+      }
+    }
     state.stages_remaining = static_cast<int>(state.profile->stages.size());
     for (size_t s = 0; s < state.profile->stages.size(); ++s) {
       DepsRemaining(static_cast<int64_t>(q), s) = static_cast<int32_t>(
@@ -762,7 +929,8 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
                   static_cast<int64_t>(arrivals.size()));
   CACKLE_CHECK_EQ(running_tasks_, 0);
   CACKLE_CHECK(batch_queue_.empty());
-  CACKLE_CHECK(admission_queue_.empty()) << "queries stuck in admission";
+  CACKLE_CHECK(admission_queues_.empty()) << "queries stuck in admission";
+  CACKLE_CHECK_EQ(admission_queued_total_, 0);
   CACKLE_CHECK(deferred_tasks_.empty()) << "tasks stuck in deferral";
   // End-of-run leak invariants: every resource the engine acquired must
   // have been returned — a leaked slot or in-flight retry is a bug, not a
@@ -809,6 +977,12 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   }
   metrics_->SetGauge(mn::kEngineAdmissionQueuePeak,
                      static_cast<double>(admission_queue_peak_));
+  metrics_->SetGauge(mn::kEngineTenantCount,
+                     static_cast<double>(result_.tenants.size()));
+  metrics_->SetCounter(mn::kEngineTenantDrrRounds, drr_rounds_);
+  metrics_->SetCounter(mn::kEngineTenantCapDeferrals, tenant_cap_deferrals_);
+  metrics_->SetGauge(mn::kEngineTenantQueuePeak,
+                     static_cast<double>(tenant_queue_peak_));
   if (const ChaosTimeline* timeline = injector_->timeline()) {
     // Timeline shape gauges: how much chaos this run was exposed to.
     metrics_->SetGauge(mn::kChaosOutageWindows,
@@ -848,6 +1022,8 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
   result_.queries_shed = queries_shed_->value();
   result_.queries_deferred = queries_deferred_->value();
   result_.admission_queue_peak = admission_queue_peak_;
+  result_.tenant_cap_deferrals = tenant_cap_deferrals_;
+  result_.tenant_queue_peak = tenant_queue_peak_;
   result_.retry_budget_exhausted = retry_budget_exhausted_->value();
   result_.hedged_reads = hedged_reads_->value();
   result_.hedged_wins = hedged_wins_->value();
@@ -887,6 +1063,12 @@ EngineResult CackleEngine::Run(const std::vector<QueryArrival>& arrivals,
       billed[c] = meter_.CategoryDollars(static_cast<CostCategory>(c));
     }
     ledger_->FinalizeAgainst(billed);
+    // Per-tenant invoices: each tenant's exact share of the final bill
+    // (overhead — idle capacity, coordinator rental — is its own invoice
+    // under the ledger's overhead tenant, not silently spread here).
+    for (auto& [tenant, outcome] : result_.tenants) {
+      outcome.invoice_dollars = ledger_->TenantDollars(tenant);
+    }
   }
   result_.billing = meter_;
   return result_;

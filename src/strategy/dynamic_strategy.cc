@@ -1,6 +1,7 @@
 #include "strategy/dynamic_strategy.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -40,6 +41,41 @@ void DynamicStrategy::SetObservability(MetricsRegistry* metrics,
                                        Tracer* tracer) {
   metrics_sink_ = metrics;
   tracer_sink_ = tracer;
+}
+
+void DynamicStrategy::ObserveTenantDemand(
+    const std::vector<TenantDemand>& mix) {
+  if (!options_.tenant_aware) return;
+  const int64_t now = tenant_observations_++;
+  const int64_t expire_before = now - options_.tenant_window_s;
+  // Append this observation to each active tenant's monotonic deque.
+  for (const TenantDemand& td : mix) {
+    auto& peaks = tenant_peaks_[td.tenant];
+    while (!peaks.empty() && peaks.back().second <= td.demand) {
+      peaks.pop_back();
+    }
+    peaks.emplace_back(now, td.demand);
+  }
+  // Expire samples that fell out of the window; a tenant idle for a full
+  // window drops out entirely (its deque drains because zero-demand
+  // seconds append nothing).
+  for (auto it = tenant_peaks_.begin(); it != tenant_peaks_.end();) {
+    auto& peaks = it->second;
+    while (!peaks.empty() && peaks.front().first <= expire_before) {
+      peaks.pop_front();
+    }
+    it = peaks.empty() ? tenant_peaks_.erase(it) : ++it;
+  }
+}
+
+int64_t DynamicStrategy::TenantIsolationFloor() const {
+  if (!options_.tenant_aware || tenant_peaks_.empty()) return 0;
+  int64_t sum_of_peaks = 0;
+  for (const auto& [tenant, peaks] : tenant_peaks_) {
+    sum_of_peaks += peaks.front().second;
+  }
+  return static_cast<int64_t>(
+      std::ceil(options_.tenant_headroom * static_cast<double>(sum_of_peaks)));
 }
 
 int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
@@ -107,7 +143,10 @@ int64_t DynamicStrategy::Target(const WorkloadHistory& history) {
   } else if (seconds_seen_ <= 1) {
     last_target_ = experts_[chosen_]->Target(history);
   }
-  return last_target_;
+  // Multi-tenant isolation floor: never provision below what every tenant
+  // needs to replay its recent burst simultaneously. Zero (a no-op on the
+  // max) unless ObserveTenantDemand was fed a mix this window.
+  return std::max(last_target_, TenantIsolationFloor());
 }
 
 }  // namespace cackle

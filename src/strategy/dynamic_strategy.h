@@ -2,8 +2,11 @@
 #define CACKLE_STRATEGY_DYNAMIC_STRATEGY_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cloud/cost_model.h"
@@ -31,6 +34,17 @@ struct DynamicStrategyOptions {
   /// deterministic). Sampling keeps the adversarial regret guarantee;
   /// argmax avoids bouncing among near-tied experts.
   bool sample_expert = true;
+  /// Tenant-aware demand aggregation: when the coordinator feeds a
+  /// per-tenant demand mix (multi-tenant runs only), the played target is
+  /// floored at `tenant_headroom` times the sum of each tenant's trailing
+  /// `tenant_window_s`-second demand peak — capacity for every tenant to
+  /// replay its recent burst simultaneously, so a quiet tenant's headroom
+  /// is not silently repurposed when a heavy tenant dominates the
+  /// aggregate percentiles. With one tenant the mix is never fed and the
+  /// strategy is bit-identical to the single-tenant meta-strategy.
+  bool tenant_aware = true;
+  int64_t tenant_window_s = 60;
+  double tenant_headroom = 1.0;
   uint64_t seed = 7;
 };
 
@@ -57,6 +71,17 @@ class DynamicStrategy : public ProvisioningStrategy {
 
   std::string name() const override { return "dynamic"; }
   int64_t Target(const WorkloadHistory& history) override;
+
+  /// Tenant-aware aggregation (see DynamicStrategyOptions::tenant_aware):
+  /// maintains a per-tenant sliding-window demand peak; the next Target()
+  /// call is floored at headroom * sum-of-peaks. Pure bookkeeping — no RNG
+  /// draws — so feeding an empty mix (or never calling this) leaves the
+  /// strategy untouched.
+  void ObserveTenantDemand(const std::vector<TenantDemand>& mix) override;
+
+  /// The current isolation floor, headroom * sum of per-tenant window
+  /// peaks (0 when tenant awareness is off or no mix was ever observed).
+  int64_t TenantIsolationFloor() const;
 
   /// Records a decision snapshot at every update round: counters for
   /// updates and expert switches, the chosen expert and its sampling
@@ -86,6 +111,11 @@ class DynamicStrategy : public ProvisioningStrategy {
   std::unique_ptr<MultiplicativeWeights> mw_;
   Rng rng_;
   size_t chosen_ = 0;
+  /// Per-tenant trailing demand samples as (observation index, demand)
+  /// monotonic deques: the front is the window maximum. Ordered map for
+  /// deterministic iteration; tenants idle for a full window are erased.
+  std::map<int32_t, std::deque<std::pair<int64_t, int64_t>>> tenant_peaks_;
+  int64_t tenant_observations_ = 0;
   int64_t seconds_seen_ = 0;
   int64_t switches_ = 0;
   int64_t last_target_ = 0;

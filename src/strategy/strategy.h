@@ -14,6 +14,14 @@ namespace cackle {
 class MetricsRegistry;
 class Tracer;
 
+/// \brief One tenant's share of the current second's demand. The engine
+/// feeds the per-tenant breakdown of the aggregate demand sample to
+/// tenant-aware strategies; the sum over a snapshot equals the aggregate.
+struct TenantDemand {
+  int32_t tenant = 0;
+  int64_t demand = 0;
+};
+
 /// \brief A provisioning strategy: maps the observed workload history to a
 /// target number of provisioned VMs (Section 4 of the paper).
 ///
@@ -30,6 +38,15 @@ class ProvisioningStrategy {
 
   /// Target VM count for the next second.
   virtual int64_t Target(const WorkloadHistory& history) = 0;
+
+  /// Per-tenant breakdown of the demand sample about to be Target()ed,
+  /// ascending tenant order, zero-demand tenants omitted. Called by
+  /// multi-tenant coordinators immediately before Target(); never called in
+  /// single-tenant runs, so ignoring it (the default) preserves the
+  /// single-tenant behaviour exactly.
+  virtual void ObserveTenantDemand(const std::vector<TenantDemand>& mix) {
+    (void)mix;
+  }
 
   /// Attaches observability sinks for decision snapshots (both non-null;
   /// a disabled tracer no-ops). Recording is pure bookkeeping — it must

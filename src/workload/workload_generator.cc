@@ -26,6 +26,7 @@ SimTimeMs SampleArrivalTime(const WorkloadOptions& options, Rng* rng) {
 std::vector<QueryArrival> WorkloadGenerator::Generate(
     const WorkloadOptions& options) const {
   CACKLE_CHECK_GT(library_->size(), 0u);
+  CACKLE_CHECK_GE(options.num_tenants, 1);
   Rng rng(options.seed);
   std::vector<QueryArrival> arrivals;
   arrivals.reserve(static_cast<size_t>(options.num_queries));
@@ -44,6 +45,28 @@ std::vector<QueryArrival> WorkloadGenerator::Generate(
               }
               return a.profile_index < b.profile_index;
             });
+  if (options.num_tenants > 1) {
+    // Tenant assignment draws from its own stream (and happens after the
+    // sort), so the arrival schedule is bit-identical to the single-tenant
+    // workload with the same seed — the tenant column is an overlay.
+    Rng tenant_rng(options.seed ^ 0x7e4a47ULL);
+    // Zipf CDF over [0, num_tenants): weight(t) = (t+1)^-skew.
+    std::vector<double> cdf(static_cast<size_t>(options.num_tenants));
+    double sum = 0.0;
+    for (int64_t t = 0; t < options.num_tenants; ++t) {
+      sum += options.tenant_skew == 0.0
+                 ? 1.0
+                 : std::pow(static_cast<double>(t + 1),
+                            -options.tenant_skew);
+      cdf[static_cast<size_t>(t)] = sum;
+    }
+    for (QueryArrival& qa : arrivals) {
+      const double u = tenant_rng.NextDouble() * sum;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      qa.tenant = static_cast<TenantId>(
+          std::min<int64_t>(it - cdf.begin(), options.num_tenants - 1));
+    }
+  }
   return arrivals;
 }
 

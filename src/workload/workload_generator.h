@@ -10,11 +10,17 @@
 
 namespace cackle {
 
+/// Tenant identifier. Tenants are dense small integers in [0, num_tenants);
+/// single-tenant workloads use tenant 0 everywhere.
+using TenantId = int32_t;
+
 /// \brief One query arrival in a generated workload.
 struct QueryArrival {
   SimTimeMs arrival_ms = 0;
   /// Index into the ProfileLibrary used to generate the workload.
   size_t profile_index = 0;
+  /// The tenant this query belongs to (0 in single-tenant workloads).
+  TenantId tenant = 0;
   /// Batch queries (Section 2.1) tolerate delay: the engine queues their
   /// tasks for idle provisioned VMs instead of bursting to the elastic
   /// pool. Interactive queries (the default) never queue.
@@ -35,6 +41,17 @@ struct WorkloadOptions {
   /// Fraction of queries marked as delay-tolerant batch work (Section 2.1's
   /// query classes). 0 = all interactive, matching the paper's evaluation.
   double batch_fraction = 0.0;
+  /// Number of tenants sharing the workload. Queries are assigned tenants
+  /// from a *separate* RNG stream, so any num_tenants produces the same
+  /// arrival times / profiles / batch flags as the single-tenant workload
+  /// with the same seed — only the tenant column differs. 1 = everything
+  /// belongs to tenant 0 and no tenant randomness is drawn at all.
+  int64_t num_tenants = 1;
+  /// Tenant-size skew: queries pick a tenant Zipf-distributed with this
+  /// exponent (tenant 0 is the heaviest). 0 = uniform tenants. Mixed tenant
+  /// sizes are the realistic multi-tenant shape — a few large tenants and a
+  /// long tail of small ones.
+  double tenant_skew = 1.0;
   uint64_t seed = 42;
 };
 

@@ -65,9 +65,24 @@ void ExpectIdenticalResults(const EngineResult& a, const EngineResult& b) {
   EXPECT_EQ(a.storm_reclaims, b.storm_reclaims);
   EXPECT_EQ(a.store_circuit_trips, b.store_circuit_trips);
   EXPECT_EQ(a.store_circuit_rejections, b.store_circuit_rejections);
+  EXPECT_EQ(a.tenant_cap_deferrals, b.tenant_cap_deferrals);
+  EXPECT_EQ(a.tenant_queue_peak, b.tenant_queue_peak);
   // Bit-identical per-query latencies, not just identical percentiles.
   ASSERT_EQ(a.latencies_s.samples(), b.latencies_s.samples());
   ASSERT_EQ(a.batch_latencies_s.samples(), b.batch_latencies_s.samples());
+  // Per-tenant slices must match exactly too: same tenants, same tallies,
+  // same invoice, same raw latency samples.
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  auto bt = b.tenants.begin();
+  for (auto at = a.tenants.begin(); at != a.tenants.end(); ++at, ++bt) {
+    EXPECT_EQ(at->first, bt->first);
+    EXPECT_EQ(at->second.queries_completed, bt->second.queries_completed);
+    EXPECT_EQ(at->second.queries_shed, bt->second.queries_shed);
+    EXPECT_EQ(at->second.queries_deferred, bt->second.queries_deferred);
+    EXPECT_DOUBLE_EQ(at->second.invoice_dollars, bt->second.invoice_dollars);
+    ASSERT_EQ(at->second.latencies_s.samples(),
+              bt->second.latencies_s.samples());
+  }
 }
 
 EngineResult RunWith(SimScheduler scheduler, EngineOptions opts,
@@ -101,6 +116,47 @@ TEST(SimDifferentialTest, RepresentativeWorkloadIsBitIdentical) {
   EXPECT_GT(heap.queries_completed, 0);
   EXPECT_GT(heap.tasks_retried + heap.tasks_speculated, 0)
       << "workload did not exercise the cancel paths";
+  ExpectIdenticalResults(heap, calendar);
+}
+
+// Multi-tenant admission control + retry-budget deferral: the DRR drain,
+// per-tenant shed pass, and deferred-task re-admission all execute on
+// coordinator ticks, so simultaneous re-admission events are exactly where
+// FIFO-among-ties could diverge between scheduler backends. Locks down the
+// ordering guarantee for the per-tenant queues.
+TEST(SimDifferentialTest, MultiTenantAdmissionAndDeferralIsBitIdentical) {
+  ProfileLibrary lib = ProfileLibrary::BuiltinTpch();
+  WorkloadGenerator gen(&lib);
+  WorkloadOptions wopts;
+  wopts.num_queries = 160;
+  wopts.duration_ms = kMillisPerHour / 4;
+  wopts.arrival_period_ms = wopts.duration_ms / 3;
+  wopts.batch_fraction = 0.15;
+  wopts.num_tenants = 5;
+  wopts.tenant_skew = 1.2;
+  wopts.seed = 917;
+  const auto arrivals = gen.Generate(wopts);
+  CostModel cost;
+
+  EngineOptions opts;
+  opts.admission.max_outstanding_tasks = 40;
+  opts.admission.shed_after_ms = 5 * kMillisPerMinute;
+  opts.admission.per_tenant[0].weight = 3;
+  opts.admission.per_tenant[1].max_outstanding_tasks = 8;
+  opts.admission.per_tenant[2].shed_after_ms = kMillisPerMinute;
+  opts.tenant_elastic_limits[0] = 24;
+  opts.elastic_retry.max_elapsed_ms = 2'000;  // retry budget -> deferrals
+  opts.faults.elastic_concurrency_limit = 48;
+
+  const EngineResult heap =
+      RunWith(SimScheduler::kBinaryHeap, opts, arrivals, lib, cost);
+  const EngineResult calendar =
+      RunWith(SimScheduler::kCalendarQueue, opts, arrivals, lib, cost);
+
+  EXPECT_GT(heap.queries_completed, 0);
+  EXPECT_GT(heap.queries_deferred, 0)
+      << "workload did not exercise the admission queues";
+  EXPECT_GT(heap.tenants.size(), 1u);
   ExpectIdenticalResults(heap, calendar);
 }
 
