@@ -2,11 +2,51 @@
 # Runs the project-invariant lint engine over src/ exactly as CI does
 # (scripts/ci.sh stage zero). Exits non-zero on any non-baselined violation.
 #
+# The engine derives its file set (and, when clang.cindex is installed, its
+# AST translation units) from compile_commands.json. A database that
+# predates a CMakeLists.txt edit can mis-describe the tree — wrong flags,
+# missing translation units — so a missing or stale database (older than any
+# CMakeLists.txt) is reconfigured here before the engine runs.
+#
 # Usage: scripts/lint.sh [extra cackle_lint.py args]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Pick the newest compilation database among the usual build dirs.
+cc_json=""
+for dir in build build-release build-rel build-asan build-tsan; do
+  f="${dir}/compile_commands.json"
+  [[ -f "$f" ]] || continue
+  if [[ -z "$cc_json" || "$f" -nt "$cc_json" ]]; then
+    cc_json="$f"
+  fi
+done
+
+# Stale when any CMakeLists.txt is newer than the database.
+stale=0
+if [[ -z "$cc_json" ]]; then
+  stale=1
+else
+  while IFS= read -r -d '' cml; do
+    if [[ "$cml" -nt "$cc_json" ]]; then
+      stale=1
+      break
+    fi
+  done < <(find . -name CMakeLists.txt -not -path './build*' -print0)
+fi
+
+if [[ "$stale" -eq 1 ]]; then
+  dir="${cc_json%/compile_commands.json}"
+  dir="${dir:-build}"
+  echo "lint.sh: ${dir}/compile_commands.json missing or older than a" \
+    "CMakeLists.txt; reconfiguring ${dir}" >&2
+  cmake -B "$dir" -S . >/dev/null
+  cc_json="${dir}/compile_commands.json"
+fi
+
 exec python3 tools/lint/cackle_lint.py \
   --root . \
   --baseline tools/lint/baseline.txt \
+  --compile-commands "$cc_json" \
   "$@"

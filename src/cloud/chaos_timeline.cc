@@ -6,6 +6,16 @@
 
 namespace cackle {
 
+namespace {
+// One named sub-stream per chaos process: enabling one process never
+// shifts the windows another generates from the same seed (tag values
+// unchanged from the historical XOR constants).
+constexpr uint64_t kOutageStreamTag = 0x0007a9e0ULL;
+constexpr uint64_t kStormStreamTag = 0x57072137ULL;
+constexpr uint64_t kBrownoutStreamTag = 0xb7070a07ULL;
+constexpr uint64_t kPriceStreamTag = 0x971ce5b0ULL;
+}  // namespace
+
 ChaosTimeline::ChaosTimeline(const ChaosTimelineOptions& options, uint64_t seed)
     : options_(options) {
   CACKLE_CHECK_GE(options_.horizon_ms, 0);
@@ -24,10 +34,10 @@ ChaosTimeline::ChaosTimeline(const ChaosTimelineOptions& options, uint64_t seed)
 
   // One stream per process: enabling one process never shifts the windows
   // another process generates from the same seed.
-  Rng outage_rng(seed ^ 0x0007a9e0ULL);
-  Rng storm_rng(seed ^ 0x57072137ULL);
-  Rng brownout_rng(seed ^ 0xb7070a07ULL);
-  Rng price_rng(seed ^ 0x971ce5b0ULL);
+  Rng outage_rng = Rng::Stream(seed, kOutageStreamTag);
+  Rng storm_rng = Rng::Stream(seed, kStormStreamTag);
+  Rng brownout_rng = Rng::Stream(seed, kBrownoutStreamTag);
+  Rng price_rng = Rng::Stream(seed, kPriceStreamTag);
   if (options_.outage.enabled()) {
     outage_windows_ =
         GenerateWindows(options_.outage.windows_per_hour,

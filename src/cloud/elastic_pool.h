@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/simulation.h"
 
 namespace cackle {
@@ -29,7 +30,10 @@ using ElasticSlotId = int64_t;
 /// CostModel. A FaultInjector can impose a Lambda-style account concurrency
 /// limit, in which case requests above the limit are throttled (rejected at
 /// request time) and the caller must back off and retry.
-class ElasticPool {
+class CACKLE_THREAD_CONFINED(
+    "slot and tenant carve-out state mutate only from simulation "
+    "callbacks on the owning thread")
+ElasticPool {
  public:
   ElasticPool(Simulation* sim, const CostModel* cost, BillingMeter* meter,
               Rng rng);

@@ -6,6 +6,21 @@
 
 namespace cackle {
 
+namespace {
+// One named sub-stream per fault source, so sampling one source never
+// perturbs another (tag values unchanged from the historical XOR
+// constants). The timeline tag seeds the correlated ChaosTimeline, whose
+// own process streams fork from it.
+constexpr uint64_t kElasticStreamTag = 0xe1a5711cULL;
+constexpr uint64_t kStoreStreamTag = 0x5707e000ULL;
+constexpr uint64_t kVmStreamTag = 0x00ff1ee7ULL;
+constexpr uint64_t kShuffleStreamTag = 0x5a0ff1e5ULL;
+constexpr uint64_t kOutageStreamTag = 0x007a9e00ULL;
+constexpr uint64_t kBrownoutStreamTag = 0xb70a0077ULL;
+constexpr uint64_t kStormStreamTag = 0x57079997ULL;
+constexpr uint64_t kTimelineStreamTag = 0xca05a11eULL;
+}  // namespace
+
 FaultProfile FaultProfile::Light() {
   FaultProfile p;
   p.elastic_failure_rate = 0.005;
@@ -42,13 +57,13 @@ FaultInjector::FaultInjector(const FaultProfile& profile, uint64_t seed)
 FaultInjector::FaultInjector(const FaultProfile& profile,
                              const ChaosTimelineOptions& chaos, uint64_t seed)
     : profile_(profile),
-      elastic_rng_(seed ^ 0xe1a5711cULL),
-      store_rng_(seed ^ 0x5707e000ULL),
-      vm_rng_(seed ^ 0x00ff1ee7ULL),
-      shuffle_rng_(seed ^ 0x5a0ff1e5ULL),
-      outage_rng_(seed ^ 0x007a9e00ULL),
-      brownout_rng_(seed ^ 0xb70a0077ULL),
-      storm_rng_(seed ^ 0x57079997ULL) {
+      elastic_rng_(Rng::StreamSeed(seed, kElasticStreamTag)),
+      store_rng_(Rng::StreamSeed(seed, kStoreStreamTag)),
+      vm_rng_(Rng::StreamSeed(seed, kVmStreamTag)),
+      shuffle_rng_(Rng::StreamSeed(seed, kShuffleStreamTag)),
+      outage_rng_(Rng::StreamSeed(seed, kOutageStreamTag)),
+      brownout_rng_(Rng::StreamSeed(seed, kBrownoutStreamTag)),
+      storm_rng_(Rng::StreamSeed(seed, kStormStreamTag)) {
   CACKLE_CHECK_GE(profile_.elastic_failure_rate, 0.0);
   CACKLE_CHECK_GE(profile_.elastic_concurrency_limit, 0);
   CACKLE_CHECK_GE(profile_.elastic_straggler_rate, 0.0);
@@ -62,7 +77,8 @@ FaultInjector::FaultInjector(const FaultProfile& profile,
   CACKLE_CHECK_LE(profile_.elastic_failure_rate, 0.95);
   CACKLE_CHECK_LE(profile_.vm_launch_failure_rate, 0.95);
   if (chaos.any()) {
-    timeline_ = std::make_unique<ChaosTimeline>(chaos, seed ^ 0xca05a11eULL);
+    timeline_ = std::make_unique<ChaosTimeline>(
+        chaos, Rng::StreamSeed(seed, kTimelineStreamTag));
   }
 }
 

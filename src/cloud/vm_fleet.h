@@ -14,6 +14,7 @@
 #include "cloud/spot_market.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "sim/simulation.h"
 
 namespace cackle {
@@ -35,7 +36,10 @@ using VmId = int64_t;
 ///    doing so).
 ///  - Billing covers READY to termination at per-second granularity with a
 ///    one-minute minimum, priced by the spot market (constant by default).
-class VmFleet {
+class CACKLE_THREAD_CONFINED(
+    "fleet and tenant-reservation state mutate only from simulation "
+    "callbacks on the owning thread")
+VmFleet {
  public:
   /// `market` may be null, in which case `cost->vm_cost_per_hour` applies.
   /// `category` lets the shuffle layer reuse this class for shuffle nodes.

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace cackle {
 
 /// \brief Tunables of a circuit breaker. A zero `failure_threshold`
@@ -31,7 +33,9 @@ struct CircuitBreakerOptions {
 ///  - kHalfOpen: trial requests flow; `success_threshold` consecutive
 ///    successes close the breaker, any failure re-opens it for another
 ///    `open_ms`.
-class CircuitBreaker {
+class CACKLE_THREAD_CONFINED(
+    "clock-driven state machine owned by one simulated object store")
+CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 

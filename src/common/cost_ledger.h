@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace cackle {
 
 class JsonWriter;
@@ -53,7 +55,10 @@ class JsonWriter;
 ///
 /// Like the other observability sinks, attribution is pure arithmetic on
 /// already-computed amounts: it cannot perturb a simulation.
-class CostLedger {
+class CACKLE_THREAD_CONFINED(
+    "tenant shards are plain maps: one ledger per Simulation, and the "
+    "canonical invoice fold runs after the run completes")
+CostLedger {
  public:
   /// The pseudo-query that absorbs cost attributable to no query.
   static constexpr int64_t kOverheadQueryId = -1;

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace cackle {
 
@@ -61,7 +62,10 @@ class Histogram {
 /// lexicographic name order (std::map), so exports are deterministic.
 /// Handles returned by Counter()/Gauge()/Histogram() are stable for the
 /// registry's lifetime (hot paths cache the pointer).
-class MetricsRegistry {
+class CACKLE_THREAD_CONFINED(
+    "one registry per Simulation/sweep cell; the multithreaded executor "
+    "records into the separate atomic ExecKernelMetrics instead")
+MetricsRegistry {
  public:
   class Counter* GetCounter(const std::string& name);
   class Gauge* GetGauge(const std::string& name);

@@ -35,9 +35,9 @@ ThreadPool::~ThreadPool() {
   {
     // Empty critical section: pairs with the predicate check under idle_mu_
     // so no worker can miss the stop signal between check and wait.
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   CACKLE_CHECK_EQ(queued_.load(std::memory_order_acquire), 0)
       << "thread pool destroyed with queued tasks";
@@ -54,7 +54,7 @@ void ThreadPool::Submit(Task task) {
   int64_t depth;
   {
     WorkerQueue& q = *queues_[target];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(&q.mu);
     q.tasks.push_back(std::move(task));
     depth = static_cast<int64_t>(q.tasks.size());
   }
@@ -65,12 +65,12 @@ void ThreadPool::Submit(Task task) {
          !max_queue_depth_.compare_exchange_weak(seen, depth,
                                                  std::memory_order_relaxed)) {
   }
-  idle_cv_.notify_one();
+  idle_cv_.NotifyOne();
 }
 
 bool ThreadPool::PopOwn(int worker, Task* out) {
   WorkerQueue& q = *queues_[static_cast<size_t>(worker)];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(&q.mu);
   if (q.tasks.empty()) return false;
   *out = std::move(q.tasks.back());
   q.tasks.pop_back();
@@ -89,7 +89,7 @@ bool ThreadPool::StealTasks(int thief, Task* out) {
     std::vector<Task> taken;
     {
       WorkerQueue& q = *queues_[victim];
-      std::lock_guard<std::mutex> lock(q.mu);
+      MutexLock lock(&q.mu);
       const size_t avail = q.tasks.size();
       if (avail == 0) continue;
       // Steal half (at least one), from the front: the oldest work, which
@@ -111,14 +111,14 @@ bool ThreadPool::StealTasks(int thief, Task* out) {
       const size_t home = static_cast<size_t>(thief);
       {
         WorkerQueue& q = *queues_[home];
-        std::lock_guard<std::mutex> lock(q.mu);
+        MutexLock lock(&q.mu);
         for (size_t i = 1; i < taken.size(); ++i) {
           q.tasks.push_back(std::move(taken[i]));
         }
       }
       queued_.fetch_add(static_cast<int64_t>(taken.size()) - 1,
                         std::memory_order_release);
-      idle_cv_.notify_one();
+      idle_cv_.NotifyOne();
     }
     return true;
   }
@@ -158,10 +158,10 @@ void ThreadPool::WorkerLoop(int worker) {
   g_worker_index = worker;
   for (;;) {
     if (RunOneTask(worker)) continue;
-    std::unique_lock<std::mutex> lock(idle_mu_);
+    MutexLock lock(&idle_mu_);
     // The timeout self-heals the rare window where stolen tasks are being
     // re-homed (invisible to queued_) while every other worker dozes off.
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+    idle_cv_.WaitFor(idle_mu_, std::chrono::milliseconds(50), [this] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -218,9 +218,9 @@ void TaskGroup::TaskDone() {
   // holding mu_, which therefore happens-after this critical section — the
   // last touch of the group by any pool thread — so the caller may destroy
   // the group the moment Wait() returns.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
@@ -232,9 +232,9 @@ void TaskGroup::Wait() {
         pool_->RunOneTask(g_worker_pool == pool_ ? g_worker_index : -1)) {
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (outstanding_.load(std::memory_order_acquire) == 0) return;
-    cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+    cv_.WaitFor(mu_, std::chrono::milliseconds(1), [this] {
       return outstanding_.load(std::memory_order_acquire) == 0;
     });
     if (outstanding_.load(std::memory_order_acquire) == 0) return;

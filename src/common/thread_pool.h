@@ -2,15 +2,15 @@
 #define CACKLE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace cackle {
 
@@ -78,8 +78,8 @@ class ThreadPool {
   };
 
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks CACKLE_GUARDED_BY(mu);
   };
 
   /// Enqueues a task (group-owned; called by TaskGroup::Submit).
@@ -95,8 +95,11 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Pure park/unpark handshake: pairs stop_/queued_ (atomics) with
+  /// idle_cv_ so a worker cannot miss a wakeup between its predicate check
+  /// and the wait. Guards no plain data by design.
+  Mutex idle_mu_;  // NOLINT(cackle-lock-annotation): condvar handshake only; stop_/queued_ stay atomics so the submit fast path never takes this lock.
+  CondVar idle_cv_;
   std::atomic<bool> stop_{false};
   /// Round-robin cursor for external submissions.
   std::atomic<uint64_t> next_queue_{0};
@@ -151,8 +154,11 @@ class TaskGroup {
   ThreadPool* pool_;
   std::string context_;
   std::atomic<int64_t> outstanding_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  /// Pure completion handshake: TaskDone() decrements outstanding_ under
+  /// this lock so Wait()'s zero observation happens-after the last pool
+  /// touch of the group. Guards no plain data by design.
+  Mutex mu_;  // NOLINT(cackle-lock-annotation): condvar handshake only; outstanding_ stays atomic so outstanding() and the Wait fast path read it lock-free.
+  CondVar cv_;
 };
 
 }  // namespace cackle

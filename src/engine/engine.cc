@@ -9,6 +9,16 @@ namespace cackle {
 
 namespace mn = metric_names;
 
+namespace {
+// Named RNG sub-stream tags (folded into the run seed via Rng::StreamSeed).
+// The values are the historical ad-hoc XOR constants, kept verbatim so the
+// migration to named streams is bit-identical.
+constexpr uint64_t kChaosStreamTag = 0xbac0ffULL;
+constexpr uint64_t kFaultInjectorStreamTag = 0xfa017ULL;
+constexpr uint64_t kDynamicStrategyStreamTag = 0x5eedULL;
+constexpr uint64_t kSpotInterruptionStreamTag = 0xdeadULL;
+}  // namespace
+
 struct CackleEngine::QueryState {
   const QueryProfile* profile = nullptr;
   SimTimeMs arrival_ms = 0;
@@ -26,7 +36,7 @@ struct CackleEngine::QueryState {
 
 CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
     : cost_(cost), options_(std::move(options)), sim_(options_.sim),
-      chaos_rng_(options_.seed ^ 0xbac0ffULL) {
+      chaos_rng_(Rng::StreamSeed(options_.seed, kChaosStreamTag)) {
   obs_ = options_.observability;
   metrics_ = obs_ != nullptr ? &obs_->metrics : &own_metrics_;
   tracer_ = obs_ != nullptr ? &obs_->tracer : &disabled_tracer_;
@@ -51,8 +61,9 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
   storm_reclaims_ = metrics_->GetCounter(mn::kEngineStormReclaims);
   query_latency_s_ = metrics_->GetHistogram(mn::kEngineQueryLatencyS);
   batch_latency_s_ = metrics_->GetHistogram(mn::kEngineBatchLatencyS);
-  injector_ = std::make_unique<FaultInjector>(options_.faults, options_.chaos,
-                                              options_.seed ^ 0xfa017ULL);
+  injector_ = std::make_unique<FaultInjector>(
+      options_.faults, options_.chaos,
+      Rng::StreamSeed(options_.seed, kFaultInjectorStreamTag));
   elastic_retry_policy_ =
       std::make_unique<RetryPolicy>(options_.elastic_retry, &chaos_rng_);
   if (injector_->timeline() != nullptr &&
@@ -104,15 +115,16 @@ CackleEngine::CackleEngine(const CostModel* cost, EngineOptions options)
       });
   if (options_.use_dynamic) {
     DynamicStrategyOptions dyn = options_.dynamic;
-    dyn.seed = options_.seed ^ 0x5eed;
+    dyn.seed = Rng::StreamSeed(options_.seed, kDynamicStrategyStreamTag);
     strategy_ = std::make_unique<DynamicStrategy>(cost_, dyn);
   } else {
     strategy_ = std::make_unique<FixedStrategy>(options_.fixed_target);
   }
   strategy_->SetObservability(metrics_, tracer_);
   if (options_.spot_mean_lifetime_hours > 0.0) {
-    fleet_->EnableInterruptions(options_.seed ^ 0xdead,
-                                options_.spot_mean_lifetime_hours);
+    fleet_->EnableInterruptions(
+        Rng::StreamSeed(options_.seed, kSpotInterruptionStreamTag),
+        options_.spot_mean_lifetime_hours);
   }
   // Reclamation storms interrupt busy VMs even without the per-VM lifetime
   // model, so the rescue callback is always installed (installing it is

@@ -22,6 +22,7 @@
 #include "common/observability.h"
 #include "common/retry_policy.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "engine/shuffle_layer.h"
 #include "sim/simulation.h"
 #include "strategy/dynamic_strategy.h"
@@ -274,7 +275,11 @@ struct EngineResult {
 /// path as spot interruptions), lost shuffle partitions re-execute their
 /// producing stage, and straggling elastic tasks get a speculative copy.
 /// Every fault path preserves the invariant that all queries complete.
-class CackleEngine {
+class CACKLE_THREAD_CONFINED(
+    "admission queues and all scheduling state belong to one "
+    "single-threaded Simulation; sweeps parallelize across engines, "
+    "never within one")
+CackleEngine {
  public:
   CackleEngine(const CostModel* cost, EngineOptions options);
   ~CackleEngine();

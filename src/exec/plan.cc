@@ -4,12 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/metric_names.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "exec/op_context.h"
 #include "exec/operators.h"
@@ -138,7 +138,13 @@ class PlanRun {
     } else {
       RunBarrier(pool);
     }
-    if (stats_ != nullptr) stats_->peak_resident_bytes = peak_resident_;
+    if (stats_ != nullptr) {
+      // All pool tasks have completed (the run drivers wait), but the
+      // analysis cannot see that quiescence; take the lock for the final
+      // read rather than annotating it away.
+      MutexLock lock(&residency_mu_);
+      stats_->peak_resident_bytes = peak_resident_;
+    }
     CACKLE_CHECK_EQ(outputs_.back().partitions.size(), 1u) << plan_.name;
     return std::move(outputs_.back().partitions[0]);
   }
@@ -220,7 +226,7 @@ class PlanRun {
   /// same resident base, which understates overlap but never hides an
   /// operator's footprint entirely.
   void ReportScratch(int64_t bytes) {
-    std::lock_guard<std::mutex> lock(residency_mu_);
+    MutexLock lock(&residency_mu_);
     peak_resident_ = std::max(peak_resident_, current_resident_ + bytes);
   }
 
@@ -239,7 +245,7 @@ class PlanRun {
     if (!options_.release_stage_outputs) return;
     if (i + 1 == plan_.stages.size()) return;  // the plan result
     {
-      std::lock_guard<std::mutex> lock(residency_mu_);
+      MutexLock lock(&residency_mu_);
       current_resident_ -= stages_[i].resident_bytes;
     }
     outputs_[i].partitions.clear();
@@ -259,7 +265,7 @@ class PlanRun {
     }
     state.resident_bytes = bytes;
     {
-      std::lock_guard<std::mutex> lock(residency_mu_);
+      MutexLock lock(&residency_mu_);
       current_resident_ += bytes;
       peak_resident_ = std::max(peak_resident_, current_resident_);
     }
@@ -423,9 +429,12 @@ class PlanRun {
   /// Installed thread-locally around every task body (ScopedOpExecContext)
   /// so operators see the executor's intra-operator knobs.
   OpExecContext op_context_;
-  std::mutex residency_mu_;
-  int64_t current_resident_ = 0;
-  int64_t peak_resident_ = 0;
+  /// Residency accounting is the one piece of PlanRun state concurrent
+  /// tasks mutate outside per-index slots; everything else merges in fixed
+  /// index order (see the class comment on determinism).
+  Mutex residency_mu_;
+  int64_t current_resident_ CACKLE_GUARDED_BY(residency_mu_) = 0;
+  int64_t peak_resident_ CACKLE_GUARDED_BY(residency_mu_) = 0;
 };
 
 }  // namespace

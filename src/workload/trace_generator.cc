@@ -8,6 +8,10 @@
 namespace cackle {
 namespace {
 
+// Startup-concurrency durations draw from their own named sub-stream of the
+// trace seed (tag value unchanged from the historical XOR constant).
+constexpr uint64_t kConcurrencyStreamTag = 0xc0ffeeULL;
+
 constexpr int64_t kSecondsPerHour = 3600;
 constexpr int64_t kSecondsPerDay = 24 * kSecondsPerHour;
 
@@ -103,7 +107,7 @@ std::vector<SimTimeMs> TraceGenerator::StartupArrivals(uint64_t seed,
 
 std::vector<int64_t> TraceGenerator::StartupConcurrency(uint64_t seed,
                                                         int hours) {
-  Rng rng(seed ^ 0xc0ffee);
+  Rng rng = Rng::Stream(seed, kConcurrencyStreamTag);
   const std::vector<SimTimeMs> arrivals = StartupArrivals(seed, hours);
   const int64_t horizon_s = static_cast<int64_t>(hours) * kSecondsPerHour;
   std::vector<int64_t> concurrency(static_cast<size_t>(horizon_s), 0);

@@ -7,6 +7,13 @@
 
 namespace cackle {
 
+namespace {
+// Tenant assignment draws from its own named sub-stream of the workload
+// seed so the arrival schedule stays bit-identical to the single-tenant
+// workload (tag value unchanged from the historical XOR constant).
+constexpr uint64_t kTenantStreamTag = 0x7e4a47ULL;
+}  // namespace
+
 SimTimeMs SampleArrivalTime(const WorkloadOptions& options, Rng* rng) {
   CACKLE_CHECK_GT(options.duration_ms, 0);
   if (rng->NextBernoulli(options.baseline_load)) {
@@ -49,7 +56,7 @@ std::vector<QueryArrival> WorkloadGenerator::Generate(
     // Tenant assignment draws from its own stream (and happens after the
     // sort), so the arrival schedule is bit-identical to the single-tenant
     // workload with the same seed — the tenant column is an overlay.
-    Rng tenant_rng(options.seed ^ 0x7e4a47ULL);
+    Rng tenant_rng = Rng::Stream(options.seed, kTenantStreamTag);
     // Zipf CDF over [0, num_tenants): weight(t) = (t+1)^-skew.
     std::vector<double> cdf(static_cast<size_t>(options.num_tenants));
     double sum = 0.0;

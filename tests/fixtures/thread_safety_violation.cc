@@ -1,0 +1,35 @@
+// Seeded -Wthread-safety violation: reads and writes a CACKLE_GUARDED_BY
+// member without holding its mutex. This TU must FAIL to compile under
+// `-Wthread-safety -Werror=thread-safety`; the top-level CMakeLists proves
+// that with an expected-to-fail try_compile at configure time, and the
+// `thread_safety_negative_compile` ctest entry re-proves it at test time.
+// If this file ever compiles under Clang, the annotation macros have
+// silently degraded to no-ops and the compile-time race proofs are gone.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // BAD: touches balance_ without holding mu_. The analysis must reject
+  // both the read and the write.
+  void Deposit(long amount) { balance_ = balance_ + amount; }
+
+  long Balance() const {
+    cackle::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  mutable cackle::Mutex mu_;
+  long balance_ CACKLE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return static_cast<int>(account.Balance());
+}

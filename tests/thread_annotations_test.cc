@@ -1,0 +1,104 @@
+// Tests for the annotated locking primitives (common/thread_annotations.h):
+// Mutex / MutexLock / CondVar behave like the std primitives they wrap, and
+// a correctly-annotated class compiles under -Wthread-safety (this TU *is*
+// the positive fixture — the negative one lives in
+// tests/fixtures/thread_safety_violation.cc behind an expected-to-fail
+// compile).
+
+#include "common/thread_annotations.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cackle {
+namespace {
+
+// A fully-annotated counter: the canonical pattern every lock-protected
+// structure in src/ follows.
+class GuardedCounter {
+ public:
+  void Add(int64_t delta) CACKLE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    value_ += delta;
+  }
+
+  int64_t Value() const CACKLE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int64_t value_ CACKLE_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, MutexProvidesExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(ThreadAnnotationsTest, TryLockReportsContention) {
+  Mutex mu;
+  mu.Lock();
+  // A second owner must be refused while held. TryLock from the same thread
+  // on a held std::mutex is UB, so probe from another thread. The prober
+  // branches directly on TryLock() so the analysis sees the conditional
+  // acquire balanced by the Unlock.
+  bool second_owner = false;
+  std::thread prober([&mu, &second_owner] {
+    if (mu.TryLock()) {
+      second_owner = true;
+      mu.Unlock();
+    }
+  });
+  prober.join();
+  EXPECT_FALSE(second_owner);
+  mu.Unlock();
+  if (mu.TryLock()) {
+    mu.Unlock();
+  } else {
+    ADD_FAILURE() << "uncontended TryLock failed";
+  }
+}
+
+TEST(ThreadAnnotationsTest, CondVarWaitSeesNotification) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    cv.Wait(mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  signaller.join();
+}
+
+TEST(ThreadAnnotationsTest, CondVarWaitForTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  const bool satisfied = cv.WaitFor(mu, std::chrono::milliseconds(1),
+                                    [] { return false; });
+  EXPECT_FALSE(satisfied);
+}
+
+}  // namespace
+}  // namespace cackle

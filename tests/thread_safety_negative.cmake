@@ -1,0 +1,18 @@
+# Expected-to-fail compile of the seeded thread-safety violation fixture.
+# Invoked as a ctest entry (see tests/CMakeLists.txt) with:
+#   -DCOMPILER=<clang++>  -DFIXTURE=<violation .cc>  -DINCLUDE_DIR=<src>
+# Passes iff the compiler REJECTS the fixture under
+# -Wthread-safety -Werror=thread-safety.
+execute_process(
+  COMMAND "${COMPILER}" -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          "-I${INCLUDE_DIR}" "${FIXTURE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "thread-safety violation fixture compiled cleanly; -Wthread-safety is "
+    "not enforcing the annotations\n${out}${err}")
+endif()
+message(STATUS "fixture rejected as expected (exit ${rc})")

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Gating clang-tidy wrapper for a curated check subset.
+
+The full .clang-tidy profile stays advisory (editors, local runs); this gate
+promotes the subset with near-zero false positives on this codebase —
+bugprone-*, concurrency-*, and the performance-move-* family — to a CI
+failure, with a committed fingerprint baseline as the escape hatch for
+findings that predate the gate. The baseline is a ratchet: it may only
+shrink (tools/lint/clang_tidy_baseline.txt is empty and should stay that
+way).
+
+Fingerprints are sha1(check|path|normalized-message), deliberately ignoring
+line numbers so code motion does not churn the baseline — the same scheme
+cackle_lint.py uses.
+
+When clang-tidy is not installed (the supported build environment is
+GCC-only), the gate self-skips with a notice and exit 0: the curated checks
+then simply do not run, exactly like the -Wthread-safety analysis, rather
+than failing CI on a missing tool.
+
+Usage: clang_tidy_gate.py [--root DIR] [--compile-commands FILE]
+                          [--baseline FILE] [--write-baseline]
+Exit 0 clean/skipped, 1 fresh findings, 2 config error.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# The gating families. Everything else in .clang-tidy stays advisory.
+GATED_CHECKS = ",".join((
+    "-*",
+    "bugprone-*",
+    "concurrency-*",
+    "performance-move-*",
+    # Known-noisy members of the gated families, excluded deliberately:
+    "-bugprone-easily-swappable-parameters",
+    "-bugprone-narrowing-conversions",
+))
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def fingerprint(check, relpath, msg):
+    norm = " ".join(msg.split())
+    digest = hashlib.sha1(f"{check}|{relpath}|{norm}".encode()).hexdigest()
+    return digest[:16]
+
+
+def load_baseline(path):
+    entries = set()
+    if not path or not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) >= 3:
+                entries.add((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def source_files(compile_commands, root):
+    files = []
+    with open(compile_commands, encoding="utf-8") as fh:
+        for entry in json.load(fh):
+            path = os.path.normpath(
+                os.path.join(entry.get("directory", ""), entry["file"]))
+            if path.startswith(os.path.join(root, "src") + os.sep):
+                files.append(path)
+    return sorted(set(files))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json (default: newest build dir)")
+    ap.add_argument("--baseline", default=None,
+                    help="committed fingerprint baseline to filter")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write current findings to --baseline and exit 0")
+    args = ap.parse_args(argv)
+
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("note: clang-tidy not installed; curated gate skipped "
+              "(advisory only in this environment)", file=sys.stderr)
+        return 0
+
+    root = os.path.abspath(args.root)
+    cc = args.compile_commands
+    if cc is None:
+        best_mtime = -1.0
+        for candidate in ("build", "build-release", "build-rel",
+                          "build-asan", "build-tsan"):
+            p = os.path.join(root, candidate, "compile_commands.json")
+            if os.path.isfile(p) and os.path.getmtime(p) > best_mtime:
+                best_mtime = os.path.getmtime(p)
+                cc = p
+    if cc is None or not os.path.isfile(cc):
+        print("error: no compile_commands.json found; configure a build "
+              "first (scripts/lint.sh does this automatically)",
+              file=sys.stderr)
+        return 2
+
+    files = source_files(cc, root)
+    if not files:
+        print("error: compilation database lists no src/ files",
+              file=sys.stderr)
+        return 2
+
+    proc = subprocess.run(
+        [tidy, "-p", os.path.dirname(cc), "-quiet",
+         f"--checks={GATED_CHECKS}",
+         "--header-filter=src/.*\\.h$", *files],
+        capture_output=True, text=True)
+
+    findings = []  # (check, relpath, line, msg)
+    seen = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        path = os.path.normpath(m.group("path"))
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(root, path))
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        if relpath.startswith(".."):
+            continue  # system or third-party header
+        for check in m.group("check").split(","):
+            key = (check, relpath, m.group("msg"))
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append((check, relpath, int(m.group("line")),
+                             m.group("msg")))
+    findings.sort()
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline",
+                  file=sys.stderr)
+            return 2
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write("# clang-tidy curated-gate baseline — ratchet only "
+                     "downward.\n"
+                     "# format: <check> <path> <fingerprint>\n")
+            for check, relpath, _line, msg in findings:
+                fh.write(f"{check} {relpath} "
+                         f"{fingerprint(check, relpath, msg)}\n")
+        print(f"wrote {len(findings)} baseline entries to {args.baseline}",
+              file=sys.stderr)
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    fresh = [f for f in findings
+             if (f[0], f[1], fingerprint(f[0], f[1], f[3])) not in baseline]
+    for check, relpath, line, msg in fresh:
+        print(f"{relpath}:{line}: [{check}] {msg}")
+    print(f"clang_tidy_gate: {len(files)} files, {len(fresh)} fresh "
+          f"finding(s), {len(findings) - len(fresh)} baselined",
+          file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

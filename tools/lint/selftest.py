@@ -5,13 +5,22 @@ Runs the engine against the seeded-violation fixture tree and asserts the
 exact diagnostic output (file:line:check-id), so any behavior change in a
 check — a missed violation, a dishonored suppression, a reworded or
 re-anchored diagnostic — fails like any other test. Also proves the baseline
-mechanism: with every fixture violation baselined the engine must exit 0,
-and the --write-baseline output must be byte-stable.
+mechanism (with every fixture violation baselined the engine must exit 0,
+and --write-baseline must be byte-stable), the suppression-audit count
+ratchet, and the AST/token mode contract: degraded token-level findings are
+always a subset of AST-mode findings, so losing libclang loses recall but
+never lets a gated violation through that token mode would have caught.
+
+The byte-exact steps run with CACKLE_LINT_NO_CLANG=1 so expected.txt is the
+same on machines with and without clang.cindex; the subset step then runs
+both modes and compares. CI runs this selftest twice (plain and with
+CACKLE_LINT_NO_CLANG=1 exported) to pin both environments.
 
 Run from the repository root: python3 tools/lint/selftest.py
 """
 
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -20,16 +29,31 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 ENGINE = os.path.join(HERE, "cackle_lint.py")
 TESTDATA = os.path.join(HERE, "testdata")
 
+DIAG_RE = re.compile(r"^(.+?):(\d+): \[([a-z\-]+)\]")
 
-def run(*extra):
+
+def run(*extra, ast_env="1"):
+    """Runs the engine on the fixture tree. ast_env pins
+    CACKLE_LINT_NO_CLANG ("1" = force degraded token mode, the byte-exact
+    reference); ast_env=None inherits the ambient environment (AST mode when
+    clang.cindex is importable)."""
+    env = dict(os.environ)
+    if ast_env is None:
+        env.pop("CACKLE_LINT_NO_CLANG", None)
+    else:
+        env["CACKLE_LINT_NO_CLANG"] = ast_env
     return subprocess.run(
         [sys.executable, ENGINE, "--root", TESTDATA, *extra],
-        capture_output=True, text=True)
+        capture_output=True, text=True, env=env)
 
 
 def fail(msg):
     print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def diag_set(stdout):
+    return {m.groups() for m in map(DIAG_RE.match, stdout.splitlines()) if m}
 
 
 def main():
@@ -38,7 +62,7 @@ def main():
     baseline_all = os.path.join(TESTDATA, "baseline_all.txt")
 
     # 1. Every seeded violation fires, every suppression is honored, and
-    #    diagnostics match byte-for-byte.
+    #    diagnostics match byte-for-byte (token mode: machine-independent).
     r = run()
     if r.returncode != 1:
         fail(f"expected exit 1 on seeded fixtures, got {r.returncode}\n"
@@ -83,8 +107,72 @@ def main():
     finally:
         os.unlink(partial)
 
-    print("lint selftest: all checks fire, suppressions honored, "
-          "baseline ratchet works")
+    # 5. Mode contract: degraded token-level findings are a subset of
+    #    AST-mode findings (equal when clang.cindex is absent, since AST
+    #    mode then degrades to token mode with a notice).
+    token = run()
+    ast = run(ast_env=None)
+    token_set, ast_set = diag_set(token.stdout), diag_set(ast.stdout)
+    if not token_set <= ast_set:
+        missing = sorted(token_set - ast_set)
+        fail("token-mode findings are not a subset of AST-mode findings; "
+             f"AST mode dropped: {missing}")
+    ast_active = "clang.cindex active" in ast.stderr
+    if not ast_active and ast_set != token_set:
+        fail("without clang.cindex both modes must agree exactly; "
+             f"diff: {sorted(ast_set ^ token_set)}")
+
+    # 6. Suppression audit: the inventory is byte-exact against
+    #    expected_suppressions.txt (every check has a justified suppression
+    #    exercised somewhere in the fixtures).
+    expected_sup = open(os.path.join(TESTDATA, "expected_suppressions.txt"),
+                        encoding="utf-8").read()
+    r = run("--suppressions")
+    if r.returncode != 0:
+        fail(f"--suppressions exited {r.returncode}: {r.stderr}")
+    if r.stdout != expected_sup:
+        fail("suppression inventory diverged from expected_suppressions.txt"
+             f"\n--- expected ---\n{expected_sup}--- actual ---\n{r.stdout}")
+    for check in ("cackle-ptr-order", "cackle-float-merge",
+                  "cackle-rng-stream", "cackle-lock-annotation"):
+        if f"[{check}]" not in r.stdout:
+            fail(f"fixtures exercise no justified suppression for {check}")
+
+    # 7. Suppression count ratchet: at the baselined count the audit passes;
+    #    one entry fewer in the baseline and the audit fails.
+    with tempfile.NamedTemporaryFile("r", suffix=".txt") as tmp:
+        r = run("--suppressions", "--write-suppressions-baseline",
+                "--suppressions-baseline", tmp.name)
+        if r.returncode != 0:
+            fail(f"--write-suppressions-baseline exited {r.returncode}: "
+                 f"{r.stderr}")
+        sup_baseline = open(tmp.name, encoding="utf-8").read()
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as tmp:
+        tmp.write(sup_baseline)
+        full = tmp.name
+    lines = sup_baseline.splitlines(keepends=True)
+    body = [ln for ln in lines if ln.strip() and not ln.startswith("#")]
+    with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                     delete=False) as tmp:
+        tmp.write("".join(ln for ln in lines if ln not in body[-1:]))
+        short = tmp.name
+    try:
+        r = run("--suppressions", "--suppressions-baseline", full)
+        if r.returncode != 0:
+            fail(f"suppression audit failed at baselined count: {r.stderr}")
+        r = run("--suppressions", "--suppressions-baseline", short)
+        if r.returncode != 1:
+            fail("suppression audit must fail when the count exceeds the "
+                 f"baseline, got exit {r.returncode}")
+        if "suppression count grew" not in r.stderr:
+            fail(f"ratchet failure message missing, stderr: {r.stderr}")
+    finally:
+        os.unlink(full)
+        os.unlink(short)
+
+    print("lint selftest: all checks fire, suppressions honored, baseline "
+          "and suppression ratchets work, token ⊆ AST mode")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,63 @@
+// Lint fixture: seeded cackle-float-merge violation (float accumulation
+// into captured state inside a ThreadPool task body), plus the three
+// sanctioned shapes: a task-local accumulator, an ascending-index merge
+// outside the task, and a justified NOLINT.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class ThreadPoolStub {
+ public:
+  template <typename F>
+  void Submit(F fn) {
+    fn();
+  }
+};
+
+double SumRacy(const std::vector<double>& values, ThreadPoolStub* pool) {
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    pool->Submit([&total, &values, i] { total += values[i]; });
+  }
+  return total;
+}
+
+double SumViaPartials(const std::vector<double>& values,
+                      ThreadPoolStub* pool) {
+  std::vector<double> partials(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    pool->Submit([&partials, &values, i] {
+      double local = 0.0;
+      local += values[i];  // task-local accumulator: order-free, clean
+      partials[i] = local;
+    });
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < partials.size(); ++i) {
+    total += partials[i];  // serial ascending-index merge, outside the pool
+  }
+  return total;
+}
+
+double SumOrdered(const std::vector<double>& values, ThreadPoolStub* pool) {
+  double total = 0.0;
+  pool->Submit([&total, &values] {
+    for (size_t i = 0; i < values.size(); ++i) {
+      // ascending-index merge: one task walks the indices in order.
+      total += values[i];
+    }
+  });
+  return total;
+}
+
+double SumJustified(const std::vector<double>& values, ThreadPoolStub* pool) {
+  double total = 0.0;
+  pool->Submit([&total, &values] {
+    // NOLINTNEXTLINE(cackle-float-merge): fixture-only; the stub pool runs inline, so there is one order.
+    total += values.empty() ? 0.0 : values[0];
+  });
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// Lint fixture: seeded cackle-lock-annotation violations (a bare std::mutex
+// member, and an annotated Mutex with no CACKLE_GUARDED_BY user), plus the
+// sanctioned guarded pattern and a justified condvar-handshake suppression.
+// Fixtures are linted, never compiled, so Mutex/CondVar need no definition.
+#ifndef CACKLE_LINT_TESTDATA_GAMMA_LOCK_ANNOTATION_VIOLATION_H_
+#define CACKLE_LINT_TESTDATA_GAMMA_LOCK_ANNOTATION_VIOLATION_H_
+
+#include <mutex>
+
+#define CACKLE_GUARDED_BY(x)
+
+namespace fixture {
+
+class Mutex {};
+class CondVar {};
+
+class LegacyQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex legacy_mu_;
+  int depth_ = 0;
+};
+
+class UnguardedPool {
+ public:
+  void Hit();
+
+ private:
+  Mutex naked_mu_;
+  long hits_ = 0;
+};
+
+class GuardedPool {
+ public:
+  void Hit();
+
+ private:
+  Mutex mu_;
+  long hits_ CACKLE_GUARDED_BY(mu_) = 0;
+};
+
+class HandshakeGate {
+ public:
+  void Open();
+
+ private:
+  Mutex gate_mu_;  // NOLINT(cackle-lock-annotation): fixture-only; pure condvar handshake, state is atomic.
+  CondVar gate_cv_;
+};
+
+}  // namespace fixture
+
+#endif  // CACKLE_LINT_TESTDATA_GAMMA_LOCK_ANNOTATION_VIOLATION_H_

@@ -1,0 +1,47 @@
+// Lint fixture: seeded cackle-ptr-order violations (pointer-keyed ordered
+// containers, std::less over a pointer, and a comparator that sorts by
+// address), plus the sanctioned stable-id pattern and a suppressed variant.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Widget {
+  int id;
+};
+
+std::map<Widget*, int> RankByAddress() {
+  return {};
+}
+
+std::set<const Widget*> TrackByAddress() {
+  return {};
+}
+
+using AddressOrder = std::less<const Widget*>;
+
+void SortByAddress(std::vector<Widget*>* widgets) {
+  std::sort(widgets->begin(), widgets->end(),
+            [](const Widget* a, const Widget* b) {
+              return reinterpret_cast<uintptr_t>(a) <
+                     reinterpret_cast<uintptr_t>(b);
+            });
+}
+
+// Keying by the stable id is the sanctioned pattern: no violation.
+std::map<int, Widget*> RankById() {
+  return {};
+}
+
+void SortById(std::vector<Widget*>* widgets) {
+  std::sort(widgets->begin(), widgets->end(),
+            [](const Widget* a, const Widget* b) { return a->id < b->id; });
+}
+
+// NOLINTNEXTLINE(cackle-ptr-order): fixture-only; interned pool whose order is never observed.
+std::set<Widget*> suppressed_pool;
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Lint fixture: seeded cackle-rng-stream violations (inline literal seed,
+// ad-hoc seed XOR arithmetic, literal stream tag), plus the sanctioned
+// named-tag factory calls and a suppressed variant.
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+  static uint64_t StreamSeed(uint64_t base, uint64_t tag);
+  static Rng Stream(uint64_t base, uint64_t tag);
+};
+
+constexpr uint64_t kGammaStreamTag = 0x9a33aULL;
+
+Rng MakeLiteralRng() {
+  Rng rng(42);
+  return rng;
+}
+
+uint64_t DeriveWorkerSeed(uint64_t base_seed, int worker) {
+  return base_seed ^ (0x9e3779b9ULL * static_cast<uint64_t>(worker));
+}
+
+uint64_t LiteralTag(uint64_t seed) {
+  return Rng::StreamSeed(seed, 0x5eed);
+}
+
+// Named tag through the factory: the sanctioned pattern, no violation.
+Rng NamedStream(uint64_t seed) {
+  return Rng::Stream(seed, kGammaStreamTag);
+}
+
+// NOLINTNEXTLINE(cackle-rng-stream): fixture-only; historical literal kept verbatim for golden compatibility.
+Rng legacy_rng(7);
+
+}  // namespace fixture
